@@ -1,0 +1,255 @@
+(* Command-line interface to the library.
+
+   coincidence params    -- inspect the parameter windows for an n
+   coincidence ba        -- run Byzantine Agreement instances
+   coincidence coin      -- flip the shared / WHP coin
+   coincidence committee -- sample and inspect committees
+   coincidence table1    -- quick Table-1 style comparison run            *)
+
+open Cmdliner
+
+(* ------------------------- common arguments ------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let trials_arg =
+  Arg.(value & opt int 1 & info [ "trials" ] ~docv:"K" ~doc:"Number of seeded runs.")
+
+let lambda_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lambda" ] ~docv:"L"
+        ~doc:"Committee parameter (default: a concentration-safe value; pass 0 for the paper's 8 ln n).")
+
+let epsilon_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "epsilon" ] ~docv:"E" ~doc:"Resilience slack; f = floor((1/3 - epsilon) n).")
+
+let d_arg = Arg.(value & opt float 0.04 & info [ "d" ] ~docv:"D" ~doc:"Committee slack d.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mock", `Mock); ("rsa", `Rsa); ("dleq", `Dleq) ]) `Mock
+    & info [ "backend" ] ~docv:"B"
+        ~doc:"VRF backend: mock (fast oracle), rsa (RSA-FDH-VRF) or dleq (Schnorr-group DDH VRF).")
+
+let rsa_bits_arg =
+  Arg.(value & opt int 256 & info [ "rsa-bits" ] ~docv:"BITS" ~doc:"RSA modulus size.")
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (enum [ ("random", `Random); ("fifo", `Fifo); ("split", `Split); ("targeted", `Targeted) ])
+        `Random
+    & info [ "scheduler" ] ~docv:"S" ~doc:"Adversarial scheduler.")
+
+let corruption_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("crash", `Crash); ("adaptive", `Adaptive); ("silent", `Silent) ])
+        `None
+    & info [ "corruption" ] ~docv:"C"
+        ~doc:"Fault injection: none, crash (f random), adaptive (crash first f senders), silent (f byzantine mutes).")
+
+let make_keyring backend rsa_bits n seed =
+  let backend =
+    match backend with
+    | `Mock -> Vrf.Mock
+    | `Rsa -> Vrf.Rsa_fdh { bits = rsa_bits }
+    | `Dleq -> Vrf.Dleq { qbits = 160 }
+  in
+  Vrf.Keyring.create ~backend ~n ~seed:(Printf.sprintf "cli-%d" seed) ()
+
+let make_params n epsilon d lambda =
+  let lambda =
+    match lambda with
+    | Some 0 -> min n (Core.Params.default_lambda ~n)
+    | Some l -> l
+    | None -> min n (max (Core.Params.default_lambda ~n) (int_of_float (6.4 *. sqrt (float_of_int n))))
+  in
+  Core.Params.make_exn ~strict:false ~epsilon ~d ~lambda ~n ()
+
+let make_scheduler n = function
+  | `Random -> Sim.Scheduler.random ()
+  | `Fifo -> Sim.Scheduler.fifo ()
+  | `Split -> Sim.Scheduler.split ~group:(fun pid -> pid < n / 2) ~cross_delay:25.0 ()
+  | `Targeted -> Sim.Scheduler.targeted ~victims:(fun pid -> pid < n / 4) ~factor:40.0 ()
+
+(* ------------------------------ params ------------------------------ *)
+
+let params_cmd =
+  let run n =
+    Format.printf "n = %d@." n;
+    (match Core.Params.epsilon_window ~n with
+    | Some (lo, hi) -> Format.printf "epsilon window: (%.4f, %.4f)@." lo hi
+    | None -> Format.printf "epsilon window: empty (strict constraints need larger n)@.");
+    (match Core.Params.make ~n () with
+    | Ok p ->
+        Format.printf "strict defaults: %a@." Core.Params.pp p;
+        (match Core.Params.d_window ~epsilon:p.Core.Params.epsilon ~lambda:p.Core.Params.lambda with
+        | Some (lo, hi) -> Format.printf "d window: (%.4f, %.4f)@." lo hi
+        | None -> Format.printf "d window: empty@.");
+        Format.printf "coin bound (Lemma 4.8): %.4f@."
+          (Core.Params.coin_success_bound ~epsilon:p.Core.Params.epsilon);
+        Format.printf "whp-coin bound (Lemma B.7): %.4f@."
+          (Core.Params.whp_coin_success_bound ~d:p.Core.Params.d)
+    | Error e -> Format.printf "strict defaults: %s@." e);
+    let clamped = make_params n 0.25 0.04 None in
+    Format.printf "practical (concentration-safe): %a@." Core.Params.pp clamped;
+    0
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Inspect parameter windows and derived thresholds for an n.")
+    Term.(const run $ n_arg)
+
+(* -------------------------------- ba -------------------------------- *)
+
+let ba_cmd =
+  let run n seed trials lambda epsilon d backend rsa_bits scheduler corruption unanimous =
+    let keyring = make_keyring backend rsa_bits n seed in
+    let params = make_params n epsilon d lambda in
+    Format.printf "%a@." Core.Params.pp params;
+    let corruption =
+      match corruption with
+      | `None -> Core.Runner.Honest
+      | `Crash -> Core.Runner.Crash_random params.Core.Params.f
+      | `Adaptive -> Core.Runner.Crash_adaptive_first params.Core.Params.f
+      | `Silent -> Core.Runner.Byz_silent_random params.Core.Params.f
+    in
+    let exit_code = ref 0 in
+    for i = 0 to trials - 1 do
+      let inputs =
+        if unanimous then Array.make n 1 else Array.init n (fun p -> (p + i) mod 2)
+      in
+      let o =
+        Core.Runner.run_ba
+          ~scheduler:(make_scheduler n scheduler)
+          ~corruption ~keyring ~params ~inputs ~seed:(seed + i) ()
+      in
+      Format.printf "run %d: %a@." i Core.Runner.pp_outcome o;
+      if not (o.Core.Runner.all_decided && o.Core.Runner.agreement) then exit_code := 1
+    done;
+    !exit_code
+  in
+  let unanimous_arg =
+    Arg.(value & flag & info [ "unanimous" ] ~doc:"All processes propose 1 (tests validity).")
+  in
+  Cmd.v (Cmd.info "ba" ~doc:"Run Byzantine Agreement WHP instances.")
+    Term.(
+      const run $ n_arg $ seed_arg $ trials_arg $ lambda_arg $ epsilon_arg $ d_arg $ backend_arg
+      $ rsa_bits_arg $ scheduler_arg $ corruption_arg $ unanimous_arg)
+
+(* ------------------------------- coin ------------------------------- *)
+
+let coin_cmd =
+  let run n seed trials lambda epsilon d backend rsa_bits committee =
+    let keyring = make_keyring backend rsa_bits n seed in
+    if committee then begin
+      let params = make_params n epsilon d lambda in
+      Format.printf "WHP coin (Algorithm 2), %a@." Core.Params.pp params;
+      let est =
+        Core.Analysis.estimate_whp_coin ~keyring ~params ~trials ~base_seed:seed ()
+      in
+      Format.printf "%a@." Core.Analysis.pp_coin_estimate est;
+      Format.printf "Lemma B.7 bound: %.4f@." (Core.Params.whp_coin_success_bound ~d)
+    end
+    else begin
+      let f = int_of_float (float_of_int n *. ((1.0 /. 3.0) -. epsilon)) in
+      Format.printf "shared coin (Algorithm 1), n = %d, f = %d@." n f;
+      let est = Core.Analysis.estimate_shared_coin ~keyring ~n ~f ~trials ~base_seed:seed () in
+      Format.printf "%a@." Core.Analysis.pp_coin_estimate est;
+      Format.printf "Lemma 4.8 bound: %.4f@." (Core.Params.coin_success_bound ~epsilon)
+    end;
+    0
+  in
+  let committee_arg =
+    Arg.(value & flag & info [ "committee" ] ~doc:"Use the committee-based WHP coin (Algorithm 2).")
+  in
+  Cmd.v (Cmd.info "coin" ~doc:"Flip the shared coin and estimate its success rate.")
+    Term.(
+      const run $ n_arg $ seed_arg
+      $ Arg.(value & opt int 50 & info [ "trials" ] ~docv:"K" ~doc:"Flips.")
+      $ lambda_arg $ epsilon_arg $ d_arg $ backend_arg $ rsa_bits_arg $ committee_arg)
+
+(* ----------------------------- committee ----------------------------- *)
+
+let committee_cmd =
+  let run n seed lambda epsilon d s =
+    let keyring = make_keyring `Mock 256 n seed in
+    let params = make_params n epsilon d lambda in
+    let lambda = params.Core.Params.lambda in
+    let members = Core.Sample.committee keyring ~s ~lambda in
+    Format.printf "C(%S, lambda = %d) at n = %d: %d members@." s lambda n (List.length members);
+    Format.printf "  W = %d, B = %d@." params.Core.Params.w params.Core.Params.b;
+    Format.printf "  members: %s@."
+      (String.concat ", " (List.map string_of_int members));
+    0
+  in
+  let s_arg =
+    Arg.(value & opt string "demo" & info [ "string" ] ~docv:"STRING" ~doc:"Committee string.")
+  in
+  Cmd.v (Cmd.info "committee" ~doc:"Sample a committee and print its membership.")
+    Term.(const run $ n_arg $ seed_arg $ lambda_arg $ epsilon_arg $ d_arg $ s_arg)
+
+(* ------------------------------- chain ------------------------------- *)
+
+let chain_cmd =
+  let run n seed lambda epsilon d slots =
+    let keyring = make_keyring `Mock 256 n seed in
+    let params = make_params n epsilon d lambda in
+    let rng = Crypto.Rng.create seed in
+    let inputs = Array.init slots (fun _ -> Array.init n (fun _ -> Crypto.Rng.int rng 2)) in
+    let o = Core.Chain.run_concurrent ~keyring ~params ~inputs ~seed () in
+    Format.printf "%a@." Core.Chain.pp_outcome o;
+    if o.Core.Chain.all_slots_decided then 0 else 1
+  in
+  let slots_arg =
+    Arg.(value & opt int 4 & info [ "slots" ] ~docv:"K" ~doc:"Concurrent agreement slots.")
+  in
+  Cmd.v (Cmd.info "chain" ~doc:"Decide several agreement slots concurrently on one network.")
+    Term.(const run $ n_arg $ seed_arg $ lambda_arg $ epsilon_arg $ d_arg $ slots_arg)
+
+(* ------------------------------ table1 ------------------------------ *)
+
+let table1_cmd =
+  let run seed =
+    let inputs n = Array.init n (fun p -> p mod 2) in
+    Format.printf "%-22s %6s %4s %10s %7s %5s %5s@." "protocol" "n" "f" "words" "rounds" "term"
+      "safe";
+    let pr name n f (words, rounds, live, safe) =
+      Format.printf "%-22s %6d %4d %10d %7d %5b %5b@." name n f words rounds live safe
+    in
+    let b = Baselines.Brun.run_benor ~n:30 ~f:5 ~inputs:(inputs 30) ~seed () in
+    pr "Ben-Or 83" 30 5
+      Baselines.Brun.(b.words, b.rounds, b.all_decided, b.agreement);
+    let r = Baselines.Brun.run_rabin ~n:33 ~f:3 ~inputs:(inputs 33) ~seed () in
+    pr "Rabin 83" 33 3 Baselines.Brun.(r.words, r.rounds, r.all_decided, r.agreement);
+    let br = Baselines.Brun.run_bracha ~n:30 ~f:9 ~inputs:(inputs 30) ~seed () in
+    pr "Bracha 87" 30 9 Baselines.Brun.(br.words, br.rounds, br.all_decided, br.agreement);
+    let kr = make_keyring `Mock 256 30 seed in
+    let m =
+      Baselines.Brun.run_mmr ~coin:(Baselines.Mmr.Vrf_coin kr) ~n:30 ~f:9 ~inputs:(inputs 30)
+        ~seed ()
+    in
+    pr "MMR 15 + Alg.1 coin" 30 9 Baselines.Brun.(m.words, m.rounds, m.all_decided, m.agreement);
+    let kr32 = make_keyring `Mock 256 32 seed in
+    let p = make_params 32 0.25 0.04 None in
+    let o = Core.Runner.run_ba ~keyring:kr32 ~params:p ~inputs:(inputs 32) ~seed () in
+    pr "Ours (Alg.4)" 32 p.Core.Params.f
+      Core.Runner.(o.words, o.rounds, o.all_decided, o.agreement);
+    0
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Quick Table-1 style comparison (see bench/main.exe for the full version).")
+    Term.(const run $ seed_arg)
+
+let () =
+  let doc = "Sub-quadratic asynchronous Byzantine Agreement WHP (Cohen-Keidar-Spiegelman, PODC 2020)" in
+  let info = Cmd.info "coincidence" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ params_cmd; ba_cmd; coin_cmd; committee_cmd; chain_cmd; table1_cmd ]))

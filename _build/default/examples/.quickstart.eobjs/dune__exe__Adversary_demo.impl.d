@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Array Core Format List Printf Sim Sys Vrf

@@ -1,0 +1,1 @@
+examples/blockchain_demo.ml: Array Baselines Core Crypto Format Printf String Sys Vrf

@@ -1,0 +1,1 @@
+examples/chain_demo.ml: Array Core Crypto Format Sim Sys Vrf

@@ -1,0 +1,1 @@
+examples/coin_demo.ml: Array Core Format List Sys Vrf

@@ -1,0 +1,1 @@
+examples/committee_demo.ml: Array Core Format List Sys Vrf

@@ -1,0 +1,32 @@
+(* Chain demo: concurrent repeated agreement under attack.
+
+   Run with:  dune exec examples/chain_demo.exe [n] [slots]
+
+   Decides several slots at once on a single asynchronous network — all
+   instances' messages interleaved under one adversarial scheduler, with
+   f two-face equivocators attacking every slot — and shows that the
+   per-slot instance tags keep the instances isolated. *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 32 in
+  let slots = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 5 in
+  let keyring = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"chain-demo" () in
+  let params = Core.Params.make_exn ~strict:false ~epsilon:0.25 ~d:0.04 ~lambda:n ~n () in
+  Format.printf "%d slots concurrently, %a@.@." slots Core.Params.pp params;
+
+  let rng = Crypto.Rng.create 99 in
+  let inputs =
+    Array.init slots (fun slot ->
+        Array.init n (fun _ -> if Crypto.Rng.float rng 1.0 < 0.3 +. (0.15 *. float_of_int slot) then 1 else 0))
+  in
+  let scheduler =
+    Sim.Scheduler.split ~group:(fun pid -> pid < n / 2) ~cross_delay:15.0 ()
+  in
+  let o = Core.Chain.run_concurrent ~scheduler ~keyring ~params ~inputs ~seed:7 () in
+  Format.printf "%a@." Core.Chain.pp_outcome o;
+  Format.printf "total: %d words, %d messages, causal depth %d, %d deliveries@."
+    o.Core.Chain.total_words o.Core.Chain.total_msgs o.Core.Chain.depth o.Core.Chain.steps;
+  assert o.Core.Chain.all_slots_decided;
+  Format.printf
+    "@.every slot decided under a network split with all instances interleaved:@.\
+     one PKI setup, any number of agreement instances (paper, section 3).@."

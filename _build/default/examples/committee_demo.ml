@@ -1,0 +1,53 @@
+(* Committee demo: validated committee sampling up close.
+
+   Run with:  dune exec examples/committee_demo.exe [n]
+
+   Shows the parameter windows (epsilon, d), samples committees, verifies
+   certificates (including a forged one), and measures the Claim 1
+   frequencies S1-S4 at this n. *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200 in
+
+  (* The paper's constraint windows at this n. *)
+  (match Core.Params.epsilon_window ~n with
+  | Some (lo, hi) -> Format.printf "epsilon window at n=%d: (%.4f, %.4f)@." n lo hi
+  | None -> Format.printf "epsilon window at n=%d: empty (n too small for the strict paper constraints)@." n);
+  let params = Core.Params.make_exn ~strict:false ~n () in
+  Format.printf "derived parameters: %a@." Core.Params.pp params;
+  (match Core.Params.d_window ~epsilon:params.Core.Params.epsilon ~lambda:params.Core.Params.lambda with
+  | Some (lo, hi) -> Format.printf "d window: (%.4f, %.4f)@.@." lo hi
+  | None -> Format.printf "d window: empty@.@.");
+
+  let keyring = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"committee-demo" () in
+  let lambda = params.Core.Params.lambda in
+
+  (* Sample one committee and verify a member's certificate. *)
+  let committee = Core.Sample.committee keyring ~s:"demo-committee" ~lambda in
+  Format.printf "committee for \"demo-committee\": %d members (expected ~%d)@."
+    (List.length committee) lambda;
+  (match committee with
+  | member :: _ ->
+      let cert = Core.Sample.sample keyring ~pid:member ~s:"demo-committee" ~lambda in
+      Format.printf "  member %d's certificate verifies: %b@." member
+        (Core.Sample.committee_val keyring ~s:"demo-committee" ~lambda ~pid:member cert);
+      (* A forged claim from a non-member is caught. *)
+      let rec non_member pid = if List.mem pid committee then non_member (pid + 1) else pid in
+      let outsider = non_member 0 in
+      let c = Core.Sample.sample keyring ~pid:outsider ~s:"demo-committee" ~lambda in
+      let forged = { c with Core.Sample.member = true } in
+      Format.printf "  outsider %d's forged certificate verifies: %b@." outsider
+        (Core.Sample.committee_val keyring ~s:"demo-committee" ~lambda ~pid:outsider forged)
+  | [] -> ());
+
+  (* Claim 1 frequencies over many committees. *)
+  Format.printf "@.Claim 1 frequencies over 500 committees (f = %d random corruptions):@."
+    params.Core.Params.f;
+  let est = Core.Analysis.estimate_committees ~keyring ~params ~trials:500 ~base_seed:7 () in
+  Format.printf "  %a@." Core.Analysis.pp_committee_estimate est;
+  Format.printf
+    "  (S1: size <= (1+d)lambda; S2: size >= (1-d)lambda; S3: >= W=%d correct; S4: <= B=%d byzantine)@."
+    params.Core.Params.w params.Core.Params.b;
+  Format.printf
+    "@.Note how S1-S4 are not yet near-certain at this n: the paper's Chernoff@.\
+     exponents are asymptotic.  Re-run with larger n (or see EXPERIMENTS.md, E5).@."

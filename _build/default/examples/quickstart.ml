@@ -1,0 +1,40 @@
+(* Quickstart: one Byzantine Agreement WHP instance, start to finish.
+
+   Run with:  dune exec examples/quickstart.exe [n]
+
+   Sets up the PKI (a VRF keyring), derives the paper's parameters for n
+   processes, runs one agreement with mixed 0/1 inputs over the
+   asynchronous network simulator, and prints the outcome. *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 32 in
+
+  (* 1. Parameters: epsilon (resilience slack), d (committee slack),
+     lambda (committee size), W/B thresholds.  [~strict:false] lets small
+     demo sizes through; production use would require the strict window
+     (see Core.Params).
+     lambda = n at demo scale: with a few dozen processes, sampled
+     committees fluctuate enough to fall below the W threshold with a few
+     percent probability *per committee*, and a multi-round run touches
+     dozens of committees (liveness is "whp" in n, and demo n is small).
+     Sub-sampling pays off at larger n — see bench E2/E4. *)
+  let params = Core.Params.make_exn ~strict:false ~epsilon:0.25 ~d:0.04 ~lambda:n ~n () in
+  Format.printf "parameters: %a@." Core.Params.pp params;
+
+  (* 2. Trusted PKI: every process gets a VRF keypair derived from the
+     setup seed.  Mock = fast hash-based oracle; switch to
+     [Vrf.Rsa_fdh { bits = 512 }] for the real RSA-FDH VRF. *)
+  let keyring = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"quickstart-pki" () in
+
+  (* 3. Inputs: half the processes propose 0, half propose 1. *)
+  let inputs = Array.init n (fun i -> i mod 2) in
+
+  (* 4. Run one instance on the simulated asynchronous network. *)
+  let outcome = Core.Runner.run_ba ~keyring ~params ~inputs ~seed:42 () in
+
+  Format.printf "outcome:    %a@." Core.Runner.pp_outcome outcome;
+  (match outcome.Core.Runner.decisions with
+  | (_, d) :: _ -> Format.printf "decided:    %d (all %d correct processes agree: %b)@." d n outcome.Core.Runner.agreement
+  | [] -> Format.printf "no decisions?!@.");
+  Format.printf "cost:       %d words over %d messages; causal depth %d@."
+    outcome.Core.Runner.words outcome.Core.Runner.msgs outcome.Core.Runner.depth

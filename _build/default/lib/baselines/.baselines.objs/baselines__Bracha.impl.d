@@ -1,0 +1,1 @@
+lib/baselines/bracha.ml: Array Crypto Fun Hashtbl List Rbc

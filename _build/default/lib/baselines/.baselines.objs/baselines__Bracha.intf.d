@@ -1,0 +1,1 @@
+lib/baselines/bracha.mli: Rbc

@@ -1,0 +1,1 @@
+lib/baselines/brun.ml: Array Benor Bracha List Mmr Option Printf Rabin Sim

@@ -1,0 +1,1 @@
+lib/baselines/brun.mli: Benor Bracha Mmr Rabin Sim

@@ -1,0 +1,1 @@
+lib/baselines/dealer_coin.ml: Array Char Crypto Field List Printf String

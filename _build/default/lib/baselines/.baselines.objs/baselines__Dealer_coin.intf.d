@@ -1,0 +1,1 @@
+lib/baselines/dealer_coin.mli: Field

@@ -1,0 +1,1 @@
+lib/baselines/mmr.ml: Array Core Crypto Dealer_coin Field Hashtbl List Printf Vrf

@@ -1,0 +1,1 @@
+lib/baselines/mmr.mli: Core Dealer_coin Field Vrf

@@ -1,0 +1,1 @@
+lib/baselines/rabin.ml: Array Dealer_coin Field Hashtbl Option

@@ -1,0 +1,1 @@
+lib/baselines/rbc.ml: Array Hashtbl Option

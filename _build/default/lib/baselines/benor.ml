@@ -1,0 +1,155 @@
+type msg = Report of { round : int; v : int } | Proposal of { round : int; v : int option }
+
+let words_of_msg (Report _ | Proposal _) = 2
+
+type action = Broadcast of msg | Decide of int
+
+type round_st = {
+  report_from : bool array;
+  mutable report_count : int;
+  report_votes : (int, int) Hashtbl.t;
+  mutable sent_proposal : bool;
+  prop_from : bool array;
+  mutable prop_count : int;
+  prop_votes : (int, int) Hashtbl.t;  (* concrete values only *)
+  mutable completed : bool;
+}
+
+type t = {
+  n : int;
+  f : int;
+  pid : int;
+  rng : Crypto.Rng.t;  (* the local coin *)
+  rounds : (int, round_st) Hashtbl.t;
+  mutable est : int;
+  mutable round : int;
+  mutable started : bool;
+  mutable decision : int option;
+  mutable decided_round : int option;
+}
+
+let create ~n ~f ~pid ~coin_seed =
+  {
+    n;
+    f;
+    pid;
+    rng = Crypto.Rng.create (coin_seed lxor (pid * 0x9E3779B9));
+    rounds = Hashtbl.create 8;
+    est = 0;
+    round = 0;
+    started = false;
+    decision = None;
+    decided_round = None;
+  }
+
+let round_st t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          report_from = Array.make t.n false;
+          report_count = 0;
+          report_votes = Hashtbl.create 4;
+          sent_proposal = false;
+          prop_from = Array.make t.n false;
+          prop_count = 0;
+          prop_votes = Hashtbl.create 4;
+          completed = false;
+        }
+      in
+      Hashtbl.replace t.rounds r st;
+      st
+
+let bump tbl v = Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0)
+
+let argmax tbl =
+  Hashtbl.fold
+    (fun v c acc -> match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
+    tbl None
+
+let quorum t = t.n - t.f
+
+let still_initiating t r =
+  match t.decided_round with None -> true | Some dr -> r <= dr + 2
+
+let start_round t r =
+  if still_initiating t r then [ Broadcast (Report { round = r; v = t.est }) ] else []
+
+(* Runs when the proposal quorum of the current round is in: the decide /
+   adopt / coin-flip step, then the next round begins. *)
+let rec finish_round t r st =
+  if st.completed || t.round <> r then []
+  else begin
+    st.completed <- true;
+    let decide_acts =
+      match argmax st.prop_votes with
+      | Some (v, cnt) when 2 * cnt > t.n + t.f ->
+          t.est <- v;
+          if t.decision = None then begin
+            t.decision <- Some v;
+            t.decided_round <- Some r;
+            [ Decide v ]
+          end
+          else []
+      | Some (v, cnt) when cnt >= t.f + 1 ->
+          t.est <- v;
+          []
+      | Some _ | None ->
+          t.est <- (if Crypto.Rng.bool t.rng then 1 else 0);
+          []
+    in
+    t.round <- r + 1;
+    decide_acts @ start_round t (r + 1) @ catch_up t (r + 1)
+  end
+
+(* Thresholds of the next round may already be satisfied by buffered
+   messages; fire them now. *)
+and catch_up t r =
+  let st = round_st t r in
+  let acts = ref [] in
+  if st.report_count >= quorum t && not st.sent_proposal then begin
+    st.sent_proposal <- true;
+    let proposal =
+      match argmax st.report_votes with
+      | Some (v, cnt) when 2 * cnt > t.n + t.f -> Some v
+      | Some _ | None -> None
+    in
+    acts := [ Broadcast (Proposal { round = r; v = proposal }) ]
+  end;
+  if st.prop_count >= quorum t then acts := !acts @ finish_round t r st;
+  !acts
+
+let catch_up_if_current t r = if r = t.round then catch_up t r else []
+
+let propose t v =
+  if t.started then []
+  else begin
+    t.started <- true;
+    t.est <- v;
+    start_round t 0
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Report { round = r; v } ->
+      let st = round_st t r in
+      if st.report_from.(src) then []
+      else begin
+        st.report_from.(src) <- true;
+        st.report_count <- st.report_count + 1;
+        bump st.report_votes v;
+        catch_up_if_current t r
+      end
+  | Proposal { round = r; v } ->
+      let st = round_st t r in
+      if st.prop_from.(src) then []
+      else begin
+        st.prop_from.(src) <- true;
+        st.prop_count <- st.prop_count + 1;
+        (match v with Some v -> bump st.prop_votes v | None -> ());
+        catch_up_if_current t r
+      end
+
+let decision t = t.decision
+let decided_round t = t.decided_round

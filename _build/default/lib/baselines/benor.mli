@@ -1,0 +1,31 @@
+(** Ben-Or's randomized Byzantine Agreement (PODC 1983) — Table 1 baseline.
+
+    Resilience [n > 5f]; local coin; exponential expected rounds in the
+    worst case (constant when [f = O(sqrt n)]).  Round structure:
+    + broadcast [REPORT(r, est)]; await [n - f] reports; if more than
+      [(n + f) / 2] carry the same [v], broadcast [PROPOSAL(r, v)],
+      else [PROPOSAL(r, ?)];
+    + await [n - f] proposals; with [cnt v] proposals for the most frequent
+      concrete value [v]: decide [v] if [cnt v > (n + f) / 2]; adopt
+      [est <- v] if [cnt v >= f + 1]; otherwise flip the local coin.
+
+    A decided process keeps participating for one more round so laggards
+    can cross their thresholds. *)
+
+type msg =
+  | Report of { round : int; v : int }
+  | Proposal of { round : int; v : int option }  (** [None] encodes "?". *)
+
+val words_of_msg : msg -> int
+
+type action = Broadcast of msg | Decide of int
+
+type t
+
+val create : n:int -> f:int -> pid:int -> coin_seed:int -> t
+(** [coin_seed] seeds the process's private (local) coin. *)
+
+val propose : t -> int -> action list
+val handle : t -> src:int -> msg -> action list
+val decision : t -> int option
+val decided_round : t -> int option

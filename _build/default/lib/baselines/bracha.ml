@@ -1,0 +1,169 @@
+type msg = { round : int; step : int; originator : int; inner : Rbc.msg }
+
+let words_of_msg { inner; _ } = 2 + Rbc.words_of_msg inner
+
+type action = Broadcast of msg | Decide of int
+
+(* Step-3 payload encoding: 0/1 = d(v); 2 = "?". *)
+let question = 2
+
+type step_st = {
+  rbcs : Rbc.t array;            (* one instance per originator *)
+  delivered : int option array;  (* delivered value per originator *)
+  mutable delivered_count : int;
+  mutable acted : bool;          (* threshold already fired *)
+}
+
+type round_st = { steps : step_st array (* length 3 *) }
+
+type t = {
+  n : int;
+  f : int;
+  pid : int;
+  rng : Crypto.Rng.t;
+  rounds : (int, round_st) Hashtbl.t;
+  mutable est : int;
+  mutable round : int;
+  mutable started : bool;
+  mutable decision : int option;
+  mutable decided_round : int option;
+}
+
+let create ~n ~f ~pid ~coin_seed =
+  {
+    n;
+    f;
+    pid;
+    rng = Crypto.Rng.create (coin_seed lxor (pid * 0x51ED2705));
+    rounds = Hashtbl.create 8;
+    est = 0;
+    round = 0;
+    started = false;
+    decision = None;
+    decided_round = None;
+  }
+
+let round_st t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some st -> st
+  | None ->
+      let mk_step () =
+        {
+          rbcs = Array.init t.n (fun sender -> Rbc.create ~n:t.n ~f:t.f ~me:t.pid ~sender);
+          delivered = Array.make t.n None;
+          delivered_count = 0;
+          acted = false;
+        }
+      in
+      let st = { steps = [| mk_step (); mk_step (); mk_step () |] } in
+      Hashtbl.replace t.rounds r st;
+      st
+
+let quorum t = t.n - t.f
+
+let still_initiating t r =
+  match t.decided_round with None -> true | Some dr -> r <= dr + 2
+
+let wrap r step originator acts =
+  List.filter_map
+    (function
+      | Rbc.Broadcast inner -> Some (Broadcast { round = r; step; originator; inner })
+      | Rbc.Deliver _ -> None)
+    acts
+
+let broadcast_step t r step v =
+  if still_initiating t r then begin
+    let st = round_st t r in
+    let rbc = st.steps.(step).rbcs.(t.pid) in
+    wrap r step t.pid (Rbc.start rbc v)
+  end
+  else []
+
+let majority votes =
+  (* votes: delivered values; ties broken toward the smaller value. *)
+  let c0 = List.length (List.filter (fun v -> v = 0) votes) in
+  let c1 = List.length (List.filter (fun v -> v = 1) votes) in
+  if c1 > c0 then 1 else 0
+
+(* Fire the threshold action of (round, step) if due, possibly cascading
+   into later steps and the next round. *)
+let rec progress t r =
+  if t.round <> r then []
+  else begin
+    let st = round_st t r in
+    let acts = ref [] in
+    let step0 = st.steps.(0) in
+    if (not step0.acted) && step0.delivered_count >= quorum t then begin
+      step0.acted <- true;
+      let votes = Array.to_list step0.delivered |> List.filter_map Fun.id in
+      t.est <- majority votes;
+      acts := !acts @ broadcast_step t r 1 t.est
+    end;
+    let step1 = st.steps.(1) in
+    if step0.acted && (not step1.acted) && step1.delivered_count >= quorum t then begin
+      step1.acted <- true;
+      let votes = Array.to_list step1.delivered |> List.filter_map Fun.id in
+      let c0 = List.length (List.filter (fun v -> v = 0) votes) in
+      let c1 = List.length (List.filter (fun v -> v = 1) votes) in
+      let proposal =
+        if 2 * c0 > quorum t then 0 else if 2 * c1 > quorum t then 1 else question
+      in
+      acts := !acts @ broadcast_step t r 2 proposal
+    end;
+    let step2 = st.steps.(2) in
+    if step1.acted && (not step2.acted) && step2.delivered_count >= quorum t then begin
+      step2.acted <- true;
+      let votes = Array.to_list step2.delivered |> List.filter_map Fun.id in
+      let cnt v = List.length (List.filter (fun x -> x = v) votes) in
+      let best = if cnt 1 > cnt 0 then 1 else 0 in
+      let c = cnt best in
+      if c >= (2 * t.f) + 1 then begin
+        t.est <- best;
+        if t.decision = None then begin
+          t.decision <- Some best;
+          t.decided_round <- Some r;
+          acts := !acts @ [ Decide best ]
+        end
+      end
+      else if c >= t.f + 1 then t.est <- best
+      else t.est <- (if Crypto.Rng.bool t.rng then 1 else 0);
+      t.round <- r + 1;
+      acts := !acts @ broadcast_step t (r + 1) 0 t.est @ progress t (r + 1)
+    end;
+    !acts
+  end
+
+let propose t v =
+  if t.started then []
+  else begin
+    t.started <- true;
+    t.est <- v;
+    broadcast_step t 0 0 t.est @ progress t 0
+  end
+
+let handle t ~src msg =
+  let { round = r; step; originator; inner } = msg in
+  if step < 0 || step > 2 || originator < 0 || originator >= t.n then []
+  else begin
+    let st = round_st t r in
+    let step_st = st.steps.(step) in
+    let rbc = step_st.rbcs.(originator) in
+    let acts = Rbc.handle rbc ~src inner in
+    let wrapped = wrap r step originator acts in
+    let delivered = List.find_map (function Rbc.Deliver v -> Some v | Rbc.Broadcast _ -> None) acts in
+    match delivered with
+    | Some v ->
+        (* Step-3 payloads live in {0,1,?}; others in {0,1}.  Out-of-domain
+           deliveries from Byzantine originators are ignored. *)
+        let valid = if step = 2 then v >= 0 && v <= question else v = 0 || v = 1 in
+        if valid && step_st.delivered.(originator) = None then begin
+          step_st.delivered.(originator) <- Some v;
+          step_st.delivered_count <- step_st.delivered_count + 1;
+          wrapped @ progress t r
+        end
+        else wrapped
+    | None -> wrapped
+  end
+
+let decision t = t.decision
+let decided_round t = t.decided_round

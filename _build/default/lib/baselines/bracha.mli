@@ -1,0 +1,30 @@
+(** Bracha's randomized Byzantine Agreement (1987) — Table 1 baseline.
+
+    Resilience [n > 3f]; local coin; exponential expected rounds.  Every
+    step's value is disseminated with {!Rbc} (reliable broadcast), which is
+    what lifts the resilience from Ben-Or's [5f] to [3f].  Round:
+    + RBC [est]; await [n - f] deliveries; [est <- majority];
+    + RBC [est]; await [n - f]; if one value holds a strict majority of
+      the awaited set, propose [d(v)], else propose [?];
+    + RBC the proposal; await [n - f]; decide [v] on [>= 2f + 1] [d(v)],
+      adopt on [>= f + 1], otherwise flip the local coin.
+
+    Faithfulness note (also in DESIGN.md): Bracha's full protocol
+    additionally {e validates} each step-k message against a justifying set
+    of step-(k-1) messages; like most textbook presentations we implement
+    the threshold skeleton without validation, so the Byzantine test
+    campaigns for this baseline use crash and silent faults. *)
+
+type msg = { round : int; step : int; originator : int; inner : Rbc.msg }
+
+val words_of_msg : msg -> int
+
+type action = Broadcast of msg | Decide of int
+
+type t
+
+val create : n:int -> f:int -> pid:int -> coin_seed:int -> t
+val propose : t -> int -> action list
+val handle : t -> src:int -> msg -> action list
+val decision : t -> int option
+val decided_round : t -> int option

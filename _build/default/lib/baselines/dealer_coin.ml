@@ -1,0 +1,79 @@
+type t = { n : int; threshold : int; mac_key : string; share_seed : string }
+
+let make ~n ~threshold ~seed =
+  if threshold < 1 || threshold > n then invalid_arg "Dealer_coin.make: bad threshold";
+  {
+    n;
+    threshold;
+    mac_key = Crypto.Sha256.digest ("dealer-coin-mac" ^ seed);
+    share_seed = Crypto.Sha256.digest ("dealer-coin-shares" ^ seed);
+  }
+
+let n t = t.n
+let threshold t = t.threshold
+let share_words = 2
+
+(* Per-round randomness is a DRBG personalised by the round: shares are a
+   pure function of (seed, round). *)
+let round_shares t round =
+  let drbg =
+    Crypto.Drbg.create ~personalization:(Printf.sprintf "round-%d" round) t.share_seed
+  in
+  let random k = Crypto.Drbg.generate drbg k in
+  let coin = Char.code (random 1).[0] land 1 in
+  let shares =
+    Field.Shamir.deal ~secret:(Field.Gf.of_int coin) ~threshold:t.threshold ~n:t.n random
+  in
+  (coin, shares)
+
+let coin t ~round = fst (round_shares t round)
+
+let mac t ~round ~pid value =
+  Crypto.Hmac.sha256 ~key:t.mac_key
+    (Printf.sprintf "%d/%d/%d" round pid (Field.Gf.to_int value))
+
+let share t ~round ~pid =
+  if pid < 0 || pid >= t.n then invalid_arg "Dealer_coin.share: pid out of range";
+  let _, shares = round_shares t round in
+  let s = shares.(pid) in
+  (s.Field.Shamir.value, mac t ~round ~pid s.Field.Shamir.value)
+
+let verify t ~round ~pid value m = Crypto.Hmac.equal m (mac t ~round ~pid value)
+
+module Collector = struct
+  type coin = t
+
+  type nonrec t = {
+    coin : coin;
+    round : int;
+    from : bool array;
+    mutable shares : Field.Shamir.share list;
+    mutable result : int option;
+  }
+
+  let create coin ~round =
+    { coin; round; from = Array.make coin.n false; shares = []; result = None }
+
+  let add t ~pid value m =
+    if
+      t.result <> None || pid < 0
+      || pid >= t.coin.n
+      || t.from.(pid)
+      || not (verify t.coin ~round:t.round ~pid value m)
+    then None
+    else begin
+      t.from.(pid) <- true;
+      t.shares <- { Field.Shamir.index = pid + 1; value } :: t.shares;
+      if List.length t.shares >= t.coin.threshold then begin
+        match Field.Shamir.reconstruct_exact ~threshold:t.coin.threshold t.shares with
+        | Some secret ->
+            let bit = Field.Gf.to_int secret land 1 in
+            t.result <- Some bit;
+            Some bit
+        | None -> None
+      end
+      else None
+    end
+
+  let result t = t.result
+end

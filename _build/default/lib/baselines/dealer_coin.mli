@@ -1,0 +1,49 @@
+(** Trusted-dealer threshold coin (Rabin '83 style; also a stand-in for
+    the dealer-initialised threshold coins of Cachin-Kursawe-Shoup '05).
+
+    Before the run, a dealer Shamir-shares one uniform bit per round with
+    threshold [t + 1] over GF(2^31 - 1) and MACs each share, modelling
+    Rabin's authenticated pieces (and, functionally, a threshold
+    signature: shares are unforgeable and [t + 1] of them reconstruct a
+    common pseudorandom bit).  Processes reveal shares when their protocol
+    reaches the coin and reconstruct from any [t + 1] valid shares.
+
+    Shares are a pure function of (seed, round), so the abstraction is
+    deterministic and reusable across protocols ({!Rabin}, {!Mmr}). *)
+
+type t
+
+val make : n:int -> threshold:int -> seed:string -> t
+(** [threshold] = number of shares needed to reconstruct ([t + 1] in the
+    [t]-resilient reading).  Requires [1 <= threshold <= n]. *)
+
+val n : t -> int
+val threshold : t -> int
+
+val coin : t -> round:int -> int
+(** Oracle view (tests/analysis): the dealt bit for [round]. *)
+
+val share : t -> round:int -> pid:int -> Field.Gf.t * string
+(** Process [pid]'s share for [round] and its dealer MAC. *)
+
+val verify : t -> round:int -> pid:int -> Field.Gf.t -> string -> bool
+(** Check a share's MAC. *)
+
+val share_words : int
+(** Word cost of a share message payload (share value + MAC). *)
+
+(** Per-round reconstruction state for a receiving process. *)
+module Collector : sig
+  type coin := t
+
+  type t
+
+  val create : coin -> round:int -> t
+
+  val add : t -> pid:int -> Field.Gf.t -> string -> int option
+  (** Feed a share from [pid]; returns [Some bit] the first time enough
+      valid shares have arrived (invalid or duplicate shares are
+      ignored), [None] otherwise. *)
+
+  val result : t -> int option
+end

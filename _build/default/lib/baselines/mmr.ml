@@ -1,0 +1,280 @@
+type coin_mode = Ideal | Vrf_coin of Vrf.Keyring.t | Threshold of Dealer_coin.t
+
+type msg =
+  | Bval of { round : int; v : int }
+  | Aux of { round : int; v : int }
+  | Coin_msg of { round : int; inner : Core.Coin.msg }
+  | Share of { round : int; value : Field.Gf.t; mac : string }
+
+let words_of_msg = function
+  | Bval _ | Aux _ -> 2
+  | Coin_msg { inner; _ } -> 1 + Core.Coin.words_of_msg inner
+  | Share _ -> 1 + Dealer_coin.share_words
+
+type action = Broadcast of msg | Decide of int
+
+type round_st = {
+  bval_from : bool array array;   (* [v].(src) *)
+  bval_count : int array;         (* per value *)
+  mutable bval_sent : bool array; (* per value *)
+  mutable bin_values : bool array;
+  mutable aux_sent : bool;
+  aux_from : bool array;
+  aux_value : int option array;   (* per src *)
+  mutable coin_inst : Core.Coin.t option;
+  mutable collector : Dealer_coin.Collector.t option;
+  mutable share_sent : bool;
+  mutable coin_started : bool;
+  mutable coin_val : int option;
+  mutable view : int list option;
+  mutable completed : bool;
+}
+
+type t = {
+  n : int;
+  f : int;
+  pid : int;
+  instance : string;
+  coin : coin_mode;
+  rounds : (int, round_st) Hashtbl.t;
+  mutable est : int;
+  mutable round : int;
+  mutable started : bool;
+  mutable decision : int option;
+  mutable decided_round : int option;
+}
+
+let create ~n ~f ~pid ~instance ~coin =
+  {
+    n;
+    f;
+    pid;
+    instance;
+    coin;
+    rounds = Hashtbl.create 8;
+    est = 0;
+    round = 0;
+    started = false;
+    decision = None;
+    decided_round = None;
+  }
+
+let round_st t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          bval_from = [| Array.make t.n false; Array.make t.n false |];
+          bval_count = [| 0; 0 |];
+          bval_sent = [| false; false |];
+          bin_values = [| false; false |];
+          aux_sent = false;
+          aux_from = Array.make t.n false;
+          aux_value = Array.make t.n None;
+          coin_inst = None;
+          collector = None;
+          share_sent = false;
+          coin_started = false;
+          coin_val = None;
+          view = None;
+          completed = false;
+        }
+      in
+      Hashtbl.replace t.rounds r st;
+      st
+
+let quorum t = t.n - t.f
+
+let still_initiating t r =
+  match t.decided_round with None -> true | Some dr -> r <= dr + 1
+
+let ideal_coin t r = Vrf.beta_lsb (Crypto.Sha256.digest (Printf.sprintf "%s/ideal/%d" t.instance r))
+
+let wrap_coin r acts =
+  List.filter_map
+    (function
+      | Core.Coin.Broadcast m -> Some (Broadcast (Coin_msg { round = r; inner = m }))
+      | Core.Coin.Return _ -> None)
+    acts
+
+let bval_broadcast _t r st v =
+  if st.bval_sent.(v) then []
+  else begin
+    st.bval_sent.(v) <- true;
+    [ Broadcast (Bval { round = r; v }) ]
+  end
+
+(* The set of values carried by AUX messages from senders whose value lies
+   in bin_values, together with how many such senders there are. *)
+let aux_view t st =
+  let count = ref 0 in
+  let present = [| false; false |] in
+  Array.iter
+    (function
+      | Some v when st.bin_values.(v) ->
+          incr count;
+          present.(v) <- true
+      | Some _ | None -> ())
+    st.aux_value;
+  if !count >= quorum t then
+    Some (List.filter (fun v -> present.(v)) [ 0; 1 ])
+  else None
+
+let rec advance t r : action list =
+  if t.round <> r then []
+  else begin
+    let st = round_st t r in
+    let acts = ref [] in
+    let emit a = acts := !acts @ a in
+    (* AUX once bin_values becomes non-empty. *)
+    if (not st.aux_sent) && (st.bin_values.(0) || st.bin_values.(1)) then begin
+      st.aux_sent <- true;
+      let w = if st.bin_values.(0) then 0 else 1 in
+      emit [ Broadcast (Aux { round = r; v = w }) ]
+    end;
+    (* View: n-f AUX with values inside bin_values. *)
+    (match (st.view, aux_view t st) with
+    | None, Some view ->
+        st.view <- Some view;
+        (* Invoke the coin only now, after the view is fixed. *)
+        (match t.coin with
+        | Ideal -> st.coin_val <- Some (ideal_coin t r)
+        | Threshold dc ->
+            if not st.share_sent then begin
+              st.share_sent <- true;
+              if st.collector = None then
+                st.collector <- Some (Dealer_coin.Collector.create dc ~round:r);
+              let value, mac = Dealer_coin.share dc ~round:r ~pid:t.pid in
+              emit [ Broadcast (Share { round = r; value; mac }) ]
+            end
+        | Vrf_coin keyring ->
+            if not st.coin_started then begin
+              st.coin_started <- true;
+              let c =
+                match st.coin_inst with
+                | Some c -> c
+                | None ->
+                    let c =
+                      Core.Coin.create ~keyring ~n:t.n ~f:t.f ~pid:t.pid
+                        ~instance:(t.instance ^ "/mmr-coin") ~round:r
+                    in
+                    st.coin_inst <- Some c;
+                    c
+              in
+              emit (wrap_coin r (Core.Coin.start c))
+            end)
+    | None, None | Some _, _ -> ());
+    (* Capture the coin result. *)
+    (match (st.coin_val, st.coin_inst) with
+    | None, Some c -> (match Core.Coin.result c with Some b -> st.coin_val <- Some b | None -> ())
+    | None, None | Some _, _ -> ());
+    (match (st.coin_val, st.collector) with
+    | None, Some col -> st.coin_val <- Dealer_coin.Collector.result col
+    | None, None | Some _, _ -> ());
+    (* Decision step. *)
+    (match (st.view, st.coin_val) with
+    | Some view, Some c when not st.completed ->
+        st.completed <- true;
+        let decide_acts =
+          match view with
+          | [ v ] ->
+              t.est <- v;
+              if v = c && t.decision = None then begin
+                t.decision <- Some v;
+                t.decided_round <- Some r;
+                [ Decide v ]
+              end
+              else []
+          | _ ->
+              t.est <- c;
+              []
+        in
+        emit decide_acts;
+        t.round <- r + 1;
+        if still_initiating t (r + 1) then begin
+          let next = round_st t (r + 1) in
+          emit (bval_broadcast t (r + 1) next t.est);
+          emit (advance t (r + 1))
+        end
+    | _ -> ());
+    !acts
+  end
+
+let propose t v =
+  if v <> 0 && v <> 1 then invalid_arg "Mmr.propose: input must be binary";
+  if t.started then []
+  else begin
+    t.started <- true;
+    t.est <- v;
+    let st = round_st t 0 in
+    bval_broadcast t 0 st t.est @ advance t 0
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Bval { round = r; v } ->
+      if v <> 0 && v <> 1 then []
+      else begin
+        let st = round_st t r in
+        if st.bval_from.(v).(src) then []
+        else begin
+          st.bval_from.(v).(src) <- true;
+          st.bval_count.(v) <- st.bval_count.(v) + 1;
+          let relay =
+            if st.bval_count.(v) >= t.f + 1 && not st.bval_sent.(v) then
+              bval_broadcast t r st v
+            else []
+          in
+          if st.bval_count.(v) >= (2 * t.f) + 1 && not st.bin_values.(v) then begin
+            st.bin_values.(v) <- true;
+            relay @ advance t r
+          end
+          else relay @ advance t r
+        end
+      end
+  | Aux { round = r; v } ->
+      if v <> 0 && v <> 1 then []
+      else begin
+        let st = round_st t r in
+        if st.aux_from.(src) then []
+        else begin
+          st.aux_from.(src) <- true;
+          st.aux_value.(src) <- Some v;
+          advance t r
+        end
+      end
+  | Share { round = r; value; mac } -> begin
+      match t.coin with
+      | Threshold dc ->
+          let st = round_st t r in
+          if st.collector = None then
+            st.collector <- Some (Dealer_coin.Collector.create dc ~round:r);
+          (match st.collector with
+          | Some col -> ignore (Dealer_coin.Collector.add col ~pid:src value mac)
+          | None -> ());
+          advance t r
+      | Ideal | Vrf_coin _ -> [] (* no share traffic expected *)
+    end
+  | Coin_msg { round = r; inner } -> begin
+      match t.coin with
+      | Ideal | Threshold _ -> [] (* no VRF-coin traffic expected in these modes *)
+      | Vrf_coin keyring ->
+          let st = round_st t r in
+          let c =
+            match st.coin_inst with
+            | Some c -> c
+            | None ->
+                let c =
+                  Core.Coin.create ~keyring ~n:t.n ~f:t.f ~pid:t.pid
+                    ~instance:(t.instance ^ "/mmr-coin") ~round:r
+                in
+                st.coin_inst <- Some c;
+                c
+          in
+          let acts = Core.Coin.handle c ~src inner in
+          wrap_coin r acts @ advance t r
+    end
+
+let decision t = t.decision
+let decided_round t = t.decided_round

@@ -1,0 +1,43 @@
+(** Mostefaoui-Moumen-Raynal signature-free binary Byzantine Agreement
+    (JACM 2015) — Table 1 baseline, and the protocol the paper's §4 coin
+    is designed to instantiate.
+
+    Resilience [n > 3f]; [O(n^2)] messages per round; constant expected
+    rounds given a shared coin with constant success rate.  Round:
+    + BV-broadcast [est]: broadcast [BVAL(v)]; relay on [f + 1] copies;
+      [v] enters [bin_values] on [2f + 1] copies;
+    + when [bin_values] first becomes non-empty, broadcast [AUX(w)] with
+      [w] in [bin_values];
+    + wait for [n - f] AUX messages whose values all lie in [bin_values];
+      let [values] be that set; obtain the round's coin [c]:
+      - [values = {v}]: [est <- v]; decide [v] if [v = c];
+      - [values = {0, 1}]: [est <- c].
+
+    The shared coin is pluggable: [`Ideal] (a common random bit, success
+    rate 1 — isolates the agreement layer) or [`Vrf] (the paper's
+    Algorithm 1 coin, giving exactly the §4 construction "incorporated
+    into the BA algorithm of Mostefaoui et al."). *)
+
+type coin_mode =
+  | Ideal                          (** common random bit, success rate 1. *)
+  | Vrf_coin of Vrf.Keyring.t      (** the paper's Algorithm 1 coin. *)
+  | Threshold of Dealer_coin.t     (** dealer threshold coin (Cachin-style). *)
+
+type msg =
+  | Bval of { round : int; v : int }
+  | Aux of { round : int; v : int }
+  | Coin_msg of { round : int; inner : Core.Coin.msg }
+  | Share of { round : int; value : Field.Gf.t; mac : string }
+      (** threshold-coin share (Threshold mode only). *)
+
+val words_of_msg : msg -> int
+
+type action = Broadcast of msg | Decide of int
+
+type t
+
+val create : n:int -> f:int -> pid:int -> instance:string -> coin:coin_mode -> t
+val propose : t -> int -> action list
+val handle : t -> src:int -> msg -> action list
+val decision : t -> int option
+val decided_round : t -> int option

@@ -1,0 +1,180 @@
+type dealer = { coin : Dealer_coin.t; n : int; f : int }
+
+let make_dealer ~n ~f ~seed =
+  if n <= (10 * f) then invalid_arg "Rabin.make_dealer: requires n > 10f";
+  { coin = Dealer_coin.make ~n ~threshold:(f + 1) ~seed:("rabin" ^ seed); n; f }
+
+let dealt_coin dealer ~round = Dealer_coin.coin dealer.coin ~round
+
+type msg =
+  | Report of { round : int; v : int }
+  | Proposal of { round : int; v : int option }
+  | Share of { round : int; value : Field.Gf.t; mac : string }
+
+let words_of_msg = function Report _ | Proposal _ -> 2 | Share _ -> 3
+
+type action = Broadcast of msg | Decide of int
+
+type round_st = {
+  report_from : bool array;
+  mutable report_count : int;
+  report_votes : (int, int) Hashtbl.t;
+  mutable sent_proposal : bool;
+  prop_from : bool array;
+  mutable prop_count : int;
+  prop_votes : (int, int) Hashtbl.t;
+  collector : Dealer_coin.Collector.t;
+  mutable sent_share : bool;
+  mutable coin : int option;
+  mutable completed : bool;
+}
+
+type t = {
+  dealer : dealer;
+  pid : int;
+  rounds : (int, round_st) Hashtbl.t;
+  mutable est : int;
+  mutable round : int;
+  mutable started : bool;
+  mutable decision : int option;
+  mutable decided_round : int option;
+}
+
+let create ~dealer ~pid =
+  {
+    dealer;
+    pid;
+    rounds = Hashtbl.create 8;
+    est = 0;
+    round = 0;
+    started = false;
+    decision = None;
+    decided_round = None;
+  }
+
+let n t = t.dealer.n
+let f t = t.dealer.f
+let quorum t = n t - f t
+
+let round_st t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          report_from = Array.make (n t) false;
+          report_count = 0;
+          report_votes = Hashtbl.create 4;
+          sent_proposal = false;
+          prop_from = Array.make (n t) false;
+          prop_count = 0;
+          prop_votes = Hashtbl.create 4;
+          collector = Dealer_coin.Collector.create t.dealer.coin ~round:r;
+          sent_share = false;
+          coin = None;
+          completed = false;
+        }
+      in
+      Hashtbl.replace t.rounds r st;
+      st
+
+let bump tbl v = Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0)
+
+let argmax tbl =
+  Hashtbl.fold
+    (fun v c acc -> match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
+    tbl None
+
+let still_initiating t r =
+  match t.decided_round with None -> true | Some dr -> r <= dr + 2
+
+let start_round t r =
+  if still_initiating t r then [ Broadcast (Report { round = r; v = t.est }) ] else []
+
+let rec finish_round t r st =
+  if st.completed || t.round <> r || st.coin = None then []
+  else begin
+    st.completed <- true;
+    let c = Option.get st.coin in
+    let decide_acts =
+      match argmax st.prop_votes with
+      | Some (v, cnt) when 2 * cnt > n t + f t ->
+          t.est <- v;
+          if t.decision = None then begin
+            t.decision <- Some v;
+            t.decided_round <- Some r;
+            [ Decide v ]
+          end
+          else []
+      | Some (v, cnt) when cnt >= f t + 1 ->
+          t.est <- v;
+          []
+      | Some _ | None ->
+          t.est <- c;
+          []
+    in
+    t.round <- r + 1;
+    decide_acts @ start_round t (r + 1) @ catch_up t (r + 1)
+  end
+
+and catch_up t r =
+  let st = round_st t r in
+  let acts = ref [] in
+  if st.report_count >= quorum t && not st.sent_proposal then begin
+    st.sent_proposal <- true;
+    let proposal =
+      match argmax st.report_votes with
+      | Some (v, cnt) when 2 * cnt > n t + f t -> Some v
+      | Some _ | None -> None
+    in
+    acts := [ Broadcast (Proposal { round = r; v = proposal }) ];
+    (* Reveal our coin share alongside the proposal: by now every correct
+       process's vote is fixed, so revealing cannot bias the round. *)
+    if not st.sent_share then begin
+      st.sent_share <- true;
+      let value, m = Dealer_coin.share t.dealer.coin ~round:r ~pid:t.pid in
+      acts := !acts @ [ Broadcast (Share { round = r; value; mac = m }) ]
+    end
+  end;
+  if st.coin = None then st.coin <- Dealer_coin.Collector.result st.collector;
+  if st.prop_count >= quorum t && st.coin <> None then acts := !acts @ finish_round t r st;
+  !acts
+
+let catch_up_if_current t r = if r = t.round then catch_up t r else []
+
+let propose t v =
+  if t.started then []
+  else begin
+    t.started <- true;
+    t.est <- v;
+    start_round t 0
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Report { round = r; v } ->
+      let st = round_st t r in
+      if st.report_from.(src) then []
+      else begin
+        st.report_from.(src) <- true;
+        st.report_count <- st.report_count + 1;
+        bump st.report_votes v;
+        catch_up_if_current t r
+      end
+  | Proposal { round = r; v } ->
+      let st = round_st t r in
+      if st.prop_from.(src) then []
+      else begin
+        st.prop_from.(src) <- true;
+        st.prop_count <- st.prop_count + 1;
+        (match v with Some v -> bump st.prop_votes v | None -> ());
+        catch_up_if_current t r
+      end
+  | Share { round = r; value; mac = m } ->
+      let st = round_st t r in
+      (* Invalid or duplicate shares are absorbed silently by the collector. *)
+      ignore (Dealer_coin.Collector.add st.collector ~pid:src value m);
+      catch_up_if_current t r
+
+let decision t = t.decision
+let decided_round t = t.decided_round

@@ -1,0 +1,42 @@
+(** Rabin-style randomized agreement with a trusted-dealer shared coin
+    (Rabin, FOCS 1983) — Table 1 baseline.
+
+    Rabin's insight: replace Ben-Or's local coin with a {e shared} coin
+    pre-dealt by a trusted dealer via Shamir secret sharing, making the
+    expected number of rounds constant.  Per round [r] the dealer has
+    shared a uniform bit [c_r] with threshold [f + 1]; processes reveal
+    their shares once their vote phase completes and reconstruct [c_r]
+    ({!Field.Shamir}).  Shares carry a dealer MAC, modelling Rabin's
+    authenticated pieces, so Byzantine processes can withhold but not
+    falsify shares.
+
+    Faithfulness notes (also in DESIGN.md): Table 1 lists Rabin at
+    [n > 10f]; we enforce that resilience while using the two-phase Ben-Or
+    vote skeleton (report / proposal) around the shared coin, which is the
+    textbook rendering of Rabin's protocol. *)
+
+type dealer
+(** The trusted dealer's offline state: deterministic share generation for
+    any round, plus the MAC key. *)
+
+val make_dealer : n:int -> f:int -> seed:string -> dealer
+
+val dealt_coin : dealer -> round:int -> int
+(** Test/analysis oracle: the bit the dealer shared for [round]. *)
+
+type msg =
+  | Report of { round : int; v : int }
+  | Proposal of { round : int; v : int option }
+  | Share of { round : int; value : Field.Gf.t; mac : string }
+
+val words_of_msg : msg -> int
+
+type action = Broadcast of msg | Decide of int
+
+type t
+
+val create : dealer:dealer -> pid:int -> t
+val propose : t -> int -> action list
+val handle : t -> src:int -> msg -> action list
+val decision : t -> int option
+val decided_round : t -> int option

@@ -1,0 +1,84 @@
+type payload = int
+
+type msg = Initial of payload | Echo of payload | Ready of payload
+
+let words_of_msg (Initial _ | Echo _ | Ready _) = 2
+
+type action = Broadcast of msg | Deliver of payload
+
+type t = {
+  n : int;
+  f : int;
+  sender : int;
+  echo_from : bool array;
+  echo_votes : (payload, int) Hashtbl.t;
+  ready_from : bool array;
+  ready_votes : (payload, int) Hashtbl.t;
+  mutable sent_echo : bool;
+  mutable sent_ready : bool;
+  mutable delivered : payload option;
+}
+
+let create ~n ~f ~me:_ ~sender =
+  {
+    n;
+    f;
+    sender;
+    echo_from = Array.make n false;
+    echo_votes = Hashtbl.create 4;
+    ready_from = Array.make n false;
+    ready_votes = Hashtbl.create 4;
+    sent_echo = false;
+    sent_ready = false;
+    delivered = None;
+  }
+
+let bump tbl v =
+  let c = 1 + Option.value (Hashtbl.find_opt tbl v) ~default:0 in
+  Hashtbl.replace tbl v c;
+  c
+
+let echo_threshold t = (t.n + t.f + 2) / 2 (* ceil((n+f+1)/2) *)
+
+let start _t payload = [ Broadcast (Initial payload) ]
+
+let maybe_ready t v =
+  if t.sent_ready then []
+  else begin
+    t.sent_ready <- true;
+    [ Broadcast (Ready v) ]
+  end
+
+let maybe_deliver t v =
+  if t.delivered <> None then []
+  else begin
+    t.delivered <- Some v;
+    [ Deliver v ]
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Initial v ->
+      (* Only the designated sender's initial counts. *)
+      if src <> t.sender || t.sent_echo then []
+      else begin
+        t.sent_echo <- true;
+        [ Broadcast (Echo v) ]
+      end
+  | Echo v ->
+      if t.echo_from.(src) then []
+      else begin
+        t.echo_from.(src) <- true;
+        let c = bump t.echo_votes v in
+        if c >= echo_threshold t then maybe_ready t v else []
+      end
+  | Ready v ->
+      if t.ready_from.(src) then []
+      else begin
+        t.ready_from.(src) <- true;
+        let c = bump t.ready_votes v in
+        let acts = if c >= t.f + 1 then maybe_ready t v else [] in
+        acts @ (if c >= (2 * t.f) + 1 then maybe_deliver t v else [])
+      end
+
+let delivered t = t.delivered

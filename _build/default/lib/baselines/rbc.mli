@@ -1,0 +1,31 @@
+(** Bracha's reliable broadcast (Information & Computation 1987).
+
+    Substrate for {!Bracha}.  One instance reliably broadcasts one message
+    from one designated sender: if the sender is correct everyone delivers
+    its value; if any correct process delivers [v], every correct process
+    delivers [v] (and nothing else) — with [n > 3f].
+
+    Echo threshold [(n + f + 1 + 1) / 2] (integer ceil of [(n+f+1)/2]),
+    ready thresholds [f + 1] (amplification) and [2f + 1] (delivery). *)
+
+type payload = int
+(** Values broadcast by the agreement layer are small integers. *)
+
+type msg =
+  | Initial of payload
+  | Echo of payload
+  | Ready of payload
+
+val words_of_msg : msg -> int
+
+type action = Broadcast of msg | Deliver of payload
+
+type t
+
+val create : n:int -> f:int -> me:int -> sender:int -> t
+
+val start : t -> payload -> action list
+(** Called on the designated sender only. *)
+
+val handle : t -> src:int -> msg -> action list
+val delivered : t -> payload option

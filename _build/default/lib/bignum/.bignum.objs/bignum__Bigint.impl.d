@@ -1,0 +1,1 @@
+lib/bignum/bigint.ml: Array Buffer Bytes Char Crypto Format List Printf Stdlib String

@@ -1,0 +1,581 @@
+(* Sign-magnitude bignums over base-2^26 limbs (little-endian int arrays with
+   no leading-zero limbs).  All magnitude helpers operate on bare arrays; the
+   signed layer sits on top.  Limb products are at most (2^26-1)^2 < 2^52, so
+   every accumulation below stays well within the 63-bit native int. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: sign in {-1,0,1}; sign = 0 iff mag = [||];
+   mag has no trailing (most-significant) zero limb. *)
+
+let abs_of_int m = if m < 0 then -m else m
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives                                                *)
+(* ------------------------------------------------------------------ *)
+
+let normalize mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let ai = if i < la then a.(i) else 0 in
+    let bi = if i < lb then b.(i) else 0 in
+    let s = ai + bi + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(lr - 1) <- !carry;
+  normalize r
+
+(* Requires cmp_mag a b >= 0. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bi = if i < lb then b.(i) else 0 in
+    let s = a.(i) - bi - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_mag_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let cur = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- cur land mask;
+          carry := cur lsr limb_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    normalize r
+  end
+
+(* Karatsuba multiplication above ~32 limbs (~830 bits): three half-size
+   products instead of four.  Magnitude-only; all intermediates are
+   non-negative because (a0+a1)(b0+b1) >= a0*b0 + a1*b1. *)
+let karatsuba_threshold = 32
+
+let shift_limbs mag k =
+  if Array.length mag = 0 then [||] else Array.append (Array.make k 0) mag
+
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if min la lb < karatsuba_threshold then mul_mag_school a b
+  else begin
+    let m = (max la lb + 1) / 2 in
+    let lo mag = normalize (Array.sub mag 0 (min m (Array.length mag))) in
+    let hi mag =
+      if Array.length mag <= m then [||] else Array.sub mag m (Array.length mag - m)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mul_mag a0 b0 in
+    let z2 = mul_mag a1 b1 in
+    let z1 = sub_mag (mul_mag (add_mag a0 a1) (add_mag b0 b1)) (add_mag z0 z2) in
+    normalize (add_mag (add_mag (shift_limbs z2 (2 * m)) (shift_limbs z1 m)) z0)
+  end
+
+let mul_mag_int a m =
+  (* m must satisfy 0 <= m < base *)
+  if m = 0 || Array.length a = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * m) + !carry in
+      r.(i) <- cur land mask;
+      carry := cur lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let bit_length_mag mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else begin
+    let top = mag.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+  end
+
+let test_bit_mag mag i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length mag && (mag.(limb) lsr off) land 1 = 1
+
+let shift_left_mag mag k =
+  if Array.length mag = 0 || k = 0 then mag
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length mag in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = mag.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right_mag mag k =
+  let limbs = k / limb_bits and bits = k mod limb_bits in
+  let la = Array.length mag in
+  if limbs >= la then [||]
+  else begin
+    let lr = la - limbs in
+    let r = Array.make lr 0 in
+    for i = 0 to lr - 1 do
+      let lo = mag.(i + limbs) lsr bits in
+      let hi = if i + limbs + 1 < la then (mag.(i + limbs + 1) lsl (limb_bits - bits)) land mask else 0 in
+      r.(i) <- if bits = 0 then mag.(i + limbs) else lo lor hi
+    done;
+    normalize r
+  end
+
+(* Shift-and-subtract long division on magnitudes.  O(bits(a) * limbs), which
+   is fine for the cold paths that need general division (key generation,
+   conversions, tests); the hot modular path uses Montgomery reduction. *)
+let divmod_mag a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  if cmp_mag a b < 0 then ([||], a)
+  else begin
+    let shift = bit_length_mag a - bit_length_mag b in
+    let q = Array.make (1 + (shift / limb_bits)) 0 in
+    let r = ref a in
+    let d = ref (shift_left_mag b shift) in
+    for i = shift downto 0 do
+      if cmp_mag !r !d >= 0 then begin
+        r := sub_mag !r !d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end;
+      d := shift_right_mag !d 1
+    done;
+    (normalize q, !r)
+  end
+
+let divmod_mag_int a m =
+  (* m in (0, base). Returns (quotient mag, int remainder). *)
+  if m <= 0 || m >= base then invalid_arg "Bigint.divmod_int: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / m;
+    r := cur mod m
+  done;
+  (normalize q, !r)
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = normalize mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let v = abs n in
+    let rec limbs v = if v = 0 then [] else (v land mask) :: limbs (v lsr limb_bits) in
+    { sign; mag = Array.of_list (limbs v) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int t =
+  let bits = bit_length_mag t.mag in
+  if bits > 62 then failwith "Bigint.to_int: overflow";
+  let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) t.mag 0 in
+  if t.sign < 0 then -v else v
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_even t = t.sign = 0 || t.mag.(0) land 1 = 0
+let is_odd t = not (is_even t)
+
+let equal a b = a.sign = b.sign && cmp_mag a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let erem a b =
+  let r = rem a b in
+  if r.sign < 0 then add r (abs b) else r
+
+let succ t = add t one
+let pred t = sub t one
+
+let mul_int a m =
+  if m = 0 || a.sign = 0 then zero
+  else if abs_of_int m < base then make (a.sign * if m < 0 then -1 else 1) (mul_mag_int a.mag (abs_of_int m))
+  else mul a (of_int m)
+let add_int a m = add a (of_int m)
+
+let divmod_int a m =
+  if a.sign < 0 then invalid_arg "Bigint.divmod_int: negative dividend";
+  let qm, r = divmod_mag_int a.mag m in
+  (make 1 qm, r)
+
+let bit_length t = bit_length_mag t.mag
+let test_bit t i = test_bit_mag t.mag i
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if t.sign = 0 then zero else make t.sign (shift_left_mag t.mag k)
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if t.sign = 0 then zero else make t.sign (shift_right_mag t.mag k)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let of_bytes_be s =
+  let n = String.length s in
+  let nbits = 8 * n in
+  let nlimbs = (nbits + limb_bits - 1) / limb_bits in
+  let mag = Array.make (max 1 nlimbs) 0 in
+  for i = 0 to n - 1 do
+    let byte = Char.code s.[n - 1 - i] in
+    let bit = 8 * i in
+    let limb = bit / limb_bits and off = bit mod limb_bits in
+    mag.(limb) <- mag.(limb) lor ((byte lsl off) land mask);
+    if off > limb_bits - 8 then mag.(limb + 1) <- mag.(limb + 1) lor (byte lsr (limb_bits - off))
+  done;
+  make 1 mag
+
+let to_bytes_be ?len t =
+  if t.sign < 0 then invalid_arg "Bigint.to_bytes_be: negative";
+  let nbytes = (bit_length t + 7) / 8 in
+  let out_len = match len with None -> max nbytes 1 | Some l -> l in
+  if nbytes > out_len then invalid_arg "Bigint.to_bytes_be: value too large for len";
+  let b = Bytes.make out_len '\x00' in
+  for i = 0 to nbytes - 1 do
+    (* byte i counted from the least-significant end *)
+    let bit = 8 * i in
+    let limb = bit / limb_bits and off = bit mod limb_bits in
+    let v = t.mag.(limb) lsr off in
+    let v =
+      if off > limb_bits - 8 && limb + 1 < Array.length t.mag then
+        v lor (t.mag.(limb + 1) lsl (limb_bits - off))
+      else v
+    in
+    Bytes.set b (out_len - 1 - i) (Char.chr (v land 0xFF))
+  done;
+  Bytes.unsafe_to_string b
+
+let of_hex s =
+  if s = "" then invalid_arg "Bigint.of_hex: empty";
+  let negative = s.[0] = '-' in
+  let body = if negative then String.sub s 1 (String.length s - 1) else s in
+  if body = "" then invalid_arg "Bigint.of_hex: empty magnitude";
+  let padded = if String.length body mod 2 = 1 then "0" ^ body else body in
+  let v = of_bytes_be (Crypto.Hex.decode padded) in
+  if negative then neg v else v
+
+let to_hex t =
+  if t.sign = 0 then "0"
+  else begin
+    let raw = Crypto.Hex.encode (to_bytes_be (abs t)) in
+    let i = ref 0 in
+    while !i < String.length raw - 1 && raw.[!i] = '0' do incr i done;
+    let body = String.sub raw !i (String.length raw - !i) in
+    if t.sign < 0 then "-" ^ body else body
+  end
+
+(* Decimal I/O works in 7-digit chunks: 10^7 < 2^26, so the chunked
+   operations stay within the single-limb fast paths. *)
+let decimal_chunk = 10_000_000
+let decimal_chunk_digits = 7
+
+let of_string s =
+  if s = "" then invalid_arg "Bigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative then 1 else 0 in
+  if String.length s = start then invalid_arg "Bigint.of_string: empty magnitude";
+  let acc = ref zero in
+  let chunk = ref 0 and chunk_len = ref 0 in
+  let flush () =
+    if !chunk_len > 0 then begin
+      let scale =
+        let rec pow10 k acc = if k = 0 then acc else pow10 (k - 1) (acc * 10) in
+        pow10 !chunk_len 1
+      in
+      acc := add (mul_int !acc scale) (of_int !chunk);
+      chunk := 0;
+      chunk_len := 0
+    end
+  in
+  for i = start to String.length s - 1 do
+    match s.[i] with
+    | '0' .. '9' ->
+        chunk := (!chunk * 10) + (Char.code s.[i] - Char.code '0');
+        incr chunk_len;
+        if !chunk_len = decimal_chunk_digits then flush ()
+    | _ -> invalid_arg "Bigint.of_string: non-digit character"
+  done;
+  flush ();
+  if negative then neg !acc else !acc
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let rec chunks v acc =
+      if v.sign = 0 then acc
+      else begin
+        let q, r = divmod_int v decimal_chunk in
+        chunks q (r :: acc)
+      end
+    in
+    match chunks (abs t) [] with
+    | [] -> "0"
+    | first :: rest ->
+        let buf = Buffer.create 32 in
+        if t.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%07d" c)) rest;
+        Buffer.contents buf
+  end
+
+let isqrt t =
+  if t.sign < 0 then invalid_arg "Bigint.isqrt: negative";
+  if t.sign = 0 then zero
+  else begin
+    (* Newton iteration from an over-estimate; decreasing, so the first
+       non-decreasing step has converged. *)
+    let x = ref (shift_left one ((bit_length t + 2) / 2)) in
+    let continue = ref true in
+    while !continue do
+      let next = shift_right (add !x (div t !x)) 1 in
+      if compare next !x >= 0 then continue := false else x := next
+    done;
+    !x
+  end
+
+let pp fmt t = Format.fprintf fmt "0x%s" (to_hex t)
+
+(* ------------------------------------------------------------------ *)
+(* Number theory                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let egcd a b =
+  (* Iterative extended Euclid on signed values. *)
+  let rec go r0 r1 s0 s1 t0 t1 =
+    if is_zero r1 then (r0, s0, t0)
+    else begin
+      let q, r2 = divmod r0 r1 in
+      go r1 r2 s1 (sub s0 (mul q s1)) t1 (sub t0 (mul q t1))
+    end
+  in
+  let g, x, y = go a b one zero zero one in
+  if g.sign < 0 then (neg g, neg x, neg y) else (g, x, y)
+
+let invmod a m =
+  if m.sign <= 0 then invalid_arg "Bigint.invmod: modulus must be positive";
+  let g, x, _ = egcd (erem a m) m in
+  if equal g one then Some (erem x m) else None
+
+(* Generic modular exponentiation by repeated squaring with division-based
+   reduction; used only when the modulus is even (tests).  Odd moduli go
+   through Montgomery (see below / Mont). *)
+let modpow_generic b e m =
+  let b = ref (erem b m) in
+  let result = ref (erem one m) in
+  let nbits = bit_length e in
+  for i = 0 to nbits - 1 do
+    if test_bit e i then result := erem (mul !result !b) m;
+    if i < nbits - 1 then b := erem (mul !b !b) m
+  done;
+  !result
+
+(* Montgomery arithmetic is implemented here rather than in a separate
+   module so that it can work on raw magnitudes without exposing the
+   representation; Mont re-exports a context API on top of this. *)
+
+type mont_ctx = {
+  m_mag : int array;          (* modulus magnitude, length len *)
+  len : int;
+  n0' : int;                  (* -m^{-1} mod base *)
+  r2 : int array;             (* R^2 mod m, for conversion *)
+  m_big : t;
+}
+
+let mont_create m =
+  if m.sign <= 0 then invalid_arg "Bigint: modulus must be positive";
+  if is_even m then invalid_arg "Bigint: Montgomery requires odd modulus";
+  let m_mag = m.mag in
+  let len = Array.length m_mag in
+  (* Newton iteration for the inverse of m mod 2^26. *)
+  let m0 = m_mag.(0) in
+  let inv = ref 1 in
+  for _ = 1 to 5 do
+    inv := (!inv * (2 - (m0 * !inv))) land mask
+  done;
+  assert ((m0 * !inv) land mask = 1);
+  let n0' = (base - !inv) land mask in
+  (* R^2 mod m where R = base^len. *)
+  let r = erem (shift_left one (limb_bits * len)) m in
+  let r2 = erem (mul r r) m in
+  let pad a = Array.append a.mag (Array.make (len - Array.length a.mag) 0) in
+  { m_mag; len; n0'; r2 = pad r2; m_big = m }
+
+(* CIOS Montgomery multiplication: t = a*b*R^{-1} mod m.  Inputs are
+   len-limb arrays (not necessarily normalized); output likewise. *)
+let mont_mul ctx a b =
+  let len = ctx.len in
+  let m = ctx.m_mag in
+  let t = Array.make (len + 2) 0 in
+  for i = 0 to len - 1 do
+    let ai = a.(i) in
+    (* t += ai * b *)
+    let carry = ref 0 in
+    for j = 0 to len - 1 do
+      let cur = t.(j) + (ai * b.(j)) + !carry in
+      t.(j) <- cur land mask;
+      carry := cur lsr limb_bits
+    done;
+    let cur = t.(len) + !carry in
+    t.(len) <- cur land mask;
+    t.(len + 1) <- t.(len + 1) + (cur lsr limb_bits);
+    (* reduce one limb *)
+    let u = (t.(0) * ctx.n0') land mask in
+    let carry = ref ((t.(0) + (u * m.(0))) lsr limb_bits) in
+    for j = 1 to len - 1 do
+      let cur = t.(j) + (u * m.(j)) + !carry in
+      t.(j - 1) <- cur land mask;
+      carry := cur lsr limb_bits
+    done;
+    let cur = t.(len) + !carry in
+    t.(len - 1) <- cur land mask;
+    t.(len) <- t.(len + 1) + (cur lsr limb_bits);
+    t.(len + 1) <- 0
+  done;
+  let out = Array.sub t 0 len in
+  (* Result < 2m; one conditional subtraction brings it below m. *)
+  let ge =
+    if t.(len) > 0 then true
+    else begin
+      let rec cmp i = if i < 0 then true else if out.(i) <> m.(i) then out.(i) > m.(i) else cmp (i - 1) in
+      cmp (len - 1)
+    end
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for i = 0 to len - 1 do
+      let s = out.(i) - m.(i) - !borrow in
+      if s < 0 then begin out.(i) <- s + base; borrow := 1 end
+      else begin out.(i) <- s; borrow := 0 end
+    done
+  end;
+  out
+
+let mont_pow ctx b e =
+  let len = ctx.len in
+  let pad a = Array.append a.mag (Array.make (len - Array.length a.mag) 0) in
+  let b = erem b ctx.m_big in
+  let bm = mont_mul ctx (pad b) ctx.r2 in
+  (* 1 in Montgomery form: R mod m = REDC(R^2 * 1)... compute via r2 * one *)
+  let one_arr = Array.make len 0 in
+  one_arr.(0) <- 1;
+  let acc = ref (mont_mul ctx ctx.r2 one_arr) in
+  let nbits = bit_length e in
+  for i = nbits - 1 downto 0 do
+    acc := mont_mul ctx !acc !acc;
+    if test_bit e i then acc := mont_mul ctx !acc bm
+  done;
+  (* convert out of Montgomery form *)
+  let out = mont_mul ctx !acc one_arr in
+  make 1 out
+
+let modpow b e m =
+  if m.sign <= 0 then invalid_arg "Bigint.modpow: modulus must be positive";
+  if e.sign < 0 then invalid_arg "Bigint.modpow: negative exponent";
+  if equal m one then zero
+  else if is_zero e then one
+  else if is_odd m then mont_pow (mont_create m) b e
+  else modpow_generic b e m
+
+module Mont = struct
+  type nonrec t = mont_ctx
+
+  let create = mont_create
+  let modulus ctx = ctx.m_big
+  let pow = mont_pow
+end

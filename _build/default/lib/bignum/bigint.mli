@@ -1,0 +1,134 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation over little-endian limbs in base 2{^26},
+    chosen so that limb products fit comfortably in OCaml's 63-bit native
+    [int] with room for carries.  This module is the substrate for
+    {!Rsa}; it favours clarity over absolute speed, with the one hot path
+    (modular exponentiation) delegated to {!Mont}. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val of_hex : string -> t
+(** Parses an optionally ['-']-prefixed hex string (no ["0x"] prefix). *)
+
+val to_hex : t -> string
+(** Lowercase hex, no leading zeros, ['-'] prefix when negative. *)
+
+val of_string : string -> t
+(** Parses an optionally ['-']-prefixed decimal string.
+    @raise Invalid_argument on empty or non-digit input. *)
+
+val to_string : t -> string
+(** Decimal rendering, ['-'] prefix when negative. *)
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned bytes to a non-negative integer. *)
+
+val to_bytes_be : ?len:int -> t -> string
+(** Big-endian unsigned bytes of a non-negative integer.  With [~len] the
+    output is left-padded with zeros to exactly [len] bytes.
+    @raise Invalid_argument on negative input or if the value needs more
+    than [len] bytes. *)
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val is_zero : t -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is truncated division: [(q, r)] with [a = q*b + r] and
+    [sign r = sign a] (or [r = 0]), [|r| < |b|].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder: always in [\[0, |b|)]. *)
+
+val succ : t -> t
+val pred : t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val divmod_int : t -> int -> t * int
+(** Division by a positive native int that fits in one limb (< 2{^26}). *)
+
+(** {1 Bit operations} *)
+
+val bit_length : t -> int
+(** Number of significant bits of the magnitude; 0 for zero. *)
+
+val test_bit : t -> int -> bool
+(** Bit of the magnitude. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** {1 Number theory} *)
+
+val modpow : t -> t -> t -> t
+(** [modpow base exp m] with [exp >= 0], [m > 0].  Uses Montgomery
+    exponentiation when [m] is odd. *)
+
+val isqrt : t -> t
+(** Integer square root (floor) of a non-negative value.
+    @raise Invalid_argument on negative input. *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd. *)
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b = (g, x, y)] with [g = a*x + b*y], [g = gcd a b >= 0]. *)
+
+val invmod : t -> t -> t option
+(** [invmod a m] is the inverse of [a] modulo [m] in [\[0, m)] when
+    [gcd a m = 1]. *)
+
+(** {1 Montgomery exponentiation with a reusable context}
+
+    Building the context performs the (division-heavy) precomputation once;
+    [pow] then runs entirely on multiply-and-reduce.  Used by {!Rsa} where
+    the same modulus serves many operations. *)
+
+module Mont : sig
+  type bigint := t
+
+  type t
+
+  val create : bigint -> t
+  (** @raise Invalid_argument if the modulus is even or non-positive. *)
+
+  val modulus : t -> bigint
+  val pow : t -> bigint -> bigint -> bigint
+end
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Probabilistic primality testing and prime generation.
+
+    Randomness is supplied by the caller as a byte oracle (in practice
+    {!Crypto.Drbg.generate}), keeping this module deterministic and
+    replayable. *)
+
+val small_primes : int array
+(** All primes below 2000, used for trial division. *)
+
+val is_probable_prime : ?rounds:int -> random:(int -> string) -> Bigint.t -> bool
+(** Miller-Rabin with [rounds] random bases (default 24) after trial
+    division by {!small_primes}.  [random n] must return [n] uniform
+    random bytes.  Deterministically correct for inputs below 2000². *)
+
+val gen_prime : bits:int -> random:(int -> string) -> Bigint.t
+(** Generates a probable prime of exactly [bits] bits with the top two bits
+    set (so products of two such primes have exactly [2*bits] bits).
+    Requires [bits >= 8]. *)
+
+val gen_prime_with : bits:int -> random:(int -> string) -> (Bigint.t -> bool) -> Bigint.t
+(** Like {!gen_prime} but only returns primes satisfying the predicate
+    (e.g. gcd conditions for RSA). *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Crypto Float Format List Params Printf Runner Sample Stats

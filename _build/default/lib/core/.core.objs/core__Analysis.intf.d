@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Ba Coin Format Params Runner Sim Stats Vrf Whp_coin

@@ -1,0 +1,1 @@
+lib/core/approver.ml: Array Format Hashtbl List Params Printf Sample String Vrf

@@ -1,0 +1,1 @@
+lib/core/approver.mli: Format Params Sample Vrf

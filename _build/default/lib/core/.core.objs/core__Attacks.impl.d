@@ -1,0 +1,1 @@
+lib/core/attacks.ml: Ba List Sim

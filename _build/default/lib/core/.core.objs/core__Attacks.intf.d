@@ -1,0 +1,1 @@
+lib/core/attacks.mli: Ba Params Sim Vrf

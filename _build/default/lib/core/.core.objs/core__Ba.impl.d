@@ -1,0 +1,1 @@
+lib/core/ba.ml: Approver Format Hashtbl List Params Printf Vrf Whp_coin

@@ -1,0 +1,1 @@
+lib/core/ba.mli: Approver Format Params Vrf Whp_coin

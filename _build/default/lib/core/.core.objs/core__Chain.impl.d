@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Ba Format List Option Params Printf Sim

@@ -1,0 +1,1 @@
+lib/core/coin.ml: Array Crypto Format Printf String Vrf

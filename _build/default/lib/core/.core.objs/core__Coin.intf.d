@@ -1,0 +1,1 @@
+lib/core/coin.mli: Format Vrf

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Approver Array Ba Coin Crypto Format List Option Params Printf Sim Whp_coin

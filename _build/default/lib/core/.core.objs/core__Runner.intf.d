@@ -1,0 +1,1 @@
+lib/core/runner.mli: Approver Ba Coin Format Params Sim Vrf Whp_coin

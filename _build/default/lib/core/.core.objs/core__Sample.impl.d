@@ -1,0 +1,1 @@
+lib/core/sample.ml: Int64 Vrf

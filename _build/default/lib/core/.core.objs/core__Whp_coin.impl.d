@@ -1,0 +1,1 @@
+lib/core/whp_coin.ml: Array Crypto Format Params Printf Sample String Vrf

@@ -1,0 +1,1 @@
+lib/core/whp_coin.mli: Format Params Sample Vrf

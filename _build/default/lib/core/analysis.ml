@@ -1,0 +1,143 @@
+type coin_estimate = {
+  trials : int;
+  all_zero : int;
+  all_one : int;
+  disagree : int;
+  success_rate : float;
+  mean_words : float;
+  mean_depth : float;
+}
+
+let coin_estimate_of ~trials outcomes =
+  let all_zero = ref 0 and all_one = ref 0 and disagree = ref 0 in
+  let words = ref [] and depths = ref [] in
+  List.iter
+    (fun (o : Runner.coin_outcome) ->
+      (match o.Runner.unanimous with
+      | Some 0 -> incr all_zero
+      | Some 1 -> incr all_one
+      | Some _ | None -> incr disagree);
+      words := float_of_int o.Runner.coin_words :: !words;
+      depths := float_of_int o.Runner.coin_depth :: !depths)
+    outcomes;
+  let frac x = float_of_int x /. float_of_int trials in
+  {
+    trials;
+    all_zero = !all_zero;
+    all_one = !all_one;
+    disagree = !disagree;
+    success_rate = Float.min (frac !all_zero) (frac !all_one);
+    mean_words = Stats.mean !words;
+    mean_depth = Stats.mean !depths;
+  }
+
+let crash_set ~seed ~n ~crash =
+  if crash = 0 then []
+  else Crypto.Rng.sample_without_replacement (Crypto.Rng.create (seed lxor 0xc4a5)) crash n
+
+let estimate_shared_coin ?scheduler ?(crash = 0) ~keyring ~n ~f ~trials ~base_seed () =
+  let outcomes =
+    List.init trials (fun i ->
+        let seed = base_seed + i in
+        Runner.run_shared_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring ~n ~f
+          ~round:i ~seed ())
+  in
+  coin_estimate_of ~trials outcomes
+
+let estimate_whp_coin ?scheduler ?(crash = 0) ~keyring ~params ~trials ~base_seed () =
+  let n = params.Params.n in
+  let outcomes =
+    List.init trials (fun i ->
+        let seed = base_seed + i in
+        Runner.run_whp_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring ~params
+          ~round:i ~seed ())
+  in
+  coin_estimate_of ~trials outcomes
+
+type committee_estimate = {
+  trials : int;
+  s1 : float;
+  s2 : float;
+  s3 : float;
+  s4 : float;
+  mean_size : float;
+}
+
+let estimate_committees ~keyring ~params ~trials ~base_seed () =
+  let n = params.Params.n in
+  let lambda = params.Params.lambda in
+  let d = params.Params.d in
+  let fl = float_of_int lambda in
+  let rng = Crypto.Rng.create base_seed in
+  let byz = Crypto.Rng.sample_without_replacement rng params.Params.f n in
+  let is_byz pid = List.mem pid byz in
+  let s1 = ref 0 and s2 = ref 0 and s3 = ref 0 and s4 = ref 0 in
+  let sizes = ref [] in
+  for i = 1 to trials do
+    let com = Sample.committee keyring ~s:(Printf.sprintf "est-%d-%d" base_seed i) ~lambda in
+    let size = List.length com in
+    let byz_count = List.length (List.filter is_byz com) in
+    sizes := float_of_int size :: !sizes;
+    if float_of_int size <= (1.0 +. d) *. fl then incr s1;
+    if float_of_int size >= (1.0 -. d) *. fl then incr s2;
+    if size - byz_count >= params.Params.w then incr s3;
+    if byz_count <= params.Params.b then incr s4
+  done;
+  let frac x = float_of_int !x /. float_of_int trials in
+  { trials; s1 = frac s1; s2 = frac s2; s3 = frac s3; s4 = frac s4; mean_size = Stats.mean !sizes }
+
+type ba_estimate = {
+  trials : int;
+  safe : int;
+  complete : int;
+  rounds : Stats.summary;
+  words : Stats.summary;
+  depth : Stats.summary;
+}
+
+let estimate_ba ?scheduler ?(corruption = Runner.Honest) ?(mixed_inputs = true) ~keyring ~params
+    ~trials ~base_seed () =
+  let n = params.Params.n in
+  let outcomes =
+    List.init trials (fun i ->
+        let seed = base_seed + i in
+        let inputs =
+          if mixed_inputs then Array.init n (fun p -> (p + i) mod 2) else Array.make n 1
+        in
+        (Runner.run_ba ?scheduler ~corruption ~keyring ~params ~inputs ~seed (), inputs))
+  in
+  let safe = ref 0 and complete = ref 0 in
+  let rounds = ref [] and words = ref [] and depth = ref [] in
+  List.iter
+    (fun ((o : Runner.outcome), inputs) ->
+      let validity_ok =
+        match List.sort_uniq compare (Array.to_list inputs) with
+        | [ v ] -> List.for_all (fun (_, d) -> d = v) o.Runner.decisions
+        | _ -> true
+      in
+      if o.Runner.agreement && validity_ok then incr safe;
+      if o.Runner.all_decided then incr complete;
+      rounds := o.Runner.rounds :: !rounds;
+      words := o.Runner.words :: !words;
+      depth := o.Runner.depth :: !depth)
+    outcomes;
+  {
+    trials;
+    safe = !safe;
+    complete = !complete;
+    rounds = Stats.summarize_ints !rounds;
+    words = Stats.summarize_ints !words;
+    depth = Stats.summarize_ints !depth;
+  }
+
+let pp_coin_estimate fmt (e : coin_estimate) =
+  Format.fprintf fmt "@[<h>trials=%d all0=%d all1=%d split=%d rho=%.3f words=%.0f depth=%.1f@]"
+    e.trials e.all_zero e.all_one e.disagree e.success_rate e.mean_words e.mean_depth
+
+let pp_committee_estimate fmt (e : committee_estimate) =
+  Format.fprintf fmt "@[<h>trials=%d S1=%.3f S2=%.3f S3=%.3f S4=%.3f size=%.1f@]" e.trials e.s1
+    e.s2 e.s3 e.s4 e.mean_size
+
+let pp_ba_estimate fmt (e : ba_estimate) =
+  Format.fprintf fmt "@[<h>trials=%d safe=%d complete=%d rounds(%a) words(%a)@]" e.trials e.safe
+    e.complete Stats.pp_summary e.rounds Stats.pp_summary e.words

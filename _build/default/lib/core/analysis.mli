@@ -1,0 +1,81 @@
+(** Statistical campaigns over protocol runs: the measurement layer behind
+    the experiment tables (EXPERIMENTS.md) and the bench harness.
+
+    Every campaign is deterministic: trial [i] runs with a seed derived
+    from [base_seed + i], so tables regenerate bit-identically. *)
+
+type coin_estimate = {
+  trials : int;
+  all_zero : int;      (** runs where every correct process output 0. *)
+  all_one : int;
+  disagree : int;      (** runs without unanimity. *)
+  success_rate : float;
+      (** min(P[all 0], P[all 1]) — the empirical [rho] of Definition 4.1. *)
+  mean_words : float;
+  mean_depth : float;
+}
+
+val estimate_shared_coin :
+  ?scheduler:Coin.msg Sim.Scheduler.t ->
+  ?crash:int ->
+  keyring:Vrf.Keyring.t ->
+  n:int ->
+  f:int ->
+  trials:int ->
+  base_seed:int ->
+  unit ->
+  coin_estimate
+(** Algorithm 1 campaign.  [crash] (default 0) processes are crashed at
+    random per trial. *)
+
+val estimate_whp_coin :
+  ?scheduler:Whp_coin.msg Sim.Scheduler.t ->
+  ?crash:int ->
+  keyring:Vrf.Keyring.t ->
+  params:Params.t ->
+  trials:int ->
+  base_seed:int ->
+  unit ->
+  coin_estimate
+(** Algorithm 2 campaign.  Trials where some correct process fails to
+    return (committee shortfall — the whp caveat) count into [disagree]. *)
+
+type committee_estimate = {
+  trials : int;
+  s1 : float;  (** frequency of |C| <= (1+d) lambda. *)
+  s2 : float;  (** frequency of |C| >= (1-d) lambda. *)
+  s3 : float;  (** frequency of >= W correct members. *)
+  s4 : float;  (** frequency of <= B Byzantine members. *)
+  mean_size : float;
+}
+
+val estimate_committees :
+  keyring:Vrf.Keyring.t -> params:Params.t -> trials:int -> base_seed:int -> unit ->
+  committee_estimate
+(** Claim 1 frequencies under a random corruption set of size [f]. *)
+
+type ba_estimate = {
+  trials : int;
+  safe : int;        (** runs with agreement + validity intact. *)
+  complete : int;    (** runs where every correct process decided. *)
+  rounds : Stats.summary;
+  words : Stats.summary;
+  depth : Stats.summary;
+}
+
+val estimate_ba :
+  ?scheduler:Ba.msg Sim.Scheduler.t ->
+  ?corruption:Runner.corruption ->
+  ?mixed_inputs:bool ->
+  keyring:Vrf.Keyring.t ->
+  params:Params.t ->
+  trials:int ->
+  base_seed:int ->
+  unit ->
+  ba_estimate
+(** Algorithm 4 campaign; [mixed_inputs] (default true) alternates 0/1
+    inputs, otherwise all-1. *)
+
+val pp_coin_estimate : Format.formatter -> coin_estimate -> unit
+val pp_committee_estimate : Format.formatter -> committee_estimate -> unit
+val pp_ba_estimate : Format.formatter -> ba_estimate -> unit

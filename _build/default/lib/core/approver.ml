@@ -1,0 +1,213 @@
+let bot = -1
+
+type echo_evidence = { pid : int; cert : Sample.cert; signature : string }
+
+type msg =
+  | Init of { v : int; cert : Sample.cert }
+  | Echo of { v : int; cert : Sample.cert; signature : string }
+  | Ok of { v : int; cert : Sample.cert; support : echo_evidence list }
+
+let words_of_msg = function
+  | Init _ -> 2 + Sample.cert_words
+  | Echo _ -> 2 + Sample.cert_words + 1
+  | Ok { support; _ } ->
+      2 + Sample.cert_words + (List.length support * (1 + Sample.cert_words + 1))
+
+let pp_msg fmt = function
+  | Init { v; _ } -> Format.fprintf fmt "INIT(%d)" v
+  | Echo { v; _ } -> Format.fprintf fmt "ECHO(%d)" v
+  | Ok { v; support; _ } -> Format.fprintf fmt "OK(%d,|support|=%d)" v (List.length support)
+
+type action = Broadcast of msg | Deliver of int list
+
+(* Per-value receive bookkeeping. *)
+type value_state = {
+  init_from : bool array;
+  mutable init_count : int;
+  mutable echoed : bool;
+  echo_from : bool array;
+  mutable echo_count : int;
+  mutable echo_evidence : echo_evidence list;  (* newest first *)
+}
+
+type t = {
+  keyring : Vrf.Keyring.t;
+  params : Params.t;
+  pid : int;
+  instance : string;
+  values : (int, value_state) Hashtbl.t;
+  known_echo : (int * int, Sample.cert * string) Hashtbl.t;
+      (* (pid, v) -> evidence already verified valid.  OK messages carry W
+         support entries each, and every receiver of every OK sees mostly
+         the same entries; byte-comparing against known-good evidence
+         short-circuits re-verification without weakening validation (a
+         different byte string still goes through the full check). *)
+  mutable my_input : int option;
+  mutable ok_cert : Sample.cert option;  (* our OK-committee certificate *)
+  mutable ok_sent : bool;
+  ok_from : bool array;
+  mutable ok_count : int;
+  mutable ok_values : int list;          (* values seen in valid OKs *)
+  mutable delivered : int list option;
+}
+
+let s_init t = t.instance ^ "/init"
+let s_echo t v = Printf.sprintf "%s/echo/%d" t.instance v
+let s_ok t = t.instance ^ "/ok"
+let echo_payload t v = Printf.sprintf "%s/echo-sig/%d" t.instance v
+
+let create ~keyring ~params ~pid ~instance =
+  let n = params.Params.n in
+  if n <> Vrf.Keyring.n keyring then invalid_arg "Approver.create: n mismatch with keyring";
+  {
+    keyring;
+    params;
+    pid;
+    instance;
+    values = Hashtbl.create 4;
+    known_echo = Hashtbl.create 64;
+    my_input = None;
+    ok_cert = None;
+    ok_sent = false;
+    ok_from = Array.make n false;
+    ok_count = 0;
+    ok_values = [];
+    delivered = None;
+  }
+
+let lambda t = t.params.Params.lambda
+let w t = t.params.Params.w
+let b t = t.params.Params.b
+let n t = t.params.Params.n
+
+let value_state t v =
+  match Hashtbl.find_opt t.values v with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          init_from = Array.make (n t) false;
+          init_count = 0;
+          echoed = false;
+          echo_from = Array.make (n t) false;
+          echo_count = 0;
+          echo_evidence = [];
+        }
+      in
+      Hashtbl.replace t.values v s;
+      s
+
+(* When the echo threshold for [v] fires and we sit on the OK committee and
+   have not yet OK'd any value, broadcast ok(v) with the W-strong evidence. *)
+let maybe_ok t v st =
+  match t.ok_cert with
+  | Some cert when (not t.ok_sent) && st.echo_count >= w t ->
+      t.ok_sent <- true;
+      let support = List.filteri (fun i _ -> i < w t) (List.rev st.echo_evidence) in
+      [ Broadcast (Ok { v; cert; support }) ]
+  | Some _ | None -> []
+
+let input t v =
+  match t.my_input with
+  | Some _ -> []
+  | None ->
+      t.my_input <- Some v;
+      (* Sample the OK committee once: its certificate is needed later when
+         the echo threshold fires. *)
+      let okc = Sample.sample t.keyring ~pid:t.pid ~s:(s_ok t) ~lambda:(lambda t) in
+      if okc.Sample.member then t.ok_cert <- Some okc;
+      (* An echo threshold may already have been crossed while this
+         instance was passive (messages outran our own activation); emit
+         the pending OK now that our committee certificate exists. *)
+      let pending = Hashtbl.fold (fun v st acc -> maybe_ok t v st @ acc) t.values [] in
+      let cert = Sample.sample t.keyring ~pid:t.pid ~s:(s_init t) ~lambda:(lambda t) in
+      if cert.Sample.member then Broadcast (Init { v; cert }) :: pending else pending
+
+let maybe_echo t v st =
+  if st.echoed || st.init_count < b t + 1 then []
+  else begin
+    let cert = Sample.sample t.keyring ~pid:t.pid ~s:(s_echo t v) ~lambda:(lambda t) in
+    if not cert.Sample.member then begin
+      (* Not in this value's echo committee: mark handled so we do not
+         resample on every further init. *)
+      st.echoed <- true;
+      []
+    end
+    else begin
+      st.echoed <- true;
+      let signature = Vrf.Keyring.sign t.keyring t.pid (echo_payload t v) in
+      [ Broadcast (Echo { v; cert; signature }) ]
+    end
+  end
+
+let same_evidence (cert : Sample.cert) signature ((kc : Sample.cert), ks) =
+  cert.Sample.member = kc.Sample.member
+  && String.equal cert.Sample.vrf.Vrf.beta kc.Sample.vrf.Vrf.beta
+  && String.equal cert.Sample.vrf.Vrf.proof kc.Sample.vrf.Vrf.proof
+  && String.equal signature ks
+
+let valid_echo_evidence t v pid cert signature =
+  match Hashtbl.find_opt t.known_echo (pid, v) with
+  | Some known when same_evidence cert signature known -> true
+  | Some _ | None ->
+      let ok =
+        Sample.committee_val t.keyring ~s:(s_echo t v) ~lambda:(lambda t) ~pid cert
+        && Vrf.Keyring.verify_sig t.keyring ~signer:pid (echo_payload t v) signature
+      in
+      if ok then Hashtbl.replace t.known_echo (pid, v) (cert, signature);
+      ok
+
+let valid_ok_support t v support =
+  (* W entries, distinct pids, each a certified member of C(<echo,v>) with a
+     valid signature on the echo payload. *)
+  List.length support = w t
+  &&
+  let seen = Hashtbl.create (w t) in
+  List.for_all
+    (fun { pid; cert; signature } ->
+      (not (Hashtbl.mem seen pid))
+      && begin
+           Hashtbl.replace seen pid ();
+           valid_echo_evidence t v pid cert signature
+         end)
+    support
+
+let handle t ~src msg =
+  match msg with
+  | Init { v; cert } ->
+      let st = value_state t v in
+      if st.init_from.(src) || not (Sample.committee_val t.keyring ~s:(s_init t) ~lambda:(lambda t) ~pid:src cert)
+      then []
+      else begin
+        st.init_from.(src) <- true;
+        st.init_count <- st.init_count + 1;
+        maybe_echo t v st
+      end
+  | Echo { v; cert; signature } ->
+      let st = value_state t v in
+      if st.echo_from.(src) || not (valid_echo_evidence t v src cert signature) then []
+      else begin
+        st.echo_from.(src) <- true;
+        st.echo_count <- st.echo_count + 1;
+        st.echo_evidence <- { pid = src; cert; signature } :: st.echo_evidence;
+        maybe_ok t v st
+      end
+  | Ok { v; cert; support } ->
+      if
+        t.ok_from.(src)
+        || (not (Sample.committee_val t.keyring ~s:(s_ok t) ~lambda:(lambda t) ~pid:src cert))
+        || not (valid_ok_support t v support)
+      then []
+      else begin
+        t.ok_from.(src) <- true;
+        t.ok_count <- t.ok_count + 1;
+        t.ok_values <- v :: t.ok_values;
+        if t.ok_count = w t && t.delivered = None then begin
+          let set = List.sort_uniq compare t.ok_values in
+          t.delivered <- Some set;
+          [ Deliver set ]
+        end
+        else []
+      end
+
+let result t = t.delivered

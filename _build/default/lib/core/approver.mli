@@ -1,0 +1,57 @@
+(** The approver abstraction — Algorithm 3 of the paper.
+
+    An adaptation of Mostefaoui et al.'s SBV-broadcast to committees.
+    Under the assumption that correct processes invoke it with at most two
+    distinct values, it guarantees (whp): {e validity} (unanimous input
+    [v] forces return value [{v}]), {e graded agreement} (two singleton
+    returns are the same singleton), and {e termination}.
+
+    Three phases, each restricted to a sampled committee:
+    - INIT: committee members broadcast their input;
+    - ECHO: a {e per-value} committee ([C(<echo,v>, lambda)] — one
+      committee per value so each member sends at most one message:
+      process replaceability) boosts any value received from [B+1]
+      processes;
+    - OK: members who see [W] echoes for a value broadcast [ok(v)]
+      (first value only), carrying the [W] signed echoes as proof.
+
+    A process returns the value set of the first [W] valid [ok]s.
+
+    Values are integers; Byzantine Agreement uses [0], [1] and {!bot}.
+    The [ok] support entries carry each echoer's committee certificate in
+    addition to its signature: signatures alone would let a Byzantine
+    [ok]-sender use echo signatures from Byzantine friends {e outside} the
+    echo committee (there can be up to [f >> W] of those).  The paper
+    omits proof plumbing "for clarity"; this is the faithful completion. *)
+
+val bot : int
+(** The distinguished value ⊥ used by Byzantine Agreement (= -1). *)
+
+type echo_evidence = { pid : int; cert : Sample.cert; signature : string }
+
+type msg =
+  | Init of { v : int; cert : Sample.cert }
+  | Echo of { v : int; cert : Sample.cert; signature : string }
+  | Ok of { v : int; cert : Sample.cert; support : echo_evidence list }
+
+val words_of_msg : msg -> int
+val pp_msg : Format.formatter -> msg -> unit
+
+type action =
+  | Broadcast of msg
+  | Deliver of int list  (** the returned value set, sorted; emitted once. *)
+
+type t
+
+val create : keyring:Vrf.Keyring.t -> params:Params.t -> pid:int -> instance:string -> t
+(** Passive instance ([instance] must be unique per approver invocation:
+    it salts all committee sampling and signatures). *)
+
+val input : t -> int -> action list
+(** approve(v): line 1 — broadcast INIT when sampled.  Idempotent; the
+    first value wins. *)
+
+val handle : t -> src:int -> msg -> action list
+
+val result : t -> int list option
+(** The delivered value set, once available. *)

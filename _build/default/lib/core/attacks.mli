@@ -1,0 +1,33 @@
+(** Active Byzantine strategies for Algorithm 4 runs.
+
+    A corrupted process keeps its keys (the adversary "has full access to
+    corrupted processes' private information"), so it can produce valid
+    committee certificates and VRF values for itself — what it cannot do
+    is forge anyone else's.  These strategies exercise exactly that
+    boundary:
+
+    - {!install_two_face}: the strongest generic equivocation available
+      under a VRF.  The attacker runs {e two} honest Algorithm 4 state
+      machines with opposite inputs and sends both message streams: it
+      inits/echoes/oks both 0 and 1 wherever it legitimately sits on a
+      committee.  (Its coin messages coincide in both runs — VRF
+      uniqueness removes coin equivocation, as the paper notes.)
+
+    - {!install_replay}: rebroadcasts every message it receives under its
+      own identity; receivers must reject all of it because committee
+      certificates and signatures are bound to the original sender.
+
+    Used by the Byzantine test campaigns and the adversary example. *)
+
+val install_two_face :
+  Ba.msg Sim.Engine.t ->
+  keyring:Vrf.Keyring.t ->
+  params:Params.t ->
+  instance:string ->
+  pids:int list ->
+  unit
+(** Corrupt [pids] with the two-face strategy for the BA run named
+    [instance] (see {!Runner.ba_instance_name}). *)
+
+val install_replay : Ba.msg Sim.Engine.t -> pids:int list -> unit
+(** Corrupt [pids] with the replay strategy. *)

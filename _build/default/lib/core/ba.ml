@@ -1,0 +1,200 @@
+type msg =
+  | A1 of { round : int; inner : Approver.msg }
+  | A2 of { round : int; inner : Approver.msg }
+  | Cn of { round : int; inner : Whp_coin.msg }
+
+let words_of_msg = function
+  | A1 { inner; _ } | A2 { inner; _ } -> 1 + Approver.words_of_msg inner
+  | Cn { inner; _ } -> 1 + Whp_coin.words_of_msg inner
+
+let pp_msg fmt = function
+  | A1 { round; inner } -> Format.fprintf fmt "A1[r%d] %a" round Approver.pp_msg inner
+  | A2 { round; inner } -> Format.fprintf fmt "A2[r%d] %a" round Approver.pp_msg inner
+  | Cn { round; inner } -> Format.fprintf fmt "COIN[r%d] %a" round Whp_coin.pp_msg inner
+
+type action = Broadcast of msg | Decide of int
+
+type round_state = {
+  a1 : Approver.t;
+  a2 : Approver.t;
+  coin : Whp_coin.t;
+  mutable propose : int option;   (* set when a1 delivers *)
+  mutable coin_val : int option;  (* set when the coin returns *)
+  mutable a2_input : bool;        (* whether we already fed a2 *)
+  mutable completed : bool;       (* a2 delivered and est updated *)
+}
+
+type t = {
+  keyring : Vrf.Keyring.t;
+  params : Params.t;
+  pid : int;
+  instance : string;
+  rounds : (int, round_state) Hashtbl.t;
+  mutable est : int;
+  mutable started : bool;
+  mutable round : int;            (* the round we are actively executing *)
+  mutable decision : int option;
+  mutable decided_round : int option;
+}
+
+let create ~keyring ~params ~pid ~instance =
+  {
+    keyring;
+    params;
+    pid;
+    instance;
+    rounds = Hashtbl.create 8;
+    est = 0;
+    started = false;
+    round = 0;
+    decision = None;
+    decided_round = None;
+  }
+
+let round_state t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some st -> st
+  | None ->
+      let mk tag = Printf.sprintf "%s/r%d/%s" t.instance r tag in
+      let st =
+        {
+          a1 = Approver.create ~keyring:t.keyring ~params:t.params ~pid:t.pid ~instance:(mk "a1");
+          a2 = Approver.create ~keyring:t.keyring ~params:t.params ~pid:t.pid ~instance:(mk "a2");
+          coin =
+            Whp_coin.create ~keyring:t.keyring ~params:t.params ~pid:t.pid ~instance:t.instance
+              ~round:r;
+          propose = None;
+          coin_val = None;
+          a2_input = false;
+          completed = false;
+        }
+      in
+      Hashtbl.replace t.rounds r st;
+      st
+
+let wrap_a1 r acts =
+  List.map (function Approver.Broadcast m -> Broadcast (A1 { round = r; inner = m }) | Approver.Deliver _ -> assert false)
+    (List.filter (function Approver.Deliver _ -> false | Approver.Broadcast _ -> true) acts)
+
+let wrap_a2 r acts =
+  List.map (function Approver.Broadcast m -> Broadcast (A2 { round = r; inner = m }) | Approver.Deliver _ -> assert false)
+    (List.filter (function Approver.Deliver _ -> false | Approver.Broadcast _ -> true) acts)
+
+let wrap_coin r acts =
+  List.map (function Whp_coin.Broadcast m -> Broadcast (Cn { round = r; inner = m }) | Whp_coin.Return _ -> assert false)
+    (List.filter (function Whp_coin.Return _ -> false | Whp_coin.Broadcast _ -> true) acts)
+
+let deliver_of_a acts =
+  List.find_map (function Approver.Deliver vs -> Some vs | Approver.Broadcast _ -> None) acts
+
+let return_of_coin acts =
+  List.find_map (function Whp_coin.Return b -> Some b | Whp_coin.Broadcast _ -> None) acts
+
+(* A decided process keeps initiating rounds through decided_round + 1 so
+   that every other correct process can reach its own decision (Lemma 6.16:
+   they all decide by the next round whp), then turns purely reactive. *)
+let still_initiating t r =
+  match t.decided_round with None -> true | Some dr -> r <= dr + 1
+
+(* Drive the state machine of round [r] forward as far as local knowledge
+   allows, collecting protocol actions.  Called whenever a sub-protocol of
+   round [r] makes progress. *)
+let rec advance t r : action list =
+  if t.round <> r then []
+  else begin
+    let st = round_state t r in
+    let acts = ref [] in
+    let emit a = acts := !acts @ a in
+    (* Step 2: the coin starts only once the first approver returned. *)
+    (match (st.propose, Approver.result st.a1) with
+    | None, Some vals ->
+        let propose =
+          match vals with [ v ] when v <> Approver.bot -> v | _ -> Approver.bot
+        in
+        st.propose <- Some propose;
+        emit (wrap_coin r (Whp_coin.start st.coin))
+    | None, None | Some _, _ -> ());
+    (* Capture the coin result as soon as the sub-protocol has it. *)
+    (match (st.coin_val, Whp_coin.result st.coin) with
+    | None, Some c -> st.coin_val <- Some c
+    | None, None | Some _, _ -> ());
+    (* Step 3: second approver starts after the coin returned. *)
+    (match (st.propose, st.coin_val) with
+    | Some propose, Some _ when not st.a2_input ->
+        st.a2_input <- true;
+        emit (wrap_a2 r (Approver.input st.a2 propose))
+    | _ -> ());
+    (* Step 4: decision / adoption, then the next round. *)
+    (match (Approver.result st.a2, st.coin_val) with
+    | Some props, Some c when not st.completed ->
+        st.completed <- true;
+        let non_bot = List.filter (fun v -> v <> Approver.bot) props in
+        let decide_acts =
+          match (props, non_bot) with
+          | [ v ], [ _ ] ->
+              (* props = {v}, v <> bot: decide. *)
+              t.est <- v;
+              if t.decision = None then begin
+                t.decision <- Some v;
+                t.decided_round <- Some r;
+                [ Decide v ]
+              end
+              else []
+          | _, [] ->
+              (* props = {bot} (or, outside the whp guarantees, empty):
+                 adopt the coin. *)
+              t.est <- c;
+              []
+          | _, [ v ] ->
+              (* props = {v, bot}: adopt v. *)
+              t.est <- v;
+              []
+          | _, v :: _ ->
+              (* Outside the whp guarantees (two non-bot values survived
+                 the approver): fall back deterministically. *)
+              t.est <- v;
+              []
+        in
+        emit decide_acts;
+        t.round <- r + 1;
+        if still_initiating t (r + 1) then begin
+          let next = round_state t (r + 1) in
+          emit (wrap_a1 (r + 1) (Approver.input next.a1 t.est));
+          emit (advance t (r + 1))
+        end
+    | _ -> ());
+    !acts
+  end
+
+let propose t v =
+  if v <> 0 && v <> 1 then invalid_arg "Ba.propose: input must be binary";
+  if t.started then []
+  else begin
+    t.started <- true;
+    t.est <- v;
+    let st = round_state t 0 in
+    wrap_a1 0 (Approver.input st.a1 t.est) @ advance t 0
+  end
+
+let handle t ~src msg =
+  match msg with
+  | A1 { round = r; inner } ->
+      let st = round_state t r in
+      let acts = Approver.handle st.a1 ~src inner in
+      let wrapped = wrap_a1 r acts in
+      (match deliver_of_a acts with Some _ -> wrapped @ advance t r | None -> wrapped)
+  | A2 { round = r; inner } ->
+      let st = round_state t r in
+      let acts = Approver.handle st.a2 ~src inner in
+      let wrapped = wrap_a2 r acts in
+      (match deliver_of_a acts with Some _ -> wrapped @ advance t r | None -> wrapped)
+  | Cn { round = r; inner } ->
+      let st = round_state t r in
+      let acts = Whp_coin.handle st.coin ~src inner in
+      let wrapped = wrap_coin r acts in
+      (match return_of_coin acts with Some _ -> wrapped @ advance t r | None -> wrapped)
+
+let decision t = t.decision
+let decided_round t = t.decided_round
+let current_round t = t.round
+let current_est t = t.est

@@ -1,0 +1,44 @@
+(** Byzantine Agreement WHP — Algorithm 4 of the paper.
+
+    Binary agreement in asynchronous rounds.  Round [r]:
+    + [vals <- approve(est)]; a singleton [{v}] sets [propose <- v],
+      anything else sets [propose <- ⊥];
+    + [c <- whp_coin(r)] — invoked only after proposals are fixed, so the
+      adversary cannot bias proposals with the coin flip;
+    + [props <- approve(propose)]; then
+      - [props = {v}], [v <> ⊥]: decide [v] (and [est <- v]),
+      - [props = {⊥}]: [est <- c],
+      - [props = {v, ⊥}]: [est <- v].
+
+    Termination note (documented in EXPERIMENTS.md): the paper's processes
+    loop forever; to bound executions we keep a decided process initiating
+    new rounds through [decided_round + 1] (by which every correct process
+    has decided whp) while remaining reactive afterwards, and the
+    experiment harness measures words/time up to the all-decided point —
+    the same point at which the paper's complexity accounting stops. *)
+
+type msg =
+  | A1 of { round : int; inner : Approver.msg }  (** first approver. *)
+  | A2 of { round : int; inner : Approver.msg }  (** second approver. *)
+  | Cn of { round : int; inner : Whp_coin.msg }  (** the round's coin. *)
+
+val words_of_msg : msg -> int
+val pp_msg : Format.formatter -> msg -> unit
+
+type action =
+  | Broadcast of msg
+  | Decide of int  (** emitted exactly once, when [decision] is first set. *)
+
+type t
+
+val create : keyring:Vrf.Keyring.t -> params:Params.t -> pid:int -> instance:string -> t
+
+val propose : t -> int -> action list
+(** Start the protocol with binary input (0 or 1). *)
+
+val handle : t -> src:int -> msg -> action list
+
+val decision : t -> int option
+val decided_round : t -> int option
+val current_round : t -> int
+val current_est : t -> int

@@ -1,0 +1,111 @@
+type slot_outcome = {
+  slot : int;
+  decisions : (int * int) list;
+  all_decided : bool;
+  agreement : bool;
+  rounds : int;
+}
+
+type outcome = {
+  slots : slot_outcome list;
+  all_slots_decided : bool;
+  total_words : int;
+  total_msgs : int;
+  depth : int;
+  steps : int;
+  result : Sim.Engine.run_result;
+}
+
+let run_concurrent ?scheduler ?(pre_crash = []) ?max_steps ~keyring ~params ~inputs ~seed () =
+  let n = params.Params.n in
+  let k = Array.length inputs in
+  if k = 0 then invalid_arg "Chain.run_concurrent: need at least one slot";
+  Array.iteri
+    (fun s row ->
+      if Array.length row <> n then
+        invalid_arg (Printf.sprintf "Chain.run_concurrent: slot %d needs %d inputs" s n))
+    inputs;
+  let eng : (int * Ba.msg) Sim.Engine.t =
+    match scheduler with
+    | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
+    | None -> Sim.Engine.create ~n ~seed ()
+  in
+  (* procs.(slot).(pid): one state machine per (slot, process). *)
+  let procs =
+    Array.init k (fun slot ->
+        Array.init n (fun pid ->
+            Ba.create ~keyring ~params ~pid ~instance:(Printf.sprintf "chain-%d/slot-%d" seed slot)))
+  in
+  let perform slot pid actions =
+    List.iter
+      (function
+        | Ba.Broadcast m ->
+            Sim.Engine.broadcast eng ~src:pid ~words:(1 + Ba.words_of_msg m) (slot, m)
+        | Ba.Decide _ -> ())
+      actions
+  in
+  Sim.Faults.crash_all eng pre_crash;
+  for pid = 0 to n - 1 do
+    Sim.Engine.set_handler eng pid (fun e ->
+        let slot, m = e.Sim.Envelope.payload in
+        if slot >= 0 && slot < k then
+          perform slot pid (Ba.handle procs.(slot).(pid) ~src:e.Sim.Envelope.src m))
+  done;
+  for slot = 0 to k - 1 do
+    for pid = 0 to n - 1 do
+      if Sim.Engine.is_correct eng pid then
+        perform slot pid (Ba.propose procs.(slot).(pid) inputs.(slot).(pid))
+    done
+  done;
+  let everyone_decided_everything () =
+    List.for_all
+      (fun pid -> Array.for_all (fun row -> Ba.decision row.(pid) <> None) procs)
+      (Sim.Engine.correct_pids eng)
+  in
+  let result = Sim.Engine.run ?max_steps eng ~until:everyone_decided_everything in
+  let slot_outcome slot =
+    let row = procs.(slot) in
+    let decisions =
+      List.filter_map
+        (fun pid -> Option.map (fun d -> (pid, d)) (Ba.decision row.(pid)))
+        (Sim.Engine.correct_pids eng)
+    in
+    let agreement =
+      match decisions with
+      | [] -> true
+      | (_, d0) :: rest -> List.for_all (fun (_, d) -> d = d0) rest
+    in
+    let all_decided =
+      List.for_all (fun pid -> Ba.decision row.(pid) <> None) (Sim.Engine.correct_pids eng)
+    in
+    let rounds =
+      List.fold_left
+        (fun acc pid ->
+          match Ba.decided_round row.(pid) with Some r -> max acc (r + 1) | None -> acc)
+        0
+        (Sim.Engine.correct_pids eng)
+    in
+    { slot; decisions; all_decided; agreement; rounds }
+  in
+  let slots = List.init k slot_outcome in
+  let m = Sim.Engine.metrics eng in
+  {
+    slots;
+    all_slots_decided = List.for_all (fun s -> s.all_decided) slots;
+    total_words = m.Sim.Metrics.correct_words;
+    total_msgs = m.Sim.Metrics.correct_msgs;
+    depth = Sim.Engine.max_correct_depth eng;
+    steps = Sim.Engine.step eng;
+    result;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "@[<v>%d slots, all decided: %b, words: %d, depth: %d@," (List.length o.slots)
+    o.all_slots_decided o.total_words o.depth;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  slot %d: decision=%s agreement=%b rounds=%d@," s.slot
+        (match s.decisions with (_, d) :: _ -> string_of_int d | [] -> "-")
+        s.agreement s.rounds)
+    o.slots;
+  Format.fprintf fmt "@]"

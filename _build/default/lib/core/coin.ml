@@ -1,0 +1,121 @@
+type value = { origin : int; out : Vrf.output }
+
+let compare_value a b =
+  let c = Vrf.compare_beta a.out.Vrf.beta b.out.Vrf.beta in
+  if c <> 0 then c else compare a.origin b.origin
+
+type msg = First of value | Second of value
+
+let words_of_msg (First _ | Second _) = 4
+
+let pp_msg fmt m =
+  let name, v = match m with First v -> ("FIRST", v) | Second v -> ("SECOND", v) in
+  Format.fprintf fmt "%s(origin=%d beta=%s...)" name v.origin
+    (Crypto.Hex.encode (String.sub v.out.Vrf.beta 0 4))
+
+type action = Broadcast of msg | Return of int
+
+type t = {
+  keyring : Vrf.Keyring.t;
+  n : int;
+  f : int;
+  pid : int;
+  alpha : string;                 (* VRF input for this coin instance *)
+  mutable v : value option;       (* local minimum; None before start *)
+  first_from : bool array;        (* senders already counted in phase 1 *)
+  mutable first_count : int;
+  mutable sent_second : bool;
+  second_from : bool array;
+  mutable second_count : int;
+  mutable started : bool;
+  mutable result : int option;
+}
+
+let coin_alpha ~instance ~round = Printf.sprintf "%s/coin/%d" instance round
+
+let create ~keyring ~n ~f ~pid ~instance ~round =
+  if n <> Vrf.Keyring.n keyring then invalid_arg "Coin.create: n mismatch with keyring";
+  {
+    keyring;
+    n;
+    f;
+    pid;
+    alpha = coin_alpha ~instance ~round;
+    v = None;
+    first_from = Array.make n false;
+    first_count = 0;
+    sent_second = false;
+    second_from = Array.make n false;
+    second_count = 0;
+    started = false;
+    result = None;
+  }
+
+let quorum t = t.n - t.f
+
+(* Split out of [handle]: an instance embedded in a larger protocol (MMR)
+   can be created passively on message receipt and cross the FIRST
+   threshold before [start] runs. *)
+let maybe_send_second t =
+  if t.sent_second || t.first_count < quorum t then []
+  else begin
+    t.sent_second <- true;
+    match t.v with
+    | None -> assert false (* first_count > 0 implies v is set *)
+    | Some v -> [ Broadcast (Second v) ]
+  end
+
+let start t =
+  if t.started then []
+  else begin
+    t.started <- true;
+    let out = Vrf.Keyring.prove t.keyring t.pid t.alpha in
+    let mine = { origin = t.pid; out } in
+    (* Adopt our own value only if a smaller one has not already arrived. *)
+    (match t.v with
+    | Some v when compare_value v mine <= 0 -> ()
+    | Some _ | None -> t.v <- Some mine);
+    Broadcast (First mine) :: maybe_send_second t
+  end
+
+let valid_value t value = Vrf.Keyring.verify t.keyring ~signer:value.origin t.alpha value.out
+
+let adopt_min t value =
+  match t.v with
+  | Some v when compare_value v value <= 0 -> ()
+  | Some _ | None -> t.v <- Some value
+
+let handle t ~src msg =
+  match msg with
+  | First value ->
+      (* Phase-1 values must be the sender's own VRF draw: anything else is
+         a forgery attempt and is ignored. *)
+      if value.origin <> src || t.first_from.(src) || not (valid_value t value) then []
+      else begin
+        t.first_from.(src) <- true;
+        t.first_count <- t.first_count + 1;
+        adopt_min t value;
+        (* Send SECOND only once we have started: our own FIRST (and VRF
+           draw) must be on the wire first, matching the algorithm's
+           sequencing. *)
+        if t.started then maybe_send_second t else []
+      end
+  | Second value ->
+      if t.second_from.(src) || not (valid_value t value) then []
+      else begin
+        t.second_from.(src) <- true;
+        t.second_count <- t.second_count + 1;
+        adopt_min t value;
+        if t.second_count >= quorum t && t.result = None then begin
+          match t.v with
+          | None -> assert false
+          | Some v ->
+              let bit = Vrf.beta_lsb v.out.Vrf.beta in
+              t.result <- Some bit;
+              [ Return bit ]
+        end
+        else []
+      end
+
+let result t = t.result
+let current_min t = t.v

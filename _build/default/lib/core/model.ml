@@ -1,0 +1,55 @@
+let fi = float_of_int
+
+let coin_words ~n ~senders = fi senders *. 2.0 *. 4.0 *. fi n
+
+let whp_coin_words ~params =
+  let n = fi params.Params.n and l = fi params.Params.lambda in
+  (* FIRST: 6 words (tag+origin, origin cert, VRF out); SECOND: 8. *)
+  l *. n *. (6.0 +. 8.0)
+
+let approver_words ~params ~v =
+  let n = fi params.Params.n and l = fi params.Params.lambda in
+  let w = fi params.Params.w in
+  let init = 4.0 and echo = 5.0 and ok = 4.0 +. (4.0 *. w) in
+  l *. n *. (init +. (fi v *. echo) +. ok)
+
+let approver_msgs ~params ~v =
+  let n = fi params.Params.n and l = fi params.Params.lambda in
+  l *. n *. (2.0 +. fi v)
+
+let ba_round_words ~params ~v =
+  let n = fi params.Params.n and l = fi params.Params.lambda in
+  let coin_msgs = 2.0 *. l *. n in
+  (2.0 *. (approver_words ~params ~v +. approver_msgs ~params ~v))
+  +. whp_coin_words ~params +. coin_msgs
+
+let ba_words ~params ~rounds = rounds *. ba_round_words ~params ~v:2
+
+let mmr_round_words ~n =
+  let n = fi n in
+  (* BVAL: broadcast of each value a process adopts (1-2; take 2 with the
+     f+1 relay) at 2+1 words; AUX at 2+1; Algorithm 1 coin at 4+1 words
+     per message, 2n messages per process. *)
+  (2.0 *. n *. n *. 3.0) +. (n *. n *. 3.0) +. (2.0 *. n *. n *. 5.0)
+
+let mmr_words ~n ~rounds = rounds *. mmr_round_words ~n
+
+let crossover ?(lo = 8) ?(hi = 1 lsl 22) ~ours ~baseline () =
+  let wins n = ours n <= baseline n in
+  if wins lo then Some lo
+  else begin
+    (* find a winning upper bracket by doubling, then bisect. *)
+    let rec bracket n = if n > hi then None else if wins n then Some n else bracket (2 * n) in
+    match bracket (2 * lo) with
+    | None -> None
+    | Some hi_win ->
+        let rec bisect lo hi =
+          (* invariant: not (wins lo) && wins hi *)
+          if hi - lo <= 1 then hi
+          else begin
+            let mid = (lo + hi) / 2 in
+            if wins mid then bisect lo mid else bisect mid hi
+          end
+        in
+        Some (bisect (hi_win / 2) hi_win)
+  end

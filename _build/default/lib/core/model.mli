@@ -1,0 +1,43 @@
+(** Analytic expected-word-cost model.
+
+    Closed-form expected word counts for each protocol, matching the
+    word accounting of the concrete message types ([words_of_msg]).
+    The test suite validates the model against measured runs at small n;
+    the bench harness then evaluates it at sizes too large to simulate,
+    e.g. to locate the ours-vs-quadratic crossover (E2).
+
+    Conventions: all processes correct unless stated; [v] = number of
+    distinct values correct processes feed an approver (1 or 2); one word
+    = the paper's §2 unit. *)
+
+val coin_words : n:int -> senders:int -> float
+(** Algorithm 1, exact: [senders] processes each broadcast FIRST and
+    SECOND at 4 words to [n] destinations. *)
+
+val whp_coin_words : params:Params.t -> float
+(** Algorithm 2, expectation: FIRST members (E = lambda) broadcast
+    6 words, SECOND members broadcast 8. *)
+
+val approver_words : params:Params.t -> v:int -> float
+(** Algorithm 3, expectation: INIT at 4 words, one 5-word ECHO committee
+    per value, OK at [4 + 4W] words; each from E = lambda members to n. *)
+
+val ba_round_words : params:Params.t -> v:int -> float
+(** One Algorithm 4 round: two approvers + one WHP coin + the 1-word
+    instance tag on every message. *)
+
+val ba_words : params:Params.t -> rounds:float -> float
+(** Expected BA cost: [rounds] full rounds with two-valued approvers
+    (the conservative case). *)
+
+val mmr_round_words : n:int -> float
+(** One MMR round with the Algorithm 1 coin: BVAL (up to 2 values per
+    process, 3 words with tag), AUX (3 words), coin messages (5 words
+    with tag). *)
+
+val mmr_words : n:int -> rounds:float -> float
+
+val crossover : ?lo:int -> ?hi:int -> ours:(int -> float) -> baseline:(int -> float) -> unit ->
+  int option
+(** Smallest [n] in [\[lo, hi\]] (powers-of-two probe + bisection) where
+    [ours n <= baseline n]; [None] if none in range. *)

@@ -1,0 +1,39 @@
+type cert = { member : bool; vrf : Vrf.output }
+
+let cert_words = 2
+let domain = "committee-sample\x00"
+
+(* Membership uses the top 52 bits of beta: P[member] = lambda/n exactly up
+   to 2^-52 rounding. *)
+let sample_bits = 52
+
+let threshold ~n ~lambda =
+  if n <= 0 || lambda < 0 || lambda > n then invalid_arg "Sample.threshold";
+  (* floor(lambda * 2^52 / n); lambda <= n <= 2^20ish keeps this in range. *)
+  Int64.div (Int64.mul (Int64.of_int lambda) (Int64.shift_left 1L sample_bits)) (Int64.of_int n)
+
+let alpha s = domain ^ s
+
+let member_of_beta ~n ~lambda beta =
+  Vrf.beta_bits beta sample_bits < threshold ~n ~lambda
+
+let sample kr ~pid ~s ~lambda =
+  let n = Vrf.Keyring.n kr in
+  let vrf = Vrf.Keyring.prove kr pid (alpha s) in
+  { member = member_of_beta ~n ~lambda vrf.Vrf.beta; vrf }
+
+let committee_val kr ~s ~lambda ~pid cert =
+  cert.member
+  && Vrf.Keyring.verify kr ~signer:pid (alpha s) cert.vrf
+  && member_of_beta ~n:(Vrf.Keyring.n kr) ~lambda cert.vrf.Vrf.beta
+
+let committee kr ~s ~lambda =
+  let n = Vrf.Keyring.n kr in
+  let rec go pid acc =
+    if pid < 0 then acc
+    else begin
+      let c = sample kr ~pid ~s ~lambda in
+      go (pid - 1) (if c.member then pid :: acc else acc)
+    end
+  in
+  go (n - 1) []

@@ -1,0 +1,35 @@
+(** Validated committee sampling (paper §5.1).
+
+    Every process [p_i] holds a private [sample_i(s, lambda)] returning
+    [(v_i, sigma_i)] with [v_i] true iff [p_i] belongs to the committee
+    [C(s, lambda)], plus a publicly checkable proof.  We realise it with
+    the VRF: membership holds when the leading bits of
+    [VRF_i("sample" · s)] fall below [lambda/n] of the value space, so each
+    process is sampled independently with probability [lambda/n], cannot
+    lie about the outcome (VRF uniqueness), and nobody can predict another
+    process's membership (VRF pseudorandomness). *)
+
+type cert = { member : bool; vrf : Vrf.output }
+(** The proof [sigma_i]: the VRF output substantiating the claim. *)
+
+val cert_words : int
+(** Word cost of shipping a certificate inside a message (VRF value +
+    proof, per the paper's word metric). *)
+
+val sample : Vrf.Keyring.t -> pid:int -> s:string -> lambda:int -> cert
+(** [sample kr ~pid ~s ~lambda] is process [pid]'s private sampling
+    function: evaluates its own VRF; [ (result).member] says whether it is
+    in [C(s, lambda)]. *)
+
+val committee_val : Vrf.Keyring.t -> s:string -> lambda:int -> pid:int -> cert -> bool
+(** The public function [committee-val(s, lambda, i, sigma)]: [true] iff
+    the certificate is a valid proof that [pid] is in [C(s, lambda)].
+    A certificate with [member = false] or a bad proof yields [false]. *)
+
+val committee : Vrf.Keyring.t -> s:string -> lambda:int -> int list
+(** Omniscient view (analysis/tests only): the full membership of
+    [C(s, lambda)] obtained by evaluating every process's sampler. *)
+
+val threshold : n:int -> lambda:int -> int64
+(** The inclusion threshold on the leading 52 bits of beta (exposed for
+    tests of the inclusion-probability computation). *)

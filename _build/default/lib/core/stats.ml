@@ -1,0 +1,75 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  let rank = max 1 (min n rank) in
+  List.nth sorted (rank - 1)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      {
+        count = List.length xs;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = List.fold_left Float.min Float.infinity xs;
+        p50 = percentile 0.5 xs;
+        p95 = percentile 0.95 xs;
+        max = List.fold_left Float.max Float.neg_infinity xs;
+      }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let binomial_ci95 ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.binomial_ci95: no trials";
+  let p = float_of_int successes /. float_of_int trials in
+  let half = 1.96 *. sqrt (p *. (1.0 -. p) /. float_of_int trials) in
+  (Float.max 0.0 (p -. half), Float.min 1.0 (p +. half))
+
+let linear_fit pts =
+  if List.length pts < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let n = float_of_int (List.length pts) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  (slope, intercept)
+
+let loglog_slope pts =
+  let logs = List.filter_map (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None) pts in
+  fst (linear_fit logs)
+
+let pp_summary fmt s =
+  Format.fprintf fmt "@[<h>n=%d mean=%.1f sd=%.1f min=%.0f p50=%.0f p95=%.0f max=%.0f@]" s.count
+    s.mean s.stddev s.min s.p50 s.p95 s.max

@@ -1,0 +1,37 @@
+(** Small descriptive-statistics toolkit for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); 0 for count < 2. *)
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val summarize_ints : int list -> summary
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 1\]], nearest-rank on the sorted
+    data. *)
+
+val binomial_ci95 : successes:int -> trials:int -> float * float
+(** Normal-approximation 95% confidence interval for a proportion,
+    clamped to [\[0, 1\]]. *)
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares [(slope, intercept)].
+    @raise Invalid_argument with fewer than two points. *)
+
+val loglog_slope : (float * float) list -> float
+(** Slope of [log y] against [log x]: the empirical polynomial degree of a
+    scaling curve.  Points with non-positive coordinates are dropped. *)
+
+val pp_summary : Format.formatter -> summary -> unit

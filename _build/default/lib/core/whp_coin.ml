@@ -1,0 +1,150 @@
+type value = { origin : int; out : Vrf.output; origin_cert : Sample.cert }
+
+let compare_value a b =
+  let c = Vrf.compare_beta a.out.Vrf.beta b.out.Vrf.beta in
+  if c <> 0 then c else compare a.origin b.origin
+
+type msg = First of { value : value } | Second of { value : value; cert : Sample.cert }
+
+let words_of_msg = function
+  | First _ -> 2 + Sample.cert_words + 2 (* tag+origin, origin cert, VRF out *)
+  | Second _ -> 2 + Sample.cert_words + 2 + Sample.cert_words
+
+let pp_msg fmt m =
+  let name, v = match m with First { value } -> ("FIRST", value) | Second { value; _ } -> ("SECOND", value) in
+  Format.fprintf fmt "%s(origin=%d beta=%s...)" name v.origin
+    (Crypto.Hex.encode (String.sub v.out.Vrf.beta 0 4))
+
+type action = Broadcast of msg | Return of int
+
+type t = {
+  keyring : Vrf.Keyring.t;
+  params : Params.t;
+  pid : int;
+  alpha : string;             (* VRF input generating coin values *)
+  s_first : string;           (* sampling string of C(FIRST) *)
+  s_second : string;
+  mutable v : value option;
+  first_from : bool array;
+  mutable first_count : int;
+  mutable second_member : Sample.cert option;  (* our SECOND certificate when member *)
+  mutable sent_second : bool;
+  second_from : bool array;
+  mutable second_count : int;
+  mutable started : bool;
+  mutable result : int option;
+}
+
+let first_committee_string ~instance ~round = Printf.sprintf "%s/whpcoin/%d/first" instance round
+let second_committee_string ~instance ~round = Printf.sprintf "%s/whpcoin/%d/second" instance round
+let coin_alpha ~instance ~round = Printf.sprintf "%s/whpcoin/%d/value" instance round
+
+let create ~keyring ~params ~pid ~instance ~round =
+  let n = params.Params.n in
+  if n <> Vrf.Keyring.n keyring then invalid_arg "Whp_coin.create: n mismatch with keyring";
+  {
+    keyring;
+    params;
+    pid;
+    alpha = coin_alpha ~instance ~round;
+    s_first = first_committee_string ~instance ~round;
+    s_second = second_committee_string ~instance ~round;
+    v = None;
+    first_from = Array.make n false;
+    first_count = 0;
+    second_member = None;
+    sent_second = false;
+    second_from = Array.make n false;
+    second_count = 0;
+    started = false;
+    result = None;
+  }
+
+let lambda t = t.params.Params.lambda
+let w t = t.params.Params.w
+
+(* Fires the SECOND broadcast once we are a sampled member and the FIRST
+   threshold has been met.  Split out of [handle] because a passive
+   instance (created on message receipt, before [start]) can cross the
+   threshold before its committee membership is even sampled. *)
+let maybe_send_second t =
+  match t.second_member with
+  | Some cert when (not t.sent_second) && t.first_count >= w t -> begin
+      t.sent_second <- true;
+      match t.v with
+      | None -> assert false (* first_count > 0 implies v is set *)
+      | Some v -> [ Broadcast (Second { value = v; cert }) ]
+    end
+  | Some _ | None -> []
+
+let start t =
+  if t.started then []
+  else begin
+    t.started <- true;
+    (* Private sampling: both committee draws happen locally, without
+       communication (process replaceability). *)
+    let second_cert = Sample.sample t.keyring ~pid:t.pid ~s:t.s_second ~lambda:(lambda t) in
+    if second_cert.Sample.member then t.second_member <- Some second_cert;
+    let first_cert = Sample.sample t.keyring ~pid:t.pid ~s:t.s_first ~lambda:(lambda t) in
+    let first_acts =
+      if first_cert.Sample.member then begin
+        let out = Vrf.Keyring.prove t.keyring t.pid t.alpha in
+        let mine = { origin = t.pid; out; origin_cert = first_cert } in
+        (match t.v with
+        | Some v when compare_value v mine <= 0 -> ()
+        | Some _ | None -> t.v <- Some mine);
+        [ Broadcast (First { value = mine }) ]
+      end
+      else []
+    in
+    (* Catch up: the FIRST threshold may have been crossed while this
+       instance was passive. *)
+    first_acts @ maybe_send_second t
+  end
+
+(* A value is valid when its origin is a certified FIRST-committee member
+   and the carried VRF output really is VRF_origin(alpha). *)
+let valid_value t value =
+  Sample.committee_val t.keyring ~s:t.s_first ~lambda:(lambda t) ~pid:value.origin
+    value.origin_cert
+  && Vrf.Keyring.verify t.keyring ~signer:value.origin t.alpha value.out
+
+let adopt_min t value =
+  match t.v with
+  | Some v when compare_value v value <= 0 -> ()
+  | Some _ | None -> t.v <- Some value
+
+let handle t ~src msg =
+  match msg with
+  | First { value } ->
+      if value.origin <> src || t.first_from.(src) || not (valid_value t value) then []
+      else begin
+        t.first_from.(src) <- true;
+        t.first_count <- t.first_count + 1;
+        adopt_min t value;
+        (* Only SECOND-committee members watch the FIRST threshold. *)
+        maybe_send_second t
+      end
+  | Second { value; cert } ->
+      if
+        t.second_from.(src)
+        || not (Sample.committee_val t.keyring ~s:t.s_second ~lambda:(lambda t) ~pid:src cert)
+        || not (valid_value t value)
+      then []
+      else begin
+        t.second_from.(src) <- true;
+        t.second_count <- t.second_count + 1;
+        adopt_min t value;
+        if t.second_count >= w t && t.result = None then begin
+          match t.v with
+          | None -> assert false
+          | Some v ->
+              let bit = Vrf.beta_lsb v.out.Vrf.beta in
+              t.result <- Some bit;
+              [ Return bit ]
+        end
+        else []
+      end
+
+let result t = t.result
+let current_min t = t.v

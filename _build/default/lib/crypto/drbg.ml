@@ -1,0 +1,29 @@
+(* HMAC-DRBG (SP 800-90A, section 10.1.2) with SHA-256.  Reseed counters and
+   prediction resistance are omitted: the simulator never feeds live entropy,
+   so the construction degenerates to a keyed deterministic expander. *)
+
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.sha256_list ~key:t.key [ t.v; "\x00"; provided ];
+  t.v <- Hmac.sha256 ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.sha256_list ~key:t.key [ t.v; "\x01"; provided ];
+    t.v <- Hmac.sha256 ~key:t.key t.v
+  end
+
+let create ?(personalization = "") entropy =
+  let t = { key = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t (entropy ^ personalization);
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.sha256 ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  Buffer.sub buf 0 n

@@ -1,0 +1,16 @@
+(** HMAC-DRBG with SHA-256 (NIST SP 800-90A).
+
+    Deterministic cryptographic-quality byte stream used for key generation,
+    so that a process's key material is a pure function of its seed and the
+    whole experiment is replayable. *)
+
+type t
+
+val create : ?personalization:string -> string -> t
+(** [create ?personalization entropy] instantiates the DRBG. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] pseudorandom bytes and advances the state. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)

@@ -1,0 +1,26 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let encode s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) (hex_digit (c lsr 4));
+    Bytes.set b ((2 * i) + 1) (hex_digit (c land 0xF))
+  done;
+  Bytes.unsafe_to_string b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: non-hex character"
+
+let decode h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((nibble h.[2 * i] lsl 4) lor nibble h.[(2 * i) + 1]))
+
+let pp fmt s = Format.pp_print_string fmt (encode s)

@@ -1,0 +1,11 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of [s] (two chars per byte). *)
+
+val decode : string -> string
+(** [decode h] parses lowercase or uppercase hex back into raw bytes.
+    @raise Invalid_argument on odd length or non-hex characters. *)
+
+val pp : Format.formatter -> string -> unit
+(** Pretty-printer that renders a byte string as hex. *)

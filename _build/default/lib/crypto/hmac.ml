@@ -1,0 +1,28 @@
+let block_size = 64
+
+let normalize_key key =
+  if String.length key > block_size then Sha256.digest key else key
+
+let pad key byte =
+  let b = Bytes.make block_size (Char.chr byte) in
+  String.iteri
+    (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor byte)))
+    key;
+  Bytes.unsafe_to_string b
+
+let sha256_list ~key parts =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (pad key 0x36);
+  List.iter (Sha256.update inner) parts;
+  let inner_digest = Sha256.finalize inner in
+  Sha256.digest_list [ pad key 0x5c; inner_digest ]
+
+let sha256 ~key msg = sha256_list ~key [ msg ]
+
+let equal a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0

@@ -1,0 +1,11 @@
+(** HMAC-SHA-256 (RFC 2104 / FIPS 198-1). *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC tag. *)
+
+val sha256_list : key:string -> string list -> string
+(** HMAC over the concatenation of the message parts. *)
+
+val equal : string -> string -> bool
+(** Constant-time comparison of equal-length tags (returns [false] on length
+    mismatch without leaking a timing difference on the contents). *)

@@ -1,0 +1,106 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand a seed into initial xoshiro state, as
+   recommended by Blackman & Vigna. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_int64 seed =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  (* xoshiro must not be seeded with the all-zero state. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_int64 (Int64.of_int seed)
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_int64 (next_int64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the result exactly
+     uniform for any bound. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF (* 2^62 - 1 *) in
+  let limit = mask - (mask mod bound) in
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if r >= limit then loop () else r mod bound
+  in
+  loop ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits scaled to [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bits64 t k =
+  if k < 1 || k > 64 then invalid_arg "Rng.bits64: k out of range";
+  if k = 64 then next_int64 t
+  else Int64.shift_right_logical (next_int64 t) (64 - k)
+
+let bytes t len =
+  let b = Bytes.create len in
+  let i = ref 0 in
+  while !i < len do
+    let r = ref (next_int64 t) in
+    let chunk = min 8 (len - !i) in
+    for j = 0 to chunk - 1 do
+      Bytes.set b (!i + j) (Char.chr (Int64.to_int (Int64.logand !r 0xFFL)));
+      r := Int64.shift_right_logical !r 8
+    done;
+    i := !i + chunk
+  done;
+  b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: k iterations, set membership via Hashtbl. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  Hashtbl.fold (fun x () acc -> x :: acc) chosen [] |> List.sort compare

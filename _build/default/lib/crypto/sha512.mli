@@ -1,0 +1,20 @@
+(** Pure-OCaml SHA-512 (FIPS 180-4).
+
+    Complements {!Sha256} for callers wanting 64-byte digests (e.g. wider
+    VRF outputs).  One-shot and incremental interfaces; validated against
+    the NIST example vectors in the test suite. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** 64-byte digest; the context must not be reused. *)
+
+val digest : string -> string
+val digest_list : string list -> string
+val hex : string -> string
+
+val digest_size : int
+(** 64. *)

@@ -1,0 +1,1 @@
+lib/field/gf.ml: Char Format Int String

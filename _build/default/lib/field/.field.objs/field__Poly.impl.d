@@ -1,0 +1,1 @@
+lib/field/poly.ml: Array Format Gf List

@@ -1,0 +1,1 @@
+lib/field/shamir.ml: Array Gf List Poly

@@ -1,0 +1,1 @@
+lib/field/shamir.mli: Gf

@@ -1,0 +1,61 @@
+type t = int
+
+let p = 0x7FFFFFFF (* 2^31 - 1 *)
+let zero = 0
+let one = 1
+
+(* Mersenne reduction for values in [0, 2^62): fold the high bits down.
+   Two folds suffice because (2^62-1) folds to < 2^32, which folds to < p+1. *)
+let reduce x =
+  let x = (x land p) + (x lsr 31) in
+  let x = (x land p) + (x lsr 31) in
+  if x >= p then x - p else x
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let to_int x = x
+let equal = Int.equal
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a - b + p
+let neg a = if a = 0 then 0 else p - a
+let mul a b = reduce (a * b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Gf.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+    end
+  in
+  go one a k
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  (* Fermat: a^(p-2) mod p. *)
+  pow a (p - 2)
+
+let div a b = mul a (inv b)
+
+let random bytes_fn =
+  (* Rejection sampling on 31-bit draws. *)
+  let rec draw () =
+    let s = bytes_fn 4 in
+    let v =
+      ((Char.code s.[0] land 0x7F) lsl 24)
+      lor (Char.code s.[1] lsl 16)
+      lor (Char.code s.[2] lsl 8)
+      lor Char.code s.[3]
+    in
+    if v >= p then draw () else v
+  in
+  draw ()
+
+let pp fmt x = Format.pp_print_int fmt x

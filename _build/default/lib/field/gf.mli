@@ -1,0 +1,36 @@
+(** The prime field GF(2{^31} - 1).
+
+    2{^31} - 1 is a Mersenne prime, so reduction is two shifts and an add,
+    and all products of two field elements fit in OCaml's native [int].
+    Used by {!Shamir} for the Rabin-baseline dealer coin. *)
+
+type t = private int
+(** A field element, always in [\[0, p)]. *)
+
+val p : int
+(** The modulus, 2147483647. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Reduces an arbitrary [int] (including negatives) into the field. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div : t -> t -> t
+val pow : t -> int -> t
+
+val random : (int -> string) -> t
+(** [random bytes_fn] draws a uniform field element from a byte oracle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type t = Gf.t array (* invariant: no trailing zero coefficients *)
+
+let strip a =
+  let n = ref (Array.length a) in
+  while !n > 0 && Gf.equal a.(!n - 1) Gf.zero do decr n done;
+  Array.sub a 0 !n
+
+let of_coeffs a = strip (Array.copy a)
+let coeffs t = Array.copy t
+let degree t = Array.length t - 1
+let zero = [||]
+let constant c = strip [| c |]
+
+let random ~degree ~constant bytes_fn =
+  if degree < 0 then invalid_arg "Poly.random: negative degree";
+  let a = Array.make (degree + 1) Gf.zero in
+  a.(0) <- constant;
+  for i = 1 to degree do
+    a.(i) <- Gf.random bytes_fn
+  done;
+  strip a
+
+let eval t x =
+  let acc = ref Gf.zero in
+  for i = Array.length t - 1 downto 0 do
+    acc := Gf.add (Gf.mul !acc x) t.(i)
+  done;
+  !acc
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (max la lb) Gf.zero in
+  for i = 0 to Array.length r - 1 do
+    let ai = if i < la then a.(i) else Gf.zero in
+    let bi = if i < lb then b.(i) else Gf.zero in
+    r.(i) <- Gf.add ai bi
+  done;
+  strip r
+
+let mul a b =
+  if Array.length a = 0 || Array.length b = 0 then zero
+  else begin
+    let r = Array.make (Array.length a + Array.length b - 1) Gf.zero in
+    Array.iteri
+      (fun i ai -> Array.iteri (fun j bj -> r.(i + j) <- Gf.add r.(i + j) (Gf.mul ai bj)) b)
+      a;
+    strip r
+  end
+
+let check_distinct pts =
+  let xs = List.map fst pts in
+  let sorted = List.sort compare (List.map Gf.to_int xs) in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then true else dup rest
+    | _ -> false
+  in
+  if dup sorted then invalid_arg "Poly.interpolate: duplicate x-coordinates"
+
+let interpolate_at pts x0 =
+  check_distinct pts;
+  (* sum_i y_i * prod_{j<>i} (x0 - x_j) / (x_i - x_j) *)
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let num, den =
+        List.fold_left
+          (fun (num, den) (xj, _) ->
+            if Gf.equal xi xj then (num, den)
+            else (Gf.mul num (Gf.sub x0 xj), Gf.mul den (Gf.sub xi xj)))
+          (Gf.one, Gf.one) pts
+      in
+      Gf.add acc (Gf.mul yi (Gf.div num den)))
+    Gf.zero pts
+
+let interpolate pts =
+  check_distinct pts;
+  (* sum_i y_i * L_i(x) with L_i built by polynomial multiplication. *)
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let li, den =
+        List.fold_left
+          (fun (li, den) (xj, _) ->
+            if Gf.equal xi xj then (li, den)
+            else (mul li (of_coeffs [| Gf.neg xj; Gf.one |]), Gf.mul den (Gf.sub xi xj)))
+          (constant Gf.one, Gf.one) pts
+      in
+      add acc (mul li (constant (Gf.div yi den))))
+    zero pts
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Gf.equal a b
+
+let pp fmt t =
+  if Array.length t = 0 then Format.pp_print_string fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf fmt " + ";
+        Format.fprintf fmt "%a*x^%d" Gf.pp c i)
+      t

@@ -1,0 +1,35 @@
+(** Polynomials over {!Gf}, in coefficient form (index = degree). *)
+
+type t
+
+val of_coeffs : Gf.t array -> t
+(** Coefficient [i] multiplies [x^i].  Trailing zeros are stripped. *)
+
+val coeffs : t -> Gf.t array
+val degree : t -> int
+(** Degree; -1 for the zero polynomial. *)
+
+val zero : t
+val constant : Gf.t -> t
+
+val random : degree:int -> constant:Gf.t -> (int -> string) -> t
+(** Uniform polynomial of exactly the given degree bound with the given
+    constant term — the Shamir dealer's polynomial.  The top coefficient may
+    be zero (degree at most [degree]), matching the standard scheme. *)
+
+val eval : t -> Gf.t -> Gf.t
+(** Horner evaluation. *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val interpolate : (Gf.t * Gf.t) list -> t
+(** Lagrange interpolation through distinct points.
+    @raise Invalid_argument on duplicate x-coordinates. *)
+
+val interpolate_at : (Gf.t * Gf.t) list -> Gf.t -> Gf.t
+(** [interpolate_at pts x0] evaluates the interpolating polynomial at [x0]
+    without constructing it (the Shamir reconstruction path). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

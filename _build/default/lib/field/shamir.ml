@@ -1,0 +1,34 @@
+type share = { index : int; value : Gf.t }
+
+let deal ~secret ~threshold ~n bytes_fn =
+  if threshold < 1 || threshold > n then invalid_arg "Shamir.deal: bad threshold";
+  if n >= Gf.p then invalid_arg "Shamir.deal: too many participants";
+  let poly = Poly.random ~degree:(threshold - 1) ~constant:secret bytes_fn in
+  Array.init n (fun i ->
+      let index = i + 1 in
+      { index; value = Poly.eval poly (Gf.of_int index) })
+
+let points shares = List.map (fun s -> (Gf.of_int s.index, s.value)) shares
+
+let reconstruct shares =
+  if shares = [] then invalid_arg "Shamir.reconstruct: no shares";
+  Poly.interpolate_at (points shares) Gf.zero
+
+let reconstruct_exact ~threshold shares =
+  if List.length shares < threshold then None
+  else begin
+    (* Interpolate through the first [threshold] shares, then check the
+       rest agree; any disagreement flags tampering. *)
+    let sorted = List.sort (fun a b -> compare a.index b.index) shares in
+    let rec take k = function
+      | [] -> []
+      | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+    in
+    let base = take threshold sorted in
+    let poly = Poly.interpolate (points base) in
+    let consistent =
+      List.for_all (fun s -> Gf.equal (Poly.eval poly (Gf.of_int s.index)) s.value) sorted
+    in
+    if consistent && Poly.degree poly < threshold then Some (Poly.eval poly Gf.zero)
+    else None
+  end

@@ -1,0 +1,24 @@
+(** Shamir secret sharing over {!Gf} (threshold [t+1] out of [n]).
+
+    Substrate for the Rabin '83 baseline: the trusted dealer shares each
+    round's coin so that any [t+1] shares reconstruct it while [t] shares
+    reveal nothing. *)
+
+type share = { index : int; value : Gf.t }
+(** Share for participant [index] (1-based; the secret sits at x = 0). *)
+
+val deal : secret:Gf.t -> threshold:int -> n:int -> (int -> string) -> share array
+(** [deal ~secret ~threshold ~n bytes_fn] produces [n] shares such that any
+    [threshold] of them reconstruct [secret] and fewer are independent
+    of it.  Requires [1 <= threshold <= n < Gf.p]. *)
+
+val reconstruct : share list -> Gf.t
+(** Reconstructs the secret from at least [threshold] distinct shares
+    (interpolation at 0).  With fewer or corrupted shares the result is
+    an unrelated field element, not an error — callers needing robustness
+    use {!reconstruct_exact}. *)
+
+val reconstruct_exact : threshold:int -> share list -> Gf.t option
+(** Error-detecting reconstruction: takes all available shares, checks that
+    they are consistent with a single degree-[threshold-1] polynomial, and
+    returns [None] on any inconsistency (Byzantine share detected). *)

@@ -1,0 +1,80 @@
+open Bignum
+
+type public = { n : Bigint.t; e : Bigint.t; bits : int }
+
+type secret = {
+  pub : public;
+  d : Bigint.t;
+  mont : Bigint.Mont.t;  (* shared by sign and the public operation *)
+}
+
+let public_of_secret sk = sk.pub
+
+let e_fixed = Bigint.of_int 65537
+
+let keygen ~bits ~random =
+  if bits < 32 || bits mod 2 <> 0 then invalid_arg "Rsa.keygen: bits must be even and >= 32";
+  let half = bits / 2 in
+  (* p-1 must be coprime with e for d to exist. *)
+  let coprime_with_e p = Bigint.equal (Bigint.gcd (Bigint.pred p) e_fixed) Bigint.one in
+  let p = Prime.gen_prime_with ~bits:half ~random coprime_with_e in
+  let rec gen_q () =
+    let q = Prime.gen_prime_with ~bits:half ~random coprime_with_e in
+    if Bigint.equal p q then gen_q () else q
+  in
+  let q = gen_q () in
+  let n = Bigint.mul p q in
+  let phi = Bigint.mul (Bigint.pred p) (Bigint.pred q) in
+  let d =
+    match Bigint.invmod e_fixed phi with
+    | Some d -> d
+    | None -> assert false (* both p-1 and q-1 are coprime with e *)
+  in
+  let pub = { n; e = e_fixed; bits } in
+  { pub; d; mont = Bigint.Mont.create n }
+
+let signature_length pk = (pk.bits + 7) / 8
+
+let mgf1 seed len =
+  let buf = Buffer.create (len + 32) in
+  let counter = ref 0 in
+  while Buffer.length buf < len do
+    let c = !counter in
+    let ctr_bytes =
+      String.init 4 (fun i -> Char.chr ((c lsr (8 * (3 - i))) land 0xFF))
+    in
+    Buffer.add_string buf (Crypto.Sha256.digest_list [ seed; ctr_bytes ]);
+    incr counter
+  done;
+  Buffer.sub buf 0 len
+
+let fdh pk msg =
+  (* (bits-1)-bit value: strictly below n since n has its top bit set. *)
+  let out_bits = pk.bits - 1 in
+  let out_bytes = (out_bits + 7) / 8 in
+  let raw = mgf1 ("FDH" ^ msg) out_bytes in
+  let v = Bigint.of_bytes_be raw in
+  Bigint.shift_right v ((8 * out_bytes) - out_bits)
+
+let sign sk msg =
+  let em = fdh sk.pub msg in
+  let s = Bigint.Mont.pow sk.mont em sk.d in
+  Bigint.to_bytes_be ~len:(signature_length sk.pub) s
+
+type verifier = { pk : public; vmont : Bigint.Mont.t }
+
+let verifier pk = { pk; vmont = Bigint.Mont.create pk.n }
+
+let verify' { pk; vmont } msg sig_ =
+  String.length sig_ = signature_length pk
+  &&
+  let s = Bigint.of_bytes_be sig_ in
+  Bigint.compare s pk.n < 0
+  &&
+  let em = Bigint.Mont.pow vmont s pk.e in
+  Bigint.equal em (fdh pk msg)
+
+let verify pk msg sig_ = verify' (verifier pk) msg sig_
+
+let fingerprint pk =
+  Crypto.Sha256.digest_list [ "RSA-PK"; Bigint.to_bytes_be pk.n; Bigint.to_bytes_be pk.e ]

@@ -1,0 +1,56 @@
+(** RSA with full-domain-hash signatures.
+
+    This is the asymmetric substrate for the paper's two cryptographic
+    needs: digital signatures (the W signed [echo] messages carried inside
+    approver [ok] messages) and the RSA-FDH verifiable random function
+    (see {!Vrf}).  FDH maps a message to a [(k-1)]-bit integer via MGF1
+    (so it is always below the modulus) and applies the raw RSA permutation;
+    because RSA over a fixed key is a permutation, the signature of a
+    message is {e unique}, which is precisely the VRF uniqueness property
+    the paper relies on.
+
+    Key sizes are configurable; experiments default to 512-bit moduli —
+    small by deployment standards, but structurally identical, so every
+    prove/verify/reject path behaves as it would at 2048 bits. *)
+
+type public = private {
+  n : Bignum.Bigint.t;  (** modulus *)
+  e : Bignum.Bigint.t;  (** public exponent (65537) *)
+  bits : int;           (** modulus size in bits *)
+}
+
+type secret
+(** Secret key; carries precomputed Montgomery state for fast signing. *)
+
+val public_of_secret : secret -> public
+
+val keygen : bits:int -> random:(int -> string) -> secret
+(** [keygen ~bits ~random] generates a key with a [bits]-bit modulus
+    ([bits >= 32], even).  [random] supplies uniform bytes (use a
+    {!Crypto.Drbg}). *)
+
+val signature_length : public -> int
+(** Length in bytes of signatures under this key. *)
+
+val mgf1 : string -> int -> string
+(** [mgf1 seed len] is the PKCS#1 mask generation function over SHA-256. *)
+
+val fdh : public -> string -> Bignum.Bigint.t
+(** Full-domain hash of a message to a [(bits-1)]-bit integer. *)
+
+val sign : secret -> string -> string
+(** [sign sk msg] is the FDH-RSA signature, [signature_length] bytes. *)
+
+val verify : public -> string -> string -> bool
+(** [verify pk msg sig_] checks an FDH-RSA signature.  Returns [false]
+    (never raises) on malformed input. *)
+
+type verifier
+(** A public key with precomputed reduction state; verification through a
+    [verifier] avoids repeating the per-modulus setup on every message. *)
+
+val verifier : public -> verifier
+val verify' : verifier -> string -> string -> bool
+
+val fingerprint : public -> string
+(** 32-byte digest identifying the public key. *)

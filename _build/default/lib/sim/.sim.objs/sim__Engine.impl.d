@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Crypto Envelope Heap List Metrics Scheduler

@@ -1,0 +1,1 @@
+lib/sim/vclock.mli: Format

@@ -1,0 +1,160 @@
+type 'm process_state =
+  | Unregistered
+  | Correct of ('m Envelope.t -> unit)
+  | Crashed
+  | Byzantine of ('m Envelope.t -> unit)
+
+type 'm t = {
+  n : int;
+  rng : Crypto.Rng.t;
+  scheduler : 'm Scheduler.t;
+  queue : 'm Envelope.t Heap.t;
+  procs : 'm process_state array;
+  depth : int array;
+  metrics : Metrics.t;
+  mutable next_id : int;
+  mutable step : int;
+  mutable now : float;
+  mutable send_observers : ('m Envelope.t -> unit) list;
+  mutable deliver_observers : ('m Envelope.t -> unit) list;
+  mutable corrupt_observers : (int -> unit) list;
+}
+
+type run_result = All_done | Quiescent | Step_limit
+
+let create ?(scheduler = Scheduler.random ()) ~n ~seed () =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  {
+    n;
+    rng = Crypto.Rng.create seed;
+    scheduler;
+    queue = Heap.create ();
+    procs = Array.make n Unregistered;
+    depth = Array.make n 0;
+    metrics = Metrics.create ();
+    next_id = 0;
+    step = 0;
+    now = 0.0;
+    send_observers = [];
+    deliver_observers = [];
+    corrupt_observers = [];
+  }
+
+let n t = t.n
+let rng t = t.rng
+let metrics t = t.metrics
+let step t = t.step
+let now t = t.now
+
+let check_pid t pid =
+  if pid < 0 || pid >= t.n then invalid_arg "Engine: pid out of range"
+
+let set_handler t pid h =
+  check_pid t pid;
+  match t.procs.(pid) with
+  | Unregistered | Correct _ -> t.procs.(pid) <- Correct h
+  | Crashed | Byzantine _ ->
+      (* Protocol setup after corruption keeps the corrupted state. *)
+      ()
+
+let is_correct t pid =
+  check_pid t pid;
+  match t.procs.(pid) with Unregistered | Correct _ -> true | Crashed | Byzantine _ -> false
+
+let corrupted_count t =
+  Array.fold_left
+    (fun acc s -> match s with Crashed | Byzantine _ -> acc + 1 | Unregistered | Correct _ -> acc)
+    0 t.procs
+
+let correct_pids t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if is_correct t i then i :: acc else acc) in
+  go (t.n - 1) []
+
+let send t ~src ~dst ~words m =
+  check_pid t src;
+  check_pid t dst;
+  (match t.procs.(src) with
+  | Crashed -> () (* a crashed process sends nothing *)
+  | Unregistered | Correct _ ->
+      t.metrics.correct_msgs <- t.metrics.correct_msgs + 1;
+      t.metrics.correct_words <- t.metrics.correct_words + words
+  | Byzantine _ ->
+      t.metrics.byz_msgs <- t.metrics.byz_msgs + 1;
+      t.metrics.byz_words <- t.metrics.byz_words + words);
+  match t.procs.(src) with
+  | Crashed -> ()
+  | Unregistered | Correct _ | Byzantine _ ->
+      let e =
+        {
+          Envelope.id = t.next_id;
+          src;
+          dst;
+          payload = m;
+          words;
+          depth = t.depth.(src) + 1;
+          sent_step = t.step;
+        }
+      in
+      t.next_id <- t.next_id + 1;
+      let latency =
+        t.scheduler.Scheduler.latency ~rng:t.rng ~now:t.now ~step:t.step ~src ~dst ~payload:m
+      in
+      let latency = if latency < 0.0 then 0.0 else latency in
+      Heap.push t.queue (t.now +. latency) e.Envelope.id e;
+      List.iter (fun obs -> obs e) t.send_observers
+
+let broadcast t ~src ~words m =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst ~words m
+  done
+
+let corrupt_crash t pid =
+  check_pid t pid;
+  t.procs.(pid) <- Crashed;
+  List.iter (fun obs -> obs pid) t.corrupt_observers
+
+let corrupt_byzantine t pid h =
+  check_pid t pid;
+  t.procs.(pid) <- Byzantine h;
+  List.iter (fun obs -> obs pid) t.corrupt_observers
+
+let on_send t obs = t.send_observers <- obs :: t.send_observers
+let on_deliver t obs = t.deliver_observers <- obs :: t.deliver_observers
+let on_corrupt t obs = t.corrupt_observers <- obs :: t.corrupt_observers
+
+let depth_of t pid =
+  check_pid t pid;
+  t.depth.(pid)
+
+let max_correct_depth t =
+  let best = ref 0 in
+  for i = 0 to t.n - 1 do
+    if is_correct t i && t.depth.(i) > !best then best := t.depth.(i)
+  done;
+  !best
+
+let deliver t e =
+  let dst = e.Envelope.dst in
+  t.metrics.delivered <- t.metrics.delivered + 1;
+  List.iter (fun obs -> obs e) t.deliver_observers;
+  match t.procs.(dst) with
+  | Crashed | Unregistered -> t.metrics.dropped_at_crashed <- t.metrics.dropped_at_crashed + 1
+  | Correct h | Byzantine h ->
+      if e.Envelope.depth > t.depth.(dst) then t.depth.(dst) <- e.Envelope.depth;
+      h e
+
+let run ?(max_steps = 50_000_000) t ~until =
+  let rec loop () =
+    if until () then All_done
+    else if t.step >= max_steps then Step_limit
+    else begin
+      match Heap.pop t.queue with
+      | None -> Quiescent
+      | Some (prio, _, e) ->
+          t.now <- (if prio > t.now then prio else t.now);
+          t.step <- t.step + 1;
+          deliver t e;
+          loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,75 @@
+(** Discrete-event asynchronous network engine.
+
+    Processes are message handlers registered per pid; an adversarial
+    {!Scheduler} orders deliveries; corruption turns a process Byzantine
+    (attacker-supplied handler, still subject to cryptographic checks at
+    receivers) or crashes it.  Determinism: a run is a pure function of the
+    seed, the protocol, and the adversary.
+
+    Faithfulness to the paper's model (§2): links are reliable and
+    authenticated (the engine never drops or forges; source ids are
+    trustworthy metadata), delivery order is adversary-controlled, and
+    there is no bound on latency.  Corruption cannot remove messages
+    already sent (no after-the-fact removal): envelopes in flight at
+    corruption time are still delivered. *)
+
+type 'm t
+
+type run_result =
+  | All_done      (** the predicate became true. *)
+  | Quiescent     (** no pending messages remain (and predicate is false). *)
+  | Step_limit    (** gave up after [max_steps] deliveries. *)
+
+val create : ?scheduler:'m Scheduler.t -> n:int -> seed:int -> unit -> 'm t
+(** Default scheduler is {!Scheduler.random}. *)
+
+val n : 'm t -> int
+val rng : 'm t -> Crypto.Rng.t
+val metrics : 'm t -> Metrics.t
+val step : 'm t -> int
+(** Number of deliveries so far. *)
+
+val now : 'm t -> float
+(** Current virtual time. *)
+
+val set_handler : 'm t -> int -> ('m Envelope.t -> unit) -> unit
+(** Install the protocol handler for a (correct) process. *)
+
+val send : 'm t -> src:int -> dst:int -> words:int -> 'm -> unit
+(** Enqueue a message; its causal depth and word cost are recorded. *)
+
+val broadcast : 'm t -> src:int -> words:int -> 'm -> unit
+(** Send to all [n] processes (including the sender), as in the paper's
+    "send to all" steps. *)
+
+val corrupt_crash : 'm t -> int -> unit
+(** Crash-stop: subsequent deliveries to this process are dropped and it
+    sends nothing more. *)
+
+val corrupt_byzantine : 'm t -> int -> ('m Envelope.t -> unit) -> unit
+(** Hand the process to the adversary: the given handler replaces the
+    protocol handler and may send arbitrary messages (its words are
+    accounted separately from correct words). *)
+
+val is_correct : 'm t -> int -> bool
+val corrupted_count : 'm t -> int
+
+val correct_pids : 'm t -> int list
+
+val on_send : 'm t -> ('m Envelope.t -> unit) -> unit
+(** Register an adversary observer invoked on every send — the "sees all
+    communication" power, used by adaptive corruption policies. *)
+
+val on_deliver : 'm t -> ('m Envelope.t -> unit) -> unit
+
+val on_corrupt : 'm t -> (int -> unit) -> unit
+(** Observer invoked with the pid whenever a process is corrupted. *)
+
+val depth_of : 'm t -> int -> int
+(** Current causal depth of a process (the paper's duration metric). *)
+
+val max_correct_depth : 'm t -> int
+
+val run : ?max_steps:int -> 'm t -> until:(unit -> bool) -> run_result
+(** Deliver messages until the predicate holds, the network quiesces, or
+    [max_steps] (default 50,000,000) deliveries happen. *)

@@ -1,0 +1,13 @@
+type 'm t = {
+  id : int;
+  src : int;
+  dst : int;
+  payload : 'm;
+  words : int;
+  depth : int;
+  sent_step : int;
+}
+
+let pp pp_payload fmt e =
+  Format.fprintf fmt "@[<h>#%d %d->%d depth=%d words=%d %a@]" e.id e.src e.dst e.depth e.words
+    pp_payload e.payload

@@ -1,0 +1,15 @@
+(** An in-flight protocol message with the metadata the complexity metrics
+    need: word size (the paper's unit of communication) and causal depth
+    (the paper's unit of time). *)
+
+type 'm t = {
+  id : int;        (** unique per engine, increasing in send order. *)
+  src : int;
+  dst : int;
+  payload : 'm;
+  words : int;     (** word count per the paper's §2 metric. *)
+  depth : int;     (** causal depth: 1 + depth of the sender at send time. *)
+  sent_step : int; (** engine step at which the send happened. *)
+}
+
+val pp : (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

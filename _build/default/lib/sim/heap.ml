@@ -1,0 +1,75 @@
+(* Array-backed binary min-heap ordered by priority, then sequence number.
+   The sequence tie-break makes runs deterministic under a fixed seed. *)
+
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let push h prio seq value =
+  let e = { prio; seq; value } in
+  if Array.length h.data = 0 then h.data <- Array.make 16 e;
+  grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(!i) in
+    h.data.(!i) <- h.data.(parent);
+    h.data.(parent) <- tmp;
+    i := parent
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.seq, top.value)
+  end
+
+let peek h = if h.len = 0 then None else Some (h.data.(0).prio, h.data.(0).seq, h.data.(0).value)
+
+let drain h =
+  let rec go acc = match pop h with None -> List.rev acc | Some e -> go (e :: acc) in
+  go []

@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by [(float, int)] with the integer as a
+    deterministic tie-break.  Backbone of the event queue in {!Engine}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the minimum, [None] when empty. *)
+
+val peek : 'a t -> (float * int * 'a) option
+
+val drain : 'a t -> (float * int * 'a) list
+(** Pops everything, in order. *)

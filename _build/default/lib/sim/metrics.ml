@@ -1,0 +1,31 @@
+type t = {
+  mutable correct_msgs : int;
+  mutable correct_words : int;
+  mutable byz_msgs : int;
+  mutable byz_words : int;
+  mutable delivered : int;
+  mutable dropped_at_crashed : int;
+}
+
+let create () =
+  {
+    correct_msgs = 0;
+    correct_words = 0;
+    byz_msgs = 0;
+    byz_words = 0;
+    delivered = 0;
+    dropped_at_crashed = 0;
+  }
+
+let reset t =
+  t.correct_msgs <- 0;
+  t.correct_words <- 0;
+  t.byz_msgs <- 0;
+  t.byz_words <- 0;
+  t.delivered <- 0;
+  t.dropped_at_crashed <- 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<h>correct: %d msgs / %d words; byzantine: %d msgs / %d words; delivered: %d; dropped@@crashed: %d@]"
+    t.correct_msgs t.correct_words t.byz_msgs t.byz_words t.delivered t.dropped_at_crashed

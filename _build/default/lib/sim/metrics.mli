@@ -1,0 +1,16 @@
+(** Communication and time accounting, in the paper's units (§2):
+    a {e word} holds a signature, VRF output, or finite-domain value;
+    {e duration} is the longest causally-related message chain. *)
+
+type t = {
+  mutable correct_msgs : int;    (** messages sent by correct processes. *)
+  mutable correct_words : int;   (** words sent by correct processes — the paper's word complexity. *)
+  mutable byz_msgs : int;
+  mutable byz_words : int;
+  mutable delivered : int;
+  mutable dropped_at_crashed : int;  (** deliveries to crashed processes. *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

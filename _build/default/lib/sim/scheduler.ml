@@ -1,0 +1,57 @@
+type 'm latency_fn =
+  rng:Crypto.Rng.t -> now:float -> step:int -> src:int -> dst:int -> payload:'m -> float
+
+type 'm t = { name : string; content_oblivious : bool; latency : 'm latency_fn }
+
+let exponential rng mean =
+  (* Inverse-CDF sampling; clamp the uniform draw away from 0. *)
+  let u = max 1e-12 (Crypto.Rng.float rng 1.0) in
+  -.mean *. log u
+
+let random ?(mean = 1.0) () =
+  {
+    name = "random";
+    content_oblivious = true;
+    latency = (fun ~rng ~now:_ ~step:_ ~src:_ ~dst:_ ~payload:_ -> exponential rng mean);
+  }
+
+let fifo () =
+  {
+    name = "fifo";
+    content_oblivious = true;
+    latency = (fun ~rng:_ ~now:_ ~step:_ ~src:_ ~dst:_ ~payload:_ -> 0.0);
+  }
+
+let targeted ~victims ~factor ?(mean = 1.0) () =
+  {
+    name = "targeted";
+    content_oblivious = true;
+    latency =
+      (fun ~rng ~now:_ ~step:_ ~src ~dst:_ ~payload:_ ->
+        let l = exponential rng mean in
+        if victims src then l *. factor else l);
+  }
+
+let split ~group ~cross_delay ?(mean = 1.0) () =
+  {
+    name = "split";
+    content_oblivious = true;
+    latency =
+      (fun ~rng ~now:_ ~step:_ ~src ~dst ~payload:_ ->
+        let l = exponential rng mean in
+        if group src = group dst then l else l +. cross_delay);
+  }
+
+let eventual_sync ?(gst = 50.0) ?(bound = 1.0) ?(chaos_mean = 20.0) () =
+  {
+    name = "eventual-sync";
+    content_oblivious = true;
+    latency =
+      (fun ~rng ~now ~step:_ ~src:_ ~dst:_ ~payload:_ ->
+        if now < gst then
+          (* chaotic period, but never past reliability: finite latencies *)
+          exponential rng chaos_mean
+        else Crypto.Rng.float rng bound);
+  }
+
+let custom ~name ~content_oblivious latency = { name; content_oblivious; latency }

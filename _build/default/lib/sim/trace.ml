@@ -1,0 +1,87 @@
+type event =
+  | Sent of { step : int; id : int; src : int; dst : int; depth : int; words : int }
+  | Delivered of { step : int; id : int; src : int; dst : int; depth : int }
+  | Corrupted of { step : int; pid : int }
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;   (* write cursor *)
+  mutable total : int;  (* events ever recorded *)
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+
+let record t e =
+  t.buffer.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let attach t eng =
+  Engine.on_send eng (fun e ->
+      record t
+        (Sent
+           {
+             step = Engine.step eng;
+             id = e.Envelope.id;
+             src = e.Envelope.src;
+             dst = e.Envelope.dst;
+             depth = e.Envelope.depth;
+             words = e.Envelope.words;
+           }));
+  Engine.on_deliver eng (fun e ->
+      record t
+        (Delivered
+           {
+             step = Engine.step eng;
+             id = e.Envelope.id;
+             src = e.Envelope.src;
+             dst = e.Envelope.dst;
+             depth = e.Envelope.depth;
+           }));
+  Engine.on_corrupt eng (fun pid -> record t (Corrupted { step = Engine.step eng; pid }))
+
+let length t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+let events t =
+  let len = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init len (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false (* within [length], slots are filled *))
+
+let sends_by t pid =
+  List.fold_left
+    (fun acc e -> match e with Sent { src; _ } when src = pid -> acc + 1 | _ -> acc)
+    0 (events t)
+
+let deliveries_of t ~id =
+  List.filter_map
+    (fun e -> match e with Delivered { id = i; dst; _ } when i = id -> Some dst | _ -> None)
+    (events t)
+
+let corrupted_pids t =
+  List.filter_map (fun e -> match e with Corrupted { pid; _ } -> Some pid | _ -> None) (events t)
+
+let max_depth t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Sent { depth; _ } | Delivered { depth; _ } -> max acc depth
+      | Corrupted _ -> acc)
+    0 (events t)
+
+let pp_event fmt = function
+  | Sent { step; id; src; dst; depth; words } ->
+      Format.fprintf fmt "@[<h>%6d SEND  #%d %d->%d depth=%d words=%d@]" step id src dst depth words
+  | Delivered { step; id; src; dst; depth } ->
+      Format.fprintf fmt "@[<h>%6d DELIV #%d %d->%d depth=%d@]" step id src dst depth
+  | Corrupted { step; pid } -> Format.fprintf fmt "@[<h>%6d CORRUPT pid=%d@]" step pid
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t);
+  if dropped t > 0 then Format.fprintf fmt "(%d earlier events dropped)@." (dropped t)

@@ -1,0 +1,44 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vclock.create: n must be positive";
+  Array.make n 0
+
+let of_array a = Array.copy a
+let to_array t = Array.copy t
+let size = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.get: index out of range";
+  t.(i)
+
+let tick t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.tick: index out of range";
+  let c = Array.copy t in
+  c.(i) <- c.(i) + 1;
+  c
+
+let check_sizes a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock: size mismatch"
+
+let merge a b =
+  check_sizes a b;
+  Array.mapi (fun i x -> max x b.(i)) a
+
+let leq a b =
+  check_sizes a b;
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let lt a b = leq a b && a <> b
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let compare_total a b =
+  check_sizes a b;
+  compare a b
+
+let sum t = Array.fold_left ( + ) 0 t
+
+let pp fmt t =
+  Format.fprintf fmt "[%s]" (String.concat ";" (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,1 @@
+lib/vrf/vrf.ml: Array Char Crypto Dleq_vrf Group Hashtbl Int64 Printf Rsa String

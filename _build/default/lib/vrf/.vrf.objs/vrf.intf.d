@@ -1,0 +1,1 @@
+lib/vrf/vrf.mli: Dleq_vrf Group

@@ -1,0 +1,1 @@
+lib/vrf/dleq_vrf.ml: Bigint Bignum Crypto Group String

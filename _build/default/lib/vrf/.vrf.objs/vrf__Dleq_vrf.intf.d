@@ -1,0 +1,1 @@
+lib/vrf/dleq_vrf.mli: Bignum Group

@@ -1,0 +1,1 @@
+lib/vrf/group.ml: Bigint Bignum Crypto Prime Printf Rsa

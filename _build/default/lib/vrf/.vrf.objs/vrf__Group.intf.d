@@ -1,0 +1,1 @@
+lib/vrf/group.mli: Bignum

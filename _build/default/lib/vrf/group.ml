@@ -1,0 +1,72 @@
+open Bignum
+
+type t = {
+  p : Bigint.t;
+  q : Bigint.t;
+  g : Bigint.t;
+  mont : Bigint.Mont.t;  (* reduction context for the hot exponentiations *)
+  p_bytes : int;
+  q_bytes : int;
+}
+
+let p t = t.p
+let q t = t.q
+let g t = t.g
+
+let pow t base e = Bigint.Mont.pow t.mont base e
+let mul t a b = Bigint.erem (Bigint.mul a b) t.p
+
+let generate ?(qbits = 160) ~seed () =
+  if qbits < 32 then invalid_arg "Group.generate: qbits too small";
+  let drbg = Crypto.Drbg.create ~personalization:"schnorr-group" seed in
+  let random n = Crypto.Drbg.generate drbg n in
+  (* Safe-prime search: q prime with p = 2q + 1 also prime.  Expected
+     O(qbits) candidate primes; fine at simulation sizes. *)
+  let rec search () =
+    let q = Prime.gen_prime ~bits:qbits ~random in
+    let p = Bigint.succ (Bigint.shift_left q 1) in
+    if Prime.is_probable_prime ~random p then (p, q) else search ()
+  in
+  let p, q = search () in
+  let mont = Bigint.Mont.create p in
+  (* Any h with h^2 <> 1 gives a generator g = h^2 of the order-q
+     subgroup (cofactor 2). *)
+  let rec find_g () =
+    let h = Bigint.erem (Bigint.of_bytes_be (random ((qbits / 8) + 1))) p in
+    let g = Bigint.Mont.pow mont h Bigint.two in
+    if Bigint.equal g Bigint.one || Bigint.is_zero g then find_g () else g
+  in
+  let g = find_g () in
+  {
+    p;
+    q;
+    g;
+    mont;
+    p_bytes = (Bigint.bit_length p + 7) / 8;
+    q_bytes = (Bigint.bit_length q + 7) / 8;
+  }
+
+let is_element t x =
+  Bigint.sign x > 0
+  && Bigint.compare x t.p < 0
+  && (not (Bigint.equal x Bigint.one))
+  && Bigint.equal (pow t x t.q) Bigint.one
+
+let element_bytes t x = Bigint.to_bytes_be ~len:t.p_bytes x
+let scalar_bytes t x = Bigint.to_bytes_be ~len:t.q_bytes x
+
+let hash_to_group t s =
+  (* Expand to p's width, reduce mod p, square (cofactor clearing); the
+     result is uniform-ish over the subgroup.  Re-hash the (negligible)
+     degenerate cases. *)
+  let rec go counter =
+    let raw = Rsa.mgf1 (Printf.sprintf "h2g-%d:%s" counter s) (t.p_bytes + 8) in
+    let u = Bigint.erem (Bigint.of_bytes_be raw) t.p in
+    let e = pow t u Bigint.two in
+    if Bigint.is_zero e || Bigint.equal e Bigint.one then go (counter + 1) else e
+  in
+  go 0
+
+let hash_to_scalar t s =
+  let raw = Rsa.mgf1 ("h2s:" ^ s) (t.q_bytes + 8) in
+  Bigint.erem (Bigint.of_bytes_be raw) t.q

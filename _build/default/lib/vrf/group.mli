@@ -1,0 +1,42 @@
+(** Schnorr groups: the prime-order subgroup of Z{_p}{^*} with
+    [p = 2q + 1] a safe prime.
+
+    Substrate for the {!Dleq_vrf} backend.  Group generation is
+    deterministic from a seed (safe-prime search driven by an
+    HMAC-DRBG), so all processes of a simulation share one group as part
+    of the trusted setup.  Element size is configurable; simulation
+    defaults are small, the construction is size-agnostic. *)
+
+type t
+(** Group description: modulus [p], subgroup order [q], generator [g]. *)
+
+val generate : ?qbits:int -> seed:string -> unit -> t
+(** [generate ~qbits ~seed ()] finds a safe prime [p = 2q + 1] with [q]
+    of [qbits] bits (default 160) and a generator of the order-[q]
+    subgroup.  Deterministic in [seed]. *)
+
+val p : t -> Bignum.Bigint.t
+val q : t -> Bignum.Bigint.t
+val g : t -> Bignum.Bigint.t
+
+val pow : t -> Bignum.Bigint.t -> Bignum.Bigint.t -> Bignum.Bigint.t
+(** [pow t base e] is [base^e mod p] (Montgomery-accelerated). *)
+
+val mul : t -> Bignum.Bigint.t -> Bignum.Bigint.t -> Bignum.Bigint.t
+(** Product mod [p]. *)
+
+val is_element : t -> Bignum.Bigint.t -> bool
+(** Member of the order-[q] subgroup (and not the identity). *)
+
+val hash_to_group : t -> string -> Bignum.Bigint.t
+(** Maps a byte string to a subgroup element by cofactor exponentiation
+    of a full-domain hash: [H(s)^2 mod p], rejecting degenerate outputs
+    by re-hashing. *)
+
+val hash_to_scalar : t -> string -> Bignum.Bigint.t
+(** Maps a byte string to [Z_q]. *)
+
+val element_bytes : t -> Bignum.Bigint.t -> string
+(** Fixed-width big-endian encoding of an element (for hashing/wire). *)
+
+val scalar_bytes : t -> Bignum.Bigint.t -> string

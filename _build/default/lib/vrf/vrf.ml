@@ -1,0 +1,185 @@
+module Group = Group
+module Dleq_vrf = Dleq_vrf
+
+type output = { beta : string; proof : string }
+
+let compare_beta = String.compare
+
+let beta_bits beta k =
+  if k < 1 || k > 63 then invalid_arg "Vrf.beta_bits: k out of range";
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code beta.[i]))
+  done;
+  Int64.shift_right_logical !acc (64 - k)
+
+let beta_lsb beta = Char.code beta.[String.length beta - 1] land 1
+
+type backend = Rsa_fdh of { bits : int } | Dleq of { qbits : int } | Mock
+
+(* Domain-separation prefixes: VRF inputs and ordinary signatures must not
+   collide, or a signature oracle would double as a VRF oracle. *)
+let vrf_prefix = "COIN-VRF\x00"
+let sig_prefix = "COIN-SIG\x00"
+let beta_prefix = "COIN-BETA\x00"
+
+module Keyring = struct
+  type key =
+    | Rsa_key of { secret : Rsa.secret; verifier : Rsa.verifier }
+    | Dleq_key of { secret : Dleq_vrf.secret; public : Dleq_vrf.public }
+    | Mock_key of string  (* per-process oracle key *)
+
+  type t = {
+    n : int;
+    backend : backend;
+    seed : string;
+    keys : key option array;  (* lazily generated *)
+    mutable group : Group.t option;  (* shared Schnorr group (Dleq backend) *)
+    prove_cache : (string, output) Hashtbl.t;
+        (* prove is deterministic, so caching is semantically invisible. *)
+    verify_cache : (string, bool) Hashtbl.t;
+        (* The same certificate/signature is verified by every receiver of a
+           broadcast; memoizing the boolean outcome keeps simulations
+           tractable without changing any observable behaviour (negative
+           results are cached too, so forgeries still fail everywhere). *)
+  }
+
+  let create ?(backend = Rsa_fdh { bits = 256 }) ~n ~seed () =
+    if n <= 0 then invalid_arg "Keyring.create: n must be positive";
+    {
+      n;
+      backend;
+      seed;
+      keys = Array.make n None;
+      group = None;
+      prove_cache = Hashtbl.create 4096;
+      verify_cache = Hashtbl.create 4096;
+    }
+
+  let cached t key compute =
+    match Hashtbl.find_opt t.verify_cache key with
+    | Some v -> v
+    | None ->
+        let v = compute () in
+        Hashtbl.replace t.verify_cache key v;
+        v
+
+  let n t = t.n
+  let backend t = t.backend
+
+  let group t qbits =
+    match t.group with
+    | Some g -> g
+    | None ->
+        (* The group is part of the trusted setup, shared by everyone. *)
+        let g = Group.generate ~qbits ~seed:("group:" ^ t.seed) () in
+        t.group <- Some g;
+        g
+
+  let generate t i =
+    match t.backend with
+    | Dleq { qbits } ->
+        let grp = group t qbits in
+        let drbg =
+          Crypto.Drbg.create ~personalization:(Printf.sprintf "dleq-key-%d" i) t.seed
+        in
+        let secret = Dleq_vrf.keygen grp ~random:(Crypto.Drbg.generate drbg) in
+        Dleq_key { secret; public = Dleq_vrf.public_of_secret secret }
+    | Mock ->
+        let master = Crypto.Sha256.digest_list [ "mock-master"; t.seed ] in
+        Mock_key (Crypto.Hmac.sha256 ~key:master (string_of_int i))
+    | Rsa_fdh { bits } ->
+        let drbg =
+          Crypto.Drbg.create ~personalization:(Printf.sprintf "key-%d" i) t.seed
+        in
+        let secret = Rsa.keygen ~bits ~random:(Crypto.Drbg.generate drbg) in
+        let verifier = Rsa.verifier (Rsa.public_of_secret secret) in
+        Rsa_key { secret; verifier }
+
+  let key t i =
+    if i < 0 || i >= t.n then invalid_arg "Keyring: pid out of range";
+    match t.keys.(i) with
+    | Some k -> k
+    | None ->
+        let k = generate t i in
+        t.keys.(i) <- Some k;
+        k
+
+  let prove_uncached t i alpha =
+    match key t i with
+    | Mock_key k ->
+        let proof = Crypto.Hmac.sha256 ~key:k (vrf_prefix ^ alpha) in
+        let beta = Crypto.Sha256.digest (beta_prefix ^ proof) in
+        { beta; proof }
+    | Rsa_key { secret; _ } ->
+        let proof = Rsa.sign secret (vrf_prefix ^ alpha) in
+        let beta = Crypto.Sha256.digest (beta_prefix ^ proof) in
+        { beta; proof }
+    | Dleq_key { secret; _ } ->
+        let grp = (match t.group with Some g -> g | None -> assert false) in
+        let beta, pi = Dleq_vrf.prove grp secret (vrf_prefix ^ alpha) in
+        { beta; proof = Dleq_vrf.proof_to_bytes grp pi }
+
+  let cache_key tag signer alpha rest =
+    (* Plain concatenation: hashing the key with SHA-256 would cost more
+       than the lookup saves.  Collisions are resolved by string equality
+       in the Hashtbl, so correctness never depends on this shape. *)
+    String.concat "\x00" [ tag; string_of_int signer; alpha; rest ]
+
+  let prove t i alpha =
+    let cache_key = cache_key "P" i alpha "" in
+    match Hashtbl.find_opt t.prove_cache cache_key with
+    | Some out -> out
+    | None ->
+        let out = prove_uncached t i alpha in
+        Hashtbl.replace t.prove_cache cache_key out;
+        out
+
+  let verify t ~signer alpha out =
+    let cache_key = cache_key "V" signer alpha (out.beta ^ out.proof) in
+    cached t cache_key (fun () ->
+        String.length out.beta = 32
+        &&
+        (* The beta-from-proof relation is backend-specific: hash of the
+           whole proof for RSA/Mock, hash of gamma for DLEQ (checked inside
+           Dleq_vrf.verify). *)
+        match key t signer with
+        | Mock_key k ->
+            Crypto.Sha256.digest (beta_prefix ^ out.proof) = out.beta
+            && Crypto.Hmac.equal out.proof (Crypto.Hmac.sha256 ~key:k (vrf_prefix ^ alpha))
+        | Rsa_key { verifier; _ } ->
+            Crypto.Sha256.digest (beta_prefix ^ out.proof) = out.beta
+            && Rsa.verify' verifier (vrf_prefix ^ alpha) out.proof
+        | Dleq_key { public; _ } -> begin
+            let grp = (match t.group with Some g -> g | None -> assert false) in
+            match Dleq_vrf.proof_of_bytes grp out.proof with
+            | Some pi -> Dleq_vrf.verify grp public (vrf_prefix ^ alpha) (out.beta, pi)
+            | None -> false
+          end)
+
+  let sign t i msg =
+    match key t i with
+    | Mock_key k -> Crypto.Hmac.sha256 ~key:k (sig_prefix ^ msg)
+    | Rsa_key { secret; _ } -> Rsa.sign secret (sig_prefix ^ msg)
+    | Dleq_key { secret; _ } ->
+        let grp = (match t.group with Some g -> g | None -> assert false) in
+        Dleq_vrf.sign grp secret (sig_prefix ^ msg)
+
+  let verify_sig t ~signer msg sig_ =
+    let cache_key = cache_key "S" signer msg sig_ in
+    cached t cache_key (fun () ->
+        match key t signer with
+        | Mock_key k -> Crypto.Hmac.equal sig_ (Crypto.Hmac.sha256 ~key:k (sig_prefix ^ msg))
+        | Rsa_key { verifier; _ } -> Rsa.verify' verifier (sig_prefix ^ msg) sig_
+        | Dleq_key { public; _ } ->
+            let grp = (match t.group with Some g -> g | None -> assert false) in
+            Dleq_vrf.verify_sig grp public (sig_prefix ^ msg) sig_)
+
+  let public_fingerprint t i =
+    match key t i with
+    | Mock_key k -> Crypto.Sha256.digest ("mock-fp" ^ k)
+    | Rsa_key { secret; _ } -> Rsa.fingerprint (Rsa.public_of_secret secret)
+    | Dleq_key { public; _ } ->
+        let grp = (match t.group with Some g -> g | None -> assert false) in
+        Crypto.Sha256.digest ("dleq-fp" ^ Group.element_bytes grp public)
+end

@@ -1,0 +1,1 @@
+test/t_approver.ml: Alcotest Approver Array Core Crypto Lazy List Params QCheck QCheck_alcotest Runner Sample String Tutil Vrf

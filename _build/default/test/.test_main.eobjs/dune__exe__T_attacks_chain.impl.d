@@ -1,0 +1,1 @@
+test/t_attacks_chain.ml: Alcotest Array Attacks Chain Core Crypto Lazy List Params Printf Runner Tutil Vrf

@@ -1,0 +1,1 @@
+test/t_ba.ml: Alcotest Array Ba Core Lazy List Params Printf QCheck QCheck_alcotest Runner Sim Tutil Vrf

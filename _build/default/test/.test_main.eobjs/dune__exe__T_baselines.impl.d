@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Array Baselines Brun Dealer_coin List Mmr Printf QCheck QCheck_alcotest Rabin Rbc Sim Vrf

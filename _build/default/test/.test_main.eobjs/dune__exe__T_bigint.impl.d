@@ -1,0 +1,1 @@
+test/t_bigint.ml: Alcotest Bigint Bignum Crypto Fmt List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/t_coin.ml: Alcotest Coin Core Lazy List Option Params Printf QCheck QCheck_alcotest Runner Sim Vrf

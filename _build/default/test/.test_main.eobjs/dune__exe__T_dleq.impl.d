@@ -1,0 +1,1 @@
+test/t_dleq.ml: Alcotest Bigint Bignum Core Crypto Fmt Lazy List Printf QCheck QCheck_alcotest String Vrf

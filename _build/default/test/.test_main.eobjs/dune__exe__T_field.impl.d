@@ -1,0 +1,1 @@
+test/t_field.ml: Alcotest Array Crypto Field Fmt Gf List Poly QCheck QCheck_alcotest Shamir

@@ -1,0 +1,1 @@
+test/t_fuzz.ml: Array Attacks Ba Baselines Chain Core Crypto Lazy List Params Printf QCheck QCheck_alcotest Runner Sim String Tutil Vrf

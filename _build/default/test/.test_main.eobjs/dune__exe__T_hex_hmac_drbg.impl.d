@@ -1,0 +1,1 @@
+test/t_hex_hmac_drbg.ml: Alcotest Char Crypto Drbg Hex Hmac List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/t_integration.ml: Alcotest Array Ba Baselines Core List Params Printf Runner Sim Vrf

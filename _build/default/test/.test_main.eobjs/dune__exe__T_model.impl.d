@@ -1,0 +1,1 @@
+test/t_model.ml: Alcotest Analysis Array Baselines Core Float Lazy Model Params Printf Runner Stats Tutil Vrf

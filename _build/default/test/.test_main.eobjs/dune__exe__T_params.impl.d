@@ -1,0 +1,1 @@
+test/t_params.ml: Alcotest Core Params QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_prime_rsa.ml: Alcotest Array Bigint Bignum Bytes Char Crypto Lazy List Prime Printf QCheck QCheck_alcotest Rsa String

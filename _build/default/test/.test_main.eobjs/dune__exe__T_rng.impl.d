@@ -1,0 +1,1 @@
+test/t_rng.ml: Alcotest Array Bytes Crypto Fun Int64 List Printf QCheck QCheck_alcotest Rng

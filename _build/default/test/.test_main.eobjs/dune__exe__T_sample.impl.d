@@ -1,0 +1,1 @@
+test/t_sample.ml: Alcotest Core Crypto Float Int64 Lazy List Params Printf QCheck QCheck_alcotest Sample Vrf

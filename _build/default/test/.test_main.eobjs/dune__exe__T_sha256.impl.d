@@ -1,0 +1,1 @@
+test/t_sha256.ml: Alcotest Bytes Crypto Gen Hex List Printf QCheck QCheck_alcotest Sha256 Sha512 String

@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Array Crypto Engine Envelope Faults Fun Heap List Metrics Printf QCheck QCheck_alcotest Scheduler Sim

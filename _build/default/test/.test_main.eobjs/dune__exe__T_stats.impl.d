@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest Analysis Core Float Lazy List Params Stats Tutil Vrf

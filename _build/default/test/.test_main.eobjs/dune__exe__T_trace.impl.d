@@ -1,0 +1,1 @@
+test/t_trace.ml: Alcotest Engine Envelope Format List Sim String Trace

@@ -1,0 +1,1 @@
+test/t_vclock.ml: Alcotest Array Core Engine Envelope Hashtbl List Printf Sim Trace Vclock Vrf

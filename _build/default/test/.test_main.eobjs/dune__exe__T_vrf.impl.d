@@ -1,0 +1,1 @@
+test/t_vrf.ml: Alcotest Bytes Char Crypto Lazy List QCheck QCheck_alcotest String Vrf

@@ -1,0 +1,1 @@
+test/t_whp_coin.ml: Alcotest Core Crypto Lazy List Params Printf QCheck QCheck_alcotest Runner Sample Sim Tutil Vrf Whp_coin

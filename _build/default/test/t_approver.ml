@@ -1,0 +1,200 @@
+(* Algorithm 3 (approver): validity, graded agreement, termination, and
+   the committee/signature validation that backs them. *)
+
+open Core
+
+let n = 64
+let params = lazy (Tutil.robust_params n)
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"approver-test" ())
+
+let run ?scheduler ?pre_corrupt ~inputs ~seed () =
+  Runner.run_approver ?scheduler ?pre_corrupt ~keyring:(Lazy.force keyring)
+    ~params:(Lazy.force params) ~inputs ~seed ()
+
+let test_validity_unanimous () =
+  (* All propose 1 => only possible return set is {1}. *)
+  let o = run ~inputs:(Array.make n 1) ~seed:1 () in
+  Alcotest.(check int) "all return" n (List.length o.Runner.returned);
+  List.iter
+    (fun (_, vs) -> Alcotest.(check (list int)) "validity" [ 1 ] vs)
+    o.Runner.returned
+
+let test_validity_unanimous_zero () =
+  let o = run ~inputs:(Array.make n 0) ~seed:2 () in
+  List.iter (fun (_, vs) -> Alcotest.(check (list int)) "validity 0" [ 0 ] vs) o.Runner.returned
+
+let test_validity_with_bot () =
+  let o = run ~inputs:(Array.make n Approver.bot) ~seed:3 () in
+  List.iter
+    (fun (_, vs) -> Alcotest.(check (list int)) "validity bot" [ Approver.bot ] vs)
+    o.Runner.returned
+
+let test_graded_agreement_mixed () =
+  (* Mixed inputs: singleton returns must agree across processes, and every
+     returned value must be someone's input (no invention). *)
+  for seed = 1 to 10 do
+    let inputs = Array.init n (fun i -> if i mod 2 = 0 then 0 else 1) in
+    let o = run ~inputs ~seed:(seed * 7) () in
+    let singletons =
+      List.filter_map (fun (_, vs) -> match vs with [ v ] -> Some v | _ -> None) o.Runner.returned
+    in
+    (match List.sort_uniq compare singletons with
+    | [] | [ _ ] -> ()
+    | _ -> Alcotest.fail "two different singleton returns (graded agreement broken)");
+    List.iter
+      (fun (_, vs) ->
+        List.iter
+          (fun v -> Alcotest.(check bool) "returned value was an input" true (v = 0 || v = 1))
+          vs)
+      o.Runner.returned
+  done
+
+let test_termination_all_return () =
+  for seed = 1 to 5 do
+    let inputs = Array.init n (fun i -> if i < n / 3 then 0 else 1) in
+    let o = run ~inputs ~seed:(seed * 13) () in
+    Alcotest.(check int) "termination" n (List.length o.Runner.returned)
+  done
+
+let test_termination_with_crashes () =
+  let p = Lazy.force params in
+  let rng = Crypto.Rng.create 11 in
+  let crashed = Crypto.Rng.sample_without_replacement rng p.Params.f n in
+  let o = run ~pre_corrupt:crashed ~inputs:(Array.make n 1) ~seed:4 () in
+  Alcotest.(check int) "survivors return" (n - p.Params.f) (List.length o.Runner.returned);
+  List.iter (fun (_, vs) -> Alcotest.(check (list int)) "validity under crashes" [ 1 ] vs)
+    o.Runner.returned
+
+let test_nonempty_returns () =
+  for seed = 20 to 25 do
+    let inputs = Array.init n (fun i -> if i mod 3 = 0 then Approver.bot else 1) in
+    let o = run ~inputs ~seed () in
+    List.iter
+      (fun (_, vs) -> Alcotest.(check bool) "non-empty" true (vs <> []))
+      o.Runner.returned
+  done
+
+(* ------------- direct state-machine tests ------------- *)
+
+let test_init_requires_committee () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d1" in
+  ignore (Approver.input a 1);
+  (* forged init from a non-member *)
+  let s_init = "d1/init" in
+  let rec find_nonmember pid =
+    let c = Sample.sample kr ~pid ~s:s_init ~lambda:p.Params.lambda in
+    if c.Sample.member then find_nonmember (pid + 1) else (pid, c)
+  in
+  let pid, cert = find_nonmember 1 in
+  let acts = Approver.handle a ~src:pid (Approver.Init { v = 1; cert = { cert with Sample.member = true } }) in
+  Alcotest.(check bool) "forged init ignored" true (acts = [])
+
+let test_echo_signature_checked () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d2" in
+  ignore (Approver.input a 1);
+  let s_echo = "d2/echo/1" in
+  let rec find_member pid =
+    let c = Sample.sample kr ~pid ~s:s_echo ~lambda:p.Params.lambda in
+    if c.Sample.member then (pid, c) else find_member (pid + 1)
+  in
+  let pid, cert = find_member 0 in
+  (* echo with a signature over the wrong payload *)
+  let bad_sig = Vrf.Keyring.sign kr pid "d2/echo-sig/0" in
+  let acts = Approver.handle a ~src:pid (Approver.Echo { v = 1; cert; signature = bad_sig }) in
+  Alcotest.(check bool) "bad echo signature ignored" true (acts = []);
+  let good_sig = Vrf.Keyring.sign kr pid "d2/echo-sig/1" in
+  ignore (Approver.handle a ~src:pid (Approver.Echo { v = 1; cert; signature = good_sig }))
+
+let test_ok_support_validated () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d3" in
+  ignore (Approver.input a 1);
+  let s_ok = "d3/ok" in
+  let rec find_member pid =
+    let c = Sample.sample kr ~pid ~s:s_ok ~lambda:p.Params.lambda in
+    if c.Sample.member then (pid, c) else find_member (pid + 1)
+  in
+  let pid, cert = find_member 0 in
+  (* ok with empty support: must be rejected (support must have W entries). *)
+  let acts = Approver.handle a ~src:pid (Approver.Ok { v = 1; cert; support = [] }) in
+  Alcotest.(check bool) "ok without support rejected" true (acts = []);
+  Alcotest.(check bool) "no delivery" true (Approver.result a = None)
+
+let test_ok_support_duplicate_pids_rejected () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d4" in
+  ignore (Approver.input a 1);
+  let s_echo = "d4/echo/1" and s_ok = "d4/ok" in
+  let rec find_member s pid =
+    let c = Sample.sample kr ~pid ~s ~lambda:p.Params.lambda in
+    if c.Sample.member then (pid, c) else find_member s (pid + 1)
+  in
+  let echo_pid, echo_cert = find_member s_echo 0 in
+  let ok_pid, ok_cert = find_member s_ok 0 in
+  let signature = Vrf.Keyring.sign kr echo_pid "d4/echo-sig/1" in
+  let entry = { Approver.pid = echo_pid; cert = echo_cert; signature } in
+  let support = List.init p.Params.w (fun _ -> entry) in
+  let acts = Approver.handle a ~src:ok_pid (Approver.Ok { v = 1; cert = ok_cert; support }) in
+  Alcotest.(check bool) "duplicate-pid support rejected" true (acts = [])
+
+let test_input_idempotent () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d5" in
+  let first = Approver.input a 1 in
+  let second = Approver.input a 0 in
+  Alcotest.(check bool) "second input is a no-op" true (second = []);
+  ignore first
+
+let test_word_accounting () =
+  let p = Lazy.force params in
+  let ok =
+    Approver.Ok
+      {
+        v = 1;
+        cert = { Sample.member = true; vrf = { Vrf.beta = String.make 32 'x'; proof = "p" } };
+        support =
+          List.init p.Params.w (fun i ->
+              {
+                Approver.pid = i;
+                cert = { Sample.member = true; vrf = { Vrf.beta = String.make 32 'y'; proof = "q" } };
+                signature = "s";
+              });
+      }
+  in
+  (* tag+value + cert (2) + W * (pid + cert(2) + sig) *)
+  Alcotest.(check int) "ok words" (2 + 2 + (p.Params.w * 4)) (Approver.words_of_msg ok);
+  Alcotest.(check int) "init words" 4
+    (Approver.words_of_msg
+       (Approver.Init { v = 1; cert = { Sample.member = true; vrf = { Vrf.beta = ""; proof = "" } } }))
+
+let qcheck_validity_random_unanimous =
+  QCheck.Test.make ~name:"qcheck: approver validity for random unanimous values" ~count:8
+    QCheck.(pair small_int (int_range 0 1))
+    (fun (seed, v) ->
+      let o = run ~inputs:(Array.make n v) ~seed:(seed + 3000) () in
+      List.for_all (fun (_, vs) -> vs = [ v ]) o.Runner.returned)
+
+let suite =
+  [
+    Alcotest.test_case "validity (all 1)" `Quick test_validity_unanimous;
+    Alcotest.test_case "validity (all 0)" `Quick test_validity_unanimous_zero;
+    Alcotest.test_case "validity (all bot)" `Quick test_validity_with_bot;
+    Alcotest.test_case "graded agreement" `Slow test_graded_agreement_mixed;
+    Alcotest.test_case "termination" `Quick test_termination_all_return;
+    Alcotest.test_case "termination with crashes" `Quick test_termination_with_crashes;
+    Alcotest.test_case "non-empty returns" `Slow test_nonempty_returns;
+    Alcotest.test_case "init committee checked" `Quick test_init_requires_committee;
+    Alcotest.test_case "echo signature checked" `Quick test_echo_signature_checked;
+    Alcotest.test_case "ok support validated" `Quick test_ok_support_validated;
+    Alcotest.test_case "duplicate support rejected" `Quick test_ok_support_duplicate_pids_rejected;
+    Alcotest.test_case "input idempotent" `Quick test_input_idempotent;
+    Alcotest.test_case "word accounting" `Quick test_word_accounting;
+    QCheck_alcotest.to_alcotest qcheck_validity_random_unanimous;
+  ]

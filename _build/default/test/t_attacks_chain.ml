@@ -1,0 +1,145 @@
+(* Active Byzantine strategies (Attacks) and concurrent repeated
+   agreement (Chain). *)
+
+open Core
+
+let n = 32
+let params = lazy (Tutil.robust_params n)
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"attack-test" ())
+
+let run_with_attack ~attack ~seed =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let corruption = Runner.Custom (fun eng -> attack eng kr p seed) in
+  Runner.run_ba ~corruption ~keyring:kr ~params:p ~inputs ~seed ()
+
+let victims p seed =
+  Crypto.Rng.sample_without_replacement (Crypto.Rng.create (seed * 31)) p.Params.f n
+
+let test_two_face_safety () =
+  for seed = 1 to 5 do
+    let o =
+      run_with_attack ~seed ~attack:(fun eng kr p seed ->
+          Attacks.install_two_face eng ~keyring:kr ~params:p
+            ~instance:(Runner.ba_instance_name ~seed)
+            ~pids:(victims p seed))
+    in
+    Alcotest.(check bool) (Printf.sprintf "two-face seed %d: decided" seed) true
+      o.Runner.all_decided;
+    Alcotest.(check bool) (Printf.sprintf "two-face seed %d: agreement" seed) true
+      o.Runner.agreement
+  done
+
+let test_two_face_unanimous_validity () =
+  (* Even with equivocators, unanimous correct input 1 must decide 1. *)
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let seed = 77 in
+  let corruption =
+    Runner.Custom
+      (fun eng ->
+        Attacks.install_two_face eng ~keyring:kr ~params:p
+          ~instance:(Runner.ba_instance_name ~seed)
+          ~pids:(victims p seed))
+  in
+  let o = Runner.run_ba ~corruption ~keyring:kr ~params:p ~inputs:(Array.make n 1) ~seed () in
+  Alcotest.(check bool) "decided" true o.Runner.all_decided;
+  List.iter (fun (_, d) -> Alcotest.(check int) "validity" 1 d) o.Runner.decisions
+
+let test_replay_safety () =
+  for seed = 1 to 3 do
+    let o =
+      run_with_attack ~seed ~attack:(fun eng _ p seed ->
+          Attacks.install_replay eng ~pids:(victims p seed))
+    in
+    Alcotest.(check bool) (Printf.sprintf "replay seed %d: decided" seed) true
+      o.Runner.all_decided;
+    Alcotest.(check bool) (Printf.sprintf "replay seed %d: agreement" seed) true
+      o.Runner.agreement
+  done
+
+let test_attack_words_accounted_as_byzantine () =
+  (* Attacker traffic must not pollute the correct-word metric. *)
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let seed = 5 in
+  let honest = Runner.run_ba ~keyring:kr ~params:p ~inputs:(Array.init n (fun i -> i mod 2)) ~seed () in
+  let attacked =
+    run_with_attack ~seed ~attack:(fun eng _ p seed ->
+        Attacks.install_replay eng ~pids:(victims p seed))
+  in
+  (* With f processes silent-for-protocol (replaying instead), correct
+     word count can only go down or stay comparable — never blow up. *)
+  Alcotest.(check bool) "correct words not inflated by attack" true
+    (attacked.Runner.words <= honest.Runner.words)
+
+(* ---------------- Chain ---------------- *)
+
+let test_chain_concurrent_slots () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let inputs =
+    Array.init 4 (fun slot -> Array.init n (fun pid -> (pid + slot) mod 2))
+  in
+  let o = Chain.run_concurrent ~keyring:kr ~params:p ~inputs ~seed:11 () in
+  Alcotest.(check bool) "all slots decided" true o.Chain.all_slots_decided;
+  Alcotest.(check int) "4 slots" 4 (List.length o.Chain.slots);
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "slot %d agreement" s.Chain.slot) true s.Chain.agreement)
+    o.Chain.slots
+
+let test_chain_unanimous_validity_per_slot () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  (* slot 0 all-0, slot 1 all-1: decisions must match exactly. *)
+  let inputs = [| Array.make n 0; Array.make n 1 |] in
+  let o = Chain.run_concurrent ~keyring:kr ~params:p ~inputs ~seed:12 () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (_, d) -> Alcotest.(check int) (Printf.sprintf "slot %d validity" s.Chain.slot) s.Chain.slot d)
+        s.Chain.decisions)
+    o.Chain.slots
+
+let test_chain_with_crashes () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let inputs = Array.init 3 (fun slot -> Array.init n (fun pid -> (pid + slot) mod 2)) in
+  let crashed = Crypto.Rng.sample_without_replacement (Crypto.Rng.create 13) p.Params.f n in
+  let o = Chain.run_concurrent ~pre_crash:crashed ~keyring:kr ~params:p ~inputs ~seed:13 () in
+  Alcotest.(check bool) "all slots decided despite crashes" true o.Chain.all_slots_decided
+
+let test_chain_words_scale_with_slots () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let mk k = Array.init k (fun slot -> Array.init n (fun pid -> (pid + slot) mod 2)) in
+  let one = Chain.run_concurrent ~keyring:kr ~params:p ~inputs:(mk 1) ~seed:14 () in
+  let three = Chain.run_concurrent ~keyring:kr ~params:p ~inputs:(mk 3) ~seed:14 () in
+  (* Words should grow roughly linearly in slot count (amortizing nothing,
+     but also not interfering: instance isolation). *)
+  let ratio = float_of_int three.Chain.total_words /. float_of_int one.Chain.total_words in
+  Alcotest.(check bool) (Printf.sprintf "3 slots cost ~3x one (%.2fx)" ratio) true
+    (ratio > 2.0 && ratio < 4.5)
+
+let test_chain_input_validation () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  Alcotest.check_raises "no slots" (Invalid_argument "Chain.run_concurrent: need at least one slot")
+    (fun () -> ignore (Chain.run_concurrent ~keyring:kr ~params:p ~inputs:[||] ~seed:1 ()));
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Chain.run_concurrent: slot 0 needs 32 inputs") (fun () ->
+      ignore (Chain.run_concurrent ~keyring:kr ~params:p ~inputs:[| [| 0; 1 |] |] ~seed:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "two-face safety" `Slow test_two_face_safety;
+    Alcotest.test_case "two-face validity" `Quick test_two_face_unanimous_validity;
+    Alcotest.test_case "replay safety" `Slow test_replay_safety;
+    Alcotest.test_case "attack word accounting" `Quick test_attack_words_accounted_as_byzantine;
+    Alcotest.test_case "chain concurrent slots" `Slow test_chain_concurrent_slots;
+    Alcotest.test_case "chain per-slot validity" `Quick test_chain_unanimous_validity_per_slot;
+    Alcotest.test_case "chain with crashes" `Quick test_chain_with_crashes;
+    Alcotest.test_case "chain words scale" `Slow test_chain_words_scale_with_slots;
+    Alcotest.test_case "chain input validation" `Quick test_chain_input_validation;
+  ]

@@ -1,0 +1,194 @@
+(* Algorithm 4 (Byzantine Agreement WHP): validity, agreement, termination
+   across inputs, schedulers, corruption modes, seeds. *)
+
+open Core
+
+let n = 48
+let params = lazy (Tutil.robust_params n)
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"ba-test" ())
+
+let run ?scheduler ?corruption ~inputs ~seed () =
+  Runner.run_ba ?scheduler ?corruption ~keyring:(Lazy.force keyring) ~params:(Lazy.force params)
+    ~inputs ~seed ()
+
+let check_safety name (o : Runner.outcome) =
+  Alcotest.(check bool) (name ^ ": all decided") true o.Runner.all_decided;
+  Alcotest.(check bool) (name ^ ": agreement") true o.Runner.agreement
+
+let test_validity_all_ones () =
+  let o = run ~inputs:(Array.make n 1) ~seed:1 () in
+  check_safety "ones" o;
+  List.iter (fun (_, d) -> Alcotest.(check int) "validity: decide 1" 1 d) o.Runner.decisions;
+  Alcotest.(check int) "one round suffices" 1 o.Runner.rounds
+
+let test_validity_all_zeros () =
+  let o = run ~inputs:(Array.make n 0) ~seed:2 () in
+  check_safety "zeros" o;
+  List.iter (fun (_, d) -> Alcotest.(check int) "validity: decide 0" 0 d) o.Runner.decisions
+
+let test_mixed_inputs () =
+  for seed = 1 to 8 do
+    let inputs = Array.init n (fun i -> (i + seed) mod 2) in
+    let o = run ~inputs ~seed:(seed * 17) () in
+    check_safety (Printf.sprintf "mixed seed %d" seed) o;
+    (* The decision must be 0 or 1. *)
+    List.iter (fun (_, d) -> Alcotest.(check bool) "binary" true (d = 0 || d = 1)) o.Runner.decisions
+  done
+
+let test_one_dissenter () =
+  let inputs = Array.make n 1 in
+  inputs.(7) <- 0;
+  let o = run ~inputs ~seed:5 () in
+  check_safety "dissenter" o
+
+let test_crash_faults () =
+  let p = Lazy.force params in
+  for seed = 1 to 5 do
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let o = run ~corruption:(Runner.Crash_random p.Params.f) ~inputs ~seed:(seed * 23) () in
+    check_safety (Printf.sprintf "crash seed %d" seed) o
+  done
+
+let test_adaptive_crash () =
+  let p = Lazy.force params in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = run ~corruption:(Runner.Crash_adaptive_first p.Params.f) ~inputs ~seed:6 () in
+  check_safety "adaptive crash" o
+
+let test_byz_silent () =
+  let p = Lazy.force params in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = run ~corruption:(Runner.Byz_silent_random p.Params.f) ~inputs ~seed:7 () in
+  check_safety "byz silent" o
+
+let test_split_scheduler () =
+  let sched = Sim.Scheduler.split ~group:(fun pid -> pid < n / 2) ~cross_delay:25.0 () in
+  let inputs = Array.init n (fun i -> if i < n / 2 then 0 else 1) in
+  let o = run ~scheduler:sched ~inputs ~seed:8 () in
+  check_safety "split" o
+
+let test_targeted_scheduler () =
+  let sched = Sim.Scheduler.targeted ~victims:(fun pid -> pid < 10) ~factor:40.0 () in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = run ~scheduler:sched ~inputs ~seed:9 () in
+  check_safety "targeted" o
+
+let test_eventual_sync_scheduler () =
+  (* Safe during the chaotic pre-GST phase, decides after. *)
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = run ~scheduler:(Sim.Scheduler.eventual_sync ~gst:30.0 ()) ~inputs ~seed:21 () in
+  check_safety "eventual-sync" o
+
+let test_fifo_scheduler () =
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = run ~scheduler:(Sim.Scheduler.fifo ()) ~inputs ~seed:10 () in
+  check_safety "fifo" o
+
+let test_rounds_constant () =
+  (* O(1) expected rounds: over seeds, decisions should come within a few
+     rounds. *)
+  let max_rounds = ref 0 in
+  for seed = 30 to 39 do
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let o = run ~inputs ~seed () in
+    if o.Runner.rounds > !max_rounds then max_rounds := o.Runner.rounds
+  done;
+  Alcotest.(check bool) (Printf.sprintf "max rounds %d small" !max_rounds) true (!max_rounds <= 6)
+
+let test_determinism () =
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let a = run ~inputs ~seed:11 () and b = run ~inputs ~seed:11 () in
+  Alcotest.(check bool) "same decisions" true (a.Runner.decisions = b.Runner.decisions);
+  Alcotest.(check int) "same words" a.Runner.words b.Runner.words
+
+let test_input_validation () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let ba = Ba.create ~keyring:kr ~params:p ~pid:0 ~instance:"check" in
+  Alcotest.check_raises "non-binary input" (Invalid_argument "Ba.propose: input must be binary")
+    (fun () -> ignore (Ba.propose ba 7))
+
+let test_decide_action_emitted_once () =
+  (* Track Decide actions through a full run at small scale: each correct
+     process must emit exactly one. *)
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let eng : Ba.msg Sim.Engine.t = Sim.Engine.create ~n ~seed:99 () in
+  let decides = Array.make n 0 in
+  let procs = Array.init n (fun pid -> Ba.create ~keyring:kr ~params:p ~pid ~instance:"once") in
+  let perform pid acts =
+    List.iter
+      (function
+        | Ba.Broadcast m -> Sim.Engine.broadcast eng ~src:pid ~words:(Ba.words_of_msg m) m
+        | Ba.Decide _ -> decides.(pid) <- decides.(pid) + 1)
+      acts
+  in
+  Array.iteri
+    (fun pid pr ->
+      Sim.Engine.set_handler eng pid (fun e ->
+          perform pid (Ba.handle pr ~src:e.Sim.Envelope.src e.Sim.Envelope.payload)))
+    procs;
+  Array.iteri (fun pid pr -> perform pid (Ba.propose pr (pid mod 2))) procs;
+  ignore
+    (Sim.Engine.run eng ~until:(fun () -> Array.for_all (fun p -> Ba.decision p <> None) procs));
+  Array.iteri
+    (fun pid c -> Alcotest.(check int) (Printf.sprintf "pid %d decides once" pid) 1 c)
+    decides
+
+let test_word_complexity_reasonable () =
+  (* Words should be well below the all-to-all MMR-style cost at this n.
+     (The real scaling comparison is bench E2; here just a sanity bound.) *)
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = run ~inputs ~seed:12 () in
+  Alcotest.(check bool) "non-trivial" true (o.Runner.words > 0);
+  (* Per round: 2 approvers (4 committees of <= n senders, OK messages of
+     ~4W words) + 1 coin.  A generous envelope is 12*W*n*n per round; the
+     point is catching runaway resends, not asymptotics (that's bench E2). *)
+  let p = Lazy.force params in
+  Alcotest.(check bool) "bounded" true
+    (o.Runner.words < 12 * p.Params.w * n * n * (o.Runner.rounds + 1))
+
+let test_rsa_backend_small () =
+  (* End-to-end with the real VRF at small scale. *)
+  let n = 16 in
+  let kr = Vrf.Keyring.create ~backend:(Vrf.Rsa_fdh { bits = 256 }) ~n ~seed:"ba-rsa" () in
+  let p = Params.make_exn ~strict:false ~lambda:12 ~n () in
+  let o = Runner.run_ba ~keyring:kr ~params:p ~inputs:(Array.make n 1) ~seed:13 () in
+  Alcotest.(check bool) "all decided" true o.Runner.all_decided;
+  Alcotest.(check bool) "agreement" true o.Runner.agreement;
+  List.iter (fun (_, d) -> Alcotest.(check int) "validity" 1 d) o.Runner.decisions
+
+let qcheck_safety_random =
+  QCheck.Test.make ~name:"qcheck: BA safety across random seeds/inputs" ~count:10
+    QCheck.(pair small_int (int_range 0 (n - 1)))
+    (fun (seed, ones) ->
+      let inputs = Array.init n (fun i -> if i < ones then 1 else 0) in
+      let o = run ~inputs ~seed:(seed + 5000) () in
+      o.Runner.all_decided && o.Runner.agreement
+      &&
+      (* validity: if unanimous input, decision must match *)
+      match List.sort_uniq compare (Array.to_list inputs) with
+      | [ v ] -> List.for_all (fun (_, d) -> d = v) o.Runner.decisions
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "validity ones" `Quick test_validity_all_ones;
+    Alcotest.test_case "validity zeros" `Quick test_validity_all_zeros;
+    Alcotest.test_case "mixed inputs" `Slow test_mixed_inputs;
+    Alcotest.test_case "one dissenter" `Quick test_one_dissenter;
+    Alcotest.test_case "crash faults" `Slow test_crash_faults;
+    Alcotest.test_case "adaptive crash" `Quick test_adaptive_crash;
+    Alcotest.test_case "byz silent" `Quick test_byz_silent;
+    Alcotest.test_case "split scheduler" `Quick test_split_scheduler;
+    Alcotest.test_case "targeted scheduler" `Quick test_targeted_scheduler;
+    Alcotest.test_case "fifo scheduler" `Quick test_fifo_scheduler;
+    Alcotest.test_case "eventual-sync scheduler" `Quick test_eventual_sync_scheduler;
+    Alcotest.test_case "rounds constant" `Slow test_rounds_constant;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "decide emitted once" `Quick test_decide_action_emitted_once;
+    Alcotest.test_case "word complexity sane" `Quick test_word_complexity_reasonable;
+    Alcotest.test_case "rsa backend small" `Slow test_rsa_backend_small;
+    QCheck_alcotest.to_alcotest qcheck_safety_random;
+  ]

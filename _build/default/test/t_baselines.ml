@@ -1,0 +1,344 @@
+(* Baseline protocols (Table 1): safety and liveness of Ben-Or, Bracha
+   (+ its RBC substrate), Rabin, and MMR. *)
+
+open Baselines
+
+let check_safety name (o : Brun.outcome) =
+  Alcotest.(check bool) (name ^ ": all decided") true o.Brun.all_decided;
+  Alcotest.(check bool) (name ^ ": agreement") true o.Brun.agreement
+
+let unanimous_validity name v (o : Brun.outcome) =
+  check_safety name o;
+  List.iter (fun (_, d) -> Alcotest.(check int) (name ^ ": validity") v d) o.Brun.decisions
+
+(* ---------------- RBC ---------------- *)
+
+let run_rbc ~n ~f ~sender ~value ~seed ~crashed =
+  let eng : (int * Rbc.msg) Sim.Engine.t = Sim.Engine.create ~n ~seed () in
+  let procs = Array.init n (fun me -> Rbc.create ~n ~f ~me ~sender) in
+  let delivered = Array.make n None in
+  let perform pid acts =
+    List.iter
+      (function
+        | Rbc.Broadcast m -> Sim.Engine.broadcast eng ~src:pid ~words:(Rbc.words_of_msg m) (pid, m)
+        | Rbc.Deliver v -> delivered.(pid) <- Some v)
+      acts
+  in
+  Sim.Faults.crash_all eng crashed;
+  Array.iteri
+    (fun pid p ->
+      Sim.Engine.set_handler eng pid (fun e ->
+          let src, m = e.Sim.Envelope.payload in
+          ignore src;
+          perform pid (Rbc.handle p ~src:e.Sim.Envelope.src m)))
+    procs;
+  if Sim.Engine.is_correct eng sender then perform sender (Rbc.start procs.(sender) value);
+  ignore (Sim.Engine.run eng ~until:(fun () -> false));
+  (delivered, Sim.Engine.correct_pids eng)
+
+let test_rbc_correct_sender () =
+  let delivered, correct = run_rbc ~n:7 ~f:2 ~sender:0 ~value:42 ~seed:1 ~crashed:[] in
+  List.iter
+    (fun pid -> Alcotest.(check (option int)) (Printf.sprintf "pid %d delivers" pid) (Some 42) delivered.(pid))
+    correct
+
+let test_rbc_with_crashes () =
+  let delivered, correct = run_rbc ~n:7 ~f:2 ~sender:0 ~value:7 ~seed:2 ~crashed:[ 3; 5 ] in
+  List.iter
+    (fun pid -> Alcotest.(check (option int)) "delivery" (Some 7) delivered.(pid))
+    correct
+
+let test_rbc_crashed_sender_no_delivery () =
+  let delivered, correct = run_rbc ~n:7 ~f:2 ~sender:0 ~value:7 ~seed:3 ~crashed:[ 0 ] in
+  List.iter
+    (fun pid -> Alcotest.(check (option int)) "nothing delivered" None delivered.(pid))
+    correct
+
+let test_rbc_totality () =
+  (* All correct processes deliver the same value: run many seeds. *)
+  for seed = 1 to 10 do
+    let delivered, correct = run_rbc ~n:10 ~f:3 ~sender:2 ~value:1 ~seed ~crashed:[ 9 ] in
+    let vals = List.filter_map (fun pid -> delivered.(pid)) correct in
+    Alcotest.(check int) "all correct deliver" (List.length correct) (List.length vals);
+    Alcotest.(check bool) "same value" true (List.for_all (fun v -> v = 1) vals)
+  done
+
+let test_rbc_equivocating_sender () =
+  (* A Byzantine sender sends Initial(0) to half the processes and
+     Initial(1) to the rest.  Bracha's echo quorum (> (n+f)/2) makes two
+     conflicting deliveries impossible: correct processes either all
+     deliver the same value or none delivers. *)
+  for seed = 1 to 10 do
+    let n = 10 and f = 3 in
+    let eng : Rbc.msg Sim.Engine.t = Sim.Engine.create ~n ~seed () in
+    let procs = Array.init n (fun me -> Rbc.create ~n ~f ~me ~sender:0) in
+    let delivered = Array.make n None in
+    let perform pid acts =
+      List.iter
+        (function
+          | Rbc.Broadcast m -> Sim.Engine.broadcast eng ~src:pid ~words:(Rbc.words_of_msg m) m
+          | Rbc.Deliver v -> delivered.(pid) <- Some v)
+        acts
+    in
+    for pid = 1 to n - 1 do
+      Sim.Engine.set_handler eng pid (fun e ->
+          perform pid (Rbc.handle procs.(pid) ~src:e.Sim.Envelope.src e.Sim.Envelope.payload))
+    done;
+    (* The sender is Byzantine: equivocate on the initial send. *)
+    Sim.Engine.corrupt_byzantine eng 0 (fun _ -> ());
+    for dst = 0 to n - 1 do
+      Sim.Engine.send eng ~src:0 ~dst ~words:2 (Rbc.Initial (dst mod 2))
+    done;
+    ignore (Sim.Engine.run eng ~until:(fun () -> false));
+    let values =
+      List.sort_uniq compare
+        (List.filter_map (fun pid -> delivered.(pid)) (Sim.Engine.correct_pids eng))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: at most one delivered value (got %d)" seed (List.length values))
+      true
+      (List.length values <= 1)
+  done
+
+(* ---------------- Ben-Or ---------------- *)
+
+let n_small = 16
+
+let test_benor_unanimous () =
+  unanimous_validity "benor-1" 1 (Brun.run_benor ~n:n_small ~f:3 ~inputs:(Array.make n_small 1) ~seed:1 ());
+  unanimous_validity "benor-0" 0 (Brun.run_benor ~n:n_small ~f:3 ~inputs:(Array.make n_small 0) ~seed:2 ())
+
+let test_benor_mixed () =
+  for seed = 1 to 5 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    check_safety "benor mixed" (Brun.run_benor ~n:n_small ~f:3 ~inputs ~seed:(seed * 11) ())
+  done
+
+let test_benor_crashes () =
+  let inputs = Array.init n_small (fun i -> i mod 2) in
+  let o = Brun.run_benor ~n:n_small ~f:3 ~pre_crash:[ 1; 8; 15 ] ~inputs ~seed:3 () in
+  check_safety "benor crashes" o
+
+let test_benor_unanimous_one_round () =
+  let o = Brun.run_benor ~n:n_small ~f:3 ~inputs:(Array.make n_small 1) ~seed:4 () in
+  Alcotest.(check int) "fast path" 1 o.Brun.rounds
+
+(* ---------------- Bracha ---------------- *)
+
+let test_bracha_unanimous () =
+  unanimous_validity "bracha-1" 1 (Brun.run_bracha ~n:n_small ~f:5 ~inputs:(Array.make n_small 1) ~seed:1 ());
+  unanimous_validity "bracha-0" 0 (Brun.run_bracha ~n:n_small ~f:5 ~inputs:(Array.make n_small 0) ~seed:2 ())
+
+let test_bracha_mixed () =
+  for seed = 1 to 3 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    check_safety "bracha mixed" (Brun.run_bracha ~n:n_small ~f:5 ~inputs ~seed:(seed * 13) ())
+  done
+
+let test_bracha_crashes () =
+  let inputs = Array.init n_small (fun i -> i mod 2) in
+  check_safety "bracha crashes"
+    (Brun.run_bracha ~n:n_small ~f:5 ~pre_crash:[ 0; 7 ] ~inputs ~seed:3 ())
+
+(* ---------------- Rabin ---------------- *)
+
+let n_rabin = 22 (* n > 10f with f = 2 *)
+
+let test_rabin_unanimous () =
+  unanimous_validity "rabin-1" 1 (Brun.run_rabin ~n:n_rabin ~f:2 ~inputs:(Array.make n_rabin 1) ~seed:1 ());
+  unanimous_validity "rabin-0" 0 (Brun.run_rabin ~n:n_rabin ~f:2 ~inputs:(Array.make n_rabin 0) ~seed:2 ())
+
+let test_rabin_mixed () =
+  for seed = 1 to 5 do
+    let inputs = Array.init n_rabin (fun i -> i mod 2) in
+    check_safety "rabin mixed" (Brun.run_rabin ~n:n_rabin ~f:2 ~inputs ~seed:(seed * 7) ())
+  done
+
+let test_rabin_crashes () =
+  let inputs = Array.init n_rabin (fun i -> i mod 2) in
+  check_safety "rabin crashes" (Brun.run_rabin ~n:n_rabin ~f:2 ~pre_crash:[ 3; 19 ] ~inputs ~seed:3 ())
+
+let test_rabin_constant_rounds () =
+  (* The dealer coin makes expected rounds constant: check the max over
+     seeds is small. *)
+  let max_rounds = ref 0 in
+  for seed = 1 to 10 do
+    let inputs = Array.init n_rabin (fun i -> i mod 2) in
+    let o = Brun.run_rabin ~n:n_rabin ~f:2 ~inputs ~seed:(seed * 31) () in
+    if o.Brun.rounds > !max_rounds then max_rounds := o.Brun.rounds
+  done;
+  Alcotest.(check bool) (Printf.sprintf "max rounds %d" !max_rounds) true (!max_rounds <= 6)
+
+let test_rabin_dealer_resilience_check () =
+  Alcotest.check_raises "requires n > 10f" (Invalid_argument "Rabin.make_dealer: requires n > 10f")
+    (fun () -> ignore (Rabin.make_dealer ~n:20 ~f:2 ~seed:"x"))
+
+let test_rabin_dealer_coin_uniformity () =
+  let dealer = Rabin.make_dealer ~n:n_rabin ~f:2 ~seed:"coin-balance" in
+  let ones = ref 0 in
+  for r = 0 to 199 do
+    if Rabin.dealt_coin dealer ~round:r = 1 then incr ones
+  done;
+  Alcotest.(check bool) (Printf.sprintf "dealer coin balanced (%d/200)" !ones) true
+    (!ones > 70 && !ones < 130)
+
+(* ---------------- MMR ---------------- *)
+
+let test_mmr_ideal_unanimous () =
+  unanimous_validity "mmr-1" 1
+    (Brun.run_mmr ~coin:Mmr.Ideal ~n:n_small ~f:5 ~inputs:(Array.make n_small 1) ~seed:1 ());
+  unanimous_validity "mmr-0" 0
+    (Brun.run_mmr ~coin:Mmr.Ideal ~n:n_small ~f:5 ~inputs:(Array.make n_small 0) ~seed:2 ())
+
+let test_mmr_ideal_mixed () =
+  for seed = 1 to 5 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    check_safety "mmr mixed" (Brun.run_mmr ~coin:Mmr.Ideal ~n:n_small ~f:5 ~inputs ~seed:(seed * 19) ())
+  done
+
+let test_mmr_ideal_crashes () =
+  let inputs = Array.init n_small (fun i -> i mod 2) in
+  check_safety "mmr crashes"
+    (Brun.run_mmr ~coin:Mmr.Ideal ~n:n_small ~f:5 ~pre_crash:[ 2; 9; 14 ] ~inputs ~seed:3 ())
+
+let test_mmr_vrf_coin () =
+  (* The paper's §4 composition: MMR + Algorithm 1 coin. *)
+  let kr = Vrf.Keyring.create ~backend:Vrf.Mock ~n:n_small ~seed:"mmr-vrf-test" () in
+  for seed = 1 to 3 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    check_safety "mmr+vrf"
+      (Brun.run_mmr ~coin:(Mmr.Vrf_coin kr) ~n:n_small ~f:5 ~inputs ~seed:(seed * 29) ())
+  done
+
+let test_mmr_rounds_constant () =
+  let max_rounds = ref 0 in
+  for seed = 1 to 10 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    let o = Brun.run_mmr ~coin:Mmr.Ideal ~n:n_small ~f:5 ~inputs ~seed:(seed * 37) () in
+    if o.Brun.rounds > !max_rounds then max_rounds := o.Brun.rounds
+  done;
+  Alcotest.(check bool) (Printf.sprintf "max rounds %d" !max_rounds) true (!max_rounds <= 6)
+
+
+(* ---------------- Dealer_coin + MMR Threshold mode ---------------- *)
+
+let test_dealer_coin_roundtrip () =
+  let dc = Dealer_coin.make ~n:10 ~threshold:4 ~seed:"dc" in
+  for round = 0 to 5 do
+    let col = Dealer_coin.Collector.create dc ~round in
+    let result = ref None in
+    for pid = 0 to 3 do
+      let value, mac = Dealer_coin.share dc ~round ~pid in
+      match Dealer_coin.Collector.add col ~pid value mac with
+      | Some b -> result := Some b
+      | None -> ()
+    done;
+    Alcotest.(check (option int)) "reconstructs the dealt bit"
+      (Some (Dealer_coin.coin dc ~round)) !result
+  done
+
+let test_dealer_coin_rejects_bad_mac () =
+  let dc = Dealer_coin.make ~n:10 ~threshold:4 ~seed:"dc2" in
+  let col = Dealer_coin.Collector.create dc ~round:0 in
+  let value, _ = Dealer_coin.share dc ~round:0 ~pid:0 in
+  Alcotest.(check (option int)) "bad mac ignored" None
+    (Dealer_coin.Collector.add col ~pid:0 value "not-a-mac");
+  (* and the slot is not burned: the true share still counts later *)
+  let value, mac = Dealer_coin.share dc ~round:0 ~pid:0 in
+  ignore (Dealer_coin.Collector.add col ~pid:0 value mac);
+  Alcotest.(check bool) "collector progressed" true (Dealer_coin.Collector.result col = None)
+
+let test_dealer_coin_duplicate_ignored () =
+  let dc = Dealer_coin.make ~n:10 ~threshold:3 ~seed:"dc3" in
+  let col = Dealer_coin.Collector.create dc ~round:1 in
+  let value, mac = Dealer_coin.share dc ~round:1 ~pid:2 in
+  ignore (Dealer_coin.Collector.add col ~pid:2 value mac);
+  Alcotest.(check (option int)) "duplicate share does not advance" None
+    (Dealer_coin.Collector.add col ~pid:2 value mac)
+
+let test_dealer_coin_balance () =
+  let dc = Dealer_coin.make ~n:4 ~threshold:2 ~seed:"dc4" in
+  let ones = ref 0 in
+  for round = 0 to 199 do
+    if Dealer_coin.coin dc ~round = 1 then incr ones
+  done;
+  Alcotest.(check bool) (Printf.sprintf "balanced (%d/200)" !ones) true
+    (!ones > 70 && !ones < 130)
+
+let test_mmr_threshold_coin () =
+  (* The Cachin-style row: MMR + dealer threshold coin, n > 3f. *)
+  let dc = Dealer_coin.make ~n:n_small ~threshold:6 ~seed:"mmr-th" in
+  for seed = 1 to 4 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    check_safety "mmr+threshold"
+      (Brun.run_mmr ~coin:(Mmr.Threshold dc) ~n:n_small ~f:5 ~inputs ~seed:(seed * 41) ())
+  done
+
+let test_mmr_threshold_with_crashes () =
+  let dc = Dealer_coin.make ~n:n_small ~threshold:6 ~seed:"mmr-th2" in
+  let inputs = Array.init n_small (fun i -> i mod 2) in
+  check_safety "mmr+threshold crashes"
+    (Brun.run_mmr ~coin:(Mmr.Threshold dc) ~n:n_small ~f:5 ~pre_crash:[ 1; 6; 11 ] ~inputs
+       ~seed:5 ())
+
+let test_mmr_threshold_rounds_constant () =
+  let dc = Dealer_coin.make ~n:n_small ~threshold:6 ~seed:"mmr-th3" in
+  let max_rounds = ref 0 in
+  for seed = 1 to 8 do
+    let inputs = Array.init n_small (fun i -> i mod 2) in
+    let o = Brun.run_mmr ~coin:(Mmr.Threshold dc) ~n:n_small ~f:5 ~inputs ~seed:(seed * 43) () in
+    if o.Brun.rounds > !max_rounds then max_rounds := o.Brun.rounds
+  done;
+  Alcotest.(check bool) (Printf.sprintf "max rounds %d" !max_rounds) true (!max_rounds <= 6)
+
+let qcheck_benor_safety =
+  QCheck.Test.make ~name:"qcheck: benor safety" ~count:10
+    QCheck.(pair small_int (int_range 0 n_small))
+    (fun (seed, ones) ->
+      let inputs = Array.init n_small (fun i -> if i < ones then 1 else 0) in
+      let o = Brun.run_benor ~n:n_small ~f:3 ~inputs ~seed:(seed + 7000) () in
+      o.Brun.all_decided && o.Brun.agreement)
+
+let qcheck_mmr_safety =
+  QCheck.Test.make ~name:"qcheck: mmr safety" ~count:10
+    QCheck.(pair small_int (int_range 0 n_small))
+    (fun (seed, ones) ->
+      let inputs = Array.init n_small (fun i -> if i < ones then 1 else 0) in
+      let o = Brun.run_mmr ~coin:Mmr.Ideal ~n:n_small ~f:5 ~inputs ~seed:(seed + 8000) () in
+      o.Brun.all_decided && o.Brun.agreement)
+
+let suite =
+  [
+    Alcotest.test_case "rbc correct sender" `Quick test_rbc_correct_sender;
+    Alcotest.test_case "rbc with crashes" `Quick test_rbc_with_crashes;
+    Alcotest.test_case "rbc crashed sender" `Quick test_rbc_crashed_sender_no_delivery;
+    Alcotest.test_case "rbc totality" `Quick test_rbc_totality;
+    Alcotest.test_case "rbc equivocating sender" `Quick test_rbc_equivocating_sender;
+    Alcotest.test_case "benor unanimous" `Quick test_benor_unanimous;
+    Alcotest.test_case "benor mixed" `Slow test_benor_mixed;
+    Alcotest.test_case "benor crashes" `Quick test_benor_crashes;
+    Alcotest.test_case "benor fast path" `Quick test_benor_unanimous_one_round;
+    Alcotest.test_case "bracha unanimous" `Quick test_bracha_unanimous;
+    Alcotest.test_case "bracha mixed" `Slow test_bracha_mixed;
+    Alcotest.test_case "bracha crashes" `Quick test_bracha_crashes;
+    Alcotest.test_case "rabin unanimous" `Quick test_rabin_unanimous;
+    Alcotest.test_case "rabin mixed" `Quick test_rabin_mixed;
+    Alcotest.test_case "rabin crashes" `Quick test_rabin_crashes;
+    Alcotest.test_case "rabin constant rounds" `Slow test_rabin_constant_rounds;
+    Alcotest.test_case "rabin resilience check" `Quick test_rabin_dealer_resilience_check;
+    Alcotest.test_case "rabin coin balanced" `Quick test_rabin_dealer_coin_uniformity;
+    Alcotest.test_case "mmr ideal unanimous" `Quick test_mmr_ideal_unanimous;
+    Alcotest.test_case "mmr ideal mixed" `Slow test_mmr_ideal_mixed;
+    Alcotest.test_case "mmr ideal crashes" `Quick test_mmr_ideal_crashes;
+    Alcotest.test_case "mmr + vrf coin" `Slow test_mmr_vrf_coin;
+    Alcotest.test_case "mmr rounds constant" `Slow test_mmr_rounds_constant;
+    Alcotest.test_case "dealer coin roundtrip" `Quick test_dealer_coin_roundtrip;
+    Alcotest.test_case "dealer coin bad mac" `Quick test_dealer_coin_rejects_bad_mac;
+    Alcotest.test_case "dealer coin duplicate" `Quick test_dealer_coin_duplicate_ignored;
+    Alcotest.test_case "dealer coin balance" `Quick test_dealer_coin_balance;
+    Alcotest.test_case "mmr threshold coin" `Slow test_mmr_threshold_coin;
+    Alcotest.test_case "mmr threshold crashes" `Quick test_mmr_threshold_with_crashes;
+    Alcotest.test_case "mmr threshold rounds" `Slow test_mmr_threshold_rounds_constant;
+    QCheck_alcotest.to_alcotest qcheck_benor_safety;
+    QCheck_alcotest.to_alcotest qcheck_mmr_safety;
+  ]

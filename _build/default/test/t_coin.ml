@@ -1,0 +1,208 @@
+(* Algorithm 1 (shared coin): liveness, agreement behaviour, validation,
+   fault tolerance, success rate versus the Lemma 4.8 bound. *)
+
+open Core
+
+let n = 24
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"coin-test" ())
+let rsa_keyring = lazy (Vrf.Keyring.create ~backend:(Vrf.Rsa_fdh { bits = 256 }) ~n:8 ~seed:"coin-rsa" ())
+let keyring4 = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n:4 ~seed:"coin-test-n4" ())
+
+let run ?scheduler ?pre_corrupt ?corrupt_engine ~f ~seed () =
+  Runner.run_shared_coin ?scheduler ?pre_corrupt ?corrupt_engine ~keyring:(Lazy.force keyring)
+    ~n ~f ~round:0 ~seed ()
+
+let test_all_return () =
+  let o = run ~f:0 ~seed:1 () in
+  Alcotest.(check int) "all processes return" n (List.length o.Runner.outputs);
+  Alcotest.(check bool) "run completed" true (o.Runner.coin_result = Sim.Engine.All_done)
+
+let test_unanimity_no_faults () =
+  (* Without faults and with a benign scheduler, agreement should be very
+     common; require most seeds unanimous. *)
+  let unanimous = ref 0 in
+  for seed = 1 to 20 do
+    let o = run ~f:0 ~seed () in
+    if o.Runner.unanimous <> None then incr unanimous
+  done;
+  Alcotest.(check bool) (Printf.sprintf "unanimous %d/20" !unanimous) true (!unanimous >= 15)
+
+let test_output_binary () =
+  for seed = 1 to 5 do
+    let o = run ~f:5 ~seed () in
+    List.iter (fun (_, b) -> Alcotest.(check bool) "binary" true (b = 0 || b = 1)) o.Runner.outputs
+  done
+
+let test_liveness_with_crashes () =
+  (* f crashed processes: the rest still return (Lemma 4.11). *)
+  let f = 5 in
+  let o = run ~f ~pre_corrupt:[ 0; 5; 10; 15; 20 ] ~seed:3 () in
+  Alcotest.(check int) "survivors return" (n - f) (List.length o.Runner.outputs);
+  Alcotest.(check bool) "done" true (o.Runner.coin_result = Sim.Engine.All_done)
+
+let test_deterministic_given_seed () =
+  let a = run ~f:3 ~seed:9 () and b = run ~f:3 ~seed:9 () in
+  Alcotest.(check bool) "same outputs" true (a.Runner.outputs = b.Runner.outputs)
+
+let test_different_rounds_differ () =
+  (* The coin value depends on the round number: over several rounds we
+     should see both 0 and 1. *)
+  let kr = Lazy.force keyring in
+  let bits =
+    List.init 12 (fun r ->
+        let o = Runner.run_shared_coin ~keyring:kr ~n ~f:0 ~round:r ~seed:100 () in
+        match o.Runner.unanimous with Some b -> b | None -> -1)
+  in
+  Alcotest.(check bool) "both values occur" true (List.mem 0 bits && List.mem 1 bits)
+
+let test_word_complexity () =
+  (* Each correct process sends 2n messages of 4 words: O(n^2) total. *)
+  let o = run ~f:0 ~seed:4 () in
+  Alcotest.(check int) "exact word count" (n * n * 2 * 4) o.Runner.coin_words
+
+let test_success_rate_bound () =
+  (* Empirical success rate vs Lemma 4.8 at epsilon implied by f = 0...
+     use f = floor((1/3 - eps) n) with eps = 0.2: f = 3 when n = 24. *)
+  let f = 3 in
+  let epsilon = (1.0 /. 3.0) -. (float_of_int f /. float_of_int n) in
+  let bound = Params.coin_success_bound ~epsilon in
+  let trials = 60 in
+  let zeros = ref 0 and ones = ref 0 in
+  for seed = 1 to trials do
+    let o = run ~f ~seed:(seed * 31) () in
+    match o.Runner.unanimous with
+    | Some 0 -> incr zeros
+    | Some 1 -> incr ones
+    | Some _ | None -> ()
+  done;
+  let p0 = float_of_int !zeros /. float_of_int trials in
+  let p1 = float_of_int !ones /. float_of_int trials in
+  (* Success rate: for each b, P[all output b] >= bound.  Allow slack for
+     the small sample. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "P[0]=%.2f P[1]=%.2f >= bound %.3f - slack" p0 p1 bound)
+    true
+    (p0 >= bound -. 0.1 && p1 >= bound -. 0.1)
+
+let test_state_machine_validation () =
+  (* Direct state-machine test: forged first message (value not sender's
+     own) is ignored. *)
+  let kr = Lazy.force keyring in
+  let c = Coin.create ~keyring:kr ~n ~f:0 ~pid:0 ~instance:"direct" ~round:0 in
+  ignore (Coin.start c);
+  let out1 = Vrf.Keyring.prove kr 1 "direct/coin/0" in
+  (* src = 2 forwards 1's value as its FIRST: must be ignored. *)
+  let acts = Coin.handle c ~src:2 (Coin.First { origin = 1; out = out1 }) in
+  Alcotest.(check bool) "forwarded first ignored" true (acts = []);
+  (* legitimate first from 1 accepted *)
+  let _ = Coin.handle c ~src:1 (Coin.First { origin = 1; out = out1 }) in
+  (match Coin.current_min c with
+  | None -> Alcotest.fail "no min"
+  | Some v -> Alcotest.(check bool) "min is one of the two" true (v.Coin.origin = 0 || v.Coin.origin = 1))
+
+let test_duplicate_sender_ignored () =
+  let kr = Lazy.force keyring4 in
+  let c = Coin.create ~keyring:kr ~n:4 ~f:1 ~pid:0 ~instance:"dup" ~round:0 in
+  ignore (Coin.start c);
+  let out1 = Vrf.Keyring.prove kr 1 "dup/coin/0" in
+  let m = Coin.First { origin = 1; out = out1 } in
+  ignore (Coin.handle c ~src:1 m);
+  let again = Coin.handle c ~src:1 m in
+  Alcotest.(check bool) "duplicate ignored" true (again = [])
+
+let test_invalid_vrf_ignored () =
+  let kr = Lazy.force keyring4 in
+  let c = Coin.create ~keyring:kr ~n:4 ~f:1 ~pid:0 ~instance:"bad" ~round:0 in
+  ignore (Coin.start c);
+  (* VRF output for the wrong round: proof won't verify for this alpha. *)
+  let wrong = Vrf.Keyring.prove kr 1 "bad/coin/999" in
+  let acts = Coin.handle c ~src:1 (Coin.First { origin = 1; out = wrong }) in
+  Alcotest.(check bool) "wrong-round VRF ignored" true (acts = [])
+
+let test_second_phase_triggers () =
+  (* With n = 4, f = 1: after 3 FIRSTs the process broadcasts SECOND. *)
+  let kr = Lazy.force keyring4 in
+  let c = Coin.create ~keyring:kr ~n:4 ~f:1 ~pid:3 ~instance:"phase" ~round:0 in
+  ignore (Coin.start c);
+  let firsts =
+    List.map (fun pid -> (pid, Vrf.Keyring.prove kr pid "phase/coin/0")) [ 0; 1; 2 ]
+  in
+  let all_acts =
+    List.concat_map (fun (pid, out) -> Coin.handle c ~src:pid (Coin.First { origin = pid; out })) firsts
+  in
+  let seconds = List.filter (function Coin.Broadcast (Coin.Second _) -> true | _ -> false) all_acts in
+  Alcotest.(check int) "exactly one SECOND" 1 (List.length seconds)
+
+let test_return_after_quorum_seconds () =
+  let kr = Lazy.force keyring4 in
+  let c = Coin.create ~keyring:kr ~n:4 ~f:1 ~pid:3 ~instance:"ret" ~round:0 in
+  ignore (Coin.start c);
+  let outs = List.map (fun pid -> (pid, Vrf.Keyring.prove kr pid "ret/coin/0")) [ 0; 1; 2 ] in
+  let acts =
+    List.concat_map
+      (fun (pid, out) -> Coin.handle c ~src:pid (Coin.Second { origin = pid; out }))
+      outs
+  in
+  let returns = List.filter_map (function Coin.Return b -> Some b | _ -> None) acts in
+  Alcotest.(check int) "returned once" 1 (List.length returns);
+  Alcotest.(check bool) "result recorded" true (Coin.result c <> None);
+  (* The result is the LSB of the minimum over the received values and the
+     process's own draw (adopted at start). *)
+  let own = (3, Vrf.Keyring.prove kr 3 "ret/coin/0") in
+  let min_out =
+    List.fold_left
+      (fun acc (_, o) -> match acc with None -> Some o | Some m -> if Vrf.compare_beta o.Vrf.beta m.Vrf.beta < 0 then Some o else acc)
+      None (own :: outs)
+  in
+  Alcotest.(check (option int)) "LSB of min" (Option.map (fun (o : Vrf.output) -> Vrf.beta_lsb o.Vrf.beta) min_out)
+    (Coin.result c)
+
+let test_rsa_backend_end_to_end () =
+  (* Small n with the real RSA-FDH VRF. *)
+  let o =
+    Runner.run_shared_coin ~keyring:(Lazy.force rsa_keyring) ~n:8 ~f:0 ~round:0 ~seed:11 ()
+  in
+  Alcotest.(check int) "all return (rsa)" 8 (List.length o.Runner.outputs)
+
+let test_adaptive_crash_attack () =
+  (* The adversary crashes f processes adaptively as they first send; the
+     survivors must still return. *)
+  let f = 5 in
+  let corrupt_engine eng = Sim.Faults.adaptive_crash_first_senders eng ~f in
+  let o = run ~f ~corrupt_engine ~seed:12 () in
+  Alcotest.(check int) "survivors return" (n - f) (List.length o.Runner.outputs)
+
+let test_targeted_scheduler () =
+  (* Content-oblivious targeted delays cannot block liveness. *)
+  let sched = Sim.Scheduler.targeted ~victims:(fun pid -> pid < 8) ~factor:50.0 () in
+  let o = run ~scheduler:sched ~f:5 ~seed:13 () in
+  Alcotest.(check int) "all return under targeted delays" n (List.length o.Runner.outputs)
+
+let qcheck_coin_liveness =
+  QCheck.Test.make ~name:"qcheck: coin liveness across seeds and crash sets" ~count:25
+    QCheck.(pair small_int (int_range 0 5))
+    (fun (seed, crashes) ->
+      let pre = List.init crashes (fun i -> i * 4) in
+      let o = run ~f:5 ~pre_corrupt:pre ~seed:(seed + 1000) () in
+      List.length o.Runner.outputs = n - crashes)
+
+let suite =
+  [
+    Alcotest.test_case "all return" `Quick test_all_return;
+    Alcotest.test_case "unanimity without faults" `Slow test_unanimity_no_faults;
+    Alcotest.test_case "binary outputs" `Quick test_output_binary;
+    Alcotest.test_case "liveness with crashes" `Quick test_liveness_with_crashes;
+    Alcotest.test_case "deterministic per seed" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "rounds vary the coin" `Slow test_different_rounds_differ;
+    Alcotest.test_case "word complexity exact" `Quick test_word_complexity;
+    Alcotest.test_case "success rate vs Lemma 4.8" `Slow test_success_rate_bound;
+    Alcotest.test_case "forwarded FIRST rejected" `Quick test_state_machine_validation;
+    Alcotest.test_case "duplicate sender ignored" `Quick test_duplicate_sender_ignored;
+    Alcotest.test_case "invalid VRF ignored" `Quick test_invalid_vrf_ignored;
+    Alcotest.test_case "second phase trigger" `Quick test_second_phase_triggers;
+    Alcotest.test_case "return + LSB of min" `Quick test_return_after_quorum_seconds;
+    Alcotest.test_case "rsa backend end-to-end" `Slow test_rsa_backend_end_to_end;
+    Alcotest.test_case "adaptive crash attack" `Quick test_adaptive_crash_attack;
+    Alcotest.test_case "targeted scheduler" `Quick test_targeted_scheduler;
+    QCheck_alcotest.to_alcotest qcheck_coin_liveness;
+  ]

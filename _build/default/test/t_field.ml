@@ -1,0 +1,210 @@
+(* GF(2^31-1), polynomials, and Shamir secret sharing. *)
+
+open Field
+
+let gfeq = Alcotest.testable (Fmt.of_to_string (fun x -> string_of_int (Gf.to_int x))) Gf.equal
+
+let arb_gf =
+  QCheck.make
+    ~print:(fun x -> string_of_int (Gf.to_int x))
+    QCheck.Gen.(map Gf.of_int (0 -- (Gf.p - 1)))
+
+let test_constants () =
+  Alcotest.(check int) "p" 2147483647 Gf.p;
+  Alcotest.check gfeq "zero" (Gf.of_int 0) Gf.zero;
+  Alcotest.check gfeq "one" (Gf.of_int 1) Gf.one
+
+let test_of_int_reduction () =
+  Alcotest.check gfeq "p reduces to 0" Gf.zero (Gf.of_int Gf.p);
+  Alcotest.check gfeq "p+1 reduces to 1" Gf.one (Gf.of_int (Gf.p + 1));
+  Alcotest.check gfeq "-1 wraps" (Gf.of_int (Gf.p - 1)) (Gf.of_int (-1))
+
+let test_add_wrap () =
+  Alcotest.check gfeq "(p-1)+1 = 0" Gf.zero (Gf.add (Gf.of_int (Gf.p - 1)) Gf.one)
+
+let test_sub_wrap () =
+  Alcotest.check gfeq "0-1 = p-1" (Gf.of_int (Gf.p - 1)) (Gf.sub Gf.zero Gf.one)
+
+let test_mul_known () =
+  (* (p-1)^2 = 1 mod p since p-1 = -1. *)
+  let pm1 = Gf.of_int (Gf.p - 1) in
+  Alcotest.check gfeq "(-1)^2" Gf.one (Gf.mul pm1 pm1);
+  Alcotest.check gfeq "2*3" (Gf.of_int 6) (Gf.mul (Gf.of_int 2) (Gf.of_int 3))
+
+let test_inv () =
+  for i = 1 to 50 do
+    let x = Gf.of_int (i * 7919) in
+    Alcotest.check gfeq "x * x^-1 = 1" Gf.one (Gf.mul x (Gf.inv x))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf.inv Gf.zero))
+
+let test_pow () =
+  Alcotest.check gfeq "x^0" Gf.one (Gf.pow (Gf.of_int 5) 0);
+  Alcotest.check gfeq "x^1" (Gf.of_int 5) (Gf.pow (Gf.of_int 5) 1);
+  Alcotest.check gfeq "2^10" (Gf.of_int 1024) (Gf.pow (Gf.of_int 2) 10);
+  (* Fermat: x^(p-1) = 1. *)
+  Alcotest.check gfeq "fermat" Gf.one (Gf.pow (Gf.of_int 123456) (Gf.p - 1))
+
+let test_random_in_field () =
+  let d = Crypto.Drbg.create "gf" in
+  for _ = 1 to 100 do
+    let x = Gf.random (Crypto.Drbg.generate d) in
+    Alcotest.(check bool) "in range" true (Gf.to_int x >= 0 && Gf.to_int x < Gf.p)
+  done
+
+(* ---------------- Poly ---------------- *)
+
+let test_poly_eval_constant () =
+  let p = Poly.constant (Gf.of_int 7) in
+  Alcotest.check gfeq "constant eval" (Gf.of_int 7) (Poly.eval p (Gf.of_int 123));
+  Alcotest.(check int) "degree" 0 (Poly.degree p)
+
+let test_poly_eval_known () =
+  (* p(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38 *)
+  let p = Poly.of_coeffs [| Gf.of_int 3; Gf.of_int 2; Gf.of_int 1 |] in
+  Alcotest.check gfeq "horner" (Gf.of_int 38) (Poly.eval p (Gf.of_int 5))
+
+let test_poly_strip () =
+  let p = Poly.of_coeffs [| Gf.of_int 1; Gf.zero; Gf.zero |] in
+  Alcotest.(check int) "trailing zeros stripped" 0 (Poly.degree p);
+  Alcotest.(check int) "zero poly degree" (-1) (Poly.degree Poly.zero)
+
+let test_poly_add_mul () =
+  let p = Poly.of_coeffs [| Gf.of_int 1; Gf.of_int 1 |] in
+  (* (1+x)^2 = 1 + 2x + x^2 *)
+  let sq = Poly.mul p p in
+  Alcotest.(check int) "degree 2" 2 (Poly.degree sq);
+  Alcotest.check gfeq "(1+x)^2 at 3 = 16" (Gf.of_int 16) (Poly.eval sq (Gf.of_int 3));
+  let sum = Poly.add p (Poly.constant (Gf.of_int 5)) in
+  Alcotest.check gfeq "add" (Gf.of_int 9) (Poly.eval sum (Gf.of_int 3))
+
+let test_poly_interpolate () =
+  (* Through (1,1), (2,4), (3,9): should recover x^2. *)
+  let pts = [ (Gf.of_int 1, Gf.of_int 1); (Gf.of_int 2, Gf.of_int 4); (Gf.of_int 3, Gf.of_int 9) ] in
+  let p = Poly.interpolate pts in
+  Alcotest.check gfeq "x^2 at 7" (Gf.of_int 49) (Poly.eval p (Gf.of_int 7));
+  Alcotest.check gfeq "interpolate_at agrees" (Poly.eval p (Gf.of_int 11))
+    (Poly.interpolate_at pts (Gf.of_int 11))
+
+let test_poly_interpolate_duplicate () =
+  Alcotest.check_raises "duplicate x" (Invalid_argument "Poly.interpolate: duplicate x-coordinates")
+    (fun () ->
+      ignore (Poly.interpolate [ (Gf.one, Gf.one); (Gf.one, Gf.of_int 2) ]))
+
+let test_poly_random_shape () =
+  let d = Crypto.Drbg.create "poly" in
+  let p = Poly.random ~degree:5 ~constant:(Gf.of_int 9) (Crypto.Drbg.generate d) in
+  Alcotest.(check bool) "degree <= 5" true (Poly.degree p <= 5);
+  Alcotest.check gfeq "constant term" (Gf.of_int 9) (Poly.eval p Gf.zero)
+
+(* ---------------- Shamir ---------------- *)
+
+let random_fn seed =
+  let d = Crypto.Drbg.create seed in
+  Crypto.Drbg.generate d
+
+let test_shamir_roundtrip () =
+  let secret = Gf.of_int 12345 in
+  let shares = Shamir.deal ~secret ~threshold:4 ~n:10 (random_fn "sh1") in
+  Alcotest.(check int) "10 shares" 10 (Array.length shares);
+  (* any 4 shares reconstruct *)
+  let subset = [ shares.(0); shares.(3); shares.(7); shares.(9) ] in
+  Alcotest.check gfeq "reconstruct" secret (Shamir.reconstruct subset);
+  let subset2 = [ shares.(5); shares.(1); shares.(2); shares.(8) ] in
+  Alcotest.check gfeq "other subset" secret (Shamir.reconstruct subset2)
+
+let test_shamir_all_shares () =
+  let secret = Gf.of_int 999 in
+  let shares = Shamir.deal ~secret ~threshold:3 ~n:7 (random_fn "sh2") in
+  Alcotest.check gfeq "all shares" secret (Shamir.reconstruct (Array.to_list shares))
+
+let test_shamir_threshold_minus_one_hides () =
+  (* With t-1 shares, every candidate secret is equally consistent: check
+     that interpolating t-1 shares plus a guessed point can produce any
+     secret — i.e. the shares do not determine it. *)
+  let secret = Gf.of_int 777 in
+  let shares = Shamir.deal ~secret ~threshold:3 ~n:5 (random_fn "sh3") in
+  let partial = [ shares.(0); shares.(1) ] in
+  (* For any candidate secret s, there is a degree-2 polynomial through the
+     two shares and (0, s).  So reconstruction from partial+candidate must
+     succeed for multiple different candidates. *)
+  List.iter
+    (fun s ->
+      let candidate = Gf.of_int s in
+      let pts = (Gf.zero, candidate) :: List.map (fun sh -> (Gf.of_int sh.Shamir.index, sh.Shamir.value)) partial in
+      let p = Poly.interpolate pts in
+      Alcotest.check gfeq "consistent polynomial exists" candidate (Poly.eval p Gf.zero))
+    [ 0; 1; 424242 ]
+
+let test_shamir_exact_detects_tamper () =
+  let secret = Gf.of_int 31337 in
+  let shares = Shamir.deal ~secret ~threshold:3 ~n:6 (random_fn "sh4") in
+  let good = Array.to_list shares in
+  (match Shamir.reconstruct_exact ~threshold:3 good with
+  | Some s -> Alcotest.check gfeq "exact ok" secret s
+  | None -> Alcotest.fail "consistent shares rejected");
+  let bad =
+    { Shamir.index = shares.(5).Shamir.index; value = Gf.add shares.(5).Shamir.value Gf.one }
+    :: List.filteri (fun i _ -> i < 5) good
+  in
+  Alcotest.(check bool) "tampered detected" true (Shamir.reconstruct_exact ~threshold:3 bad = None)
+
+let test_shamir_exact_insufficient () =
+  let shares = Shamir.deal ~secret:Gf.one ~threshold:4 ~n:6 (random_fn "sh5") in
+  Alcotest.(check bool) "too few shares" true
+    (Shamir.reconstruct_exact ~threshold:4 [ shares.(0); shares.(1) ] = None)
+
+let test_shamir_bad_args () =
+  Alcotest.check_raises "threshold 0" (Invalid_argument "Shamir.deal: bad threshold") (fun () ->
+      ignore (Shamir.deal ~secret:Gf.one ~threshold:0 ~n:5 (random_fn "x")))
+
+let q name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 gen prop)
+
+let qsuite =
+  [
+    q "gf add commutative" QCheck.(pair arb_gf arb_gf) (fun (a, b) ->
+        Gf.equal (Gf.add a b) (Gf.add b a));
+    q "gf mul associative" QCheck.(triple arb_gf arb_gf arb_gf) (fun (a, b, c) ->
+        Gf.equal (Gf.mul (Gf.mul a b) c) (Gf.mul a (Gf.mul b c)));
+    q "gf distributive" QCheck.(triple arb_gf arb_gf arb_gf) (fun (a, b, c) ->
+        Gf.equal (Gf.mul a (Gf.add b c)) (Gf.add (Gf.mul a b) (Gf.mul a c)));
+    q "gf sub inverse" QCheck.(pair arb_gf arb_gf) (fun (a, b) ->
+        Gf.equal a (Gf.add (Gf.sub a b) b));
+    q "gf div inverse" QCheck.(pair arb_gf arb_gf) (fun (a, b) ->
+        Gf.equal b Gf.zero || Gf.equal a (Gf.mul (Gf.div a b) b));
+    q "shamir roundtrip (random subsets)" QCheck.(pair small_int (int_range 1 5))
+      (fun (seed, t) ->
+        let secret = Gf.of_int (seed * 31 mod Gf.p) in
+        let n = t + 3 in
+        let shares = Shamir.deal ~secret ~threshold:t ~n (random_fn (string_of_int seed)) in
+        let rng = Crypto.Rng.create seed in
+        let idx = Crypto.Rng.sample_without_replacement rng t n in
+        let subset = List.map (fun i -> shares.(i)) idx in
+        Gf.equal secret (Shamir.reconstruct subset));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "of_int reduction" `Quick test_of_int_reduction;
+    Alcotest.test_case "add wrap" `Quick test_add_wrap;
+    Alcotest.test_case "sub wrap" `Quick test_sub_wrap;
+    Alcotest.test_case "mul known" `Quick test_mul_known;
+    Alcotest.test_case "inverse" `Quick test_inv;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "random in field" `Quick test_random_in_field;
+    Alcotest.test_case "poly constant" `Quick test_poly_eval_constant;
+    Alcotest.test_case "poly eval" `Quick test_poly_eval_known;
+    Alcotest.test_case "poly strip" `Quick test_poly_strip;
+    Alcotest.test_case "poly add/mul" `Quick test_poly_add_mul;
+    Alcotest.test_case "poly interpolate" `Quick test_poly_interpolate;
+    Alcotest.test_case "poly duplicate x" `Quick test_poly_interpolate_duplicate;
+    Alcotest.test_case "poly random shape" `Quick test_poly_random_shape;
+    Alcotest.test_case "shamir roundtrip" `Quick test_shamir_roundtrip;
+    Alcotest.test_case "shamir all shares" `Quick test_shamir_all_shares;
+    Alcotest.test_case "shamir hiding" `Quick test_shamir_threshold_minus_one_hides;
+    Alcotest.test_case "shamir tamper detection" `Quick test_shamir_exact_detects_tamper;
+    Alcotest.test_case "shamir insufficient" `Quick test_shamir_exact_insufficient;
+    Alcotest.test_case "shamir bad args" `Quick test_shamir_bad_args;
+  ]
+  @ qsuite

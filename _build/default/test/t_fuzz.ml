@@ -1,0 +1,192 @@
+(* Schedule fuzzing: qcheck-generated composite adversaries (scheduler
+   shape x corruption mix x crash timing x inputs) thrown at Algorithm 4
+   and the baselines, asserting safety on every run.  A miniature Jepsen:
+   the generator explores the adversary space, the property is always
+   "agreement and validity, and if the run completed, everyone decided". *)
+
+open Core
+
+let n = 32
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"fuzz" ())
+let params = lazy (Tutil.robust_params n)
+
+(* ------------- adversary description & generator ------------- *)
+
+type sched_kind = S_random | S_fifo | S_split | S_targeted | S_gst
+
+type adversary = {
+  sched : sched_kind;
+  sched_param : float;          (* delay factor / gst, kind-dependent *)
+  crashes : int list;           (* crashed before the run *)
+  midrun_crashes : (int * int) list;  (* (pid, after this many deliveries) *)
+  two_face : int list;          (* equivocators *)
+  ones : int;                   (* inputs: first [ones] processes propose 1 *)
+}
+
+let total_corrupted a =
+  List.length
+    (List.sort_uniq compare (a.crashes @ List.map fst a.midrun_crashes @ a.two_face))
+
+let gen_adversary =
+  let open QCheck.Gen in
+  let* sched = oneofl [ S_random; S_fifo; S_split; S_targeted; S_gst ] in
+  let* sched_param = float_range 2.0 60.0 in
+  let p = Lazy.force params in
+  let f = p.Params.f in
+  let* n_crash = 0 -- (f / 2) in
+  let* n_mid = 0 -- (f / 2) in
+  let* n_twoface = 0 -- (f - n_crash - n_mid) in
+  let distinct_pids k exclude =
+    (* deterministic-ish distinct picks from the generator *)
+    let* seeds = list_repeat k (0 -- 10_000) in
+    let rec place acc = function
+      | [] -> return acc
+      | s :: rest ->
+          let pid = s mod n in
+          let rec free pid = if List.mem pid acc || List.mem pid exclude then free ((pid + 1) mod n) else pid in
+          place (free pid :: acc) rest
+    in
+    place [] seeds
+  in
+  let* crashes = distinct_pids n_crash [] in
+  let* mid_pids = distinct_pids n_mid crashes in
+  let* mid_delays = list_repeat n_mid (1 -- 3000) in
+  let* two_face = distinct_pids n_twoface (crashes @ mid_pids) in
+  let* ones = 0 -- n in
+  return
+    {
+      sched;
+      sched_param;
+      crashes;
+      midrun_crashes = List.combine mid_pids mid_delays;
+      two_face;
+      ones;
+    }
+
+let print_adversary a =
+  Printf.sprintf "{sched=%s param=%.1f crash=[%s] mid=[%s] twoface=[%s] ones=%d}"
+    (match a.sched with
+    | S_random -> "random"
+    | S_fifo -> "fifo"
+    | S_split -> "split"
+    | S_targeted -> "targeted"
+    | S_gst -> "gst")
+    a.sched_param
+    (String.concat ";" (List.map string_of_int a.crashes))
+    (String.concat ";" (List.map (fun (p, d) -> Printf.sprintf "%d@%d" p d) a.midrun_crashes))
+    (String.concat ";" (List.map string_of_int a.two_face))
+    a.ones
+
+let arb_adversary = QCheck.make ~print:print_adversary gen_adversary
+
+let scheduler_of a : Ba.msg Sim.Scheduler.t =
+  match a.sched with
+  | S_random -> Sim.Scheduler.random ()
+  | S_fifo -> Sim.Scheduler.fifo ()
+  | S_split -> Sim.Scheduler.split ~group:(fun pid -> pid < n / 2) ~cross_delay:a.sched_param ()
+  | S_targeted -> Sim.Scheduler.targeted ~victims:(fun pid -> pid mod 3 = 0) ~factor:a.sched_param ()
+  | S_gst -> Sim.Scheduler.eventual_sync ~gst:a.sched_param ()
+
+(* ------------- the fuzz property for Algorithm 4 ------------- *)
+
+let run_fuzz_ba a seed =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let inputs = Array.init n (fun i -> if i < a.ones then 1 else 0) in
+  let corruption =
+    Runner.Custom
+      (fun eng ->
+        Sim.Faults.crash_all eng a.crashes;
+        Attacks.install_two_face eng ~keyring:kr ~params:p
+          ~instance:(Runner.ba_instance_name ~seed) ~pids:a.two_face;
+        (* mid-run crashes: after the given number of deliveries *)
+        List.iter
+          (fun (pid, after) ->
+            let seen = ref 0 in
+            Sim.Engine.on_deliver eng (fun _ ->
+                incr seen;
+                if !seen = after && Sim.Engine.is_correct eng pid then
+                  Sim.Engine.corrupt_crash eng pid))
+          a.midrun_crashes)
+  in
+  let o =
+    Runner.run_ba ~scheduler:(scheduler_of a) ~corruption ~keyring:kr ~params:p ~inputs ~seed ()
+  in
+  (o, inputs)
+
+let fuzz_ba_safety =
+  QCheck.Test.make ~name:"fuzz: BA safety under composite adversaries" ~count:25
+    QCheck.(pair arb_adversary small_int)
+    (fun (a, seed) ->
+      QCheck.assume (total_corrupted a <= (Lazy.force params).Params.f);
+      let o, inputs = run_fuzz_ba a (seed + 40_000) in
+      (* Safety is unconditional.  Liveness: correct processes that decided
+         must agree; validity on unanimous-correct inputs.  (A mid-run
+         crash storm may legitimately stall a run; stalling is the whp
+         caveat, not a safety violation — but with our margins it should
+         be rare, so require at least most runs to complete too.) *)
+      let unanimous_input =
+        let correct_inputs =
+          List.filteri (fun i _ -> not (List.mem i a.crashes)) (Array.to_list inputs)
+        in
+        match List.sort_uniq compare correct_inputs with [ v ] -> Some v | _ -> None
+      in
+      o.Runner.agreement
+      && (match unanimous_input with
+         | Some v -> List.for_all (fun (_, d) -> d = v) o.Runner.decisions
+         | None -> true))
+
+let fuzz_ba_mostly_live =
+  QCheck.Test.make ~name:"fuzz: BA completes under composite adversaries" ~count:15
+    QCheck.(pair arb_adversary small_int)
+    (fun (a, seed) ->
+      QCheck.assume (total_corrupted a <= (Lazy.force params).Params.f);
+      let o, _ = run_fuzz_ba a (seed + 80_000) in
+      o.Runner.all_decided)
+
+(* ------------- the same idea for MMR (ideal coin) ------------- *)
+
+let fuzz_mmr_safety =
+  QCheck.Test.make ~name:"fuzz: MMR safety under random schedules and crashes" ~count:20
+    QCheck.(triple (int_range 0 9) (int_range 0 n) small_int)
+    (fun (n_crash, ones, seed) ->
+      let rng = Crypto.Rng.create (seed * 131) in
+      let crashes = Crypto.Rng.sample_without_replacement rng n_crash n in
+      let inputs = Array.init n (fun i -> if i < ones then 1 else 0) in
+      let o =
+        Baselines.Brun.run_mmr ~coin:Baselines.Mmr.Ideal ~pre_crash:crashes ~n ~f:10 ~inputs
+          ~seed:(seed + 60_000) ()
+      in
+      o.Baselines.Brun.agreement && o.Baselines.Brun.all_decided)
+
+(* ------------- chain under fuzzing ------------- *)
+
+let fuzz_chain_safety =
+  QCheck.Test.make ~name:"fuzz: concurrent chain slots stay isolated" ~count:8
+    QCheck.(pair (int_range 1 4) small_int)
+    (fun (slots, seed) ->
+      let kr = Lazy.force keyring in
+      let p = Lazy.force params in
+      let rng = Crypto.Rng.create (seed * 7) in
+      let inputs =
+        Array.init slots (fun _ -> Array.init n (fun _ -> Crypto.Rng.int rng 2))
+      in
+      let o = Chain.run_concurrent ~keyring:kr ~params:p ~inputs ~seed:(seed + 90_000) () in
+      o.Chain.all_slots_decided
+      && List.for_all
+           (fun s ->
+             s.Chain.agreement
+             &&
+             (* per-slot validity on unanimous slots *)
+             match List.sort_uniq compare (Array.to_list inputs.(s.Chain.slot)) with
+             | [ v ] -> List.for_all (fun (_, d) -> d = v) s.Chain.decisions
+             | _ -> true)
+           o.Chain.slots)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest fuzz_ba_safety;
+    QCheck_alcotest.to_alcotest fuzz_ba_mostly_live;
+    QCheck_alcotest.to_alcotest fuzz_mmr_safety;
+    QCheck_alcotest.to_alcotest fuzz_chain_safety;
+  ]

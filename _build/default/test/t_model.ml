@@ -1,0 +1,124 @@
+(* The analytic cost model vs measured runs: the model must predict the
+   exact coin cost and land within tolerance for committee protocols
+   (whose costs are random through committee sizes). *)
+
+open Core
+
+let n = 48
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"model-test" ())
+let params = lazy (Tutil.robust_params n)
+
+let within pct a b =
+  let diff = Float.abs (a -. b) /. Float.max 1.0 b in
+  diff <= pct
+
+let test_coin_exact () =
+  let kr = Lazy.force keyring in
+  let o = Runner.run_shared_coin ~keyring:kr ~n ~f:4 ~round:0 ~seed:1 () in
+  Alcotest.(check (float 0.5)) "exact coin cost" (Model.coin_words ~n ~senders:n)
+    (float_of_int o.Runner.coin_words)
+
+let test_coin_exact_with_crashes () =
+  let kr = Lazy.force keyring in
+  let crashed = [ 0; 7; 19; 33 ] in
+  let o = Runner.run_shared_coin ~pre_corrupt:crashed ~keyring:kr ~n ~f:4 ~round:0 ~seed:2 () in
+  Alcotest.(check (float 0.5)) "crashed senders excluded"
+    (Model.coin_words ~n ~senders:(n - 4))
+    (float_of_int o.Runner.coin_words)
+
+let test_whp_coin_expectation () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let est = Analysis.estimate_whp_coin ~keyring:kr ~params:p ~trials:30 ~base_seed:10 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "model %.0f ~ measured %.0f" (Model.whp_coin_words ~params:p)
+       est.Analysis.mean_words)
+    true
+    (within 0.15 est.Analysis.mean_words (Model.whp_coin_words ~params:p))
+
+let test_approver_expectation () =
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let words = ref [] in
+  for seed = 1 to 20 do
+    let o = Runner.run_approver ~keyring:kr ~params:p ~inputs:(Array.make n 1) ~seed () in
+    words := float_of_int o.Runner.approver_words :: !words
+  done;
+  let measured = Stats.mean !words in
+  let model = Model.approver_words ~params:p ~v:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "model %.0f ~ measured %.0f" model measured)
+    true (within 0.15 measured model)
+
+let test_ba_model_bounds_measurement () =
+  (* BA cost varies with the stopping point; the one-to-two round model
+     window must contain the measured mean. *)
+  let kr = Lazy.force keyring in
+  let p = Lazy.force params in
+  let est = Analysis.estimate_ba ~keyring:kr ~params:p ~trials:8 ~base_seed:40 () in
+  let measured = est.Analysis.words.Stats.mean in
+  let lo = Model.ba_words ~params:p ~rounds:1.0 in
+  let hi = Model.ba_words ~params:p ~rounds:(est.Analysis.rounds.Stats.mean +. 1.5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.0f within [%.0f, %.0f]" measured lo hi)
+    true
+    (measured >= lo *. 0.7 && measured <= hi)
+
+let test_mmr_model () =
+  let o =
+    Baselines.Brun.run_mmr
+      ~coin:(Baselines.Mmr.Vrf_coin (Lazy.force keyring))
+      ~n ~f:10
+      ~inputs:(Array.init n (fun i -> i mod 2))
+      ~seed:5 ()
+  in
+  let measured = float_of_int o.Baselines.Brun.words in
+  let model = Model.mmr_words ~n ~rounds:(float_of_int o.Baselines.Brun.rounds +. 1.0) in
+  (* coarser: BVAL volume depends on how many values enter bin_values. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.0f within 2x of model %.0f" measured model)
+    true
+    (measured < 2.0 *. model && measured > 0.25 *. model)
+
+let test_crossover_solver () =
+  (* Linear-vs-quadratic toy: ours = 1000 n, baseline = n^2 -> crossover 1000. *)
+  let ours n = 1000.0 *. float_of_int n in
+  let baseline n = float_of_int n *. float_of_int n in
+  (match Model.crossover ~ours ~baseline () with
+  | Some x -> Alcotest.(check bool) (Printf.sprintf "crossover %d near 1000" x) true (x >= 1000 && x <= 1024)
+  | None -> Alcotest.fail "no crossover found");
+  (* never crossing within range *)
+  Alcotest.(check bool) "no crossover when always losing" true
+    (Model.crossover ~hi:4096 ~ours:(fun n -> 1e12 +. float_of_int n) ~baseline ()
+    = None);
+  (* winning from the start *)
+  Alcotest.(check (option int)) "wins at lo" (Some 8)
+    (Model.crossover ~ours:(fun _ -> 0.0) ~baseline ())
+
+let test_model_crossover_realistic () =
+  (* With the paper's lambda = 8 ln n, the model's ours-vs-MMR crossover
+     should sit in the plausible range the measurements point at
+     (hundreds to a few thousands). *)
+  let ours n =
+    match Params.make ~epsilon:0.3 ~d:0.037 ~lambda:(min n (Params.default_lambda ~n)) ~n ~strict:false () with
+    | Ok p -> Model.ba_words ~params:p ~rounds:2.0
+    | Error _ -> infinity
+  in
+  let baseline n = Model.mmr_words ~n ~rounds:2.0 in
+  match Model.crossover ~ours ~baseline () with
+  | Some x ->
+      Alcotest.(check bool) (Printf.sprintf "crossover %d in [100, 10000]" x) true
+        (x >= 100 && x <= 10_000)
+  | None -> Alcotest.fail "expected a crossover"
+
+let suite =
+  [
+    Alcotest.test_case "coin exact" `Quick test_coin_exact;
+    Alcotest.test_case "coin exact with crashes" `Quick test_coin_exact_with_crashes;
+    Alcotest.test_case "whp coin expectation" `Slow test_whp_coin_expectation;
+    Alcotest.test_case "approver expectation" `Slow test_approver_expectation;
+    Alcotest.test_case "ba model brackets measurement" `Slow test_ba_model_bounds_measurement;
+    Alcotest.test_case "mmr model coarse" `Quick test_mmr_model;
+    Alcotest.test_case "crossover solver" `Quick test_crossover_solver;
+    Alcotest.test_case "realistic crossover range" `Quick test_model_crossover_realistic;
+  ]

@@ -1,0 +1,161 @@
+(* Params: windows, derivation formulas, validation, bounds. *)
+
+open Core
+
+let test_default_lambda () =
+  (* lambda = round(8 ln n) *)
+  Alcotest.(check int) "n=1000" 55 (Params.default_lambda ~n:1000);
+  Alcotest.(check int) "n=64" 33 (Params.default_lambda ~n:64);
+  Alcotest.(check bool) "n=2 positive" true (Params.default_lambda ~n:2 >= 1)
+
+let test_epsilon_window_shape () =
+  match Params.epsilon_window ~n:1000 with
+  | None -> Alcotest.fail "window should exist for n=1000"
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "lo < hi" true (lo < hi);
+      Alcotest.(check (float 1e-9)) "hi = 1/3" (1.0 /. 3.0) hi;
+      (* lo = max(3/(8 ln n), 0.109) + 1/(8 ln n); for n = 1000,
+         8 ln n = 55.26, 3/55.26 = 0.0543 < 0.109 -> lo = 0.109 + 0.0181 *)
+      Alcotest.(check (float 1e-3)) "lo formula" (0.109 +. (1.0 /. 55.26)) lo
+
+let test_epsilon_window_small_n () =
+  (* For tiny n the lower bound exceeds 1/3 and the window closes. *)
+  Alcotest.(check bool) "n=2 closed" true (Params.epsilon_window ~n:2 = None)
+
+let test_d_window () =
+  match Params.d_window ~epsilon:0.2 ~lambda:50 with
+  | None -> Alcotest.fail "window should exist"
+  | Some (lo, hi) ->
+      Alcotest.(check (float 1e-9)) "lo = max(1/50, 0.0362)" 0.0362 lo;
+      Alcotest.(check (float 1e-9)) "hi = eps/3 - 1/(3*50)" ((0.2 /. 3.0) -. (1.0 /. 150.0)) hi
+
+let test_d_window_closed () =
+  (* epsilon too small -> empty d window. *)
+  Alcotest.(check bool) "closed" true (Params.d_window ~epsilon:0.11 ~lambda:50 = None)
+
+let test_make_strict_valid () =
+  match Params.make ~n:1000 () with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check bool) "strictly valid" true p.Params.strictly_valid;
+      Alcotest.(check int) "lambda default" 55 p.Params.lambda;
+      (* W and B formulas *)
+      let l = float_of_int p.Params.lambda in
+      Alcotest.(check int) "W" (int_of_float (ceil (((2.0 /. 3.0) +. (3.0 *. p.Params.d)) *. l))) p.Params.w;
+      Alcotest.(check int) "B" (int_of_float (floor (((1.0 /. 3.0) -. p.Params.d) *. l))) p.Params.b;
+      (* f = floor((1/3 - eps) n) *)
+      Alcotest.(check int) "f" (int_of_float (float_of_int 1000 *. ((1.0 /. 3.0) -. p.Params.epsilon))) p.Params.f;
+      Alcotest.(check bool) "W > 2B (committee quorum majority)" true (p.Params.w > 2 * p.Params.b)
+
+let test_make_rejects_bad_epsilon () =
+  (match Params.make ~epsilon:0.05 ~n:1000 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epsilon below window accepted");
+  match Params.make ~epsilon:0.4 ~n:1000 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epsilon above 1/3 accepted"
+
+let test_make_rejects_bad_d () =
+  match Params.make ~d:0.3 ~n:1000 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "d above window accepted"
+
+let test_make_nonstrict_clamps () =
+  match Params.make ~strict:false ~n:8 () with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check bool) "flagged as clamped" false p.Params.strictly_valid;
+      Alcotest.(check bool) "still usable" true (p.Params.w > 0 && p.Params.lambda > 0)
+
+let test_make_small_n_error () =
+  (match Params.make ~n:1 () with Error _ -> () | Ok _ -> Alcotest.fail "n=1 accepted");
+  match Params.make ~n:8 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict n=8 should fail (empty epsilon window)"
+
+let test_lambda_bounds () =
+  (match Params.make ~lambda:0 ~strict:false ~n:100 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lambda 0 accepted");
+  match Params.make ~lambda:200 ~strict:false ~n:100 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lambda > n accepted"
+
+let test_quorum () =
+  let p = Params.make_exn ~strict:false ~n:100 () in
+  Alcotest.(check int) "n - f" (100 - p.Params.f) (Params.quorum p)
+
+let test_coin_success_bound () =
+  (* Remark 4.10: epsilon = 1/3 gives a perfectly fair coin (rate 1/2). *)
+  Alcotest.(check (float 1e-9)) "eps=1/3 -> 1/2" 0.5 (Params.coin_success_bound ~epsilon:(1.0 /. 3.0));
+  (* At the resilience floor the bound must still be positive. *)
+  Alcotest.(check bool) "eps=0.109 positive-ish" true
+    (Params.coin_success_bound ~epsilon:0.14 > 0.0);
+  (* Monotone increasing in epsilon. *)
+  Alcotest.(check bool) "monotone" true
+    (Params.coin_success_bound ~epsilon:0.3 > Params.coin_success_bound ~epsilon:0.2)
+
+let test_whp_coin_success_bound () =
+  (* Positive for d > 0.0362 (paper's lower bound on d). *)
+  Alcotest.(check bool) "positive above 0.0362" true (Params.whp_coin_success_bound ~d:0.037 > 0.0);
+  Alcotest.(check bool) "negative below root" true (Params.whp_coin_success_bound ~d:0.03 < 0.0);
+  Alcotest.(check bool) "monotone-ish" true
+    (Params.whp_coin_success_bound ~d:0.08 > Params.whp_coin_success_bound ~d:0.05)
+
+let test_common_values_bound () =
+  let p = Params.make_exn ~n:1000 () in
+  let c = Params.common_values_bound p in
+  (* 9 eps n / (1 + 6 eps), linear in n and below n. *)
+  Alcotest.(check bool) "positive" true (c > 0.0);
+  Alcotest.(check bool) "below n" true (c < 1000.0)
+
+let qcheck_windows_consistent =
+  QCheck.Test.make ~name:"qcheck: defaults land inside their windows" ~count:50
+    QCheck.(int_range 100 100_000)
+    (fun n ->
+      match Params.make ~n () with
+      | Error _ -> false
+      | Ok p ->
+          let eps_ok =
+            match Params.epsilon_window ~n with
+            | Some (lo, hi) -> p.Params.epsilon > lo && p.Params.epsilon < hi
+            | None -> false
+          in
+          let d_ok =
+            match Params.d_window ~epsilon:p.Params.epsilon ~lambda:p.Params.lambda with
+            | Some (lo, hi) -> p.Params.d > lo && p.Params.d < hi
+            | None -> false
+          in
+          eps_ok && d_ok && p.Params.strictly_valid)
+
+let qcheck_thresholds_sane =
+  QCheck.Test.make ~name:"qcheck: W <= committee upper bound, B < W" ~count:50
+    QCheck.(int_range 100 100_000)
+    (fun n ->
+      match Params.make ~n () with
+      | Error _ -> false
+      | Ok p ->
+          let l = float_of_int p.Params.lambda in
+          (* S1's upper bound on committee size must accommodate W. *)
+          float_of_int p.Params.w <= (1.0 +. p.Params.d) *. l && p.Params.b < p.Params.w)
+
+let suite =
+  [
+    Alcotest.test_case "default lambda" `Quick test_default_lambda;
+    Alcotest.test_case "epsilon window" `Quick test_epsilon_window_shape;
+    Alcotest.test_case "epsilon window small n" `Quick test_epsilon_window_small_n;
+    Alcotest.test_case "d window" `Quick test_d_window;
+    Alcotest.test_case "d window closed" `Quick test_d_window_closed;
+    Alcotest.test_case "make strict valid" `Quick test_make_strict_valid;
+    Alcotest.test_case "rejects bad epsilon" `Quick test_make_rejects_bad_epsilon;
+    Alcotest.test_case "rejects bad d" `Quick test_make_rejects_bad_d;
+    Alcotest.test_case "nonstrict clamps" `Quick test_make_nonstrict_clamps;
+    Alcotest.test_case "small n errors" `Quick test_make_small_n_error;
+    Alcotest.test_case "lambda bounds" `Quick test_lambda_bounds;
+    Alcotest.test_case "quorum" `Quick test_quorum;
+    Alcotest.test_case "coin success bound" `Quick test_coin_success_bound;
+    Alcotest.test_case "whp coin success bound" `Quick test_whp_coin_success_bound;
+    Alcotest.test_case "common values bound" `Quick test_common_values_bound;
+    QCheck_alcotest.to_alcotest qcheck_windows_consistent;
+    QCheck_alcotest.to_alcotest qcheck_thresholds_sane;
+  ]

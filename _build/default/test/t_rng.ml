@@ -1,0 +1,189 @@
+(* Tests for Crypto.Rng: determinism, ranges, uniformity sanity, helpers. *)
+
+open Crypto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  check "streams differ" true !differs
+
+let test_zero_seed_ok () =
+  (* The all-zero xoshiro state is forbidden; seeding must avoid it. *)
+  let r = Rng.create 0 in
+  let all_zero = ref true in
+  for _ = 1 to 4 do
+    if Rng.next_int64 r <> 0L then all_zero := false
+  done;
+  check "zero seed produces non-zero output" false !all_zero
+
+let test_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bound_one () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10 do
+    check_int "bound 1 gives 0" 0 (Rng.int r 1)
+  done
+
+let test_int_rejects_bad_bound () =
+  let r = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_int_in () =
+  let r = Rng.create 8 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in r (-5) 5 in
+    check "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_uniformity () =
+  (* Chi-square-lite: each of 8 buckets should get 1000/8 = 125 +- 60. *)
+  let r = Rng.create 9 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> check (Printf.sprintf "bucket %d balanced (%d)" i c) true (c > 65 && c < 185))
+    buckets
+
+let test_float_range () =
+  let r = Rng.create 10 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    check "float in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bool_balance () =
+  let r = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr trues
+  done;
+  check "bool roughly balanced" true (!trues > 400 && !trues < 600)
+
+let test_bits64 () =
+  let r = Rng.create 12 in
+  for k = 1 to 63 do
+    let v = Rng.bits64 r k in
+    check
+      (Printf.sprintf "bits64 %d fits" k)
+      true
+      (Int64.unsigned_compare v (Int64.shift_left 1L k) < 0)
+  done
+
+let test_bytes_len () =
+  let r = Rng.create 13 in
+  List.iter (fun len -> check_int "length" len (Bytes.length (Rng.bytes r len))) [ 0; 1; 7; 8; 9; 33 ]
+
+let test_split_independent () =
+  let parent = Rng.create 14 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  check "children differ" true (Rng.next_int64 c1 <> Rng.next_int64 c2)
+
+let test_copy () =
+  let a = Rng.create 15 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 16 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick_member () =
+  let r = Rng.create 17 in
+  let a = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 50 do
+    let picked = Rng.pick r a in
+    check "picked element is a member" true (Array.exists (fun x -> x = picked) a)
+  done
+
+let test_sample_without_replacement () =
+  let r = Rng.create 18 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement r 5 20 in
+    check_int "5 samples" 5 (List.length s);
+    check_int "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> check "in range" true (x >= 0 && x < 20)) s
+  done
+
+let test_sample_all () =
+  let r = Rng.create 19 in
+  let s = Rng.sample_without_replacement r 10 10 in
+  Alcotest.(check (list int)) "k = n is everything" (List.init 10 Fun.id) s
+
+let test_sample_coverage () =
+  (* Every element should be sampled eventually: Floyd's algorithm must not
+     starve low indices. *)
+  let r = Rng.create 20 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 300 do
+    List.iter (fun x -> seen.(x) <- true) (Rng.sample_without_replacement r 3 10)
+  done;
+  Array.iteri (fun i b -> check (Printf.sprintf "element %d sampled" i) true b) seen
+
+let qcheck_int_in_range =
+  QCheck.Test.make ~name:"qcheck: Rng.int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let qcheck_sample_distinct =
+  QCheck.Test.make ~name:"qcheck: sample_without_replacement distinct sorted" ~count:200
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let r = Rng.create seed in
+      let k = min n ((n / 2) + 1) in
+      let s = Rng.sample_without_replacement r k n in
+      List.length (List.sort_uniq compare s) = k && List.sort compare s = s)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "zero seed ok" `Quick test_zero_seed_ok;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int bound=1" `Quick test_int_bound_one;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int_in range" `Quick test_int_in;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "bits64 widths" `Quick test_bits64;
+    Alcotest.test_case "bytes length" `Quick test_bytes_len;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick membership" `Quick test_pick_member;
+    Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample k=n" `Quick test_sample_all;
+    Alcotest.test_case "sample coverage" `Quick test_sample_coverage;
+    QCheck_alcotest.to_alcotest qcheck_int_in_range;
+    QCheck_alcotest.to_alcotest qcheck_sample_distinct;
+  ]

@@ -1,0 +1,361 @@
+(* The simulator: heap ordering, engine delivery semantics, reliability,
+   determinism, corruption, metrics, causal depth, schedulers. *)
+
+open Sim
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iteri (fun i p -> Heap.push h p i (int_of_float p)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.map (fun (_, _, v) -> v) (Heap.drain h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_tiebreak () =
+  let h = Heap.create () in
+  Heap.push h 1.0 2 'b';
+  Heap.push h 1.0 1 'a';
+  Heap.push h 1.0 3 'c';
+  let order = List.map (fun (_, _, v) -> v) (Heap.drain h) in
+  Alcotest.(check (list char)) "seq tie-break" [ 'a'; 'b'; 'c' ] order
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  let r = Crypto.Rng.create 5 in
+  let reference = ref [] in
+  for i = 0 to 999 do
+    let p = Crypto.Rng.float r 100.0 in
+    Heap.push h p i p;
+    reference := p :: !reference
+  done;
+  let popped = List.map (fun (_, _, v) -> v) (Heap.drain h) in
+  Alcotest.(check (list (float 0.0))) "heapsort" (List.sort compare !reference) popped;
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_size () =
+  let h = Heap.create () in
+  Alcotest.(check int) "empty" 0 (Heap.size h);
+  Heap.push h 1.0 0 ();
+  Heap.push h 2.0 1 ();
+  Alcotest.(check int) "two" 2 (Heap.size h);
+  ignore (Heap.pop h);
+  Alcotest.(check int) "one" 1 (Heap.size h);
+  Alcotest.(check bool) "peek" true (Heap.peek h <> None)
+
+(* ---------------- Engine ---------------- *)
+
+let test_exactly_once_delivery () =
+  let eng : int Engine.t = Engine.create ~n:4 ~seed:1 () in
+  let received = Array.make 4 [] in
+  for pid = 0 to 3 do
+    Engine.set_handler eng pid (fun e ->
+        received.(pid) <- e.Envelope.payload :: received.(pid))
+  done;
+  Engine.broadcast eng ~src:0 ~words:1 7;
+  let r = Engine.run eng ~until:(fun () -> false) in
+  Alcotest.(check bool) "quiescent" true (r = Engine.Quiescent);
+  Array.iteri
+    (fun i msgs -> Alcotest.(check (list int)) (Printf.sprintf "pid %d got exactly one" i) [ 7 ] msgs)
+    received
+
+let test_reliable_all_delivered () =
+  let eng : int Engine.t = Engine.create ~n:8 ~seed:2 () in
+  let count = ref 0 in
+  for pid = 0 to 7 do
+    Engine.set_handler eng pid (fun _ -> incr count)
+  done;
+  for i = 0 to 99 do
+    Engine.send eng ~src:(i mod 8) ~dst:((i * 3) mod 8) ~words:1 i
+  done;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "all 100 delivered" 100 !count
+
+let test_determinism () =
+  let run seed =
+    let eng : int Engine.t = Engine.create ~n:4 ~seed () in
+    let log = ref [] in
+    for pid = 0 to 3 do
+      Engine.set_handler eng pid (fun e ->
+          log := (pid, e.Envelope.payload) :: !log;
+          (* cascade: forward once *)
+          if e.Envelope.payload < 3 then
+            Engine.send eng ~src:pid ~dst:((pid + 1) mod 4) ~words:1 (e.Envelope.payload + 1))
+    done;
+    Engine.send eng ~src:0 ~dst:1 ~words:1 0;
+    ignore (Engine.run eng ~until:(fun () -> false));
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (run 7 = run 7);
+  Alcotest.(check bool) "cascades happened" true (List.length (run 7) = 4)
+
+let test_crash_drops () =
+  let eng : int Engine.t = Engine.create ~n:3 ~seed:3 () in
+  let got = ref 0 in
+  for pid = 0 to 2 do
+    Engine.set_handler eng pid (fun _ -> incr got)
+  done;
+  Engine.corrupt_crash eng 1;
+  Engine.broadcast eng ~src:0 ~words:1 9;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "crashed pid got nothing" 2 !got;
+  Alcotest.(check int) "dropped counter" 1 (Engine.metrics eng).Metrics.dropped_at_crashed
+
+let test_crashed_cannot_send () =
+  let eng : int Engine.t = Engine.create ~n:3 ~seed:4 () in
+  let got = ref 0 in
+  for pid = 0 to 2 do
+    Engine.set_handler eng pid (fun _ -> incr got)
+  done;
+  Engine.corrupt_crash eng 0;
+  Engine.broadcast eng ~src:0 ~words:1 9;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "no deliveries from crashed source" 0 !got
+
+let test_no_after_fact_removal () =
+  (* Messages in flight at corruption time still arrive: the engine
+     enforces the paper's no-after-the-fact-removal assumption. *)
+  let eng : int Engine.t = Engine.create ~n:2 ~seed:5 () in
+  let got = ref [] in
+  Engine.set_handler eng 1 (fun e -> got := e.Envelope.payload :: !got);
+  Engine.set_handler eng 0 (fun _ -> ());
+  Engine.send eng ~src:0 ~dst:1 ~words:1 1;
+  Engine.corrupt_crash eng 0;
+  (* sent before corruption -> must be delivered *)
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check (list int)) "in-flight survives corruption" [ 1 ] !got
+
+let test_byzantine_words_separate () =
+  let eng : int Engine.t = Engine.create ~n:3 ~seed:6 () in
+  for pid = 0 to 2 do
+    Engine.set_handler eng pid (fun _ -> ())
+  done;
+  Engine.corrupt_byzantine eng 2 (fun _ -> ());
+  Engine.send eng ~src:0 ~dst:1 ~words:5 0;
+  Engine.send eng ~src:2 ~dst:1 ~words:7 0;
+  let m = Engine.metrics eng in
+  Alcotest.(check int) "correct words" 5 m.Metrics.correct_words;
+  Alcotest.(check int) "byz words" 7 m.Metrics.byz_words;
+  Alcotest.(check int) "correct msgs" 1 m.Metrics.correct_msgs;
+  Alcotest.(check int) "byz msgs" 1 m.Metrics.byz_msgs
+
+let test_byzantine_handler_runs () =
+  let eng : int Engine.t = Engine.create ~n:2 ~seed:7 () in
+  let byz_got = ref 0 in
+  Engine.set_handler eng 0 (fun _ -> ());
+  Engine.corrupt_byzantine eng 1 (fun _ -> incr byz_got);
+  Engine.send eng ~src:0 ~dst:1 ~words:1 0;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "byzantine handler invoked" 1 !byz_got
+
+let test_causal_depth () =
+  (* Chain 0 -> 1 -> 2 -> 3: depth should be 3 at pid 3. *)
+  let eng : int Engine.t = Engine.create ~n:4 ~seed:8 () in
+  for pid = 0 to 3 do
+    Engine.set_handler eng pid (fun e ->
+        if pid < 3 then Engine.send eng ~src:pid ~dst:(pid + 1) ~words:1 e.Envelope.payload)
+  done;
+  Engine.send eng ~src:0 ~dst:1 ~words:1 0;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "depth at 3" 3 (Engine.depth_of eng 3);
+  Alcotest.(check int) "depth at 1" 1 (Engine.depth_of eng 1);
+  Alcotest.(check int) "max depth" 3 (Engine.max_correct_depth eng)
+
+let test_concurrent_depth () =
+  (* Two parallel messages: depth 1, not 2. *)
+  let eng : int Engine.t = Engine.create ~n:3 ~seed:9 () in
+  for pid = 0 to 2 do
+    Engine.set_handler eng pid (fun _ -> ())
+  done;
+  Engine.send eng ~src:0 ~dst:2 ~words:1 0;
+  Engine.send eng ~src:1 ~dst:2 ~words:1 0;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "parallel depth" 1 (Engine.depth_of eng 2)
+
+let test_run_until_predicate () =
+  let eng : int Engine.t = Engine.create ~n:2 ~seed:10 () in
+  let count = ref 0 in
+  Engine.set_handler eng 0 (fun _ -> ());
+  Engine.set_handler eng 1 (fun _ -> incr count);
+  for i = 0 to 9 do
+    Engine.send eng ~src:0 ~dst:1 ~words:1 i
+  done;
+  let r = Engine.run eng ~until:(fun () -> !count >= 3) in
+  Alcotest.(check bool) "stopped on predicate" true (r = Engine.All_done);
+  Alcotest.(check int) "exactly 3" 3 !count
+
+let test_step_limit () =
+  let eng : int Engine.t = Engine.create ~n:2 ~seed:11 () in
+  (* ping-pong forever *)
+  Engine.set_handler eng 0 (fun e -> Engine.send eng ~src:0 ~dst:1 ~words:1 e.Envelope.payload);
+  Engine.set_handler eng 1 (fun e -> Engine.send eng ~src:1 ~dst:0 ~words:1 e.Envelope.payload);
+  Engine.send eng ~src:0 ~dst:1 ~words:1 0;
+  let r = Engine.run ~max_steps:100 eng ~until:(fun () -> false) in
+  Alcotest.(check bool) "step limit" true (r = Engine.Step_limit)
+
+let test_observers () =
+  let eng : int Engine.t = Engine.create ~n:2 ~seed:12 () in
+  let sends = ref 0 and delivers = ref 0 in
+  Engine.on_send eng (fun _ -> incr sends);
+  Engine.on_deliver eng (fun _ -> incr delivers);
+  Engine.set_handler eng 0 (fun _ -> ());
+  Engine.set_handler eng 1 (fun _ -> ());
+  Engine.broadcast eng ~src:0 ~words:1 0;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "send observer" 2 !sends;
+  Alcotest.(check int) "deliver observer" 2 !delivers
+
+let test_correct_pids () =
+  let eng : int Engine.t = Engine.create ~n:4 ~seed:13 () in
+  Engine.corrupt_crash eng 1;
+  Engine.corrupt_byzantine eng 3 (fun _ -> ());
+  Alcotest.(check (list int)) "correct pids" [ 0; 2 ] (Engine.correct_pids eng);
+  Alcotest.(check int) "corrupted count" 2 (Engine.corrupted_count eng);
+  Alcotest.(check bool) "is_correct" true (Engine.is_correct eng 0);
+  Alcotest.(check bool) "not correct" false (Engine.is_correct eng 1)
+
+(* ---------------- Schedulers and faults ---------------- *)
+
+let run_with_scheduler scheduler =
+  let eng : int Engine.t = Engine.create ~scheduler ~n:4 ~seed:20 () in
+  let order = ref [] in
+  for pid = 0 to 3 do
+    Engine.set_handler eng pid (fun e -> order := (e.Envelope.src, pid, e.Envelope.payload) :: !order)
+  done;
+  for i = 0 to 19 do
+    Engine.send eng ~src:(i mod 4) ~dst:((i + 1) mod 4) ~words:1 i
+  done;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  List.rev !order
+
+let test_fifo_in_order () =
+  let order = run_with_scheduler (Scheduler.fifo ()) in
+  let payloads = List.map (fun (_, _, p) -> p) order in
+  Alcotest.(check (list int)) "fifo preserves global send order" (List.init 20 Fun.id) payloads
+
+let test_random_delivers_all () =
+  let order = run_with_scheduler (Scheduler.random ()) in
+  Alcotest.(check int) "all delivered" 20 (List.length order)
+
+let test_targeted_slows_victim () =
+  (* Victim 0's messages should tend to arrive after others. *)
+  let sched = Scheduler.targeted ~victims:(fun pid -> pid = 0) ~factor:1000.0 () in
+  let order = run_with_scheduler sched in
+  let last5 = List.filteri (fun i _ -> i >= 15) order in
+  let from_victim = List.filter (fun (src, _, _) -> src = 0) last5 in
+  Alcotest.(check bool) "victim messages pushed late" true (List.length from_victim = 5)
+
+let test_split_delivers_all () =
+  let sched = Scheduler.split ~group:(fun pid -> pid < 2) ~cross_delay:100.0 () in
+  let order = run_with_scheduler sched in
+  Alcotest.(check int) "all delivered despite split" 20 (List.length order)
+
+let test_eventual_sync_phases () =
+  (* Before GST latencies are chaotic, after GST bounded: the spread of
+     delivery times of messages sent late must be far smaller. *)
+  let sched = Scheduler.eventual_sync ~gst:50.0 ~bound:1.0 ~chaos_mean:20.0 () in
+  let eng : int Engine.t = Engine.create ~scheduler:sched ~n:2 ~seed:33 () in
+  let latencies_before = ref [] and latencies_after = ref [] in
+  Engine.set_handler eng 0 (fun _ -> ());
+  Engine.set_handler eng 1 (fun _ -> ());
+  (* sample latencies directly through the scheduler function *)
+  let rng = Crypto.Rng.create 5 in
+  for _ = 1 to 200 do
+    latencies_before := sched.Scheduler.latency ~rng ~now:0.0 ~step:0 ~src:0 ~dst:1 ~payload:0 :: !latencies_before;
+    latencies_after := sched.Scheduler.latency ~rng ~now:100.0 ~step:0 ~src:0 ~dst:1 ~payload:0 :: !latencies_after
+  done;
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. 200.0 in
+  Alcotest.(check bool) "chaotic before GST" true (mean !latencies_before > 5.0);
+  Alcotest.(check bool) "bounded after GST" true
+    (List.for_all (fun l -> l < 1.0) !latencies_after)
+
+let test_eventual_sync_liveness () =
+  let sched = Scheduler.eventual_sync () in
+  let eng : int Engine.t = Engine.create ~scheduler:sched ~n:4 ~seed:34 () in
+  let got = ref 0 in
+  for pid = 0 to 3 do
+    Engine.set_handler eng pid (fun _ -> incr got)
+  done;
+  for i = 0 to 49 do
+    Engine.send eng ~src:(i mod 4) ~dst:((i + 1) mod 4) ~words:1 i
+  done;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "all delivered across GST" 50 !got
+
+let test_faults_choose_random () =
+  let rng = Crypto.Rng.create 9 in
+  let victims = Faults.choose_random rng ~n:10 ~f:3 in
+  Alcotest.(check int) "3 victims" 3 (List.length victims);
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare victims))
+
+let test_adaptive_crash_first_senders () =
+  let eng : int Engine.t = Engine.create ~n:4 ~seed:21 () in
+  for pid = 0 to 3 do
+    Engine.set_handler eng pid (fun _ -> ())
+  done;
+  Faults.adaptive_crash_first_senders eng ~f:2;
+  Engine.send eng ~src:0 ~dst:1 ~words:1 0;
+  Engine.send eng ~src:1 ~dst:2 ~words:1 0;
+  Engine.send eng ~src:2 ~dst:3 ~words:1 0;
+  Alcotest.(check bool) "first sender crashed" false (Engine.is_correct eng 0);
+  Alcotest.(check bool) "second sender crashed" false (Engine.is_correct eng 1);
+  Alcotest.(check bool) "budget spent, third alive" true (Engine.is_correct eng 2)
+
+let test_adaptive_corrupt_when () =
+  let eng : int Engine.t = Engine.create ~n:3 ~seed:22 () in
+  for pid = 0 to 2 do
+    Engine.set_handler eng pid (fun _ -> ())
+  done;
+  Faults.adaptive_corrupt_when eng ~f:1
+    (fun e -> e.Envelope.payload = 42)
+    (fun _pid _e -> ());
+  Engine.send eng ~src:0 ~dst:1 ~words:1 7;
+  Alcotest.(check bool) "no trigger yet" true (Engine.is_correct eng 0);
+  Engine.send eng ~src:1 ~dst:2 ~words:1 42;
+  Alcotest.(check bool) "trigger fired" false (Engine.is_correct eng 1)
+
+let qcheck_engine_deterministic =
+  QCheck.Test.make ~name:"qcheck: engine deterministic per seed" ~count:30 QCheck.small_int
+    (fun seed ->
+      let run () =
+        let eng : int Engine.t = Engine.create ~n:5 ~seed () in
+        let log = ref [] in
+        for pid = 0 to 4 do
+          Engine.set_handler eng pid (fun e -> log := (pid, e.Envelope.id) :: !log)
+        done;
+        for i = 0 to 30 do
+          Engine.send eng ~src:(i mod 5) ~dst:((i * 7) mod 5) ~words:1 i
+        done;
+        ignore (Engine.run eng ~until:(fun () -> false));
+        !log
+      in
+      run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "heap order" `Quick test_heap_order;
+    Alcotest.test_case "heap tiebreak" `Quick test_heap_tiebreak;
+    Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
+    Alcotest.test_case "heap size/peek" `Quick test_heap_size;
+    Alcotest.test_case "exactly-once delivery" `Quick test_exactly_once_delivery;
+    Alcotest.test_case "reliable links" `Quick test_reliable_all_delivered;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "crash drops input" `Quick test_crash_drops;
+    Alcotest.test_case "crashed can't send" `Quick test_crashed_cannot_send;
+    Alcotest.test_case "no after-the-fact removal" `Quick test_no_after_fact_removal;
+    Alcotest.test_case "byzantine accounting" `Quick test_byzantine_words_separate;
+    Alcotest.test_case "byzantine handler" `Quick test_byzantine_handler_runs;
+    Alcotest.test_case "causal depth chain" `Quick test_causal_depth;
+    Alcotest.test_case "causal depth parallel" `Quick test_concurrent_depth;
+    Alcotest.test_case "run until predicate" `Quick test_run_until_predicate;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "observers" `Quick test_observers;
+    Alcotest.test_case "correct pids" `Quick test_correct_pids;
+    Alcotest.test_case "fifo order" `Quick test_fifo_in_order;
+    Alcotest.test_case "random delivers all" `Quick test_random_delivers_all;
+    Alcotest.test_case "targeted slows victim" `Quick test_targeted_slows_victim;
+    Alcotest.test_case "split delivers all" `Quick test_split_delivers_all;
+    Alcotest.test_case "eventual sync phases" `Quick test_eventual_sync_phases;
+    Alcotest.test_case "eventual sync liveness" `Quick test_eventual_sync_liveness;
+    Alcotest.test_case "choose_random" `Quick test_faults_choose_random;
+    Alcotest.test_case "adaptive crash first senders" `Quick test_adaptive_crash_first_senders;
+    Alcotest.test_case "adaptive corrupt when" `Quick test_adaptive_corrupt_when;
+    QCheck_alcotest.to_alcotest qcheck_engine_deterministic;
+  ]

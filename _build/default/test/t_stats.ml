@@ -1,0 +1,145 @@
+(* Stats toolkit and Analysis campaigns. *)
+
+open Core
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  feq "singleton" 5.0 (Stats.mean [ 5.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean []))
+
+let test_stddev () =
+  (* Sample stddev of 2,4,4,4,5,5,7,9 is sqrt(32/7). *)
+  feq "known" (sqrt (32.0 /. 7.0)) (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ]);
+  feq "constant" 0.0 (Stats.stddev [ 3.0; 3.0; 3.0 ]);
+  feq "singleton" 0.0 (Stats.stddev [ 42.0 ])
+
+let test_percentile () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  feq "median" 3.0 (Stats.percentile 0.5 xs);
+  feq "min" 1.0 (Stats.percentile 0.0 xs);
+  feq "max" 5.0 (Stats.percentile 1.0 xs);
+  feq "p95 of 100" 95.0 (Stats.percentile 0.95 (List.init 100 (fun i -> float_of_int (i + 1))));
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile 1.5 xs))
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  feq "mean" 2.5 s.Stats.mean;
+  feq "min" 1.0 s.Stats.min;
+  feq "max" 4.0 s.Stats.max;
+  feq "p50" 2.0 s.Stats.p50
+
+let test_summarize_ints () =
+  let s = Stats.summarize_ints [ 10; 20; 30 ] in
+  feq "mean" 20.0 s.Stats.mean
+
+let test_binomial_ci () =
+  let lo, hi = Stats.binomial_ci95 ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "contains p" true (lo < 0.5 && hi > 0.5);
+  Alcotest.(check bool) "symmetric-ish" true (Float.abs (0.5 -. lo -. (hi -. 0.5)) < 1e-9);
+  let lo0, _ = Stats.binomial_ci95 ~successes:0 ~trials:10 in
+  feq "clamped at 0" 0.0 lo0;
+  let _, hi1 = Stats.binomial_ci95 ~successes:10 ~trials:10 in
+  feq "clamped at 1" 1.0 hi1
+
+let test_linear_fit () =
+  (* y = 2x + 1 *)
+  let pts = [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ] in
+  let slope, intercept = Stats.linear_fit pts in
+  feq "slope" 2.0 slope;
+  feq "intercept" 1.0 intercept;
+  Alcotest.check_raises "one point" (Invalid_argument "Stats.linear_fit: need >= 2 points")
+    (fun () -> ignore (Stats.linear_fit [ (1.0, 1.0) ]))
+
+let test_loglog_slope () =
+  (* y = x^2 -> slope 2 exactly. *)
+  let pts = List.init 5 (fun i -> let x = float_of_int (i + 1) in (x, x *. x)) in
+  feq "quadratic" 2.0 (Stats.loglog_slope pts);
+  (* y = 7x -> slope 1. *)
+  let lin = List.init 5 (fun i -> let x = float_of_int (i + 1) in (x, 7.0 *. x)) in
+  feq "linear" 1.0 (Stats.loglog_slope lin)
+
+(* ---------------- Analysis campaigns ---------------- *)
+
+let n = 24
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"stats-test" ())
+
+let test_coin_estimate_consistent () =
+  let est =
+    Analysis.estimate_shared_coin ~keyring:(Lazy.force keyring) ~n ~f:3 ~trials:20 ~base_seed:1 ()
+  in
+  Alcotest.(check int) "trials recorded" 20 est.Analysis.trials;
+  Alcotest.(check int) "outcomes partition trials" 20
+    (est.Analysis.all_zero + est.Analysis.all_one + est.Analysis.disagree);
+  Alcotest.(check bool) "rho = min of sides" true
+    (est.Analysis.success_rate
+    <= float_of_int (min est.Analysis.all_zero est.Analysis.all_one) /. 20.0 +. 1e-9);
+  Alcotest.(check bool) "words positive" true (est.Analysis.mean_words > 0.0)
+
+let test_coin_estimate_deterministic () =
+  let run () =
+    Analysis.estimate_shared_coin ~keyring:(Lazy.force keyring) ~n ~f:3 ~trials:10 ~base_seed:7 ()
+  in
+  Alcotest.(check bool) "same campaign twice" true (run () = run ())
+
+let test_whp_estimate () =
+  let params = Tutil.robust_params n in
+  let est =
+    Analysis.estimate_whp_coin ~keyring:(Lazy.force keyring) ~params ~trials:15 ~base_seed:2 ()
+  in
+  Alcotest.(check int) "partition" 15
+    (est.Analysis.all_zero + est.Analysis.all_one + est.Analysis.disagree)
+
+let test_committee_estimate () =
+  let params = Tutil.robust_params n in
+  let est =
+    Analysis.estimate_committees ~keyring:(Lazy.force keyring) ~params ~trials:100 ~base_seed:3 ()
+  in
+  Alcotest.(check bool) "frequencies in [0,1]" true
+    (List.for_all
+       (fun x -> x >= 0.0 && x <= 1.0)
+       [ est.Analysis.s1; est.Analysis.s2; est.Analysis.s3; est.Analysis.s4 ]);
+  (* lambda ~ 15n/16 here: mean committee size must be near lambda. *)
+  Alcotest.(check bool) "size near lambda" true
+    (Float.abs (est.Analysis.mean_size -. float_of_int params.Params.lambda) < 3.0)
+
+let test_ba_estimate_safety () =
+  let params = Tutil.robust_params n in
+  let est =
+    Analysis.estimate_ba ~keyring:(Lazy.force keyring) ~params ~trials:5 ~base_seed:4 ()
+  in
+  Alcotest.(check int) "all safe" 5 est.Analysis.safe;
+  Alcotest.(check int) "all complete" 5 est.Analysis.complete;
+  Alcotest.(check bool) "rounds positive" true (est.Analysis.rounds.Stats.mean >= 1.0)
+
+let test_ba_estimate_unanimous_validity () =
+  let params = Tutil.robust_params n in
+  let est =
+    Analysis.estimate_ba ~mixed_inputs:false ~keyring:(Lazy.force keyring) ~params ~trials:4
+      ~base_seed:5 ()
+  in
+  (* With all-1 inputs, validity is checked inside the campaign: safe
+     counts only runs that decided 1. *)
+  Alcotest.(check int) "validity enforced" 4 est.Analysis.safe
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "summarize ints" `Quick test_summarize_ints;
+    Alcotest.test_case "binomial ci" `Quick test_binomial_ci;
+    Alcotest.test_case "linear fit" `Quick test_linear_fit;
+    Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
+    Alcotest.test_case "coin estimate consistent" `Quick test_coin_estimate_consistent;
+    Alcotest.test_case "coin estimate deterministic" `Quick test_coin_estimate_deterministic;
+    Alcotest.test_case "whp estimate" `Quick test_whp_estimate;
+    Alcotest.test_case "committee estimate" `Quick test_committee_estimate;
+    Alcotest.test_case "ba estimate safety" `Slow test_ba_estimate_safety;
+    Alcotest.test_case "ba estimate validity" `Slow test_ba_estimate_unanimous_validity;
+  ]

@@ -1,0 +1,183 @@
+(* Vector clocks, and the causal-depth cross-check: the engine's
+   incremental depth metric is recomputed independently from a recorded
+   trace (message DAG + vector clocks) and must agree exactly. *)
+
+open Sim
+
+let test_create_zero () =
+  let c = Vclock.create 3 in
+  for i = 0 to 2 do
+    Alcotest.(check int) "zero" 0 (Vclock.get c i)
+  done;
+  Alcotest.(check int) "size" 3 (Vclock.size c)
+
+let test_tick () =
+  let c = Vclock.tick (Vclock.tick (Vclock.create 3) 1) 1 in
+  Alcotest.(check int) "ticked twice" 2 (Vclock.get c 1);
+  Alcotest.(check int) "others untouched" 0 (Vclock.get c 0)
+
+let test_tick_pure () =
+  let c = Vclock.create 2 in
+  let _ = Vclock.tick c 0 in
+  Alcotest.(check int) "original unchanged" 0 (Vclock.get c 0)
+
+let test_merge () =
+  let a = Vclock.of_array [| 3; 1; 0 |] in
+  let b = Vclock.of_array [| 1; 2; 0 |] in
+  Alcotest.(check (array int)) "component max" [| 3; 2; 0 |] (Vclock.to_array (Vclock.merge a b))
+
+let test_happens_before () =
+  let a = Vclock.of_array [| 1; 0 |] in
+  let b = Vclock.of_array [| 1; 1 |] in
+  Alcotest.(check bool) "a < b" true (Vclock.lt a b);
+  Alcotest.(check bool) "not b < a" false (Vclock.lt b a);
+  Alcotest.(check bool) "a <= a" true (Vclock.leq a a);
+  Alcotest.(check bool) "not a < a" false (Vclock.lt a a)
+
+let test_concurrent () =
+  let a = Vclock.of_array [| 1; 0 |] in
+  let b = Vclock.of_array [| 0; 1 |] in
+  Alcotest.(check bool) "concurrent" true (Vclock.concurrent a b);
+  Alcotest.(check bool) "not concurrent with self" false (Vclock.concurrent a a)
+
+let test_size_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vclock: size mismatch") (fun () ->
+      ignore (Vclock.merge (Vclock.create 2) (Vclock.create 3)))
+
+let test_sum_and_order () =
+  let a = Vclock.of_array [| 2; 3 |] in
+  Alcotest.(check int) "sum" 5 (Vclock.sum a);
+  Alcotest.(check bool) "total order antisymmetric" true
+    (Vclock.compare_total a (Vclock.of_array [| 2; 4 |]) < 0)
+
+(* ---------------- trace-based causal cross-check ---------------- *)
+
+(* Recompute per-process causal depth from the event log: a message's
+   depth is 1 + the sender's depth at send time; a delivery raises the
+   receiver's depth to the message's.  Same definition as the engine, but
+   executed over the recorded trace — an independent bookkeeping path.
+   Vector clocks ride along to validate happens-before consistency. *)
+let replay_depths ~n trace =
+  let depth = Array.make n 0 in
+  let clock = Array.init n (fun _ -> Vclock.create n) in
+  let msg_depth = Hashtbl.create 1024 in
+  let msg_clock = Hashtbl.create 1024 in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Sent { id; src; _ } ->
+          Hashtbl.replace msg_depth id (depth.(src) + 1);
+          let c = Vclock.tick clock.(src) src in
+          clock.(src) <- c;
+          Hashtbl.replace msg_clock id c
+      | Trace.Delivered { id; dst; _ } -> begin
+          match (Hashtbl.find_opt msg_depth id, Hashtbl.find_opt msg_clock id) with
+          | Some d, Some c ->
+              if d > depth.(dst) then depth.(dst) <- d;
+              clock.(dst) <- Vclock.merge clock.(dst) c
+          | _ -> Alcotest.fail "delivery without a recorded send"
+        end
+      | Trace.Corrupted _ -> ())
+    (Trace.events trace);
+  (depth, clock, msg_clock)
+
+let test_replay_matches_engine () =
+  let n = 24 in
+  let kr = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"vclock" () in
+  let eng : Core.Coin.msg Engine.t = Engine.create ~n ~seed:5 () in
+  let trace = Trace.create ~capacity:500_000 () in
+  Trace.attach trace eng;
+  let procs =
+    Array.init n (fun pid -> Core.Coin.create ~keyring:kr ~n ~f:3 ~pid ~instance:"vc" ~round:0)
+  in
+  let perform pid acts =
+    List.iter
+      (function
+        | Core.Coin.Broadcast m ->
+            Engine.broadcast eng ~src:pid ~words:(Core.Coin.words_of_msg m) m
+        | Core.Coin.Return _ -> ())
+      acts
+  in
+  Array.iteri
+    (fun pid p ->
+      Engine.set_handler eng pid (fun e ->
+          perform pid (Core.Coin.handle p ~src:e.Envelope.src e.Envelope.payload)))
+    procs;
+  Array.iteri (fun pid p -> perform pid (Core.Coin.start p)) procs;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Alcotest.(check int) "no trace drops" 0 (Trace.dropped trace);
+  let depth, _clocks, msg_clock = replay_depths ~n trace in
+  for pid = 0 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "pid %d depth agrees" pid)
+      (Engine.depth_of eng pid) depth.(pid)
+  done;
+  (* Vector-clock sanity: FIRST messages of distinct processes are
+     causally concurrent (the paper's assumption for coin invocations). *)
+  let firsts =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Trace.Sent { id; src; depth = 1; _ } -> Some (src, id)
+        | _ -> None)
+      (Trace.events trace)
+  in
+  let distinct_src_pairs =
+    match firsts with
+    | (s1, id1) :: rest -> begin
+        match List.find_opt (fun (s2, _) -> s2 <> s1) rest with
+        | Some (_, id2) -> Some (id1, id2)
+        | None -> None
+      end
+    | [] -> None
+  in
+  match distinct_src_pairs with
+  | Some (id1, id2) ->
+      let c1 = Hashtbl.find msg_clock id1 and c2 = Hashtbl.find msg_clock id2 in
+      Alcotest.(check bool) "initial sends are causally concurrent" true
+        (Vclock.concurrent c1 c2)
+  | None -> Alcotest.fail "expected initial sends from two processes"
+
+let test_replay_matches_engine_ba () =
+  (* Same cross-check on a full BA run (much deeper causality). *)
+  let n = 16 in
+  let kr = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"vclock-ba" () in
+  let p = Core.Params.make_exn ~strict:false ~epsilon:0.25 ~d:0.04 ~lambda:n ~n () in
+  let eng : Core.Ba.msg Engine.t = Engine.create ~n ~seed:6 () in
+  let trace = Trace.create ~capacity:2_000_000 () in
+  Trace.attach trace eng;
+  let procs = Array.init n (fun pid -> Core.Ba.create ~keyring:kr ~params:p ~pid ~instance:"vcba") in
+  let perform pid acts =
+    List.iter
+      (function
+        | Core.Ba.Broadcast m -> Engine.broadcast eng ~src:pid ~words:(Core.Ba.words_of_msg m) m
+        | Core.Ba.Decide _ -> ())
+      acts
+  in
+  Array.iteri
+    (fun pid pr ->
+      Engine.set_handler eng pid (fun e ->
+          perform pid (Core.Ba.handle pr ~src:e.Envelope.src e.Envelope.payload)))
+    procs;
+  Array.iteri (fun pid pr -> perform pid (Core.Ba.propose pr (pid mod 2))) procs;
+  ignore
+    (Engine.run eng ~until:(fun () ->
+         Array.for_all (fun pr -> Core.Ba.decision pr <> None) procs));
+  Alcotest.(check int) "no trace drops" 0 (Trace.dropped trace);
+  let depth, _, _ = replay_depths ~n trace in
+  let replay_max = Array.fold_left max 0 depth in
+  Alcotest.(check int) "max depth agrees" (Engine.max_correct_depth eng) replay_max
+
+let suite =
+  [
+    Alcotest.test_case "create zero" `Quick test_create_zero;
+    Alcotest.test_case "tick" `Quick test_tick;
+    Alcotest.test_case "tick is pure" `Quick test_tick_pure;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "happens-before" `Quick test_happens_before;
+    Alcotest.test_case "concurrent" `Quick test_concurrent;
+    Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+    Alcotest.test_case "sum and order" `Quick test_sum_and_order;
+    Alcotest.test_case "replay matches engine (coin)" `Quick test_replay_matches_engine;
+    Alcotest.test_case "replay matches engine (ba)" `Slow test_replay_matches_engine_ba;
+  ]
