@@ -5,6 +5,8 @@
      dune exec bench/main.exe -- --table e2   -- one table
      dune exec bench/main.exe -- --full       -- larger sweeps (slow)
      dune exec bench/main.exe -- --no-micro   -- skip the bechamel section
+     dune exec bench/main.exe -- --json F     -- also write rows to F
+                                                 (coincidence.bench/1)
 
    One section per paper artefact (see DESIGN.md section 3 and
    EXPERIMENTS.md for the paper-vs-measured discussion):
@@ -22,6 +24,7 @@
 let full = ref false
 let which_table = ref "all"
 let run_micro = ref true
+let json_path : string option ref = ref None
 
 let () =
   let rec parse = function
@@ -36,6 +39,9 @@ let () =
         which_table := String.lowercase_ascii t;
         run_micro := t = "b1" || t = "micro";
         parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
     | arg :: _ ->
         Format.eprintf "unknown argument %S@." arg;
         exit 2
@@ -43,6 +49,40 @@ let () =
   parse (List.tl (Array.to_list Sys.argv))
 
 let want t = !which_table = "all" || !which_table = t
+
+(* ------------------------- --json collector ------------------------- *)
+
+(* Every printed table row is mirrored as one record here, so a run with
+   --json leaves a machine-readable transcript of exactly what was shown.
+   Rows accumulate newest-first and are reversed on write. *)
+let json_rows : Obs.Json.t list ref = ref []
+
+let js s = Obs.Json.Str s
+let ji i = Obs.Json.Int i
+let jf f = Obs.Json.Float f
+let jb b = Obs.Json.Bool b
+
+let record ~table row =
+  if !json_path <> None then json_rows := Obs.Json.Obj (("table", js table) :: row) :: !json_rows
+
+let bench_schema = "coincidence.bench/1"
+
+let write_json path =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", js bench_schema);
+        ("full", jb !full);
+        ("rows", Obs.Json.List (List.rev !json_rows));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Obs.Json.to_channel oc doc;
+      output_char oc '\n');
+  Format.printf "wrote %d rows to %s@." (List.length !json_rows) path
 
 let section title =
   Format.printf "@.=== %s %s@." title (String.make (max 0 (72 - String.length title)) '=')
@@ -91,7 +131,18 @@ let table_t1 () =
       live := !live && ok_live
     done;
     Format.printf "%-22s %6s %6d %4d %12.0f %7.1f %5b %5b@." name resilience n f
-      (Core.Stats.mean !words) (Core.Stats.mean !rounds) !live !safe
+      (Core.Stats.mean !words) (Core.Stats.mean !rounds) !live !safe;
+    record ~table:"t1"
+      [
+        ("protocol", js name);
+        ("resilience", js resilience);
+        ("n", ji n);
+        ("f", ji f);
+        ("words", jf (Core.Stats.mean !words));
+        ("rounds", jf (Core.Stats.mean !rounds));
+        ("term", jb !live);
+        ("safe", jb !safe);
+      ]
   in
   let inputs n i = Array.init n (fun p -> (p + i) mod 2) in
   let crash n f i = Crypto.Rng.sample_without_replacement (Crypto.Rng.create (i * 997)) f n in
@@ -219,11 +270,27 @@ let table_e2 () =
       (match mmr_words with Some w -> mmr := (float_of_int n, w) :: !mmr | None -> ());
       Format.printf "%6d | %10.3e %8.0f%% %5d | %10.3e %5d | %10s@." n paper_words
         (100.0 *. completion) p_paper.Core.Params.lambda prac_words p_prac.Core.Params.lambda
-        (match mmr_words with Some w -> Printf.sprintf "%.3e" w | None -> "-"))
+        (match mmr_words with Some w -> Printf.sprintf "%.3e" w | None -> "-");
+      record ~table:"e2"
+        [
+          ("n", ji n);
+          ("ours_paper_words", jf paper_words);
+          ("completion", jf completion);
+          ("lambda_paper", ji p_paper.Core.Params.lambda);
+          ("ours_practical_words", jf prac_words);
+          ("lambda_practical", ji p_prac.Core.Params.lambda);
+          ("mmr_words", match mmr_words with Some w -> jf w | None -> Obs.Json.Null);
+        ])
     ns;
   let slope pts = try Core.Stats.loglog_slope pts with Invalid_argument _ -> nan in
   Format.printf "@.log-log slopes: ours(8ln n) %.2f  ours(practical) %.2f  mmr %.2f@."
     (slope !ours_paper) (slope !ours_prac) (slope !mmr);
+  record ~table:"e2-summary"
+    [
+      ("slope_ours_paper", jf (slope !ours_paper));
+      ("slope_ours_practical", jf (slope !ours_prac));
+      ("slope_mmr", jf (slope !mmr));
+    ];
   Format.printf
     "paper expectation: ours ~ n log^2 n (slope ~1.2-1.5 at these n); mmr ~ n^2@.\
      (slope ~2).  Crossover from the fitted curves:@.";
@@ -290,7 +357,17 @@ let table_e3 () =
       (* min(p0, p1) is a downward-biased estimator of rho (it subtracts the
          binomial fluctuation), so the verdict compares the CI's upper end. *)
       Format.printf "%8.3f %4d | %8.3f | %8.3f    [%.3f, %.3f] %6b@." epsilon f bound
-        worst.Core.Analysis.success_rate lo hi (hi >= bound))
+        worst.Core.Analysis.success_rate lo hi (hi >= bound);
+      record ~table:"e3"
+        [
+          ("epsilon", jf epsilon);
+          ("f", ji f);
+          ("bound", jf bound);
+          ("rho", jf worst.Core.Analysis.success_rate);
+          ("ci_lo", jf lo);
+          ("ci_hi", jf hi);
+          ("ok", jb (hi >= bound));
+        ])
     [ 0.15; 0.20; 0.25; 0.30; 1.0 /. 3.0 ];
   Format.printf
     "@.expected shape: empirical rho consistent with (and well above) the Lemma 4.8@.\
@@ -319,7 +396,18 @@ let table_e4 () =
       Format.printf "%8d %6.3f %4d %4d | %8.3f | %8.3f %8.0f%% %10.0f@." lambda d
         params.Core.Params.w params.Core.Params.b bound est.Core.Analysis.success_rate
         (100.0 *. float_of_int est.Core.Analysis.disagree /. float_of_int trials)
-        est.Core.Analysis.mean_words)
+        est.Core.Analysis.mean_words;
+      record ~table:"e4"
+        [
+          ("lambda", ji lambda);
+          ("d", jf d);
+          ("w", ji params.Core.Params.w);
+          ("b", ji params.Core.Params.b);
+          ("bound", jf bound);
+          ("rho", jf est.Core.Analysis.success_rate);
+          ("shortfall", jf (float_of_int est.Core.Analysis.disagree /. float_of_int trials));
+          ("mean_words", jf est.Core.Analysis.mean_words);
+        ])
     [
       (min n (Core.Params.default_lambda ~n), 0.037);
       (min n (Core.Params.default_lambda ~n), 0.06);
@@ -381,7 +469,21 @@ let table_e5 () =
           in
           Format.printf "%6d %6d | %5.3f / %5.3f %5.3f / %5.3f %5.3f / %5.3f %5.3f / %5.3f | %5b@."
             n lambda est.Core.Analysis.s1 b1 est.Core.Analysis.s2 b2 est.Core.Analysis.s3 b3
-            est.Core.Analysis.s4 b4 ok)
+            est.Core.Analysis.s4 b4 ok;
+          record ~table:"e5"
+            [
+              ("n", ji n);
+              ("lambda", ji lambda);
+              ("s1", jf est.Core.Analysis.s1);
+              ("s1_bound", jf b1);
+              ("s2", jf est.Core.Analysis.s2);
+              ("s2_bound", jf b2);
+              ("s3", jf est.Core.Analysis.s3);
+              ("s3_bound", jf b3);
+              ("s4", jf est.Core.Analysis.s4);
+              ("s4_bound", jf b4);
+              ("ok", jb ok);
+            ])
         [ 8; 24 ])
     ns;
   Format.printf
@@ -424,7 +526,19 @@ let table_e6 () =
       in
       let r1, d1 = pr rand in
       let r2, d2 = pr split in
-      Format.printf "%6d | %16s %16s | %16s %16s@." n r1 d1 r2 d2)
+      Format.printf "%6d | %16s %16s | %16s %16s@." n r1 d1 r2 d2;
+      record ~table:"e6"
+        [
+          ("n", ji n);
+          ("rounds_random", jf rand.Core.Analysis.rounds.Core.Stats.mean);
+          ("rounds_random_p95", jf rand.Core.Analysis.rounds.Core.Stats.p95);
+          ("depth_random", jf rand.Core.Analysis.depth.Core.Stats.mean);
+          ("depth_random_p95", jf rand.Core.Analysis.depth.Core.Stats.p95);
+          ("rounds_split", jf split.Core.Analysis.rounds.Core.Stats.mean);
+          ("rounds_split_p95", jf split.Core.Analysis.rounds.Core.Stats.p95);
+          ("depth_split", jf split.Core.Analysis.depth.Core.Stats.mean);
+          ("depth_split_p95", jf split.Core.Analysis.depth.Core.Stats.p95);
+        ])
     ns;
   Format.printf
     "@.expected shape: rounds flat (~1-3) in n under both schedulers; causal depth@.\
@@ -475,12 +589,19 @@ let table_e7 () =
   in
   let fair_ones, fair_u = count ~cheat:false in
   let cheat_ones, cheat_u = count ~cheat:true in
-  Format.printf "%-34s P[coin = 1 | unanimous] = %3d/%3d = %.2f@." "compliant (content-oblivious)"
-    fair_ones fair_u
-    (float_of_int fair_ones /. float_of_int (max 1 fair_u));
-  Format.printf "%-34s P[coin = 1 | unanimous] = %3d/%3d = %.2f@." "cheating (content-adaptive)"
-    cheat_ones cheat_u
-    (float_of_int cheat_ones /. float_of_int (max 1 cheat_u));
+  let report name ones unanimous =
+    Format.printf "%-34s P[coin = 1 | unanimous] = %3d/%3d = %.2f@." name ones unanimous
+      (float_of_int ones /. float_of_int (max 1 unanimous));
+    record ~table:"e7"
+      [
+        ("adversary", js name);
+        ("ones", ji ones);
+        ("unanimous", ji unanimous);
+        ("p_one", jf (float_of_int ones /. float_of_int (max 1 unanimous)));
+      ]
+  in
+  report "compliant (content-oblivious)" fair_ones fair_u;
+  report "cheating (content-adaptive)" cheat_ones cheat_u;
   Format.printf
     "@.expected shape: ~0.5 for the compliant adversary; ~1 - 2^-(f+1) = %.2f for@.\
      the cheating one -- without the delayed-adaptive restriction the coin has no@.\
@@ -521,7 +642,15 @@ let table_e8 () =
         live := !live && o.Core.Runner.all_decided
       done;
       Format.printf "%8.0f | %10.1f %10.1f %8b %8b@." gst (Core.Stats.mean !vtimes)
-        (Core.Stats.mean !rounds) !safe !live)
+        (Core.Stats.mean !rounds) !safe !live;
+      record ~table:"e8"
+        [
+          ("gst", jf gst);
+          ("vtime", jf (Core.Stats.mean !vtimes));
+          ("rounds", jf (Core.Stats.mean !rounds));
+          ("safe", jb !safe);
+          ("decided", jb !live);
+        ])
     [ 0.0; 25.0; 100.0; 400.0 ];
   Format.printf
     "@.expected shape: vtime ~ GST + O(1) for GST below the chaotic completion@.\
@@ -556,7 +685,15 @@ let table_e9 () =
       Format.printf "%6d | %12d %14.0f %8d %8b@." k o.Core.Chain.total_words
         (float_of_int o.Core.Chain.total_words /. float_of_int k)
         o.Core.Chain.depth
-        (safe && o.Core.Chain.all_slots_decided))
+        (safe && o.Core.Chain.all_slots_decided);
+      record ~table:"e9"
+        [
+          ("slots", ji k);
+          ("words", ji o.Core.Chain.total_words);
+          ("words_per_slot", jf (float_of_int o.Core.Chain.total_words /. float_of_int k));
+          ("depth", ji o.Core.Chain.depth);
+          ("safe", jb (safe && o.Core.Chain.all_slots_decided));
+        ])
     slot_counts;
   Format.printf
     "@.expected shape: words/slot roughly constant in k (no interference),@.\
@@ -639,7 +776,9 @@ let micro () =
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some [ est ] -> Format.printf "%-34s %14.0f ns/op@." name est
+      | Some [ est ] ->
+          Format.printf "%-34s %14.0f ns/op@." name est;
+          record ~table:"b1" [ ("name", js name); ("ns_per_op", jf est) ]
       | Some _ | None -> Format.printf "%-34s %14s@." name "n/a")
     (List.sort compare rows)
 
@@ -656,4 +795,5 @@ let () =
   if want "e8" then table_e8 ();
   if want "e9" then table_e9 ();
   if !run_micro && (want "b1" || want "micro" || !which_table = "all") then micro ();
+  (match !json_path with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

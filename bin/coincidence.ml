@@ -4,7 +4,11 @@
    coincidence ba        -- run Byzantine Agreement instances
    coincidence coin      -- flip the shared / WHP coin
    coincidence committee -- sample and inspect committees
-   coincidence table1    -- quick Table-1 style comparison run            *)
+   coincidence obs       -- run an instrumented BA and summarize it
+   coincidence table1    -- quick Table-1 style comparison run
+
+   `ba` and `obs` take --emit-metrics/--emit-trace/--emit-events to write
+   the machine-readable exports (see EXPERIMENTS.md for the schemas).     *)
 
 open Cmdliner
 
@@ -82,6 +86,100 @@ let make_scheduler n = function
   | `Split -> Sim.Scheduler.split ~group:(fun pid -> pid < n / 2) ~cross_delay:25.0 ()
   | `Targeted -> Sim.Scheduler.targeted ~victims:(fun pid -> pid < n / 4) ~factor:40.0 ()
 
+(* --------------------------- observability --------------------------- *)
+
+let emit_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-metrics" ] ~docv:"FILE"
+        ~doc:"Write a coincidence.metrics/1 JSON document (per-tag and per-round counters, \
+              histograms, spans, per-run outcomes).")
+
+let emit_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event file (open in chrome://tracing or Perfetto).")
+
+let emit_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-events" ] ~docv:"FILE"
+        ~doc:"Write the raw send/deliver/corrupt event stream as JSONL, one record per line.")
+
+let write_file path f =
+  match open_out path with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error e ->
+      Format.eprintf "cannot write %s: %s@." path e;
+      exit 1
+
+(* Per-trial observation state; every run_ba call gets its own trace and
+   span recorder while metrics aggregate across trials. *)
+type observation = {
+  metrics : Obs.Metrics.t;
+  mutable outcomes : Obs.Json.t list;  (* newest first *)
+  mutable spans : Obs.Span.t list;     (* newest first *)
+  mutable chrome : Obs.Json.t list;    (* newest first *)
+  mutable events : Obs.Json.t list;    (* newest first *)
+}
+
+let observation () =
+  { metrics = Obs.Metrics.create (); outcomes = []; spans = []; chrome = []; events = [] }
+
+(* Probe for one BA trial: returns the attach function for Runner ~probe
+   and a [finish] to call once the run returned. *)
+let ba_trial_probe obs ~trial =
+  let trace = Sim.Trace.create () in
+  let span = ref None in
+  let attach eng =
+    Core.Instrument.attach_ba eng ~metrics:obs.metrics;
+    Sim.Trace.attach trace eng;
+    let sp = Obs.Span.create (Obs.Span.engine_clock eng) in
+    Obs.Span.begin_span sp (Printf.sprintf "trial-%d" trial);
+    span := Some sp
+  in
+  let finish (o : Core.Runner.outcome) =
+    (match !span with
+    | Some sp ->
+        Obs.Span.end_span sp;
+        obs.spans <- sp :: obs.spans
+    | None -> ());
+    obs.outcomes <- Core.Instrument.outcome_json o :: obs.outcomes;
+    obs.chrome <-
+      List.rev_append
+        (Obs.Export.chrome_process_name ~pid:trial (Printf.sprintf "trial %d" trial)
+         :: (Obs.Export.chrome_of_trace ~pid:trial trace
+            @ match !span with Some sp -> Obs.Export.chrome_of_spans ~pid:trial sp | None -> []))
+        obs.chrome;
+    obs.events <- List.rev_append (Obs.Export.trace_jsonl ~run:trial trace) obs.events
+  in
+  (attach, finish)
+
+let write_observation obs ~params ~emit_metrics ~emit_trace ~emit_events =
+  let doc () =
+    Core.Instrument.metrics_doc ~params ~outcomes:(List.rev obs.outcomes)
+      ~spans:(List.rev obs.spans) ~metrics:obs.metrics ()
+  in
+  (match emit_metrics with
+  | Some path ->
+      write_file path (fun oc ->
+          Obs.Json.to_channel oc (doc ());
+          output_char oc '\n')
+  | None -> ());
+  (match emit_trace with
+  | Some path ->
+      write_file path (fun oc ->
+          Obs.Json.to_channel oc (Obs.Export.chrome_trace (List.rev obs.chrome));
+          output_char oc '\n')
+  | None -> ());
+  match emit_events with
+  | Some path -> write_file path (fun oc -> Obs.Export.write_jsonl oc (List.rev obs.events))
+  | None -> ()
+
 (* ------------------------------ params ------------------------------ *)
 
 let params_cmd =
@@ -110,40 +208,212 @@ let params_cmd =
 
 (* -------------------------------- ba -------------------------------- *)
 
-let ba_cmd =
-  let run n seed trials lambda epsilon d backend rsa_bits scheduler corruption unanimous =
-    let keyring = make_keyring backend rsa_bits n seed in
-    let params = make_params n epsilon d lambda in
-    Format.printf "%a@." Core.Params.pp params;
-    let corruption =
-      match corruption with
-      | `None -> Core.Runner.Honest
-      | `Crash -> Core.Runner.Crash_random params.Core.Params.f
-      | `Adaptive -> Core.Runner.Crash_adaptive_first params.Core.Params.f
-      | `Silent -> Core.Runner.Byz_silent_random params.Core.Params.f
+let corruption_of params = function
+  | `None -> Core.Runner.Honest
+  | `Crash -> Core.Runner.Crash_random params.Core.Params.f
+  | `Adaptive -> Core.Runner.Crash_adaptive_first params.Core.Params.f
+  | `Silent -> Core.Runner.Byz_silent_random params.Core.Params.f
+
+let unanimous_arg =
+  Arg.(value & flag & info [ "unanimous" ] ~doc:"All processes propose 1 (tests validity).")
+
+(* The shared trial loop of `ba` and `obs`.  Exporters attach only when a
+   sink asked for them: an unobserved run takes the exact same code path
+   as before this layer existed. *)
+let run_ba_trials ~observe n seed trials lambda epsilon d backend rsa_bits scheduler corruption
+    unanimous =
+  let keyring = make_keyring backend rsa_bits n seed in
+  let params = make_params n epsilon d lambda in
+  Format.printf "%a@." Core.Params.pp params;
+  let corruption = corruption_of params corruption in
+  let obs = observation () in
+  let exit_code = ref 0 in
+  for i = 0 to trials - 1 do
+    let inputs = if unanimous then Array.make n 1 else Array.init n (fun p -> (p + i) mod 2) in
+    let probe, finish =
+      if observe then
+        let attach, finish = ba_trial_probe obs ~trial:i in
+        (Some attach, finish)
+      else (None, fun _ -> ())
     in
-    let exit_code = ref 0 in
-    for i = 0 to trials - 1 do
-      let inputs =
-        if unanimous then Array.make n 1 else Array.init n (fun p -> (p + i) mod 2)
-      in
-      let o =
-        Core.Runner.run_ba
-          ~scheduler:(make_scheduler n scheduler)
-          ~corruption ~keyring ~params ~inputs ~seed:(seed + i) ()
-      in
-      Format.printf "run %d: %a@." i Core.Runner.pp_outcome o;
-      if not (o.Core.Runner.all_decided && o.Core.Runner.agreement) then exit_code := 1
-    done;
-    !exit_code
-  in
-  let unanimous_arg =
-    Arg.(value & flag & info [ "unanimous" ] ~doc:"All processes propose 1 (tests validity).")
+    let o =
+      Core.Runner.run_ba
+        ~scheduler:(make_scheduler n scheduler)
+        ?probe ~corruption ~keyring ~params ~inputs ~seed:(seed + i) ()
+    in
+    finish o;
+    Format.printf "run %d: %a@." i Core.Runner.pp_outcome o;
+    if not (o.Core.Runner.all_decided && o.Core.Runner.agreement) then exit_code := 1
+  done;
+  (params, obs, !exit_code)
+
+let ba_cmd =
+  let run n seed trials lambda epsilon d backend rsa_bits scheduler corruption unanimous
+      emit_metrics emit_trace emit_events =
+    let observe = emit_metrics <> None || emit_trace <> None || emit_events <> None in
+    let params, obs, exit_code =
+      run_ba_trials ~observe n seed trials lambda epsilon d backend rsa_bits scheduler corruption
+        unanimous
+    in
+    write_observation obs ~params ~emit_metrics ~emit_trace ~emit_events;
+    exit_code
   in
   Cmd.v (Cmd.info "ba" ~doc:"Run Byzantine Agreement WHP instances.")
     Term.(
       const run $ n_arg $ seed_arg $ trials_arg $ lambda_arg $ epsilon_arg $ d_arg $ backend_arg
-      $ rsa_bits_arg $ scheduler_arg $ corruption_arg $ unanimous_arg)
+      $ rsa_bits_arg $ scheduler_arg $ corruption_arg $ unanimous_arg $ emit_metrics_arg
+      $ emit_trace_arg $ emit_events_arg)
+
+(* -------------------------------- obs -------------------------------- *)
+
+let pp_label_set = function
+  | [] -> ""
+  | l -> "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l) ^ "}"
+
+let print_metrics_summary metrics =
+  Format.printf "counters:@.";
+  Obs.Metrics.fold_counters metrics ~init:() ~f:(fun () ~name ~labels value ->
+      Format.printf "  %-44s %8d@." (name ^ pp_label_set labels) value);
+  Format.printf "histograms:@.";
+  Obs.Metrics.fold_histograms metrics ~init:() ~f:(fun () ~name ~labels h ->
+      let mean =
+        if h.Obs.Metrics.count = 0 then 0.0
+        else h.Obs.Metrics.sum /. float_of_int h.Obs.Metrics.count
+      in
+      Format.printf "  %-44s count=%-7d mean=%-11.2f min=%-9g max=%g@."
+        (name ^ pp_label_set labels)
+        h.Obs.Metrics.count mean h.Obs.Metrics.min h.Obs.Metrics.max)
+
+let print_spans_summary recorders =
+  Format.printf "spans:@.";
+  List.iter
+    (fun recorder ->
+      List.iter
+        (fun (s : Obs.Span.span) ->
+          Format.printf "  %s%-24s steps [%d, %d]  vtime [%.2f, %.2f]@."
+            (String.make (2 * s.Obs.Span.nest) ' ')
+            s.Obs.Span.name s.Obs.Span.begin_step s.Obs.Span.end_step s.Obs.Span.begin_now
+            s.Obs.Span.end_now)
+        (Obs.Span.completed recorder))
+    recorders
+
+(* Summarize a previously written --emit-metrics document.  Returns a
+   non-zero exit code on parse/schema mismatch, so CI can use it as a
+   validator for freshly produced files. *)
+let summarize_loaded path =
+  let str_member key j = Option.bind (Obs.Json.member key j) Obs.Json.to_string_opt in
+  let int_member key j = Option.bind (Obs.Json.member key j) Obs.Json.to_int_opt in
+  let list_member key j =
+    match Obs.Json.member key j with Some l -> Obs.Json.to_list l | None -> []
+  in
+  let labels_of j =
+    match Obs.Json.member "labels" j with
+    | Some (Obs.Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Obs.Json.to_string_opt v))
+          kvs
+    | _ -> []
+  in
+  let contents =
+    match open_in_bin path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    | exception Sys_error e -> Error e
+  in
+  match Result.bind contents Obs.Json.of_string with
+  | Error e ->
+      Format.eprintf "%s: %s@." path e;
+      1
+  | Ok doc -> (
+      match str_member "schema" doc with
+      | Some s when s = Core.Instrument.metrics_schema ->
+          Format.printf "schema: %s@." s;
+          (match Obs.Json.member "params" doc with
+          | Some params -> (
+              match
+                (int_member "n" params, int_member "f" params, int_member "lambda" params)
+              with
+              | Some n, Some f, Some lambda ->
+                  Format.printf "params: n=%d f=%d lambda=%d@." n f lambda
+              | _ -> ())
+          | None -> ());
+          let runs = list_member "runs" doc in
+          Format.printf "runs: %d@." (List.length runs);
+          List.iteri
+            (fun i r ->
+              match
+                ( int_member "decided" r,
+                  int_member "n" r,
+                  int_member "rounds" r,
+                  int_member "words" r )
+              with
+              | Some d, Some n, Some rounds, Some words ->
+                  Format.printf "  run %d: decided %d/%d, rounds=%d, words=%d@." i d n rounds
+                    words
+              | _ -> ())
+            runs;
+          let metrics = Option.value ~default:Obs.Json.Null (Obs.Json.member "metrics" doc) in
+          let counters = list_member "counters" metrics in
+          Format.printf "counter series: %d@." (List.length counters);
+          List.iter
+            (fun c ->
+              match (str_member "name" c, int_member "value" c) with
+              | Some name, Some v ->
+                  Format.printf "  %-44s %8d@." (name ^ pp_label_set (labels_of c)) v
+              | _ -> ())
+            counters;
+          let histograms = list_member "histograms" metrics in
+          Format.printf "histogram series: %d@." (List.length histograms);
+          List.iter
+            (fun h ->
+              match (str_member "name" h, int_member "count" h) with
+              | Some name, Some count ->
+                  Format.printf "  %-44s count=%d@." (name ^ pp_label_set (labels_of h)) count
+              | _ -> ())
+            histograms;
+          Format.printf "spans: %d@." (List.length (list_member "spans" doc));
+          0
+      | Some s ->
+          Format.eprintf "%s: unexpected schema %S (want %S)@." path s
+            Core.Instrument.metrics_schema;
+          1
+      | None ->
+          Format.eprintf "%s: missing \"schema\" member@." path;
+          1)
+
+let obs_cmd =
+  let run n seed trials lambda epsilon d backend rsa_bits scheduler corruption unanimous
+      emit_metrics emit_trace emit_events load =
+    match load with
+    | Some path -> summarize_loaded path
+    | None ->
+        let params, obs, exit_code =
+          run_ba_trials ~observe:true n seed trials lambda epsilon d backend rsa_bits scheduler
+            corruption unanimous
+        in
+        print_metrics_summary obs.metrics;
+        print_spans_summary (List.rev obs.spans);
+        write_observation obs ~params ~emit_metrics ~emit_trace ~emit_events;
+        exit_code
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Summarize an existing --emit-metrics document instead of running; exits non-zero \
+                if the file does not parse or carries the wrong schema.")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:"Run an instrumented BA and print per-tag/per-round metrics, or summarize a saved \
+             metrics file with --load.")
+    Term.(
+      const run $ n_arg $ seed_arg $ trials_arg $ lambda_arg $ epsilon_arg $ d_arg $ backend_arg
+      $ rsa_bits_arg $ scheduler_arg $ corruption_arg $ unanimous_arg $ emit_metrics_arg
+      $ emit_trace_arg $ emit_events_arg $ load_arg)
 
 (* ------------------------------- coin ------------------------------- *)
 
@@ -252,4 +522,7 @@ let table1_cmd =
 let () =
   let doc = "Sub-quadratic asynchronous Byzantine Agreement WHP (Cohen-Keidar-Spiegelman, PODC 2020)" in
   let info = Cmd.info "coincidence" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ params_cmd; ba_cmd; coin_cmd; committee_cmd; chain_cmd; table1_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ params_cmd; ba_cmd; obs_cmd; coin_cmd; committee_cmd; chain_cmd; table1_cmd ]))

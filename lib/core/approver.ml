@@ -13,6 +13,8 @@ let words_of_msg = function
   | Ok { support; _ } ->
       2 + Sample.cert_words + (List.length support * (1 + Sample.cert_words + 1))
 
+let tag_of_msg = function Init _ -> "INIT" | Echo _ -> "ECHO" | Ok _ -> "OK"
+
 let pp_msg fmt = function
   | Init { v; _ } -> Format.fprintf fmt "INIT(%d)" v
   | Echo { v; _ } -> Format.fprintf fmt "ECHO(%d)" v

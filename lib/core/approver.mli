@@ -35,6 +35,9 @@ type msg =
   | Ok of { v : int; cert : Sample.cert; support : echo_evidence list }
 
 val words_of_msg : msg -> int
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: INIT, ECHO or OK. *)
+
 val pp_msg : Format.formatter -> msg -> unit
 
 type action =

@@ -7,6 +7,15 @@ let words_of_msg = function
   | A1 { inner; _ } | A2 { inner; _ } -> 1 + Approver.words_of_msg inner
   | Cn { inner; _ } -> 1 + Whp_coin.words_of_msg inner
 
+(* Phase tag for the observability layer: which sub-protocol of the round
+   this message belongs to, and the inner message kind. *)
+let tag_of_msg = function
+  | A1 { inner; _ } -> "A1." ^ Approver.tag_of_msg inner
+  | A2 { inner; _ } -> "A2." ^ Approver.tag_of_msg inner
+  | Cn { inner; _ } -> "COIN." ^ Whp_coin.tag_of_msg inner
+
+let round_of_msg = function A1 { round; _ } | A2 { round; _ } | Cn { round; _ } -> round
+
 let pp_msg fmt = function
   | A1 { round; inner } -> Format.fprintf fmt "A1[r%d] %a" round Approver.pp_msg inner
   | A2 { round; inner } -> Format.fprintf fmt "A2[r%d] %a" round Approver.pp_msg inner

@@ -23,6 +23,13 @@ type msg =
   | Cn of { round : int; inner : Whp_coin.msg }  (** the round's coin. *)
 
 val words_of_msg : msg -> int
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: sub-protocol dot inner kind, e.g.
+    ["A1.ECHO"], ["COIN.FIRST"]. *)
+
+val round_of_msg : msg -> int
+(** The BA round a message belongs to. *)
+
 val pp_msg : Format.formatter -> msg -> unit
 
 type action =

@@ -8,6 +8,8 @@ type msg = First of value | Second of value
 
 let words_of_msg (First _ | Second _) = 4
 
+let tag_of_msg = function First _ -> "FIRST" | Second _ -> "SECOND"
+
 let pp_msg fmt m =
   let name, v = match m with First v -> ("FIRST", v) | Second v -> ("SECOND", v) in
   Format.fprintf fmt "%s(origin=%d beta=%s...)" name v.origin

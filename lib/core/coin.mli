@@ -25,6 +25,9 @@ type msg = First of value | Second of value
 val words_of_msg : msg -> int
 (** FIRST/SECOND = tag + origin id + VRF value + VRF proof = 4 words. *)
 
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: FIRST or SECOND. *)
+
 val pp_msg : Format.formatter -> msg -> unit
 
 type action =

@@ -1,0 +1,54 @@
+let attach_ba eng ~metrics =
+  Obs.Bridge.attach eng ~metrics ~tag_of:Ba.tag_of_msg
+    ~round_of:(fun m -> Some (Ba.round_of_msg m))
+    ()
+
+let attach_coin eng ~metrics = Obs.Bridge.attach eng ~metrics ~tag_of:Coin.tag_of_msg ()
+let attach_whp_coin eng ~metrics = Obs.Bridge.attach eng ~metrics ~tag_of:Whp_coin.tag_of_msg ()
+let attach_approver eng ~metrics = Obs.Bridge.attach eng ~metrics ~tag_of:Approver.tag_of_msg ()
+
+let params_json (p : Params.t) =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int p.Params.n);
+      ("f", Obs.Json.Int p.Params.f);
+      ("epsilon", Obs.Json.Float p.Params.epsilon);
+      ("d", Obs.Json.Float p.Params.d);
+      ("lambda", Obs.Json.Int p.Params.lambda);
+      ("w", Obs.Json.Int p.Params.w);
+      ("b", Obs.Json.Int p.Params.b);
+    ]
+
+let run_result_json = function
+  | Sim.Engine.All_done -> Obs.Json.Str "all_done"
+  | Sim.Engine.Quiescent -> Obs.Json.Str "quiescent"
+  | Sim.Engine.Step_limit -> Obs.Json.Str "step_limit"
+
+let outcome_json (o : Runner.outcome) =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int o.Runner.n);
+      ("decided", Obs.Json.Int (List.length o.Runner.decisions));
+      ("all_decided", Obs.Json.Bool o.Runner.all_decided);
+      ("agreement", Obs.Json.Bool o.Runner.agreement);
+      ("rounds", Obs.Json.Int o.Runner.rounds);
+      ("words", Obs.Json.Int o.Runner.words);
+      ("msgs", Obs.Json.Int o.Runner.msgs);
+      ("depth", Obs.Json.Int o.Runner.depth);
+      ("vtime", Obs.Json.Float o.Runner.vtime);
+      ("steps", Obs.Json.Int o.Runner.steps);
+      ("result", run_result_json o.Runner.result);
+    ]
+
+let metrics_schema = "coincidence.metrics/1"
+
+let metrics_doc ~params ?(outcomes = []) ?(spans = []) ~metrics () =
+  let span_records = List.concat_map (fun s -> Obs.Json.to_list (Obs.Span.to_json s)) spans in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str metrics_schema);
+      ("params", params_json params);
+      ("runs", Obs.Json.List outcomes);
+      ("metrics", Obs.Metrics.to_json metrics);
+      ("spans", Obs.Json.List span_records);
+    ]

@@ -1,0 +1,45 @@
+(** Protocol-aware observability attachments.
+
+    These wire an engine's observer hooks into an {!Obs.Metrics} registry
+    with the protocol's own message tags ({!Ba.tag_of_msg} et al.), so
+    counters and histograms break down by phase (A1/A2/COIN sub-protocol,
+    INIT/ECHO/OK/FIRST/SECOND kind) and, for BA, by round.  Pass them as
+    the [?probe] of the {!Runner} entry points:
+
+    {[
+      let metrics = Obs.Metrics.create () in
+      let o =
+        Runner.run_ba
+          ~probe:(fun eng -> Instrument.attach_ba eng ~metrics)
+          ~keyring ~params ~inputs ~seed ()
+      in
+      ...
+    ]}
+
+    Attachment is observation-only: outcomes are byte-identical with and
+    without it ([test/t_obs.ml] pins this down). *)
+
+val attach_ba : Ba.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
+val attach_coin : Coin.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
+val attach_whp_coin : Whp_coin.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
+val attach_approver : Approver.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
+
+(** {1 Machine-readable run documents} *)
+
+val metrics_schema : string
+(** Identifier written to every metrics document, ["coincidence.metrics/1"]. *)
+
+val params_json : Params.t -> Obs.Json.t
+val outcome_json : Runner.outcome -> Obs.Json.t
+val run_result_json : Sim.Engine.run_result -> Obs.Json.t
+
+val metrics_doc :
+  params:Params.t ->
+  ?outcomes:Obs.Json.t list ->
+  ?spans:Obs.Span.t list ->
+  metrics:Obs.Metrics.t ->
+  unit ->
+  Obs.Json.t
+(** The [--emit-metrics] document: [{"schema", "params", "runs",
+    "metrics", "spans"}].  [spans] concatenates several recorders (one
+    per trial).  See EXPERIMENTS.md for the field-by-field schema. *)

@@ -6,6 +6,7 @@ type corruption =
   | Custom of (Ba.msg Sim.Engine.t -> unit)
 
 type outcome = {
+  n : int;
   decisions : (int * int) list;
   all_decided : bool;
   agreement : bool;
@@ -22,8 +23,7 @@ let pp_outcome fmt o =
   Format.fprintf fmt
     "@[<h>decided=%d/%d agreement=%b rounds=%d words=%d msgs=%d depth=%d steps=%d@]"
     (List.length o.decisions)
-    (List.length o.decisions)
-    o.agreement o.rounds o.words o.msgs o.depth o.steps
+    o.n o.agreement o.rounds o.words o.msgs o.depth o.steps
 
 (* Perform the action lists coming out of a state machine: broadcasts go to
    the wire; other effects are recorded by the caller-provided sink.
@@ -48,7 +48,7 @@ let apply_corruption eng rng = function
 
 let ba_instance_name ~seed = Printf.sprintf "ba-%d" seed
 
-let run_ba ?scheduler ?(corruption = Honest) ?max_steps ~keyring ~params ~inputs ~seed () =
+let run_ba ?scheduler ?probe ?(corruption = Honest) ?max_steps ~keyring ~params ~inputs ~seed () =
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Runner.run_ba: need one input per process";
   let eng =
@@ -56,6 +56,7 @@ let run_ba ?scheduler ?(corruption = Honest) ?max_steps ~keyring ~params ~inputs
     | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
     | None -> Sim.Engine.create ~n ~seed ()
   in
+  (match probe with Some attach -> attach eng | None -> ());
   let instance = ba_instance_name ~seed in
   let procs =
     Array.init n (fun pid -> Ba.create ~keyring ~params ~pid ~instance)
@@ -94,6 +95,7 @@ let run_ba ?scheduler ?(corruption = Honest) ?max_steps ~keyring ~params ~inputs
   in
   let m = Sim.Engine.metrics eng in
   {
+    n;
     decisions;
     all_decided = all_correct_decided ();
     agreement;
@@ -134,12 +136,13 @@ let coin_outcome_of eng outputs result =
     coin_result = result;
   }
 
-let run_shared_coin ?scheduler ?(pre_corrupt = []) ?corrupt_engine ~keyring ~n ~f ~round ~seed () =
+let run_shared_coin ?scheduler ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring ~n ~f ~round ~seed () =
   let eng =
     match scheduler with
     | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
     | None -> Sim.Engine.create ~n ~seed ()
   in
+  (match probe with Some attach -> attach eng | None -> ());
   let instance = Printf.sprintf "coin-%d" seed in
   let procs = Array.init n (fun pid -> Coin.create ~keyring ~n ~f ~pid ~instance ~round) in
   let outputs = Array.make n None in
@@ -166,13 +169,14 @@ let run_shared_coin ?scheduler ?(pre_corrupt = []) ?corrupt_engine ~keyring ~n ~
   let result = Sim.Engine.run eng ~until:all_returned in
   coin_outcome_of eng outputs result
 
-let run_whp_coin ?scheduler ?(pre_corrupt = []) ?corrupt_engine ~keyring ~params ~round ~seed () =
+let run_whp_coin ?scheduler ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring ~params ~round ~seed () =
   let n = params.Params.n in
   let eng =
     match scheduler with
     | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
     | None -> Sim.Engine.create ~n ~seed ()
   in
+  (match probe with Some attach -> attach eng | None -> ());
   let instance = Printf.sprintf "whpcoin-%d" seed in
   let procs = Array.init n (fun pid -> Whp_coin.create ~keyring ~params ~pid ~instance ~round) in
   let outputs = Array.make n None in
@@ -205,7 +209,7 @@ type approver_outcome = {
   approver_result : Sim.Engine.run_result;
 }
 
-let run_approver ?scheduler ?(pre_corrupt = []) ~keyring ~params ~inputs ~seed () =
+let run_approver ?scheduler ?probe ?(pre_corrupt = []) ~keyring ~params ~inputs ~seed () =
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Runner.run_approver: need one input per process";
   let eng =
@@ -213,6 +217,7 @@ let run_approver ?scheduler ?(pre_corrupt = []) ~keyring ~params ~inputs ~seed (
     | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
     | None -> Sim.Engine.create ~n ~seed ()
   in
+  (match probe with Some attach -> attach eng | None -> ());
   let instance = Printf.sprintf "approver-%d" seed in
   let procs = Array.init n (fun pid -> Approver.create ~keyring ~params ~pid ~instance) in
   let returned = Array.make n None in

@@ -13,6 +13,7 @@ type corruption =
       (** arbitrary fault wiring; receives the engine before the run. *)
 
 type outcome = {
+  n : int;                       (** number of processes in the run. *)
   decisions : (int * int) list;  (** (pid, decision) for correct deciders. *)
   all_decided : bool;            (** every correct process decided. *)
   agreement : bool;              (** no two correct decisions differ. *)
@@ -34,6 +35,7 @@ val ba_instance_name : seed:int -> string
 
 val run_ba :
   ?scheduler:Ba.msg Sim.Scheduler.t ->
+  ?probe:(Ba.msg Sim.Engine.t -> unit) ->
   ?corruption:corruption ->
   ?max_steps:int ->
   keyring:Vrf.Keyring.t ->
@@ -44,7 +46,11 @@ val run_ba :
   outcome
 (** One Byzantine Agreement instance over [params.n] processes with the
     given binary inputs.  The run stops when every correct process has
-    decided (the point up to which the paper's complexity is counted). *)
+    decided (the point up to which the paper's complexity is counted).
+    [probe] is called with the engine before any corruption or send — the
+    attachment point for observation-only instrumentation ({!Instrument},
+    {!Sim.Trace}); a probed run is execution-identical to an unprobed
+    one. *)
 
 type coin_outcome = {
   outputs : (int * int) list;  (** (pid, coin bit) for correct processes. *)
@@ -56,6 +62,7 @@ type coin_outcome = {
 
 val run_shared_coin :
   ?scheduler:Coin.msg Sim.Scheduler.t ->
+  ?probe:(Coin.msg Sim.Engine.t -> unit) ->
   ?pre_corrupt:int list ->
   ?corrupt_engine:(Coin.msg Sim.Engine.t -> unit) ->
   keyring:Vrf.Keyring.t ->
@@ -71,6 +78,7 @@ val run_shared_coin :
 
 val run_whp_coin :
   ?scheduler:Whp_coin.msg Sim.Scheduler.t ->
+  ?probe:(Whp_coin.msg Sim.Engine.t -> unit) ->
   ?pre_corrupt:int list ->
   ?corrupt_engine:(Whp_coin.msg Sim.Engine.t -> unit) ->
   keyring:Vrf.Keyring.t ->
@@ -89,6 +97,7 @@ type approver_outcome = {
 
 val run_approver :
   ?scheduler:Approver.msg Sim.Scheduler.t ->
+  ?probe:(Approver.msg Sim.Engine.t -> unit) ->
   ?pre_corrupt:int list ->
   keyring:Vrf.Keyring.t ->
   params:Params.t ->

@@ -22,27 +22,40 @@ let stddev xs =
       let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
       sqrt (ss /. float_of_int (List.length xs - 1))
 
+(* Percentiles sort into an array once and index directly; NaN has no
+   place in an order statistic (it would poison the sort), so it is
+   rejected explicitly. *)
+let sorted_array name xs =
+  let a = Array.of_list xs in
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN input")) a;
+  Array.sort compare a;
+  a
+
+let rank_index n p =
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  max 1 (min n rank) - 1
+
+let percentile_sorted a p = a.(rank_index (Array.length a) p)
+
 let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = List.sort compare xs in
-  let n = List.length sorted in
-  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
-  let rank = max 1 (min n rank) in
-  List.nth sorted (rank - 1)
+  percentile_sorted (sorted_array "Stats.percentile" xs) p
 
 let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty"
   | _ ->
+      let a = sorted_array "Stats.summarize" xs in
+      let n = Array.length a in
       {
-        count = List.length xs;
+        count = n;
         mean = mean xs;
         stddev = stddev xs;
-        min = List.fold_left Float.min Float.infinity xs;
-        p50 = percentile 0.5 xs;
-        p95 = percentile 0.95 xs;
-        max = List.fold_left Float.max Float.neg_infinity xs;
+        min = a.(0);
+        p50 = percentile_sorted a 0.5;
+        p95 = percentile_sorted a 0.95;
+        max = a.(n - 1);
       }
 
 let summarize_ints xs = summarize (List.map float_of_int xs)

@@ -20,7 +20,9 @@ val stddev : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0, 1\]], nearest-rank on the sorted
-    data. *)
+    data.  Sorts into an array once and indexes directly.
+    @raise Invalid_argument on empty input, [p] out of range, or a NaN
+    element (NaN has no rank). *)
 
 val binomial_ci95 : successes:int -> trials:int -> float * float
 (** Normal-approximation 95% confidence interval for a proportion,

@@ -10,6 +10,8 @@ let words_of_msg = function
   | First _ -> 2 + Sample.cert_words + 2 (* tag+origin, origin cert, VRF out *)
   | Second _ -> 2 + Sample.cert_words + 2 + Sample.cert_words
 
+let tag_of_msg = function First _ -> "FIRST" | Second _ -> "SECOND"
+
 let pp_msg fmt m =
   let name, v = match m with First { value } -> ("FIRST", value) | Second { value; _ } -> ("SECOND", value) in
   Format.fprintf fmt "%s(origin=%d beta=%s...)" name v.origin

@@ -28,6 +28,9 @@ type msg =
   | Second of { value : value; cert : Sample.cert }  (** [cert]: sender's SECOND membership. *)
 
 val words_of_msg : msg -> int
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: FIRST or SECOND. *)
+
 val pp_msg : Format.formatter -> msg -> unit
 
 type action = Broadcast of msg | Return of int

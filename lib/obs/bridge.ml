@@ -1,0 +1,32 @@
+let attach eng ~metrics ?tag_of ?round_of () =
+  let tag_labels m = match tag_of with None -> [] | Some f -> [ ("tag", f m) ] in
+  Sim.Engine.on_send eng (fun e ->
+      let src = e.Sim.Envelope.src in
+      let words = e.Sim.Envelope.words in
+      let cls = if Sim.Engine.is_correct eng src then "correct" else "byz" in
+      let labels = ("class", cls) :: tag_labels e.Sim.Envelope.payload in
+      Metrics.incr metrics ~labels "sent_msgs";
+      Metrics.incr metrics ~by:words ~labels "sent_words";
+      Metrics.incr metrics ~labels:[ ("pid", string_of_int src) ] "proc_sent_msgs";
+      Metrics.incr metrics ~by:words ~labels:[ ("pid", string_of_int src) ] "proc_sent_words";
+      (match round_of with
+      | Some f -> (
+          match f e.Sim.Envelope.payload with
+          | Some r ->
+              let rl = [ ("round", string_of_int r) ] in
+              Metrics.incr metrics ~labels:rl "round_msgs";
+              Metrics.incr metrics ~by:words ~labels:rl "round_words"
+          | None -> ())
+      | None -> ());
+      Metrics.observe metrics ~labels:(tag_labels e.Sim.Envelope.payload) "words_per_msg"
+        (float_of_int words));
+  Sim.Engine.on_deliver eng (fun e ->
+      Metrics.incr metrics ~labels:(tag_labels e.Sim.Envelope.payload) "delivered_msgs";
+      if not (Sim.Engine.is_correct eng e.Sim.Envelope.dst) then
+        Metrics.incr metrics "delivered_to_faulty";
+      Metrics.observe metrics "delivery_latency_steps"
+        (float_of_int (Sim.Engine.step eng - e.Sim.Envelope.sent_step));
+      Metrics.observe metrics "delivery_latency_vtime"
+        (Sim.Engine.now eng -. e.Sim.Envelope.sent_now);
+      Metrics.observe metrics "causal_depth" (float_of_int e.Sim.Envelope.depth));
+  Sim.Engine.on_corrupt eng (fun _pid -> Metrics.incr metrics "corruptions")

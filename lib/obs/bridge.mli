@@ -1,0 +1,26 @@
+(** Wiring an {!Sim.Engine} into an {!Obs.Metrics} registry through the
+    engine's send/deliver/corrupt observer hooks.
+
+    The attachment is strictly passive — it reads envelopes and engine
+    state, and for a fixed seed an execution is byte-identical with or
+    without it (the property [test/t_obs.ml] pins down).
+
+    Counter series written ([class] is ["correct"] or ["byz"] at send
+    time; [tag] comes from the protocol's [tag_of_msg]):
+    - [sent_msgs{tag,class}], [sent_words{tag,class}]
+    - [round_msgs{round}], [round_words{round}] (when [round_of] is given)
+    - [proc_sent_msgs{pid}], [proc_sent_words{pid}] (per-process tallies)
+    - [delivered_msgs{tag}], [delivered_to_faulty], [corruptions]
+
+    Histogram series:
+    - [words_per_msg{tag}]
+    - [delivery_latency_steps], [delivery_latency_vtime]
+    - [causal_depth] (depth of each delivered envelope) *)
+
+val attach :
+  'm Sim.Engine.t ->
+  metrics:Metrics.t ->
+  ?tag_of:('m -> string) ->
+  ?round_of:('m -> int option) ->
+  unit ->
+  unit

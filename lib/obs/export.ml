@@ -1,0 +1,127 @@
+let write_jsonl oc values =
+  List.iter
+    (fun v ->
+      Json.to_channel oc v;
+      output_char oc '\n')
+    values
+
+let jsonl_to_string values =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun v ->
+      Json.to_buffer buf v;
+      Buffer.add_char buf '\n')
+    values;
+  Buffer.contents buf
+
+let trace_jsonl ?(run = 0) trace =
+  let record = function
+    | Sim.Trace.Sent { step; id; src; dst; depth; words } ->
+        Json.Obj
+          [
+            ("ev", Json.Str "send");
+            ("run", Json.Int run);
+            ("step", Json.Int step);
+            ("id", Json.Int id);
+            ("src", Json.Int src);
+            ("dst", Json.Int dst);
+            ("depth", Json.Int depth);
+            ("words", Json.Int words);
+          ]
+    | Sim.Trace.Delivered { step; id; src; dst; depth } ->
+        Json.Obj
+          [
+            ("ev", Json.Str "deliver");
+            ("run", Json.Int run);
+            ("step", Json.Int step);
+            ("id", Json.Int id);
+            ("src", Json.Int src);
+            ("dst", Json.Int dst);
+            ("depth", Json.Int depth);
+          ]
+    | Sim.Trace.Corrupted { step; pid } ->
+        Json.Obj
+          [
+            ("ev", Json.Str "corrupt");
+            ("run", Json.Int run);
+            ("step", Json.Int step);
+            ("pid", Json.Int pid);
+          ]
+  in
+  List.rev (Sim.Trace.fold trace ~init:[] ~f:(fun acc e -> record e :: acc))
+
+(* Nestable async events pair up on (cat, id, pid); "b" and "e" must agree
+   on all three.  tid only affects which track row hosts the event. *)
+let chrome_of_trace ?(pid = 0) trace =
+  let ev = function
+    | Sim.Trace.Sent { step; id; src; dst; depth; words } ->
+        Json.Obj
+          [
+            ("name", Json.Str (Printf.sprintf "msg %d->%d" src dst));
+            ("cat", Json.Str "msg");
+            ("ph", Json.Str "b");
+            ("id", Json.Int id);
+            ("ts", Json.Int step);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int src);
+            ("args", Json.Obj [ ("words", Json.Int words); ("depth", Json.Int depth) ]);
+          ]
+    | Sim.Trace.Delivered { step; id; src; dst; _ } ->
+        Json.Obj
+          [
+            ("name", Json.Str (Printf.sprintf "msg %d->%d" src dst));
+            ("cat", Json.Str "msg");
+            ("ph", Json.Str "e");
+            ("id", Json.Int id);
+            ("ts", Json.Int step);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int src);
+          ]
+    | Sim.Trace.Corrupted { step; pid = victim } ->
+        Json.Obj
+          [
+            ("name", Json.Str (Printf.sprintf "corrupt %d" victim));
+            ("cat", Json.Str "fault");
+            ("ph", Json.Str "i");
+            ("s", Json.Str "p");
+            ("ts", Json.Int step);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int victim);
+          ]
+  in
+  List.rev (Sim.Trace.fold trace ~init:[] ~f:(fun acc e -> ev e :: acc))
+
+let chrome_of_spans ?(pid = 0) spans =
+  List.map
+    (fun (s : Span.span) ->
+      Json.Obj
+        [
+          ("name", Json.Str s.Span.name);
+          ("cat", Json.Str "span");
+          ("ph", Json.Str "X");
+          ("ts", Json.Int s.Span.begin_step);
+          ("dur", Json.Int (max 1 (s.Span.end_step - s.Span.begin_step)));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int (match s.Span.pid with Some p -> p | None -> 0));
+          ( "args",
+            Json.Obj
+              [
+                ("nest", Json.Int s.Span.nest);
+                ("begin_vtime", Json.Float s.Span.begin_now);
+                ("end_vtime", Json.Float s.Span.end_now);
+              ] );
+        ])
+    (Span.completed spans)
+
+let chrome_process_name ~pid name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let chrome_trace events =
+  Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.Str "ms") ]

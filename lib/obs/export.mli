@@ -1,0 +1,38 @@
+(** Exporters: JSONL event streams and the Chrome [trace_event] format.
+
+    {2 JSONL}
+
+    One JSON value per line.  {!trace_jsonl} renders a {!Sim.Trace} ring
+    buffer as self-describing records:
+    [{"ev":"send","run":0,"step":s,"id":i,"src":a,"dst":b,"depth":d,"words":w}],
+    [{"ev":"deliver",...}], [{"ev":"corrupt","run":0,"step":s,"pid":p}].
+
+    {2 Chrome trace_event}
+
+    {!chrome_trace} wraps events in [{"traceEvents":[...]}] — the JSON
+    object format understood by [chrome://tracing] and Perfetto.  Each
+    message becomes a nestable async begin/end pair (["ph":"b"] at the
+    send, ["ph":"e"] at the delivery, joined by [id]); corruptions become
+    instant events; spans become ["ph":"X"] complete events.  Timestamps
+    are engine steps (for trace events) or begin/end steps (for spans) —
+    one "microsecond" per simulator step on the viewer's axis.  [pid]
+    groups a run (trial), [tid] is the sending process. *)
+
+val write_jsonl : out_channel -> Json.t list -> unit
+(** Each value on its own line (the emitter never embeds newlines). *)
+
+val jsonl_to_string : Json.t list -> string
+
+val trace_jsonl : ?run:int -> Sim.Trace.t -> Json.t list
+(** Oldest first; single pass over the ring buffer.  [run] (default 0)
+    stamps every record so several trials can share one stream. *)
+
+val chrome_of_trace : ?pid:int -> Sim.Trace.t -> Json.t list
+(** [pid] (default 0) distinguishes trials in one trace file. *)
+
+val chrome_of_spans : ?pid:int -> Span.t -> Json.t list
+
+val chrome_process_name : pid:int -> string -> Json.t
+(** A metadata event labelling trace process [pid] in the viewer. *)
+
+val chrome_trace : Json.t list -> Json.t

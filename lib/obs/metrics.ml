@@ -1,0 +1,153 @@
+(* Power-of-two upper bounds 2^0 .. 2^24, plus an overflow bucket.  Sim
+   quantities (words per message, causal depth, latency in steps or
+   virtual time) all fit comfortably under 2^24. *)
+let bucket_bounds =
+  Array.append (Array.init 25 (fun i -> Float.of_int (1 lsl i))) [| Float.infinity |]
+
+let bucket_index v =
+  let rec go i = if i >= Array.length bucket_bounds - 1 || v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+type hist = { count : int; sum : float; min : float; max : float; buckets : int array }
+
+type hist_cell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+(* Keys are (name, canonical labels); the Hashtbl key is the rendered
+   series string to keep hashing cheap and collision-free. *)
+type series = { name : string; labels : (string * string) list }
+
+type t = {
+  counters : (string, series * int ref) Hashtbl.t;
+  histograms : (string, series * hist_cell) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
+
+let canonical labels = List.sort compare labels
+
+let render name labels =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v)
+    labels;
+  Buffer.contents buf
+
+let incr t ?(by = 1) ?(labels = []) name =
+  let labels = canonical labels in
+  let key = render name labels in
+  match Hashtbl.find_opt t.counters key with
+  | Some (_, r) -> r := !r + by
+  | None -> Hashtbl.replace t.counters key ({ name; labels }, ref by)
+
+let observe t ?(labels = []) name v =
+  let labels = canonical labels in
+  let key = render name labels in
+  let cell =
+    match Hashtbl.find_opt t.histograms key with
+    | Some (_, c) -> c
+    | None ->
+        let c =
+          {
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = Float.infinity;
+            h_max = Float.neg_infinity;
+            h_buckets = Array.make (Array.length bucket_bounds) 0;
+          }
+        in
+        Hashtbl.replace t.histograms key ({ name; labels }, c);
+        c
+  in
+  cell.h_count <- cell.h_count + 1;
+  cell.h_sum <- cell.h_sum +. v;
+  if v < cell.h_min then cell.h_min <- v;
+  if v > cell.h_max then cell.h_max <- v;
+  let i = bucket_index v in
+  cell.h_buckets.(i) <- cell.h_buckets.(i) + 1
+
+let counter_value t ?(labels = []) name =
+  match Hashtbl.find_opt t.counters (render name (canonical labels)) with
+  | Some (_, r) -> !r
+  | None -> 0
+
+let snapshot cell =
+  {
+    count = cell.h_count;
+    sum = cell.h_sum;
+    min = cell.h_min;
+    max = cell.h_max;
+    buckets = Array.copy cell.h_buckets;
+  }
+
+let histogram t ?(labels = []) name =
+  Option.map
+    (fun (_, c) -> snapshot c)
+    (Hashtbl.find_opt t.histograms (render name (canonical labels)))
+
+let sorted_seq tbl =
+  Hashtbl.fold (fun key (series, v) acc -> (key, series, v) :: acc) tbl []
+  |> List.sort (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
+
+let fold_counters t ~init ~f =
+  List.fold_left
+    (fun acc (_, s, r) -> f acc ~name:s.name ~labels:s.labels !r)
+    init (sorted_seq t.counters)
+
+let fold_histograms t ~init ~f =
+  List.fold_left
+    (fun acc (_, s, c) -> f acc ~name:s.name ~labels:s.labels (snapshot c))
+    init (sorted_seq t.histograms)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json t =
+  let counters =
+    fold_counters t ~init:[] ~f:(fun acc ~name ~labels v ->
+        Json.Obj [ ("name", Json.Str name); ("labels", labels_json labels); ("value", Json.Int v) ]
+        :: acc)
+    |> List.rev
+  in
+  let histograms =
+    fold_histograms t ~init:[] ~f:(fun acc ~name ~labels h ->
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i c ->
+                 if c = 0 then None
+                 else
+                   Some
+                     (Json.Obj
+                        [
+                          ( "le",
+                            if Float.is_finite bucket_bounds.(i) then Json.Float bucket_bounds.(i)
+                            else Json.Str "+inf" );
+                          ("count", Json.Int c);
+                        ]))
+               h.buckets)
+          |> List.filter_map Fun.id
+        in
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("labels", labels_json labels);
+            ("count", Json.Int h.count);
+            ("sum", Json.Float h.sum);
+            ("min", if h.count = 0 then Json.Null else Json.Float h.min);
+            ("max", if h.count = 0 then Json.Null else Json.Float h.max);
+            ("buckets", Json.List buckets);
+          ]
+        :: acc)
+    |> List.rev
+  in
+  Json.Obj [ ("counters", Json.List counters); ("histograms", Json.List histograms) ]

@@ -1,0 +1,57 @@
+(** Labeled counters and log-bucketed histograms.
+
+    A registry holds two keyed families: integer counters and value
+    histograms.  A series is identified by a metric name plus an optional
+    label set ([("tag", "FIRST"); ("class", "correct")], ...); labels are
+    canonicalised (sorted by key) so the call-site order never splits a
+    series.  Histograms use fixed log-spaced (power-of-two) buckets, which
+    keeps observation O(#buckets) with no per-series configuration and
+    makes bucket edges identical across runs — the property exporters and
+    diffing tools rely on.
+
+    Everything here is observation-only bookkeeping: recording into a
+    registry never perturbs an execution (no RNG, no scheduling). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> ?labels:(string * string) list -> string -> unit
+(** Add [by] (default 1) to the counter series [name]/[labels]. *)
+
+val observe : t -> ?labels:(string * string) list -> string -> float -> unit
+(** Record one value into the histogram series.  Non-finite values are
+    counted in [count]/[sum] clamping aside but land in the overflow
+    bucket; callers normally observe finite sim quantities. *)
+
+val counter_value : t -> ?labels:(string * string) list -> string -> int
+(** 0 when the series was never incremented. *)
+
+val bucket_bounds : float array
+(** The shared histogram upper bounds: 1, 2, 4, ... 2^24, then [infinity]
+    as the overflow bucket.  A value [v] lands in the first bucket with
+    [v <= bound]. *)
+
+val bucket_index : float -> int
+(** Index into {!bucket_bounds} where a value lands. *)
+
+type hist = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty. *)
+  max : float;  (** [neg_infinity] when empty. *)
+  buckets : int array;  (** same length as {!bucket_bounds}. *)
+}
+
+val histogram : t -> ?labels:(string * string) list -> string -> hist option
+
+val fold_counters : t -> init:'a -> f:('a -> name:string -> labels:(string * string) list -> int -> 'a) -> 'a
+val fold_histograms : t -> init:'a -> f:('a -> name:string -> labels:(string * string) list -> hist -> 'a) -> 'a
+(** Deterministic iteration order: sorted by (name, labels). *)
+
+val to_json : t -> Json.t
+(** [{"counters": [{"name","labels","value"}...],
+      "histograms": [{"name","labels","count","sum","min","max",
+                      "buckets":[{"le","count"}...]}...]}]
+    with zero-count buckets omitted; series sorted by (name, labels) so
+    the document is deterministic. *)

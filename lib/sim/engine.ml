@@ -93,6 +93,7 @@ let send t ~src ~dst ~words m =
           words;
           depth = t.depth.(src) + 1;
           sent_step = t.step;
+          sent_now = t.now;
         }
       in
       t.next_id <- t.next_id + 1;

@@ -6,6 +6,7 @@ type 'm t = {
   words : int;
   depth : int;
   sent_step : int;
+  sent_now : float;
 }
 
 let pp pp_payload fmt e =

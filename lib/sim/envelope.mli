@@ -10,6 +10,7 @@ type 'm t = {
   words : int;     (** word count per the paper's §2 metric. *)
   depth : int;     (** causal depth: 1 + depth of the sender at send time. *)
   sent_step : int; (** engine step at which the send happened. *)
+  sent_now : float; (** engine virtual time at which the send happened. *)
 }
 
 val pp : (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

@@ -46,34 +46,42 @@ let attach t eng =
 let length t = min t.total t.capacity
 let dropped t = max 0 (t.total - t.capacity)
 
-let events t =
+(* Single pass over the live slots, oldest first, without materializing a
+   list; every accessor below is a fold. *)
+let fold t ~init ~f =
   let len = length t in
   let start = if t.total <= t.capacity then 0 else t.next in
-  List.init len (fun i ->
-      match t.buffer.((start + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false (* within [length], slots are filled *))
+  let acc = ref init in
+  for i = 0 to len - 1 do
+    match t.buffer.((start + i) mod t.capacity) with
+    | Some e -> acc := f !acc e
+    | None -> assert false (* within [length], slots are filled *)
+  done;
+  !acc
+
+let iter t ~f = fold t ~init:() ~f:(fun () e -> f e)
+
+let events t = List.rev (fold t ~init:[] ~f:(fun acc e -> e :: acc))
 
 let sends_by t pid =
-  List.fold_left
-    (fun acc e -> match e with Sent { src; _ } when src = pid -> acc + 1 | _ -> acc)
-    0 (events t)
+  fold t ~init:0 ~f:(fun acc e ->
+      match e with Sent { src; _ } when src = pid -> acc + 1 | _ -> acc)
 
 let deliveries_of t ~id =
-  List.filter_map
-    (fun e -> match e with Delivered { id = i; dst; _ } when i = id -> Some dst | _ -> None)
-    (events t)
+  List.rev
+    (fold t ~init:[] ~f:(fun acc e ->
+         match e with Delivered { id = i; dst; _ } when i = id -> dst :: acc | _ -> acc))
 
 let corrupted_pids t =
-  List.filter_map (fun e -> match e with Corrupted { pid; _ } -> Some pid | _ -> None) (events t)
+  List.rev
+    (fold t ~init:[] ~f:(fun acc e ->
+         match e with Corrupted { pid; _ } -> pid :: acc | _ -> acc))
 
 let max_depth t =
-  List.fold_left
-    (fun acc e ->
+  fold t ~init:0 ~f:(fun acc e ->
       match e with
       | Sent { depth; _ } | Delivered { depth; _ } -> max acc depth
       | Corrupted _ -> acc)
-    0 (events t)
 
 let pp_event fmt = function
   | Sent { step; id; src; dst; depth; words } ->
@@ -83,5 +91,5 @@ let pp_event fmt = function
   | Corrupted { step; pid } -> Format.fprintf fmt "@[<h>%6d CORRUPT pid=%d@]" step pid
 
 let pp fmt t =
-  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t);
+  iter t ~f:(fun e -> Format.fprintf fmt "%a@." pp_event e);
   if dropped t > 0 then Format.fprintf fmt "(%d earlier events dropped)@." (dropped t)

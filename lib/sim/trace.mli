@@ -19,6 +19,13 @@ val create : ?capacity:int -> unit -> t
 val attach : t -> 'm Engine.t -> unit
 (** Start recording the engine's sends, deliveries and corruptions. *)
 
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Fold over the recorded events, oldest first, in one pass over the
+    ring buffer and without materializing a list.  Every query below is
+    implemented on top of this. *)
+
+val iter : t -> f:(event -> unit) -> unit
+
 val events : t -> event list
 (** Recorded events, oldest first. *)
 

@@ -1,0 +1,263 @@
+(* Observability layer: JSON round-trips, histogram bucket edges, span
+   nesting, probe passivity and exporter determinism across equal seeds. *)
+
+let n = 16
+let params = lazy (Core.Params.make_exn ~strict:false ~epsilon:0.25 ~d:0.04 ~lambda:n ~n ())
+let keyring = lazy (Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"obs-test" ())
+
+let run_ba ?probe ~seed () =
+  let inputs = Array.init n (fun p -> (p + seed) mod 2) in
+  Core.Runner.run_ba ?probe ~keyring:(Lazy.force keyring) ~params:(Lazy.force params) ~inputs
+    ~seed ()
+
+(* ------------------------------- json ------------------------------- *)
+
+let roundtrip v =
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let values =
+    [
+      Null;
+      Bool true;
+      Bool false;
+      Int 0;
+      Int (-42);
+      Int max_int;
+      Int min_int;
+      Float 0.5;
+      Float (-1.25e-3);
+      Float 1e100;
+      Float 0.1;
+      Float (1.0 /. 3.0);
+      Str "";
+      Str "plain";
+      Str "esc \" \\ \n \t \r \x0c \b quotes";
+      Str "unicode: \xc3\xa9\xe2\x82\xac";
+      List [];
+      List [ Int 1; Str "two"; Null ];
+      Obj [];
+      Obj [ ("a", Int 1); ("nested", Obj [ ("xs", List [ Bool false; Float 2.5 ]) ]) ];
+    ]
+  in
+  List.iter (fun v -> Alcotest.(check bool) (to_string v) true (roundtrip v = v)) values
+
+let test_json_single_line () =
+  let v =
+    Obs.Json.Obj [ ("s", Obs.Json.Str "line1\nline2"); ("l", Obs.Json.List [ Obs.Json.Int 1 ]) ]
+  in
+  Alcotest.(check bool) "no raw newline in output" false
+    (String.contains (Obs.Json.to_string v) '\n')
+
+let test_json_nonfinite_floats () =
+  List.iter
+    (fun f -> Alcotest.(check string) "emitted as null" "null" (Obs.Json.to_string (Obs.Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}"; "nul" ]
+
+let test_json_accessors () =
+  let doc = Obs.Json.of_string_exn {|{"a": 1, "b": "x", "c": [1, 2], "d": 2.5}|} in
+  let open Obs.Json in
+  Alcotest.(check (option int)) "int member" (Some 1) (Option.bind (member "a" doc) to_int_opt);
+  Alcotest.(check (option string)) "str member" (Some "x")
+    (Option.bind (member "b" doc) to_string_opt);
+  Alcotest.(check int) "list member" 2
+    (List.length (match member "c" doc with Some l -> to_list l | None -> []));
+  Alcotest.(check (option (float 0.0))) "float member" (Some 2.5)
+    (Option.bind (member "d" doc) to_float_opt);
+  Alcotest.(check bool) "missing member" true (member "zz" doc = None)
+
+(* ------------------------------ metrics ------------------------------ *)
+
+let test_bucket_edges () =
+  let open Obs.Metrics in
+  (* A value lands in the first bucket with v <= bound: exact powers of
+     two land on their own bound, the next representable value above
+     spills into the following bucket. *)
+  Alcotest.(check int) "1.0 -> bucket 0" 0 (bucket_index 1.0);
+  Alcotest.(check int) "2.0 -> bucket 1" 1 (bucket_index 2.0);
+  Alcotest.(check int) "2.0001 -> bucket 2" 2 (bucket_index 2.0001);
+  Alcotest.(check int) "1024 -> bucket 10" 10 (bucket_index 1024.0);
+  Alcotest.(check int) "0 -> first bucket" 0 (bucket_index 0.0);
+  let last = Array.length bucket_bounds - 1 in
+  Alcotest.(check int) "2^24 -> last finite bucket" (last - 1)
+    (bucket_index (Float.of_int (1 lsl 24)));
+  Alcotest.(check int) "huge -> overflow" last (bucket_index 1e30);
+  Alcotest.(check bool) "overflow bound is +inf" true
+    (Float.is_integer bucket_bounds.(last - 1) && bucket_bounds.(last) = Float.infinity)
+
+let test_histogram_counts () =
+  let m = Obs.Metrics.create () in
+  List.iter (fun v -> Obs.Metrics.observe m "lat" v) [ 1.0; 2.0; 3.0; 1024.0; 1e30 ];
+  match Obs.Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 5 h.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" (1.0 +. 2.0 +. 3.0 +. 1024.0 +. 1e30) h.Obs.Metrics.sum;
+      Alcotest.(check (float 0.0)) "min" 1.0 h.Obs.Metrics.min;
+      Alcotest.(check (float 0.0)) "max" 1e30 h.Obs.Metrics.max;
+      Alcotest.(check int) "bucket 0 holds 1.0" 1 h.Obs.Metrics.buckets.(0);
+      Alcotest.(check int) "bucket 1 holds 2.0" 1 h.Obs.Metrics.buckets.(1);
+      Alcotest.(check int) "bucket 2 holds 3.0" 1 h.Obs.Metrics.buckets.(2);
+      Alcotest.(check int) "overflow holds 1e30" 1
+        h.Obs.Metrics.buckets.(Array.length h.Obs.Metrics.buckets - 1)
+
+let test_labels_canonical () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m ~labels:[ ("a", "1"); ("b", "2") ] "c";
+  Obs.Metrics.incr m ~labels:[ ("b", "2"); ("a", "1") ] "c";
+  Alcotest.(check int) "label order never splits a series" 2
+    (Obs.Metrics.counter_value m ~labels:[ ("a", "1"); ("b", "2") ] "c");
+  Alcotest.(check int) "different labels are a different series" 0
+    (Obs.Metrics.counter_value m ~labels:[ ("a", "1") ] "c")
+
+(* ------------------------------- spans ------------------------------- *)
+
+let test_span_nesting () =
+  let clock, set = Obs.Span.manual_clock () in
+  let t = Obs.Span.create clock in
+  set 0 0.0;
+  Obs.Span.with_span t "outer" (fun () ->
+      set 1 1.0;
+      Obs.Span.with_span t ~pid:3 "inner" (fun () -> set 2 2.0);
+      Alcotest.(check int) "back to one open span" 1 (Obs.Span.nesting t);
+      set 5 5.0);
+  let spans = Obs.Span.completed t in
+  Alcotest.(check (list string)) "completion order: inner closes first" [ "inner"; "outer" ]
+    (List.map (fun s -> s.Obs.Span.name) spans);
+  (match spans with
+  | [ inner; outer ] ->
+      Alcotest.(check int) "inner nest" 1 inner.Obs.Span.nest;
+      Alcotest.(check int) "outer nest" 0 outer.Obs.Span.nest;
+      Alcotest.(check bool) "inner pid recorded" true (inner.Obs.Span.pid = Some 3);
+      Alcotest.(check int) "inner begin step" 1 inner.Obs.Span.begin_step;
+      Alcotest.(check int) "inner end step" 2 inner.Obs.Span.end_step;
+      Alcotest.(check int) "outer spans the whole window" 5 outer.Obs.Span.end_step
+  | _ -> Alcotest.fail "expected two spans");
+  Alcotest.check_raises "end with nothing open"
+    (Invalid_argument "Obs.Span.end_span: no open span") (fun () -> Obs.Span.end_span t)
+
+let test_span_closes_on_raise () =
+  let clock, set = Obs.Span.manual_clock () in
+  let t = Obs.Span.create clock in
+  set 0 0.0;
+  (try Obs.Span.with_span t "doomed" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite the raise" 1 (List.length (Obs.Span.completed t));
+  Alcotest.(check int) "nothing left open" 0 (Obs.Span.nesting t)
+
+(* --------------------------- probe passivity --------------------------- *)
+
+let outcome_fingerprint (o : Core.Runner.outcome) =
+  Format.asprintf "%a|decisions=%s" Core.Runner.pp_outcome o
+    (String.concat ","
+       (List.map (fun (p, d) -> Printf.sprintf "%d:%d" p d) o.Core.Runner.decisions))
+
+let test_probe_is_passive () =
+  for seed = 1 to 4 do
+    let plain = run_ba ~seed () in
+    let metrics = Obs.Metrics.create () in
+    let observed =
+      run_ba ~probe:(fun eng -> Core.Instrument.attach_ba eng ~metrics) ~seed ()
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: outcome unchanged under instrumentation" seed)
+      (outcome_fingerprint plain) (outcome_fingerprint observed);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: the probe did observe traffic" seed)
+      true
+      (Obs.Metrics.fold_counters metrics ~init:0 ~f:(fun acc ~name:_ ~labels:_ v -> acc + v) > 0)
+  done
+
+let test_metrics_doc_deterministic () =
+  let doc seed =
+    let metrics = Obs.Metrics.create () in
+    let o = run_ba ~probe:(fun eng -> Core.Instrument.attach_ba eng ~metrics) ~seed () in
+    Obs.Json.to_string
+      (Core.Instrument.metrics_doc ~params:(Lazy.force params)
+         ~outcomes:[ Core.Instrument.outcome_json o ] ~metrics ())
+  in
+  Alcotest.(check string) "equal seeds produce byte-identical documents" (doc 11) (doc 11);
+  Alcotest.(check bool) "different seeds differ" true (doc 11 <> doc 12)
+
+let test_jsonl_deterministic () =
+  let lines seed =
+    let trace = Sim.Trace.create () in
+    let (_ : Core.Runner.outcome) =
+      run_ba ~probe:(fun eng -> Sim.Trace.attach trace eng) ~seed ()
+    in
+    Obs.Export.jsonl_to_string (Obs.Export.trace_jsonl ~run:0 trace)
+  in
+  let a = lines 21 and b = lines 21 in
+  Alcotest.(check string) "equal seeds produce byte-identical JSONL" a b;
+  (* Every line must reparse on its own. *)
+  String.split_on_char '\n' a
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         match Obs.Json.of_string l with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "bad JSONL line %S: %s" l e)
+
+let test_chrome_trace_shape () =
+  let trace = Sim.Trace.create () in
+  let metrics = Obs.Metrics.create () in
+  let (_ : Core.Runner.outcome) =
+    run_ba
+      ~probe:(fun eng ->
+        Core.Instrument.attach_ba eng ~metrics;
+        Sim.Trace.attach trace eng)
+      ~seed:31 ()
+  in
+  let doc = roundtrip (Obs.Export.chrome_trace (Obs.Export.chrome_of_trace ~pid:0 trace)) in
+  let events =
+    match Obs.Json.member "traceEvents" doc with Some l -> Obs.Json.to_list l | None -> []
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let phases =
+    List.filter_map
+      (fun e -> Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string_opt)
+      events
+  in
+  Alcotest.(check bool) "only b/e/i phases from a message trace" true
+    (List.for_all (fun p -> p = "b" || p = "e" || p = "i") phases);
+  (* Every async end must close an opened id; begins may stay open for
+     messages still in flight when the run decided. *)
+  let ids p =
+    List.filter_map
+      (fun e ->
+        match Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string_opt with
+        | Some p' when p' = p -> Option.bind (Obs.Json.member "id" e) Obs.Json.to_int_opt
+        | _ -> None)
+      events
+  in
+  let begins = ids "b" and ends = ids "e" in
+  Alcotest.(check bool) "at least one delivery closed" true (ends <> []);
+  Alcotest.(check bool) "no end without a begin" true
+    (List.for_all (fun id -> List.mem id begins) ends)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json single line" `Quick test_json_single_line;
+    Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite_floats;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+    Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "labels canonical" `Quick test_labels_canonical;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span closes on raise" `Quick test_span_closes_on_raise;
+    Alcotest.test_case "probe is passive" `Quick test_probe_is_passive;
+    Alcotest.test_case "metrics doc deterministic" `Quick test_metrics_doc_deterministic;
+    Alcotest.test_case "jsonl deterministic" `Quick test_jsonl_deterministic;
+    Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+  ]

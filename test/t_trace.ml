@@ -72,6 +72,48 @@ let test_max_depth () =
   in
   Alcotest.(check int) "depth of the chain" 3 (Trace.max_depth trace)
 
+let test_fold_matches_events () =
+  let trace =
+    run_traced (fun eng ->
+        for pid = 0 to 3 do
+          Engine.set_handler eng pid (fun _ -> ())
+        done;
+        Engine.broadcast eng ~src:0 ~words:2 7;
+        Engine.corrupt_crash eng 3)
+  in
+  let via_fold = List.rev (Trace.fold trace ~init:[] ~f:(fun acc e -> e :: acc)) in
+  Alcotest.(check bool) "fold visits exactly the events list, oldest first" true
+    (via_fold = Trace.events trace);
+  let count = Trace.fold trace ~init:0 ~f:(fun n _ -> n + 1) in
+  Alcotest.(check int) "fold count = length" (Trace.length trace) count;
+  let via_iter = ref [] in
+  Trace.iter trace ~f:(fun e -> via_iter := e :: !via_iter);
+  Alcotest.(check bool) "iter agrees with fold" true (List.rev !via_iter = via_fold)
+
+let test_fold_after_wraparound () =
+  let trace =
+    run_traced ~capacity:5 (fun eng ->
+        for pid = 0 to 3 do
+          Engine.set_handler eng pid (fun _ -> ())
+        done;
+        for i = 0 to 9 do
+          Engine.send eng ~src:0 ~dst:1 ~words:1 i
+        done)
+  in
+  (* After dropping, fold must walk the surviving window oldest-first:
+     steps strictly increase across the visited events. *)
+  let monotone, _ =
+    Trace.fold trace ~init:(true, -1) ~f:(fun (ok, prev) e ->
+        let step =
+          match e with
+          | Trace.Sent { step; _ } | Trace.Delivered { step; _ } | Trace.Corrupted { step; _ } ->
+              step
+        in
+        (ok && step >= prev, step))
+  in
+  Alcotest.(check bool) "steps non-decreasing after wraparound" true monotone;
+  Alcotest.(check int) "fold sees only live slots" 5 (Trace.fold trace ~init:0 ~f:(fun n _ -> n + 1))
+
 let test_attach_does_not_change_execution () =
   let run traced =
     let eng : int Engine.t = Engine.create ~n:4 ~seed:9 () in
@@ -115,6 +157,8 @@ let suite =
     Alcotest.test_case "corruption recorded" `Quick test_corruption_recorded;
     Alcotest.test_case "ring buffer" `Quick test_ring_buffer_drops_oldest;
     Alcotest.test_case "max depth" `Quick test_max_depth;
+    Alcotest.test_case "fold matches events" `Quick test_fold_matches_events;
+    Alcotest.test_case "fold after wraparound" `Quick test_fold_after_wraparound;
     Alcotest.test_case "attach is passive" `Quick test_attach_does_not_change_execution;
     Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
   ]

@@ -30,6 +30,7 @@ let () =
       ("ba", T_ba.suite);
       ("baselines", T_baselines.suite);
       ("trace", T_trace.suite);
+      ("obs", T_obs.suite);
       ("vclock", T_vclock.suite);
       ("attacks/chain", T_attacks_chain.suite);
       ("fuzz", T_fuzz.suite);
