@@ -65,7 +65,7 @@ let jb b = Obs.Json.Bool b
 let record ~table row =
   if !json_path <> None then json_rows := Obs.Json.Obj (("table", js table) :: row) :: !json_rows
 
-let bench_schema = "coincidence.bench/1"
+let bench_schema = Obs.Export.bench_schema
 
 let write_json path =
   let doc =
@@ -87,8 +87,10 @@ let write_json path =
 let section title =
   Format.printf "@.=== %s %s@." title (String.make (max 0 (72 - String.length title)) '=')
 
-(* Keyrings are cached per n: setup is part of the PKI assumption, not of
-   the protocols' measured cost. *)
+(* Keyrings are cached per n and warmed eagerly: setup is part of the PKI
+   assumption, not of the protocols' measured cost, so sweeps must never
+   pay lazy keygen mid-measurement.  The warm-up time is reported as its
+   own row instead. *)
 let keyrings : (int, Vrf.Keyring.t) Hashtbl.t = Hashtbl.create 8
 
 let keyring n =
@@ -96,6 +98,11 @@ let keyring n =
   | Some kr -> kr
   | None ->
       let kr = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:(Printf.sprintf "bench-%d" n) () in
+      let t0 = Sys.time () in
+      Vrf.Keyring.warm kr;
+      let dt = Sys.time () -. t0 in
+      record ~table:"keygen"
+        [ ("n", ji n); ("backend", js "mock"); ("warm_seconds", jf dt) ];
       Hashtbl.replace keyrings n kr;
       kr
 
@@ -718,6 +725,11 @@ let micro () =
   let mont = Bignum.Bigint.Mont.create rsa_pk.Rsa.n in
   let base = Bignum.Bigint.of_hex "123456789abcdef0" in
   let exp = Bignum.Bigint.of_hex "fedcba9876543210fedcba9876543210" in
+  (* a full-width exponent for the window-vs-binary ladder comparison *)
+  let exp_512 = Bignum.Bigint.pred rsa_pk.Rsa.n in
+  let elem_a = Bignum.Bigint.Mont.to_mont mont (Rsa.fdh rsa_pk "kernel-a") in
+  let elem_b = Bignum.Bigint.Mont.to_mont mont (Rsa.fdh rsa_pk "kernel-b") in
+  let keygen_drbg = Crypto.Drbg.create "bench-keygen" in
   let shares = Field.Shamir.deal ~secret:(Field.Gf.of_int 4242) ~threshold:11 ~n:33 random in
   let share_subset = Array.to_list (Array.sub shares 0 11) in
   let kr = keyring 64 in
@@ -734,9 +746,23 @@ let micro () =
       Test.make ~name:"hmac-sha256-64B"
         (Staged.stage (fun () -> Crypto.Hmac.sha256 ~key:"key" input_64));
       Test.make ~name:"modpow-512b" (Staged.stage (fun () -> Bignum.Bigint.Mont.pow mont base exp));
+      (* window-vs-binary ladder on a full-width exponent, and the raw
+         multiply-vs-square kernels the ladders are built from *)
+      Test.make ~name:"modpow-512b-window"
+        (Staged.stage (fun () -> Bignum.Bigint.Mont.pow mont base exp_512));
+      Test.make ~name:"modpow-512b-binary"
+        (Staged.stage (fun () -> Bignum.Bigint.Mont.pow_binary mont base exp_512));
+      Test.make ~name:"mont-mul-512b"
+        (Staged.stage (fun () -> Bignum.Bigint.Mont.mul mont elem_a elem_b));
+      Test.make ~name:"mont-sqr-512b"
+        (Staged.stage (fun () -> Bignum.Bigint.Mont.sqr mont elem_a));
       Test.make ~name:"rsa512-sign" (Staged.stage (fun () -> Rsa.sign rsa_sk "bench-message"));
+      Test.make ~name:"rsa512-sign-plain"
+        (Staged.stage (fun () -> Rsa.sign_plain rsa_sk "bench-message"));
       Test.make ~name:"rsa512-verify"
         (Staged.stage (fun () -> Rsa.verify' rsa_verifier "bench-message" rsa_sig));
+      Test.make ~name:"rsa512-keygen"
+        (Staged.stage (fun () -> Rsa.keygen ~bits:512 ~random:(Crypto.Drbg.generate keygen_drbg)));
       Test.make ~name:"vrf-prove-mock"
         (Staged.stage (fun () ->
              incr counter;

@@ -375,9 +375,41 @@ let summarize_loaded path =
             histograms;
           Format.printf "spans: %d@." (List.length (list_member "spans" doc));
           0
+      | Some s when s = Obs.Export.bench_schema -> begin
+          (* Bench documents: every row must be an object naming its table;
+             reject structurally broken files so CI catches producer drift. *)
+          Format.printf "schema: %s@." s;
+          let rows = list_member "rows" doc in
+          let bad =
+            List.filter (fun r -> str_member "table" r = None) rows
+          in
+          if rows = [] then begin
+            Format.eprintf "%s: bench document has no rows@." path;
+            1
+          end
+          else if bad <> [] then begin
+            Format.eprintf "%s: %d row(s) lack a \"table\" member@." path (List.length bad);
+            1
+          end
+          else begin
+            let tables = Hashtbl.create 8 in
+            List.iter
+              (fun r ->
+                match str_member "table" r with
+                | Some t ->
+                    Hashtbl.replace tables t (1 + Option.value ~default:0 (Hashtbl.find_opt tables t))
+                | None -> ())
+              rows;
+            Format.printf "rows: %d@." (List.length rows);
+            Hashtbl.fold (fun t c acc -> (t, c) :: acc) tables []
+            |> List.sort compare
+            |> List.iter (fun (t, c) -> Format.printf "  %-12s %6d@." t c);
+            0
+          end
+        end
       | Some s ->
-          Format.eprintf "%s: unexpected schema %S (want %S)@." path s
-            Core.Instrument.metrics_schema;
+          Format.eprintf "%s: unexpected schema %S (want %S or %S)@." path s
+            Core.Instrument.metrics_schema Obs.Export.bench_schema;
           1
       | None ->
           Format.eprintf "%s: missing \"schema\" member@." path;
@@ -403,8 +435,8 @@ let obs_cmd =
       value
       & opt (some string) None
       & info [ "load" ] ~docv:"FILE"
-          ~doc:"Summarize an existing --emit-metrics document instead of running; exits non-zero \
-                if the file does not parse or carries the wrong schema.")
+          ~doc:"Summarize an existing --emit-metrics or bench --json document instead of \
+                running; exits non-zero if the file does not parse or carries the wrong schema.")
   in
   Cmd.v
     (Cmd.info "obs"

@@ -212,6 +212,14 @@ let make sign mag =
 
 let of_int n =
   if n = 0 then zero
+  else if n = min_int then begin
+    (* abs min_int is still min_int, so build |min_int| = 2^(int_size-1)
+       directly instead of decomposing a negative value. *)
+    let bit = Sys.int_size - 1 in
+    let mag = Array.make ((bit / limb_bits) + 1) 0 in
+    mag.(bit / limb_bits) <- 1 lsl (bit mod limb_bits);
+    { sign = -1; mag }
+  end
   else begin
     let sign = if n < 0 then -1 else 1 in
     let v = abs n in
@@ -224,9 +232,21 @@ let two = of_int 2
 
 let to_int t =
   let bits = bit_length_mag t.mag in
-  if bits > 62 then failwith "Bigint.to_int: overflow";
-  let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) t.mag 0 in
-  if t.sign < 0 then -v else v
+  if bits < Sys.int_size then begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl limb_bits) lor limb) t.mag 0 in
+    if t.sign < 0 then -v else v
+  end
+  else begin
+    (* The only representable magnitude with int_size bits is |min_int|. *)
+    let top = Array.length t.mag - 1 in
+    let is_min_int =
+      t.sign < 0
+      && bits = Sys.int_size
+      && t.mag.(top) = 1 lsl ((Sys.int_size - 1) mod limb_bits)
+      && Array.for_all (fun l -> l = 0) (Array.sub t.mag 0 top)
+    in
+    if is_min_int then min_int else failwith "Bigint.to_int: overflow"
+  end
 
 let sign t = t.sign
 let is_zero t = t.sign = 0
@@ -467,13 +487,22 @@ let modpow_generic b e m =
 
 (* Montgomery arithmetic is implemented here rather than in a separate
    module so that it can work on raw magnitudes without exposing the
-   representation; Mont re-exports a context API on top of this. *)
+   representation; Mont re-exports a context API on top of this.
+
+   Residues ("elements") are fully reduced len-limb arrays in the
+   Montgomery domain (x*R mod m with R = base^len).  The kernels below
+   accumulate into a per-context scratch buffer and write their result
+   into a caller-provided destination, so an exponentiation loop performs
+   zero per-step allocation.  Contexts are therefore not re-entrant: one
+   kernel call at a time per context. *)
 
 type mont_ctx = {
   m_mag : int array;          (* modulus magnitude, length len *)
   len : int;
   n0' : int;                  (* -m^{-1} mod base *)
   r2 : int array;             (* R^2 mod m, for conversion *)
+  one_m : int array;          (* R mod m: 1 in Montgomery form *)
+  scratch : int array;        (* 2*len+2 limbs shared by all kernel calls *)
   m_big : t;
 }
 
@@ -490,79 +519,271 @@ let mont_create m =
   done;
   assert ((m0 * !inv) land mask = 1);
   let n0' = (base - !inv) land mask in
-  (* R^2 mod m where R = base^len. *)
+  (* R and R^2 mod m where R = base^len. *)
   let r = erem (shift_left one (limb_bits * len)) m in
   let r2 = erem (mul r r) m in
   let pad a = Array.append a.mag (Array.make (len - Array.length a.mag) 0) in
-  { m_mag; len; n0'; r2 = pad r2; m_big = m }
+  {
+    m_mag;
+    len;
+    n0';
+    r2 = pad r2;
+    one_m = pad r;
+    scratch = Array.make ((2 * len) + 2) 0;
+    m_big = m;
+  }
 
-(* CIOS Montgomery multiplication: t = a*b*R^{-1} mod m.  Inputs are
-   len-limb arrays (not necessarily normalized); output likewise. *)
-let mont_mul ctx a b =
-  let len = ctx.len in
-  let m = ctx.m_mag in
-  let t = Array.make (len + 2) 0 in
-  for i = 0 to len - 1 do
-    let ai = a.(i) in
-    (* t += ai * b *)
-    let carry = ref 0 in
-    for j = 0 to len - 1 do
-      let cur = t.(j) + (ai * b.(j)) + !carry in
-      t.(j) <- cur land mask;
-      carry := cur lsr limb_bits
-    done;
-    let cur = t.(len) + !carry in
-    t.(len) <- cur land mask;
-    t.(len + 1) <- t.(len + 1) + (cur lsr limb_bits);
-    (* reduce one limb *)
-    let u = (t.(0) * ctx.n0') land mask in
-    let carry = ref ((t.(0) + (u * m.(0))) lsr limb_bits) in
-    for j = 1 to len - 1 do
-      let cur = t.(j) + (u * m.(j)) + !carry in
-      t.(j - 1) <- cur land mask;
-      carry := cur lsr limb_bits
-    done;
-    let cur = t.(len) + !carry in
-    t.(len - 1) <- cur land mask;
-    t.(len) <- t.(len + 1) + (cur lsr limb_bits);
-    t.(len + 1) <- 0
-  done;
-  let out = Array.sub t 0 len in
-  (* Result < 2m; one conditional subtraction brings it below m. *)
+(* Copy the len-limb value at [t.(off) .. t.(off+len-1)] (with overflow
+   limb at [t.(off+len)]) into [dst], subtracting m once if needed.  Both
+   kernels leave a value < 2m here, so one conditional subtraction fully
+   reduces. *)
+let mont_reduce_out ctx dst t off =
+  let len = ctx.len and m = ctx.m_mag in
   let ge =
-    if t.(len) > 0 then true
-    else begin
-      let rec cmp i = if i < 0 then true else if out.(i) <> m.(i) then out.(i) > m.(i) else cmp (i - 1) in
-      cmp (len - 1)
-    end
+    t.(off + len) > 0
+    ||
+    let rec cmp i =
+      if i < 0 then true
+      else if t.(off + i) <> m.(i) then t.(off + i) > m.(i)
+      else cmp (i - 1)
+    in
+    cmp (len - 1)
   in
   if ge then begin
     let borrow = ref 0 in
     for i = 0 to len - 1 do
-      let s = out.(i) - m.(i) - !borrow in
-      if s < 0 then begin out.(i) <- s + base; borrow := 1 end
-      else begin out.(i) <- s; borrow := 0 end
+      let s = t.(off + i) - m.(i) - !borrow in
+      if s < 0 then begin
+        dst.(i) <- s + base;
+        borrow := 1
+      end
+      else begin
+        dst.(i) <- s;
+        borrow := 0
+      end
     done
-  end;
-  out
+  end
+  else Array.blit t off dst 0 len
+
+(* Fused CIOS Montgomery multiplication: dst <- a*b*R^{-1} mod m.  [dst]
+   may alias [a] or [b] (the accumulator is the context scratch; [dst] is
+   written only at the very end).
+
+   Inputs must be fully reduced (< m), which every producer in this file
+   guarantees; then the standard CIOS invariant keeps the accumulator
+   below 2m at all times, so the overflow limb t.(len) stays in {0,1} and
+   one conditional subtraction at the end fully reduces.
+
+   One pass per limb of [a] handles both the a_i*b addition and the
+   Montgomery reduction step: cur = t_j + a_i*b_j + u*m_j + carry is at
+   most 2^26 + 2*(2^26-1)^2 + 2^28 < 2^54, comfortably inside the native
+   int.  Indices are bounded by [len <= Array.length] of every array
+   involved (a, b, m are len limbs; t is 2*len+2), so the unsafe accesses
+   below are in range by construction. *)
+let mont_mul_into ctx dst a b =
+  let len = ctx.len in
+  let m = ctx.m_mag in
+  let t = ctx.scratch in
+  Array.fill t 0 (len + 1) 0;
+  let b0 = Array.unsafe_get b 0 and m0 = Array.unsafe_get m 0 in
+  for i = 0 to len - 1 do
+    let ai = Array.unsafe_get a i in
+    (* u makes the low limb of t + ai*b + u*m vanish *)
+    let t0 = Array.unsafe_get t 0 + (ai * b0) in
+    let u = ((t0 land mask) * ctx.n0') land mask in
+    let carry = ref ((t0 + (u * m0)) lsr limb_bits) in
+    for j = 1 to len - 1 do
+      let cur =
+        Array.unsafe_get t j + (ai * Array.unsafe_get b j) + (u * Array.unsafe_get m j) + !carry
+      in
+      Array.unsafe_set t (j - 1) (cur land mask);
+      carry := cur lsr limb_bits
+    done;
+    let cur = Array.unsafe_get t len + !carry in
+    Array.unsafe_set t (len - 1) (cur land mask);
+    Array.unsafe_set t len (cur lsr limb_bits)
+  done;
+  mont_reduce_out ctx dst t 0
+
+(* Dedicated Montgomery squaring: dst <- a*a*R^{-1} mod m, [dst] may alias
+   [a].  SOS layout: first the full 2*len-limb square, exploiting the
+   symmetry a_i*a_j = a_j*a_i (each cross product computed once and
+   doubled — roughly half the single-limb multiplies of mont_mul), then a
+   separate reduction sweep.  All accumulations stay below 2^54 < 2^62:
+   cross products are < 2^53 after doubling, limbs and carries add < 2^28. *)
+let mont_sqr_into ctx dst a =
+  let len = ctx.len in
+  let m = ctx.m_mag in
+  let t = ctx.scratch in
+  Array.fill t 0 ((2 * len) + 2) 0;
+  (* squaring sweep; all indices at most 2*len-1 + the final carry limb,
+     within the 2*len+2 scratch *)
+  for i = 0 to len - 1 do
+    let ai = Array.unsafe_get a i in
+    if ai <> 0 then begin
+      let cur = Array.unsafe_get t (2 * i) + (ai * ai) in
+      Array.unsafe_set t (2 * i) (cur land mask);
+      let carry = ref (cur lsr limb_bits) in
+      let ai2 = 2 * ai in
+      for j = i + 1 to len - 1 do
+        let cur = Array.unsafe_get t (i + j) + (ai2 * Array.unsafe_get a j) + !carry in
+        Array.unsafe_set t (i + j) (cur land mask);
+        carry := cur lsr limb_bits
+      done;
+      let k = ref (i + len) in
+      while !carry <> 0 do
+        let cur = Array.unsafe_get t !k + !carry in
+        Array.unsafe_set t !k (cur land mask);
+        carry := cur lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  (* Reduction sweep: add u_i * m * base^i to clear the low len limbs,
+     two limbs per pass.  u0 clears limb i; u1 is derived from limb i+1
+     *after* u0's contribution to it, so both limbs vanish, and the inner
+     loop applies u0*m[j] + u1*m[j-1] together — the same multiply count
+     as two single passes in half the iterations (loop and memory-traffic
+     overhead dominate at 26-bit limb sizes).  Cleared limbs below [len]
+     are simply left stale: only [t.(len..2*len)] is read afterwards.
+     Bounds: cur < 2^26 + 2*(2^26-1)^2 + 2^28 < 2^54. *)
+  let m0 = Array.unsafe_get m 0 in
+  let i = ref 0 in
+  while !i < len do
+    let i0 = !i in
+    if i0 + 1 < len then begin
+      let m1 = Array.unsafe_get m 1 in
+      let u0 = (Array.unsafe_get t i0 * ctx.n0') land mask in
+      let c0 = (Array.unsafe_get t i0 + (u0 * m0)) lsr limb_bits in
+      let v1 = Array.unsafe_get t (i0 + 1) + (u0 * m1) + c0 in
+      let u1 = ((v1 land mask) * ctx.n0') land mask in
+      let carry = ref ((v1 + (u1 * m0)) lsr limb_bits) in
+      for j = 2 to len - 1 do
+        let cur =
+          Array.unsafe_get t (i0 + j)
+          + (u0 * Array.unsafe_get m j)
+          + (u1 * Array.unsafe_get m (j - 1))
+          + !carry
+        in
+        Array.unsafe_set t (i0 + j) (cur land mask);
+        carry := cur lsr limb_bits
+      done;
+      let cur = Array.unsafe_get t (i0 + len) + (u1 * Array.unsafe_get m (len - 1)) + !carry in
+      Array.unsafe_set t (i0 + len) (cur land mask);
+      carry := cur lsr limb_bits;
+      let k = ref (i0 + len + 1) in
+      while !carry <> 0 do
+        let cur = Array.unsafe_get t !k + !carry in
+        Array.unsafe_set t !k (cur land mask);
+        carry := cur lsr limb_bits;
+        incr k
+      done;
+      i := i0 + 2
+    end
+    else begin
+      (* odd tail: one classic single-limb reduction step *)
+      let u = (Array.unsafe_get t i0 * ctx.n0') land mask in
+      let carry = ref ((Array.unsafe_get t i0 + (u * m0)) lsr limb_bits) in
+      for j = 1 to len - 1 do
+        let cur = Array.unsafe_get t (i0 + j) + (u * Array.unsafe_get m j) + !carry in
+        Array.unsafe_set t (i0 + j) (cur land mask);
+        carry := cur lsr limb_bits
+      done;
+      let k = ref (i0 + len) in
+      while !carry <> 0 do
+        let cur = Array.unsafe_get t !k + !carry in
+        Array.unsafe_set t !k (cur land mask);
+        carry := cur lsr limb_bits;
+        incr k
+      done;
+      i := i0 + 1
+    end
+  done;
+  mont_reduce_out ctx dst t len
+
+let mont_pad ctx a = Array.append a.mag (Array.make (ctx.len - Array.length a.mag) 0)
+
+(* x -> x*R mod m.  Reduces first, so any non-negative input is accepted. *)
+let mont_of_bigint ctx x =
+  let xm = mont_pad ctx (erem x ctx.m_big) in
+  mont_mul_into ctx xm xm ctx.r2;
+  xm
+
+(* x*R -> x mod m: multiply by the plain 1 (REDC by one limb at a time). *)
+let mont_to_bigint ctx a =
+  let one_arr = Array.make ctx.len 0 in
+  one_arr.(0) <- 1;
+  let dst = Array.make ctx.len 0 in
+  mont_mul_into ctx dst a one_arr;
+  make 1 dst
+
+(* Binary square-and-multiply ladder over the in-place kernels; the
+   reference implementation the windowed ladder is checked against, and
+   the profitable choice for very short exponents. *)
+let mont_pow_elem_binary ctx bm e =
+  let acc = Array.copy ctx.one_m in
+  for i = bit_length e - 1 downto 0 do
+    mont_sqr_into ctx acc acc;
+    if test_bit e i then mont_mul_into ctx acc acc bm
+  done;
+  acc
+
+(* Window width by exponent size: the 2^(w-1)-entry odd-power table must
+   amortize over nbits/w multiplies. *)
+let mont_window_bits nbits =
+  if nbits <= 8 then 1 else if nbits <= 24 then 2 else if nbits <= 96 then 3 else 4
+
+(* Sliding-window exponentiation with a precomputed odd-power table:
+   tbl.(k) = b^(2k+1) in Montgomery form.  Scanning MSB->LSB, maximal
+   windows that end on a set bit keep every table index odd, so the table
+   holds 2^(w-1) entries instead of 2^w.  Exactly the same squarings and
+   group elements as the binary ladder would produce — the result is
+   bit-identical, only the multiply count drops (~nbits/4 + 8 vs ~nbits/2
+   multiplies at 512-bit sizes). *)
+let mont_pow_elem ctx bm e =
+  let nbits = bit_length e in
+  let w = mont_window_bits nbits in
+  if w = 1 then mont_pow_elem_binary ctx bm e
+  else begin
+    let tbl = Array.make (1 lsl (w - 1)) [||] in
+    tbl.(0) <- bm;
+    let b2 = Array.make ctx.len 0 in
+    mont_sqr_into ctx b2 bm;
+    for k = 1 to Array.length tbl - 1 do
+      let p = Array.make ctx.len 0 in
+      mont_mul_into ctx p tbl.(k - 1) b2;
+      tbl.(k) <- p
+    done;
+    let acc = Array.copy ctx.one_m in
+    let i = ref (nbits - 1) in
+    while !i >= 0 do
+      if not (test_bit e !i) then begin
+        mont_sqr_into ctx acc acc;
+        decr i
+      end
+      else begin
+        (* widest window [j..i] with bit j set, at most w bits *)
+        let j = ref (max 0 (!i - w + 1)) in
+        while not (test_bit e !j) do incr j done;
+        let v = ref 0 in
+        for k = !i downto !j do
+          v := (!v lsl 1) lor (if test_bit e k then 1 else 0);
+          mont_sqr_into ctx acc acc
+        done;
+        mont_mul_into ctx acc acc tbl.((!v - 1) / 2);
+        i := !j - 1
+      end
+    done;
+    acc
+  end
 
 let mont_pow ctx b e =
-  let len = ctx.len in
-  let pad a = Array.append a.mag (Array.make (len - Array.length a.mag) 0) in
-  let b = erem b ctx.m_big in
-  let bm = mont_mul ctx (pad b) ctx.r2 in
-  (* 1 in Montgomery form: R mod m = REDC(R^2 * 1)... compute via r2 * one *)
-  let one_arr = Array.make len 0 in
-  one_arr.(0) <- 1;
-  let acc = ref (mont_mul ctx ctx.r2 one_arr) in
-  let nbits = bit_length e in
-  for i = nbits - 1 downto 0 do
-    acc := mont_mul ctx !acc !acc;
-    if test_bit e i then acc := mont_mul ctx !acc bm
-  done;
-  (* convert out of Montgomery form *)
-  let out = mont_mul ctx !acc one_arr in
-  make 1 out
+  if is_zero e then erem one ctx.m_big
+  else mont_to_bigint ctx (mont_pow_elem ctx (mont_of_bigint ctx b) e)
+
+let mont_pow_binary ctx b e =
+  if is_zero e then erem one ctx.m_big
+  else mont_to_bigint ctx (mont_pow_elem_binary ctx (mont_of_bigint ctx b) e)
 
 let modpow b e m =
   if m.sign <= 0 then invalid_arg "Bigint.modpow: modulus must be positive";
@@ -574,8 +795,30 @@ let modpow b e m =
 
 module Mont = struct
   type nonrec t = mont_ctx
+  type elem = int array
 
   let create = mont_create
   let modulus ctx = ctx.m_big
+  let to_mont = mont_of_bigint
+  let of_mont = mont_to_bigint
+
+  let mul ctx a b =
+    let dst = Array.make ctx.len 0 in
+    mont_mul_into ctx dst a b;
+    dst
+
+  let sqr ctx a =
+    let dst = Array.make ctx.len 0 in
+    mont_sqr_into ctx dst a;
+    dst
+
+  (* Montgomery residues are fully reduced, so the map value -> limbs is
+     injective and plain structural equality decides equality mod m. *)
+  let elem_equal (a : elem) b = a = b
+
+  let powm ctx bm e =
+    if is_zero e then Array.copy ctx.one_m else mont_pow_elem ctx bm e
+
   let pow = mont_pow
+  let pow_binary = mont_pow_binary
 end

@@ -94,8 +94,13 @@ val shift_right : t -> int -> t
 (** {1 Number theory} *)
 
 val modpow : t -> t -> t -> t
-(** [modpow base exp m] with [exp >= 0], [m > 0].  Uses Montgomery
+(** [modpow base exp m] with [exp >= 0], [m > 0].  Uses windowed Montgomery
     exponentiation when [m] is odd. *)
+
+val modpow_generic : t -> t -> t -> t
+(** Square-and-multiply with division-based reduction.  Slow; exported as
+    the reference implementation that the Montgomery kernels are
+    differentially tested against (and the only path for even moduli). *)
 
 val isqrt : t -> t
 (** Integer square root (floor) of a non-negative value.
@@ -111,22 +116,52 @@ val invmod : t -> t -> t option
 (** [invmod a m] is the inverse of [a] modulo [m] in [\[0, m)] when
     [gcd a m = 1]. *)
 
-(** {1 Montgomery exponentiation with a reusable context}
+(** {1 Montgomery arithmetic with a reusable context}
 
     Building the context performs the (division-heavy) precomputation once;
-    [pow] then runs entirely on multiply-and-reduce.  Used by {!Rsa} where
-    the same modulus serves many operations. *)
+    everything after runs on multiply-and-reduce kernels that share one
+    per-context scratch buffer (so a context must not be used re-entrantly
+    from multiple domains).  Used by {!Rsa} and {!Prime} where the same
+    modulus serves many operations.
+
+    [elem] is a residue in the Montgomery domain, tied to the context that
+    produced it.  [mul]/[sqr] stay in that domain; [sqr a] equals
+    [mul a a] bit-for-bit but runs on a dedicated squaring kernel that
+    computes each cross product once.  [pow] uses a sliding-window ladder
+    with a precomputed odd-power table (window width adapted to the
+    exponent size); [pow_binary] is the plain square-and-multiply ladder
+    kept as the differential reference. *)
 
 module Mont : sig
   type bigint := t
 
   type t
 
+  type elem
+  (** A fully reduced residue in Montgomery form. *)
+
   val create : bigint -> t
   (** @raise Invalid_argument if the modulus is even or non-positive. *)
 
   val modulus : t -> bigint
+
+  val to_mont : t -> bigint -> elem
+  (** Reduces mod m first, so any non-negative value is accepted. *)
+
+  val of_mont : t -> elem -> bigint
+
+  val mul : t -> elem -> elem -> elem
+  val sqr : t -> elem -> elem
+
+  val elem_equal : elem -> elem -> bool
+  (** Equality mod m (residues are canonical). *)
+
+  val powm : t -> elem -> bigint -> elem
+  (** [powm ctx b e] with [b] already in Montgomery form, [e >= 0];
+      result stays in Montgomery form. *)
+
   val pow : t -> bigint -> bigint -> bigint
+  val pow_binary : t -> bigint -> bigint -> bigint
 end
 
 (** {1 Pretty-printing} *)

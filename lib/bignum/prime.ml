@@ -46,16 +46,21 @@ let miller_rabin ~rounds ~random n =
   let rec split d s = if Bigint.is_odd d then (d, s) else split (Bigint.shift_right d 1) (s + 1) in
   let d, s = split n_minus_1 0 in
   let mont = Bigint.Mont.create n in
+  (* The witness loop runs entirely in the Montgomery domain: one
+     conversion per base, then the windowed ladder plus s-1 dedicated
+     squarings, comparing against precomputed residues of 1 and n-1. *)
+  let one_m = Bigint.Mont.to_mont mont Bigint.one in
+  let n_minus_1_m = Bigint.Mont.to_mont mont n_minus_1 in
   let witness a =
     (* true when [a] witnesses compositeness *)
-    let x = ref (Bigint.Mont.pow mont a d) in
-    if Bigint.equal !x Bigint.one || Bigint.equal !x n_minus_1 then false
+    let x = ref (Bigint.Mont.powm mont (Bigint.Mont.to_mont mont a) d) in
+    if Bigint.Mont.elem_equal !x one_m || Bigint.Mont.elem_equal !x n_minus_1_m then false
     else begin
       let composite = ref true in
       (try
          for _ = 1 to s - 1 do
-           x := Bigint.Mont.pow mont !x Bigint.two;
-           if Bigint.equal !x n_minus_1 then begin
+           x := Bigint.Mont.sqr mont !x;
+           if Bigint.Mont.elem_equal !x n_minus_1_m then begin
              composite := false;
              raise Exit
            end

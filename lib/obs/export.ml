@@ -1,3 +1,5 @@
+let bench_schema = "coincidence.bench/1"
+
 let write_jsonl oc values =
   List.iter
     (fun v ->

@@ -18,6 +18,13 @@
     one "microsecond" per simulator step on the viewer's axis.  [pid]
     groups a run (trial), [tid] is the sending process. *)
 
+val bench_schema : string
+(** Schema tag ["coincidence.bench/1"] carried by bench-harness JSON
+    documents: [{"schema", "full", "rows": [{"table": ..., ...}]}].  The
+    producer lives in [bench/main.ml]; the validator behind
+    [coincidence obs --load] accepts this schema alongside the metrics
+    one, so CI can check freshly emitted bench documents. *)
+
 val write_jsonl : out_channel -> Json.t list -> unit
 (** Each value on its own line (the emitter never embeds newlines). *)
 

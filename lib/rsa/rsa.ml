@@ -2,10 +2,27 @@ open Bignum
 
 type public = { n : Bigint.t; e : Bigint.t; bits : int }
 
+(* CRT signing state: two half-size exponentiations (mod p and mod q,
+   each with its own Montgomery context) recombined with Garner's formula
+   replace one full-size exponentiation — a ~3-4x sign speedup, since
+   modmul cost is quadratic in the limb count and the exponents halve
+   too.  The recombined value is the unique d-th power root mod n, so the
+   signature bytes are identical to the non-CRT path's. *)
+type crt = {
+  p : Bigint.t;
+  q : Bigint.t;
+  dp : Bigint.t;              (* d mod (p-1) *)
+  dq : Bigint.t;              (* d mod (q-1) *)
+  qinv : Bigint.t;            (* q^-1 mod p *)
+  mont_p : Bigint.Mont.t;
+  mont_q : Bigint.Mont.t;
+}
+
 type secret = {
   pub : public;
   d : Bigint.t;
   mont : Bigint.Mont.t;  (* shared by sign and the public operation *)
+  crt : crt option;      (* None only when p = q collapses the CRT basis *)
 }
 
 let public_of_secret sk = sk.pub
@@ -31,7 +48,22 @@ let keygen ~bits ~random =
     | None -> assert false (* both p-1 and q-1 are coprime with e *)
   in
   let pub = { n; e = e_fixed; bits } in
-  { pub; d; mont = Bigint.Mont.create n }
+  let crt =
+    match Bigint.invmod q p with
+    | None -> None (* unreachable for distinct primes; keep the plain path *)
+    | Some qinv ->
+        Some
+          {
+            p;
+            q;
+            dp = Bigint.erem d (Bigint.pred p);
+            dq = Bigint.erem d (Bigint.pred q);
+            qinv;
+            mont_p = Bigint.Mont.create p;
+            mont_q = Bigint.Mont.create q;
+          }
+  in
+  { pub; d; mont = Bigint.Mont.create n; crt }
 
 let signature_length pk = (pk.bits + 7) / 8
 
@@ -56,10 +88,22 @@ let fdh pk msg =
   let v = Bigint.of_bytes_be raw in
   Bigint.shift_right v ((8 * out_bytes) - out_bits)
 
-let sign sk msg =
+let sign_plain sk msg =
   let em = fdh sk.pub msg in
   let s = Bigint.Mont.pow sk.mont em sk.d in
   Bigint.to_bytes_be ~len:(signature_length sk.pub) s
+
+let sign sk msg =
+  match sk.crt with
+  | None -> sign_plain sk msg
+  | Some c ->
+      let em = fdh sk.pub msg in
+      let m1 = Bigint.Mont.pow c.mont_p em c.dp in
+      let m2 = Bigint.Mont.pow c.mont_q em c.dq in
+      (* Garner: s = m2 + q * (qinv * (m1 - m2) mod p) lies in [0, n). *)
+      let h = Bigint.erem (Bigint.mul c.qinv (Bigint.sub m1 m2)) c.p in
+      let s = Bigint.add m2 (Bigint.mul c.q h) in
+      Bigint.to_bytes_be ~len:(signature_length sk.pub) s
 
 type verifier = { pk : public; vmont : Bigint.Mont.t }
 

@@ -39,7 +39,13 @@ val fdh : public -> string -> Bignum.Bigint.t
 (** Full-domain hash of a message to a [(bits-1)]-bit integer. *)
 
 val sign : secret -> string -> string
-(** [sign sk msg] is the FDH-RSA signature, [signature_length] bytes. *)
+(** [sign sk msg] is the FDH-RSA signature, [signature_length] bytes.
+    Uses CRT (half-size exponentiations mod p and q, Garner
+    recombination); the bytes are identical to {!sign_plain}'s. *)
+
+val sign_plain : secret -> string -> string
+(** The non-CRT reference path: one full-size exponentiation with [d].
+    Kept as a cross-check for differential tests and benchmarks. *)
 
 val verify : public -> string -> string -> bool
 (** [verify pk msg sig_] checks an FDH-RSA signature.  Returns [false]

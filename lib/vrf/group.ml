@@ -14,7 +14,11 @@ let q t = t.q
 let g t = t.g
 
 let pow t base e = Bigint.Mont.pow t.mont base e
-let mul t a b = Bigint.erem (Bigint.mul a b) t.p
+
+(* One Montgomery round-trip (4 multiply kernels) beats the full product
+   plus shift-and-subtract division of [erem (mul a b) p]. *)
+let mul t a b =
+  Bigint.Mont.(of_mont t.mont (mul t.mont (to_mont t.mont a) (to_mont t.mont b)))
 
 let generate ?(qbits = 160) ~seed () =
   if qbits < 32 then invalid_arg "Group.generate: qbits too small";

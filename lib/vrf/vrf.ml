@@ -105,6 +105,12 @@ module Keyring = struct
         t.keys.(i) <- Some k;
         k
 
+  let warm t =
+    (match t.backend with Dleq { qbits } -> ignore (group t qbits) | Rsa_fdh _ | Mock -> ());
+    for i = 0 to t.n - 1 do
+      ignore (key t i)
+    done
+
   let prove_uncached t i alpha =
     match key t i with
     | Mock_key k ->

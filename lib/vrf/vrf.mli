@@ -60,6 +60,12 @@ module Keyring : sig
   val n : t -> int
   val backend : t -> backend
 
+  val warm : t -> unit
+  (** Eagerly generates all [n] keys (and the shared group for the Dleq
+      backend).  Keys are otherwise generated lazily on first use, which
+      pollutes timing sweeps: call [warm] first so measurements see only
+      protocol cost.  Idempotent and semantically invisible. *)
+
   val prove : t -> int -> string -> output
   (** [prove kr i alpha] evaluates [VRF_i(alpha)]. *)
 

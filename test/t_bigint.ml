@@ -29,7 +29,27 @@ let beq = Alcotest.testable (Fmt.of_to_string Bigint.to_hex) Bigint.equal
 let test_of_int_roundtrip () =
   List.iter
     (fun n -> Alcotest.(check int) "roundtrip" n (Bigint.to_int (bi n)))
-    [ 0; 1; -1; 42; -42; 1 lsl 25; (1 lsl 26) - 1; 1 lsl 26; 1 lsl 52; -(1 lsl 52); max_int / 2 ]
+    [
+      0; 1; -1; 42; -42; 1 lsl 25; (1 lsl 26) - 1; 1 lsl 26; 1 lsl 52; -(1 lsl 52); max_int / 2;
+      max_int; min_int + 1; min_int;
+    ]
+
+let test_min_int () =
+  (* [abs min_int = min_int] in OCaml, so [of_int] needs its own branch:
+     the magnitude 2^(int_size-1) is not representable as a positive int. *)
+  let v = bi min_int in
+  Alcotest.(check int) "sign" (-1) (Bigint.sign v);
+  Alcotest.check beq "value = -2^(int_size-1)"
+    (Bigint.neg (Bigint.shift_left Bigint.one (Sys.int_size - 1)))
+    v;
+  Alcotest.(check int) "to_int roundtrip" min_int (Bigint.to_int v);
+  Alcotest.check beq "succ" (bi (min_int + 1)) (Bigint.succ v);
+  Alcotest.check beq "arith: min_int = -(min_int+1) - 1 negated"
+    v
+    (Bigint.neg (Bigint.succ (bi max_int)));
+  (* |min_int| itself does not fit in an int, so to_int must refuse it. *)
+  Alcotest.check_raises "abs min_int overflows to_int" (Failure "Bigint.to_int: overflow")
+    (fun () -> ignore (Bigint.to_int (Bigint.abs v)))
 
 let test_to_int_overflow () =
   let big = Bigint.shift_left Bigint.one 80 in
@@ -283,6 +303,7 @@ let qsuite =
 let suite =
   [
     Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "min_int edge" `Quick test_min_int;
     Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
     Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
     Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;

@@ -183,10 +183,76 @@ let fuzz_chain_safety =
              | _ -> true)
            o.Chain.slots)
 
+(* ------------- modular-arithmetic kernel differentials ------------- *)
+
+(* The windowed Montgomery ladder, the dedicated squaring, and CRT
+   signing are performance rewrites with an exact-output contract: each
+   must be byte-identical to its straightforward counterpart.  These
+   properties fuzz that contract directly, so a kernel bug cannot hide
+   behind a protocol-level property that only samples a few residues. *)
+
+let gen_kernel_case =
+  QCheck.Gen.(
+    let* mb = 1 -- 24 in
+    let* ms = string_size ~gen:char (return mb) in
+    let* bb = 0 -- 24 in
+    let* bs = string_size ~gen:char (return bb) in
+    let* eb = 0 -- 20 in
+    let* es = string_size ~gen:char (return eb) in
+    let open Bignum in
+    let m = Bigint.of_bytes_be ms in
+    let m = if Bigint.is_even m then Bigint.succ m else m in
+    let m = if Bigint.compare m (Bigint.of_int 3) < 0 then Bigint.of_int 3 else m in
+    return (m, Bigint.of_bytes_be bs, Bigint.of_bytes_be es))
+
+let print_kernel_case (m, b, e) =
+  Printf.sprintf "{m=%s b=%s e=%s}" (Bignum.Bigint.to_hex m) (Bignum.Bigint.to_hex b)
+    (Bignum.Bigint.to_hex e)
+
+let arb_kernel_case = QCheck.make ~print:print_kernel_case gen_kernel_case
+
+let fuzz_mont_window_vs_generic =
+  QCheck.Test.make ~name:"fuzz: windowed Mont.pow = modpow_generic" ~count:120 arb_kernel_case
+    (fun (m, b, e) ->
+      let open Bignum in
+      let ctx = Bigint.Mont.create m in
+      Bigint.equal (Bigint.Mont.pow ctx b e) (Bigint.modpow_generic b e m))
+
+let fuzz_mont_window_vs_binary =
+  QCheck.Test.make ~name:"fuzz: windowed Mont.pow = binary ladder" ~count:120 arb_kernel_case
+    (fun (m, b, e) ->
+      let open Bignum in
+      let ctx = Bigint.Mont.create m in
+      Bigint.equal (Bigint.Mont.pow ctx b e) (Bigint.Mont.pow_binary ctx b e))
+
+let fuzz_mont_sqr_vs_mul =
+  QCheck.Test.make ~name:"fuzz: Mont.sqr x = Mont.mul x x" ~count:200 arb_kernel_case
+    (fun (m, b, _) ->
+      let open Bignum in
+      let ctx = Bigint.Mont.create m in
+      let x = Bigint.Mont.to_mont ctx b in
+      Bigint.Mont.elem_equal (Bigint.Mont.sqr ctx x) (Bigint.Mont.mul ctx x x))
+
+let fuzz_crt_sign_vs_plain =
+  (* Small keys keep keygen cheap; CRT vs plain must agree byte for byte
+     on every (key, message) pair because RSA is a permutation. *)
+  QCheck.Test.make ~name:"fuzz: CRT Rsa.sign = Rsa.sign_plain" ~count:8
+    QCheck.(pair small_int small_string)
+    (fun (kseed, msg) ->
+      let d = Crypto.Drbg.create (Printf.sprintf "crt-fuzz-%d" kseed) in
+      let sk = Rsa.keygen ~bits:128 ~random:(Crypto.Drbg.generate d) in
+      let pk = Rsa.public_of_secret sk in
+      let s_crt = Rsa.sign sk msg and s_plain = Rsa.sign_plain sk msg in
+      String.equal s_crt s_plain && Rsa.verify pk msg s_crt)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest fuzz_ba_safety;
     QCheck_alcotest.to_alcotest fuzz_ba_mostly_live;
     QCheck_alcotest.to_alcotest fuzz_mmr_safety;
     QCheck_alcotest.to_alcotest fuzz_chain_safety;
+    QCheck_alcotest.to_alcotest fuzz_mont_window_vs_generic;
+    QCheck_alcotest.to_alcotest fuzz_mont_window_vs_binary;
+    QCheck_alcotest.to_alcotest fuzz_mont_sqr_vs_mul;
+    QCheck_alcotest.to_alcotest fuzz_crt_sign_vs_plain;
   ]
