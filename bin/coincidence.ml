@@ -402,7 +402,7 @@ let summarize_loaded path =
               rows;
             Format.printf "rows: %d@." (List.length rows);
             Hashtbl.fold (fun t c acc -> (t, c) :: acc) tables []
-            |> List.sort compare
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b)
             |> List.iter (fun (t, c) -> Format.printf "  %-12s %6d@." t c);
             0
           end

@@ -16,8 +16,8 @@ type action = Broadcast of msg | Decide of int
 type round_st = {
   bval_from : bool array array;   (* [v].(src) *)
   bval_count : int array;         (* per value *)
-  mutable bval_sent : bool array; (* per value *)
-  mutable bin_values : bool array;
+  bval_sent : bool array; (* per value; cells mutated in place *)
+  bin_values : bool array;
   mutable aux_sent : bool;
   aux_from : bool array;
   aux_value : int option array;   (* per src *)

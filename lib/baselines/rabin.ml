@@ -18,11 +18,11 @@ type action = Broadcast of msg | Decide of int
 type round_st = {
   report_from : bool array;
   mutable report_count : int;
-  report_votes : (int, int) Hashtbl.t;
+  mutable report_votes : (int * int) list;
   mutable sent_proposal : bool;
   prop_from : bool array;
   mutable prop_count : int;
-  prop_votes : (int, int) Hashtbl.t;
+  mutable prop_votes : (int * int) list;
   collector : Dealer_coin.Collector.t;
   mutable sent_share : bool;
   mutable coin : int option;
@@ -64,11 +64,11 @@ let round_st t r =
         {
           report_from = Array.make (n t) false;
           report_count = 0;
-          report_votes = Hashtbl.create 4;
+          report_votes = [];
           sent_proposal = false;
           prop_from = Array.make (n t) false;
           prop_count = 0;
-          prop_votes = Hashtbl.create 4;
+          prop_votes = [];
           collector = Dealer_coin.Collector.create t.dealer.coin ~round:r;
           sent_share = false;
           coin = None;
@@ -78,12 +78,22 @@ let round_st t r =
       Hashtbl.replace t.rounds r st;
       st
 
-let bump tbl v = Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0)
+(* Vote multisets as sorted assoc lists: the domain is at most the two
+   binary values, and a deterministic argmax keeps round outcomes
+   independent of hash order (coinlint hashtbl-iter); a count tie breaks
+   toward the smallest value. *)
+let bump votes v =
+  let rec go = function
+    | [] -> [ (v, 1) ]
+    | (v', c) :: rest when Int.equal v v' -> (v', c + 1) :: rest
+    | ((v', _) as hd) :: rest -> if v < v' then (v, 1) :: hd :: rest else hd :: go rest
+  in
+  go votes
 
-let argmax tbl =
-  Hashtbl.fold
-    (fun v c acc -> match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
-    tbl None
+let argmax votes =
+  List.fold_left
+    (fun acc (v, c) -> match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
+    None votes
 
 let still_initiating t r =
   match t.decided_round with None -> true | Some dr -> r <= dr + 2
@@ -158,7 +168,7 @@ let handle t ~src msg =
       else begin
         st.report_from.(src) <- true;
         st.report_count <- st.report_count + 1;
-        bump st.report_votes v;
+        st.report_votes <- bump st.report_votes v;
         catch_up_if_current t r
       end
   | Proposal { round = r; v } ->
@@ -167,7 +177,7 @@ let handle t ~src msg =
       else begin
         st.prop_from.(src) <- true;
         st.prop_count <- st.prop_count + 1;
-        (match v with Some v -> bump st.prop_votes v | None -> ());
+        (match v with Some v -> st.prop_votes <- bump st.prop_votes v | None -> ());
         catch_up_if_current t r
       end
   | Share { round = r; value; mac = m } ->

@@ -26,9 +26,9 @@ let normalize mag =
 
 let cmp_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Int.compare la lb
   else
-    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Int.compare a.(i) b.(i) else go (i - 1) in
     go (la - 1)
 
 let add_mag a b =
@@ -255,10 +255,15 @@ let is_odd t = not (is_even t)
 
 let equal a b = a.sign = b.sign && cmp_mag a.mag b.mag = 0
 
-let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+(* Named so that internal call sites are unambiguously the typed
+   comparator (the bare name [compare] would shadow-resolve here too, but
+   coinlint's poly-compare rule is untyped and cannot see that). *)
+let compare_big a b =
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then cmp_mag a.mag b.mag
   else cmp_mag b.mag a.mag
+
+let compare = compare_big
 
 let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
 let abs t = if t.sign < 0 then neg t else t
@@ -440,7 +445,7 @@ let isqrt t =
     let continue = ref true in
     while !continue do
       let next = shift_right (add !x (div t !x)) 1 in
-      if compare next !x >= 0 then continue := false else x := next
+      if compare_big next !x >= 0 then continue := false else x := next
     done;
     !x
   end

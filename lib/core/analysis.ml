@@ -70,7 +70,7 @@ let estimate_committees ~keyring ~params ~trials ~base_seed () =
   let fl = float_of_int lambda in
   let rng = Crypto.Rng.create base_seed in
   let byz = Crypto.Rng.sample_without_replacement rng params.Params.f n in
-  let is_byz pid = List.mem pid byz in
+  let is_byz pid = List.exists (Int.equal pid) byz in
   let s1 = ref 0 and s2 = ref 0 and s3 = ref 0 and s4 = ref 0 in
   let sizes = ref [] in
   for i = 1 to trials do
@@ -111,7 +111,7 @@ let estimate_ba ?scheduler ?(corruption = Runner.Honest) ?(mixed_inputs = true) 
   List.iter
     (fun ((o : Runner.outcome), inputs) ->
       let validity_ok =
-        match List.sort_uniq compare (Array.to_list inputs) with
+        match List.sort_uniq Int.compare (Array.to_list inputs) with
         | [ v ] -> List.for_all (fun (_, d) -> d = v) o.Runner.decisions
         | _ -> true
       in

@@ -37,7 +37,11 @@ type t = {
   params : Params.t;
   pid : int;
   instance : string;
-  values : (int, value_state) Hashtbl.t;
+  mutable values : (int * value_state) list;
+      (* per-value receive state, sorted ascending by value: at most the
+         two binary inputs plus bot ever appear, and a deterministic
+         iteration order keeps emitted-action order independent of
+         hashing internals (coinlint hashtbl-iter) *)
   known_echo : (int * int, Sample.cert * string) Hashtbl.t;
       (* (pid, v) -> evidence already verified valid.  OK messages carry W
          support entries each, and every receiver of every OK sees mostly
@@ -60,13 +64,13 @@ let echo_payload t v = Printf.sprintf "%s/echo-sig/%d" t.instance v
 
 let create ~keyring ~params ~pid ~instance =
   let n = params.Params.n in
-  if n <> Vrf.Keyring.n keyring then invalid_arg "Approver.create: n mismatch with keyring";
+  if not (Int.equal n (Vrf.Keyring.n keyring)) then invalid_arg "Approver.create: n mismatch with keyring";
   {
     keyring;
     params;
     pid;
     instance;
-    values = Hashtbl.create 4;
+    values = [];
     known_echo = Hashtbl.create 64;
     my_input = None;
     ok_cert = None;
@@ -83,7 +87,7 @@ let b t = t.params.Params.b
 let n t = t.params.Params.n
 
 let value_state t v =
-  match Hashtbl.find_opt t.values v with
+  match List.find_map (fun (v', s) -> if Int.equal v v' then Some s else None) t.values with
   | Some s -> s
   | None ->
       let s =
@@ -96,7 +100,7 @@ let value_state t v =
           echo_evidence = [];
         }
       in
-      Hashtbl.replace t.values v s;
+      t.values <- List.sort (fun (a, _) (b, _) -> Int.compare a b) ((v, s) :: t.values);
       s
 
 (* When the echo threshold for [v] fires and we sit on the OK committee and
@@ -121,7 +125,7 @@ let input t v =
       (* An echo threshold may already have been crossed while this
          instance was passive (messages outran our own activation); emit
          the pending OK now that our committee certificate exists. *)
-      let pending = Hashtbl.fold (fun v st acc -> maybe_ok t v st @ acc) t.values [] in
+      let pending = List.concat_map (fun (v, st) -> maybe_ok t v st) t.values in
       let cert = Sample.sample t.keyring ~pid:t.pid ~s:(s_init t) ~lambda:(lambda t) in
       if cert.Sample.member then Broadcast (Init { v; cert }) :: pending else pending
 
@@ -205,7 +209,7 @@ let handle t ~src msg =
         t.ok_count <- t.ok_count + 1;
         t.ok_values <- v :: t.ok_values;
         if t.ok_count = w t && t.delivered = None then begin
-          let set = List.sort_uniq compare t.ok_values in
+          let set = List.sort_uniq Int.compare t.ok_values in
           t.delivered <- Some set;
           [ Deliver set ]
         end

@@ -2,7 +2,7 @@ type value = { origin : int; out : Vrf.output }
 
 let compare_value a b =
   let c = Vrf.compare_beta a.out.Vrf.beta b.out.Vrf.beta in
-  if c <> 0 then c else compare a.origin b.origin
+  if c <> 0 then c else Int.compare a.origin b.origin
 
 type msg = First of value | Second of value
 
@@ -36,7 +36,7 @@ type t = {
 let coin_alpha ~instance ~round = Printf.sprintf "%s/coin/%d" instance round
 
 let create ~keyring ~n ~f ~pid ~instance ~round =
-  if n <> Vrf.Keyring.n keyring then invalid_arg "Coin.create: n mismatch with keyring";
+  if not (Int.equal n (Vrf.Keyring.n keyring)) then invalid_arg "Coin.create: n mismatch with keyring";
   {
     keyring;
     n;

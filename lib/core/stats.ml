@@ -28,7 +28,7 @@ let stddev xs =
 let sorted_array name xs =
   let a = Array.of_list xs in
   Array.iter (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN input")) a;
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
 
 let rank_index n p =

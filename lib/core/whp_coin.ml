@@ -2,7 +2,7 @@ type value = { origin : int; out : Vrf.output; origin_cert : Sample.cert }
 
 let compare_value a b =
   let c = Vrf.compare_beta a.out.Vrf.beta b.out.Vrf.beta in
-  if c <> 0 then c else compare a.origin b.origin
+  if c <> 0 then c else Int.compare a.origin b.origin
 
 type msg = First of { value : value } | Second of { value : value; cert : Sample.cert }
 
@@ -43,7 +43,7 @@ let coin_alpha ~instance ~round = Printf.sprintf "%s/whpcoin/%d/value" instance 
 
 let create ~keyring ~params ~pid ~instance ~round =
   let n = params.Params.n in
-  if n <> Vrf.Keyring.n keyring then invalid_arg "Whp_coin.create: n mismatch with keyring";
+  if not (Int.equal n (Vrf.Keyring.n keyring)) then invalid_arg "Whp_coin.create: n mismatch with keyring";
   {
     keyring;
     params;

@@ -103,4 +103,4 @@ let sample_without_replacement t k n =
     if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
     else Hashtbl.replace chosen r ()
   done;
-  Hashtbl.fold (fun x () acc -> x :: acc) chosen [] |> List.sort compare
+  Hashtbl.fold (fun x () acc -> x :: acc) chosen [] |> List.sort Int.compare

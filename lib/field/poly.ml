@@ -49,7 +49,7 @@ let mul a b =
 
 let check_distinct pts =
   let xs = List.map fst pts in
-  let sorted = List.sort compare (List.map Gf.to_int xs) in
+  let sorted = List.sort Int.compare (List.map Gf.to_int xs) in
   let rec dup = function
     | a :: (b :: _ as rest) -> if a = b then true else dup rest
     | _ -> false

@@ -19,7 +19,7 @@ let reconstruct_exact ~threshold shares =
   else begin
     (* Interpolate through the first [threshold] shares, then check the
        rest agree; any disagreement flags tampering. *)
-    let sorted = List.sort (fun a b -> compare a.index b.index) shares in
+    let sorted = List.sort (fun a b -> Int.compare a.index b.index) shares in
     let rec take k = function
       | [] -> []
       | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest

@@ -269,7 +269,9 @@ let of_string_exn s =
 
 (* ---------------------------- accessors ---------------------------- *)
 
-let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let member k = function
+  | Obj kvs -> List.find_map (fun (k', v) -> if String.equal k k' then Some v else None) kvs
+  | _ -> None
 
 let to_int_opt = function
   | Int i -> Some i

@@ -29,7 +29,11 @@ type t = {
 
 let create () = { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
 
-let canonical labels = List.sort compare labels
+let compare_label (ka, va) (kb, vb) =
+  let c = String.compare ka kb in
+  if c <> 0 then c else String.compare va vb
+
+let canonical labels = List.sort compare_label labels
 
 let render name labels =
   let buf = Buffer.create 32 in
@@ -97,7 +101,7 @@ let histogram t ?(labels = []) name =
 
 let sorted_seq tbl =
   Hashtbl.fold (fun key (series, v) acc -> (key, series, v) :: acc) tbl []
-  |> List.sort (fun (k1, _, _) (k2, _, _) -> compare k1 k2)
+  |> List.sort (fun (k1, _, _) (k2, _, _) -> String.compare k1 k2)
 
 let fold_counters t ~init ~f =
   List.fold_left

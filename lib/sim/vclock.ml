@@ -36,7 +36,15 @@ let concurrent a b = (not (leq a b)) && not (leq b a)
 
 let compare_total a b =
   check_sizes a b;
-  compare a b
+  (* [check_sizes] guarantees equal lengths, so lexicographic elementwise
+     order coincides with the polymorphic array order this replaces. *)
+  let rec go i =
+    if i >= Array.length a then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
 
 let sum t = Array.fold_left ( + ) 0 t
 

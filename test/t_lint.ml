@@ -1,0 +1,284 @@
+(* coinlint rule fixtures: for every rule a positive snippet (exact
+   finding count), a negative snippet (zero findings) and an allowlisted
+   variant, plus reporter-shape and engine-robustness checks.  Each
+   positive fixture is also linted with the rule's registry entry removed,
+   which must drop the count to zero — so these tests fail if a rule is
+   ever disabled or stops matching. *)
+
+let lint ?(rel = "lib/x.ml") ?only src =
+  let rules =
+    match only with
+    | None -> Coinlint.Rules.all
+    | Some names -> List.filter_map Coinlint.Rules.find names
+  in
+  Coinlint.Engine.lint_source ~rules ~rel src
+
+let count rule findings =
+  List.length (List.filter (fun f -> String.equal f.Coinlint.Engine.rule rule) findings)
+
+let all_rule_names = List.map (fun r -> r.Coinlint.Engine.name) Coinlint.Rules.all
+
+let without rule = List.filter (fun n -> not (String.equal n rule)) all_rule_names
+
+(* [expect] findings of [rule] in [src]; also checks the rule is load-
+   bearing: disabling it must zero the count. *)
+let check_rule ~rule ?(rel = "lib/x.ml") ~expect src () =
+  Alcotest.(check int) (rule ^ " findings") expect (count rule (lint ~rel src));
+  Alcotest.(check int)
+    (rule ^ " disabled")
+    0
+    (count rule (lint ~rel ~only:(without rule) src))
+
+(* ------------------------------ R1 ----------------------------------- *)
+
+let r1_pos =
+  check_rule ~rule:"poly-compare" ~expect:4
+    "let a x y = compare x y\n\
+     let b xs = List.mem 3 xs\n\
+     let c kvs = List.assoc \"k\" kvs\n\
+     let d h = Hashtbl.hash h\n"
+
+let r1_eq_crypto =
+  check_rule ~rule:"poly-compare" ~expect:2
+    "let a x y = Bignum.Bigint.of_int x = y\nlet b u v = u.Vrf.beta <> v.Vrf.beta\n"
+
+let r1_eq_structured =
+  check_rule ~rule:"poly-compare" ~expect:2
+    "let a x = x = (1, 2)\nlet b y = { y with n = 0 } <> y\n"
+
+let r1_neg =
+  check_rule ~rule:"poly-compare" ~expect:0
+    "let a x y = Int.compare x y\n\
+     let b s t = String.equal s t\n\
+     let c x = x = 3\n\
+     let d x y = x <> y\n\
+     let e m x y = Bignum.Bigint.Mont.mul m x y\n"
+
+let r1_allow_expr =
+  check_rule ~rule:"poly-compare" ~expect:0
+    "let a x y = (compare x y [@lint.allow \"poly-compare\"])\n"
+
+let r1_allow_binding =
+  check_rule ~rule:"poly-compare" ~expect:0
+    "let a x y = compare x y [@@lint.allow \"poly-compare\"]\n"
+
+let r1_allow_floating =
+  check_rule ~rule:"poly-compare" ~expect:0
+    "[@@@lint.allow \"poly-compare\"]\nlet a x y = compare x y\n"
+
+(* ------------------------------ R2 ----------------------------------- *)
+
+let r2_pos =
+  check_rule ~rule:"determinism" ~rel:"lib/sim/x.ml" ~expect:3
+    "let a () = Random.int 10\nlet b () = Sys.time ()\nlet c () = Unix.gettimeofday ()\n"
+
+let r2_core_scoped =
+  check_rule ~rule:"determinism" ~rel:"lib/core/x.ml" ~expect:1 "let a () = Random.bits ()\n"
+
+let r2_self_init_everywhere =
+  check_rule ~rule:"determinism" ~rel:"bench/x.ml" ~expect:1 "let () = Random.self_init ()\n"
+
+let r2_neg_outside_dirs =
+  check_rule ~rule:"determinism" ~rel:"bench/x.ml" ~expect:0
+    "let a () = Sys.time ()\nlet b () = Unix.gettimeofday ()\n"
+
+let r2_neg_seeded =
+  check_rule ~rule:"determinism" ~rel:"lib/core/x.ml" ~expect:0
+    "let a rng = Crypto.Rng.int rng 2\n"
+
+let r2_allow =
+  check_rule ~rule:"determinism" ~rel:"lib/sim/x.ml" ~expect:0
+    "let a () = (Sys.time () [@lint.allow \"determinism\"])\n"
+
+(* ------------------------------ R3 ----------------------------------- *)
+
+let r3_pos =
+  check_rule ~rule:"secret-hygiene" ~expect:3
+    "let a sk = Printf.printf \"%s\" sk\n\
+     let b t = Format.printf \"%a\" pp t.secret\n\
+     let c key = pp_key Format.std_formatter key.sk\n"
+
+let r3_obs_sink =
+  check_rule ~rule:"secret-hygiene" ~expect:1
+    "let a m secret = Obs.Metrics.incr m (tag_of secret)\n"
+
+let r3_neg =
+  check_rule ~rule:"secret-hygiene" ~expect:0
+    "let a pk = Printf.printf \"%s\" (fingerprint pk)\n\
+     let b secret = Rsa.sign secret \"msg\"\n\
+     let c sk = Rsa.public_of_secret sk\n"
+
+let r3_allow =
+  check_rule ~rule:"secret-hygiene" ~expect:0
+    "let a sk = (Printf.printf \"%s\" sk [@lint.allow \"secret-hygiene\"])\n"
+
+(* ------------------------------ R4 ----------------------------------- *)
+
+let r4_pos_group =
+  check_rule ~rule:"fragile-match" ~expect:1
+    "let f m = match m with A1 x -> g x | A2 x -> h x | _ -> ()\n"
+
+let r4_pos_distinctive =
+  check_rule ~rule:"fragile-match" ~expect:1
+    "let f a = match a with Broadcast m -> send m | _ -> ()\n"
+
+let r4_pos_qualified =
+  check_rule ~rule:"fragile-match" ~expect:1
+    "let f m = match m with Approver.Ok _ -> 1 | _ -> 0\n"
+
+let r4_pos_function =
+  check_rule ~rule:"fragile-match" ~expect:1
+    "let f = function First v -> v | _ -> assert false\n"
+
+let r4_neg_exhaustive =
+  check_rule ~rule:"fragile-match" ~expect:0
+    "let f m = match m with A1 x -> g x | A2 x -> h x | Cn x -> k x\n"
+
+let r4_neg_stdlib_ok =
+  check_rule ~rule:"fragile-match" ~expect:0
+    "let f r = match r with Ok x -> x | _ -> 0\nlet g o = match o with Some x -> x | _ -> 1\n"
+
+let r4_allow =
+  check_rule ~rule:"fragile-match" ~expect:0
+    "let f m = ((match m with A1 x -> g x | _ -> ()) [@lint.allow \"fragile-match\"])\n"
+
+(* ------------------------------ R5 ----------------------------------- *)
+
+let r5_pos =
+  check_rule ~rule:"hashtbl-iter" ~rel:"lib/core/x.ml" ~expect:2
+    "let a f h = Hashtbl.iter f h\nlet b f h = Hashtbl.fold f h []\n"
+
+let r5_baselines_scoped =
+  check_rule ~rule:"hashtbl-iter" ~rel:"lib/baselines/x.ml" ~expect:1
+    "let a h = Hashtbl.to_seq h\n"
+
+let r5_neg_outside_dirs =
+  check_rule ~rule:"hashtbl-iter" ~rel:"lib/obs/x.ml" ~expect:0
+    "let a f h = Hashtbl.fold f h []\n"
+
+let r5_neg_point_ops =
+  check_rule ~rule:"hashtbl-iter" ~rel:"lib/core/x.ml" ~expect:0
+    "let a h k = Hashtbl.find_opt h k\nlet b h k v = Hashtbl.replace h k v\n"
+
+let r5_allow =
+  check_rule ~rule:"hashtbl-iter" ~rel:"lib/core/x.ml" ~expect:0
+    "let a f h = (Hashtbl.fold f h [] [@lint.allow \"hashtbl-iter\"])\n"
+
+(* --------------------------- engine/reporter -------------------------- *)
+
+let allow_scopes_dont_leak () =
+  (* The allow frame covers only the attributed expression: a sibling
+     violation in the same file must still be reported. *)
+  let fs =
+    lint
+      "let a x y = (compare x y [@lint.allow \"poly-compare\"])\nlet b x y = compare x y\n"
+  in
+  Alcotest.(check int) "sibling still reported" 1 (count "poly-compare" fs)
+
+let malformed_allow_reported () =
+  let fs = lint "let a x y = (compare x y [@lint.allow 3])\n" in
+  Alcotest.(check int) "malformed payload finding" 1 (count "lint" fs);
+  Alcotest.(check int) "violation not suppressed" 1 (count "poly-compare" fs)
+
+let parse_failure_reported () =
+  let fs = lint "let (\n" in
+  Alcotest.(check int) "parse finding" 1 (count "parse" fs)
+
+let findings_are_sorted () =
+  let fs = lint "let b x y = compare x y\nlet a x y = compare x y\n" in
+  let lines = List.map (fun f -> f.Coinlint.Engine.line) fs in
+  Alcotest.(check (list int)) "line order" [ 1; 2 ] lines
+
+let json_shape () =
+  let findings = lint ~rel:"lib/core/x.ml" "let a f h = Hashtbl.iter f h\n" in
+  let doc = Coinlint.Engine.json_report ~rules:Coinlint.Rules.all (1, findings) in
+  let member k = Obs.Json.member k doc in
+  Alcotest.(check (option string))
+    "schema" (Some "coincidence.lint/1")
+    (Option.bind (member "schema") Obs.Json.to_string_opt);
+  Alcotest.(check (option int)) "files_scanned" (Some 1)
+    (Option.bind (member "files_scanned") Obs.Json.to_int_opt);
+  Alcotest.(check (option int)) "count" (Some 1)
+    (Option.bind (member "count") Obs.Json.to_int_opt);
+  Alcotest.(check int) "rules listed" (List.length Coinlint.Rules.all)
+    (List.length (Obs.Json.to_list (Option.value ~default:Obs.Json.Null (member "rules"))));
+  (match Obs.Json.to_list (Option.value ~default:Obs.Json.Null (member "findings")) with
+  | [ f ] ->
+      Alcotest.(check (option string))
+        "finding file" (Some "lib/core/x.ml")
+        (Option.bind (Obs.Json.member "file" f) Obs.Json.to_string_opt);
+      Alcotest.(check (option string))
+        "finding rule" (Some "hashtbl-iter")
+        (Option.bind (Obs.Json.member "rule" f) Obs.Json.to_string_opt);
+      Alcotest.(check bool) "finding line present" true
+        (Option.is_some (Option.bind (Obs.Json.member "line" f) Obs.Json.to_int_opt))
+  | fs -> Alcotest.failf "expected exactly one finding object, got %d" (List.length fs));
+  (* The document round-trips through the strict parser. *)
+  match Obs.Json.of_string (Obs.Json.to_string doc) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "json round-trip: %s" e
+
+let repo_is_clean () =
+  (* The acceptance bar for the whole PR: zero findings over the real
+     tree.  Skipped when the sources are not visible from the test's cwd
+     (sandboxed runs); the root dune rule enforces it there. *)
+  let root =
+    let rec find dir depth =
+      if depth > 6 then None
+      else if Sys.file_exists (Filename.concat dir "dune-project")
+              && Sys.file_exists (Filename.concat dir "lib")
+      then Some dir
+      else find (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+    in
+    find (Sys.getcwd ()) 0
+  in
+  match root with
+  | None -> ()
+  | Some root ->
+      let paths = List.map (Filename.concat root) [ "lib"; "bin"; "bench" ] in
+      let files, findings = Coinlint.Engine.lint_paths ~rules:Coinlint.Rules.all paths in
+      Alcotest.(check bool) "scanned some files" true (files > 0);
+      List.iter
+        (fun f ->
+          Format.eprintf "%a@." Coinlint.Engine.pp_finding f)
+        findings;
+      Alcotest.(check int) "repo findings" 0 (List.length findings)
+
+let suite =
+  [
+    Alcotest.test_case "r1 poly-compare positives" `Quick r1_pos;
+    Alcotest.test_case "r1 =/<> on crypto paths" `Quick r1_eq_crypto;
+    Alcotest.test_case "r1 =/<> on structured literals" `Quick r1_eq_structured;
+    Alcotest.test_case "r1 negatives" `Quick r1_neg;
+    Alcotest.test_case "r1 allow on expression" `Quick r1_allow_expr;
+    Alcotest.test_case "r1 allow on binding" `Quick r1_allow_binding;
+    Alcotest.test_case "r1 allow floating" `Quick r1_allow_floating;
+    Alcotest.test_case "r2 determinism positives in lib/sim" `Quick r2_pos;
+    Alcotest.test_case "r2 scoped to lib/core" `Quick r2_core_scoped;
+    Alcotest.test_case "r2 self_init banned everywhere" `Quick r2_self_init_everywhere;
+    Alcotest.test_case "r2 wall clock fine outside core/sim" `Quick r2_neg_outside_dirs;
+    Alcotest.test_case "r2 seeded rng fine" `Quick r2_neg_seeded;
+    Alcotest.test_case "r2 allow" `Quick r2_allow;
+    Alcotest.test_case "r3 secret-hygiene positives" `Quick r3_pos;
+    Alcotest.test_case "r3 obs sink" `Quick r3_obs_sink;
+    Alcotest.test_case "r3 negatives (sign/fingerprint fine)" `Quick r3_neg;
+    Alcotest.test_case "r3 allow" `Quick r3_allow;
+    Alcotest.test_case "r4 fragile group match" `Quick r4_pos_group;
+    Alcotest.test_case "r4 distinctive singleton" `Quick r4_pos_distinctive;
+    Alcotest.test_case "r4 qualified ambiguous ctor" `Quick r4_pos_qualified;
+    Alcotest.test_case "r4 function keyword" `Quick r4_pos_function;
+    Alcotest.test_case "r4 exhaustive match fine" `Quick r4_neg_exhaustive;
+    Alcotest.test_case "r4 stdlib Ok/Some not protocol" `Quick r4_neg_stdlib_ok;
+    Alcotest.test_case "r4 allow" `Quick r4_allow;
+    Alcotest.test_case "r5 hashtbl iteration positives" `Quick r5_pos;
+    Alcotest.test_case "r5 scoped to baselines too" `Quick r5_baselines_scoped;
+    Alcotest.test_case "r5 fine outside protocol dirs" `Quick r5_neg_outside_dirs;
+    Alcotest.test_case "r5 point operations fine" `Quick r5_neg_point_ops;
+    Alcotest.test_case "r5 allow" `Quick r5_allow;
+    Alcotest.test_case "allow scope does not leak" `Quick allow_scopes_dont_leak;
+    Alcotest.test_case "malformed allow payload reported" `Quick malformed_allow_reported;
+    Alcotest.test_case "parse failure reported" `Quick parse_failure_reported;
+    Alcotest.test_case "findings sorted" `Quick findings_are_sorted;
+    Alcotest.test_case "json reporter shape" `Quick json_shape;
+    Alcotest.test_case "repo scan is clean" `Quick repo_is_clean;
+  ]

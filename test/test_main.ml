@@ -35,4 +35,5 @@ let () =
       ("attacks/chain", T_attacks_chain.suite);
       ("fuzz", T_fuzz.suite);
       ("integration", T_integration.suite);
+      ("lint", T_lint.suite);
     ]

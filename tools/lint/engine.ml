@@ -1,0 +1,230 @@
+(* coinlint engine: file discovery, parsing, attribute-scoped allowlisting
+   and the rule-dispatch AST walk.
+
+   The pass is purely syntactic — it runs on the Parsetree, before any
+   typing — so rules over-approximate: they flag every site that *could*
+   violate an invariant and rely on `[@lint.allow "<rule>"]` for the few
+   deliberate exceptions.  That trade keeps the linter independent of the
+   build (no .cmt files needed) and fast enough to run on every `dune
+   runtest`.
+
+   Allow attributes scope lexically:
+     - on an expression:      (e [@lint.allow "poly-compare"])
+     - on a let binding:      let[@lint.allow "r"] f x = ...
+     - floating, file-level:  [@@@lint.allow "r"]  (rest of the file)
+   The payload is a string of rule names separated by spaces or commas;
+   the name "all" suppresses every rule. *)
+
+type finding = { file : string; line : int; col : int; rule : string; msg : string }
+
+type report = loc:Location.t -> string -> unit
+
+type rule = {
+  name : string;
+  summary : string;  (* one line, shown by --list-rules and in DESIGN.md *)
+  check : report:report -> rel:string -> Parsetree.expression -> unit;
+}
+
+type ctx = {
+  rel : string;                       (* path as reported in findings *)
+  mutable allows : string list list;  (* lexical allow frames, innermost first *)
+  mutable out : finding list;
+}
+
+let add ctx ~(loc : Location.t) ~rule msg =
+  let p = loc.loc_start in
+  ctx.out <-
+    { file = ctx.rel; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: ctx.out
+
+(* ---------------------- allow-attribute parsing ---------------------- *)
+
+let attr_name = "lint.allow"
+
+let split_names s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun x -> not (String.equal x ""))
+
+(* Returns the rule names of one [@lint.allow] attribute, or [None] when
+   the attribute is someone else's.  A malformed payload is reported as a
+   finding instead of being silently ignored: a typo'd allow that
+   suppresses nothing is exactly the kind of bug a linter exists for. *)
+let allow_frame ctx (a : Parsetree.attribute) =
+  if not (String.equal a.attr_name.txt attr_name) then None
+  else
+    match a.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ]
+      when split_names s <> [] ->
+        Some (split_names s)
+    | _ ->
+        add ctx ~loc:a.attr_loc ~rule:"lint"
+          "malformed [@lint.allow] payload: expected a string of rule names";
+        None
+
+let allows_of_attrs ctx attrs = List.filter_map (allow_frame ctx) attrs
+
+let allowed ctx rule =
+  List.exists
+    (List.exists (fun a -> String.equal a rule || String.equal a "all"))
+    ctx.allows
+
+(* ------------------------------ walk -------------------------------- *)
+
+let iterator ~rules ctx =
+  let super = Ast_iterator.default_iterator in
+  let with_frames frames f =
+    if frames = [] then f ()
+    else begin
+      let saved = ctx.allows in
+      ctx.allows <- frames @ ctx.allows;
+      f ();
+      ctx.allows <- saved
+    end
+  in
+  let expr it (e : Parsetree.expression) =
+    with_frames (allows_of_attrs ctx e.pexp_attributes) (fun () ->
+        List.iter
+          (fun r ->
+            let report ~loc msg = if not (allowed ctx r.name) then add ctx ~loc ~rule:r.name msg in
+            r.check ~report ~rel:ctx.rel e)
+          rules;
+        super.expr it e)
+  in
+  let value_binding it (vb : Parsetree.value_binding) =
+    with_frames (allows_of_attrs ctx vb.pvb_attributes) (fun () -> super.value_binding it vb)
+  in
+  let structure it items =
+    (* A floating [@@@lint.allow] covers the remainder of its structure. *)
+    let saved = ctx.allows in
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        (match item.pstr_desc with
+        | Pstr_attribute a -> (
+            match allow_frame ctx a with
+            | Some frame -> ctx.allows <- frame :: ctx.allows
+            | None -> ())
+        | _ -> ());
+        super.structure_item it item)
+      items;
+    ctx.allows <- saved
+  in
+  { super with expr; value_binding; structure }
+
+(* ----------------------------- driving ------------------------------ *)
+
+let parse_impl ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  Parse.implementation lexbuf
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let lint_source ~rules ~rel source =
+  let ctx = { rel; allows = []; out = [] } in
+  (try
+     let ast = parse_impl ~filename:rel source in
+     let it = iterator ~rules ctx in
+     it.structure it ast
+   with exn ->
+     (* A file the compiler cannot parse will fail the build anyway; the
+        finding only localises the problem in lint-only runs. *)
+     ctx.out <-
+       {
+         file = rel;
+         line = 1;
+         col = 0;
+         rule = "parse";
+         msg = "cannot parse: " ^ Printexc.to_string exn;
+       }
+       :: ctx.out);
+  List.sort compare_findings ctx.out
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ~rules path = lint_source ~rules ~rel:path (read_file path)
+
+(* Recursive *.ml discovery under each root, skipping _build-style and
+   hidden directories; deterministic order. *)
+let discover roots =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun entry ->
+            if String.length entry > 0 && entry.[0] <> '.' && entry.[0] <> '_' then begin
+              let path = Filename.concat dir entry in
+              if Sys.is_directory path then walk path
+              else if Filename.check_suffix entry ".ml" then acc := path :: !acc
+            end)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun root ->
+      if Sys.file_exists root && not (Sys.is_directory root) then begin
+        if Filename.check_suffix root ".ml" then acc := root :: !acc
+      end
+      else walk root)
+    roots;
+  List.sort String.compare !acc
+
+let lint_paths ~rules roots =
+  let files = discover roots in
+  let findings = List.concat_map (lint_file ~rules) files in
+  (List.length files, List.sort compare_findings findings)
+
+(* ---------------------------- reporters ------------------------------ *)
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+let print_human fmt (files, findings) =
+  List.iter (fun f -> Format.fprintf fmt "%a@." pp_finding f) findings;
+  Format.fprintf fmt "coinlint: %d finding%s in %d file%s@."
+    (List.length findings)
+    (if List.length findings = 1 then "" else "s")
+    files
+    (if files = 1 then "" else "s")
+
+let schema = "coincidence.lint/1"
+
+let json_finding f =
+  Obs.Json.Obj
+    [
+      ("file", Obs.Json.Str f.file);
+      ("line", Obs.Json.Int f.line);
+      ("col", Obs.Json.Int f.col);
+      ("rule", Obs.Json.Str f.rule);
+      ("msg", Obs.Json.Str f.msg);
+    ]
+
+let json_report ~rules (files, findings) =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str schema);
+      ("rules", Obs.Json.List (List.map (fun r -> Obs.Json.Str r.name) rules));
+      ("files_scanned", Obs.Json.Int files);
+      ("count", Obs.Json.Int (List.length findings));
+      ("findings", Obs.Json.List (List.map json_finding findings));
+    ]

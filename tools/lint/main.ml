@@ -1,0 +1,88 @@
+(* coinlint CLI.
+
+   Usage:
+     dune exec tools/lint/main.exe -- [options] [dir-or-file ...]
+       --json PATH    also write the findings document (PATH "-" = stdout)
+       --rules NAMES  comma-separated subset of rules (default: all)
+       --list-rules   print the registry and exit
+       --root DIR     chdir to DIR before scanning
+     default scan set: lib bin bench
+
+   Exit status: 0 clean, 1 findings, 2 usage/IO error. *)
+
+let usage () =
+  prerr_endline
+    "usage: coinlint [--json PATH] [--rules r1,r2] [--list-rules] [--root DIR] [paths...]";
+  exit 2
+
+let () =
+  let json_out = ref None in
+  let root = ref None in
+  let rule_names = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: p :: rest ->
+        json_out := Some p;
+        parse rest
+    | "--root" :: d :: rest ->
+        root := Some d;
+        parse rest
+    | "--rules" :: names :: rest ->
+        rule_names := Some (String.split_on_char ',' names);
+        parse rest
+    | "--list-rules" :: _ ->
+        List.iter
+          (fun r -> Format.printf "%-16s %s@." r.Coinlint.Engine.name r.Coinlint.Engine.summary)
+          Coinlint.Rules.all;
+        exit 0
+    | ("--json" | "--root" | "--rules") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !root with Some d -> Sys.chdir d | None -> ());
+  let rules =
+    match !rule_names with
+    | None -> Coinlint.Rules.all
+    | Some names ->
+        List.map
+          (fun n ->
+            match Coinlint.Rules.find n with
+            | Some r -> r
+            | None ->
+                Format.eprintf "coinlint: unknown rule %S (try --list-rules)@." n;
+                exit 2)
+          names
+  in
+  let roots = match !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> List.rev ps in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Format.eprintf "coinlint: no such path %s@." p;
+        exit 2
+      end)
+    roots;
+  let result = Coinlint.Engine.lint_paths ~rules roots in
+  (* With --json -, stdout is the machine report; keep the human one on
+     stderr so the two never interleave. *)
+  let human_fmt =
+    match !json_out with
+    | Some "-" -> Format.err_formatter
+    | Some _ | None -> Format.std_formatter
+  in
+  Coinlint.Engine.print_human human_fmt result;
+  (match !json_out with
+  | Some "-" -> print_endline (Obs.Json.to_string (Coinlint.Engine.json_report ~rules result))
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Obs.Json.to_channel oc (Coinlint.Engine.json_report ~rules result);
+          output_char oc '\n')
+  | None -> ());
+  let _, findings = result in
+  exit (if findings = [] then 0 else 1)

@@ -1,0 +1,334 @@
+(* The coinlint rule registry.
+
+   Each rule protects one invariant the paper's reproduction depends on
+   but no test can cover exhaustively; see DESIGN.md "Static guarantees"
+   for the rule <-> paper-claim mapping.  All checks are syntactic
+   over-approximations (see engine.ml); deliberate exceptions carry
+   [@lint.allow "<rule>"]. *)
+
+open Parsetree
+
+(* ----------------------------- helpers ------------------------------ *)
+
+let flatten lid = match Longident.flatten lid with path -> path | exception _ -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let ident_path (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (strip_stdlib (flatten txt))
+  | _ -> None
+
+let path_equal p q = List.length p = List.length q && List.for_all2 String.equal p q
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let in_dirs rel dirs = List.exists (fun d -> starts_with ~prefix:d rel) dirs
+
+let last_of = function [] -> "" | path -> List.nth path (List.length path - 1)
+
+(* Iterate every sub-expression of [e], [e] included. *)
+let iter_subexprs f e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e
+
+let exists_subexpr p e =
+  let found = ref false in
+  iter_subexprs (fun e -> if p e then found := true) e;
+  !found
+
+(* ------------------- R1: no polymorphic comparison ------------------- *)
+
+(* Paper stake: PR 2's Montgomery kernel keeps residues canonical so that
+   structural equality of crypto values is meaningful at all; polymorphic
+   compare/hash on anything structured silently depends on representation
+   and breaks the moment a cached or non-canonical form appears. *)
+
+let r1_banned =
+  [
+    ([ "compare" ], "use a typed comparator (Int.compare, String.compare, Bigint.compare, ...)");
+    ([ "Hashtbl"; "hash" ], "polymorphic hashing is representation-dependent; hash a canonical encoding instead");
+    ([ "List"; "mem" ], "use List.exists with a typed equality");
+    ([ "List"; "memq" ], "physical equality is representation-dependent; use a typed equality");
+    ([ "List"; "assoc" ], "use List.find_map with a typed key equality");
+    ([ "List"; "assoc_opt" ], "use List.find_map with a typed key equality");
+    ([ "List"; "mem_assoc" ], "use List.exists with a typed key equality");
+  ]
+
+(* Modules whose values are structured crypto/protocol data: comparing
+   them with [=]/[<>] must go through their dedicated equality
+   (Bigint.elem_equal, Vrf.compare_beta, ...). *)
+let crypto_modules =
+  [ "Bigint"; "Bignum"; "Rsa"; "Vrf"; "Dleq_vrf"; "Group"; "Gf"; "Poly"; "Shamir" ]
+
+let mentions_crypto_path e =
+  exists_subexpr
+    (fun e ->
+      let touches lid = List.exists (fun c -> List.mem c crypto_modules) (flatten lid) in
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } | Pexp_construct ({ txt; _ }, _) | Pexp_field (_, { txt; _ }) ->
+          touches txt
+      | _ -> false)
+    e
+
+let structured_literal e =
+  match e.pexp_desc with
+  | Pexp_record _ | Pexp_tuple _ -> true
+  | Pexp_construct ({ txt = Longident.Lident "::"; _ }, Some _) -> true
+  | _ -> false
+
+let r1_check ~report ~rel:_ e =
+  (match ident_path e with
+  | Some path -> (
+      match List.find_opt (fun (p, _) -> path_equal p path) r1_banned with
+      | Some (p, hint) ->
+          report ~loc:e.pexp_loc
+            (Printf.sprintf "polymorphic %s: %s" (String.concat "." p) hint)
+      | None -> ())
+  | None -> ());
+  match e.pexp_desc with
+  | Pexp_apply (f, ([ (_, a); (_, b) ] as _args)) -> (
+      match ident_path f with
+      | Some ([ "=" ] | [ "<>" ]) ->
+          let suspect x = mentions_crypto_path x || structured_literal x in
+          if suspect a || suspect b then
+            report ~loc:e.pexp_loc
+              "polymorphic =/<> on structured crypto/protocol data: use the type's dedicated \
+               equality (Bigint.elem_equal, String.equal, ...)"
+      | Some _ | None -> ())
+  | _ -> ()
+
+let r1 =
+  {
+    Engine.name = "poly-compare";
+    summary =
+      "forbid polymorphic compare/hash/mem/assoc, and =/<> on structured crypto values \
+       (canonical-representation equality only)";
+    check = r1_check;
+  }
+
+(* ------------------------- R2: determinism --------------------------- *)
+
+(* Paper stake: coin success rates (Lemma 4.8) and committee concentration
+   (Claim 1) are measured over fixed-seed simulations; any ambient
+   randomness or wall-clock read inside the simulator or the protocol core
+   makes those measurements unreproducible.  All randomness must flow from
+   the seeded RNG (Crypto.Rng / Crypto.Drbg). *)
+
+let r2_dirs = [ "lib/sim/"; "lib/core/" ]
+
+let r2_check ~report ~rel e =
+  match ident_path e with
+  | Some ([ "Random"; "self_init" ] | [ "Random"; "State"; "make_self_init" ]) ->
+      report ~loc:e.pexp_loc "Random self-seeding is never deterministic; use the seeded sim RNG"
+  | Some ("Random" :: _) when in_dirs rel r2_dirs ->
+      report ~loc:e.pexp_loc
+        "ambient Random.* in deterministic code: all randomness must flow from the seeded sim \
+         RNG (Crypto.Rng)"
+  | Some ([ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ])
+    when in_dirs rel r2_dirs ->
+      report ~loc:e.pexp_loc
+        "wall-clock read in deterministic code: use the simulator's virtual time"
+  | Some _ | None -> ()
+
+let r2 =
+  {
+    Engine.name = "determinism";
+    summary =
+      "ban ambient randomness (Random.*) and wall-clock reads (Sys.time, Unix.gettimeofday) \
+       inside lib/sim and lib/core";
+    check = r2_check;
+  }
+
+(* ------------------------ R3: secret hygiene ------------------------- *)
+
+(* Paper stake: the delayed-adaptive adversary (Definition 2.1) corrupts
+   on message *content*; leaking RSA/VRF secret material into logs,
+   printers or observability probes hands a real adversary exactly the
+   oracle the model denies it.  Secrets may be keygen'd, used to sign and
+   fingerprinted -- never rendered. *)
+
+let secret_names = [ "sk"; "sks"; "secret"; "secrets"; "secret_key"; "skey"; "priv"; "private_key" ]
+
+let is_sink_path path =
+  match path with
+  | "Printf" :: _ | "Format" :: _ | "Obs" :: _ -> true
+  | _ ->
+      let last = last_of path in
+      starts_with ~prefix:"pp" last || starts_with ~prefix:"show" last
+      || starts_with ~prefix:"print_" last
+      || starts_with ~prefix:"prerr_" last
+      || String.equal last "probe"
+
+let mentions_secret e =
+  exists_subexpr
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> List.mem (last_of (flatten txt)) secret_names
+      | Pexp_field (_, { txt; _ }) -> List.mem (last_of (flatten txt)) secret_names
+      | _ -> false)
+    e
+
+let r3_check ~report ~rel:_ e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some path when is_sink_path path ->
+          if List.exists (fun (_, a) -> mentions_secret a) args then
+            report ~loc:e.pexp_loc
+              (Printf.sprintf
+                 "secret material reaches a print/observability sink (%s): render a fingerprint \
+                  or public part instead"
+                 (String.concat "." path))
+      | Some _ | None -> ())
+  | _ -> ()
+
+let r3 =
+  {
+    Engine.name = "secret-hygiene";
+    summary =
+      "flag print/pp/show/Printf/Format/Obs sinks whose arguments mention RSA or VRF secret-key \
+       values";
+    check = r3_check;
+  }
+
+(* ------------------------ R4: fragile match -------------------------- *)
+
+(* Paper stake: protocol handlers must be total over the message and
+   action alphabets.  A catch-all [_] branch over [msg]/[action] compiles
+   silently when a constructor is added -- and silently drops the new
+   message, which in an asynchronous protocol is indistinguishable from
+   adversarial message loss.  Adding a constructor must force every
+   handler to be revisited. *)
+
+let ctor_groups =
+  [
+    [ "A1"; "A2"; "Cn" ];            (* Ba.msg *)
+    [ "Init"; "Echo"; "Ok" ];        (* Approver.msg *)
+    [ "First"; "Second" ];           (* Coin.msg / Whp_coin.msg *)
+    [ "Broadcast"; "Decide" ];       (* Ba.action *)
+    [ "Broadcast"; "Deliver" ];      (* Approver.action *)
+    [ "Broadcast"; "Return" ];       (* coin actions *)
+  ]
+
+let protocol_modules = [ "Ba"; "Approver"; "Whp_coin"; "Coin" ]
+let protocol_ctors = List.sort_uniq String.compare (List.concat ctor_groups)
+
+(* Constructors whose bare name collides with common stdlib types and so
+   only count when qualified or corroborated by a group sibling. *)
+let ambiguous_ctors = [ "Ok" ]
+
+(* Collect (name, qualified-with-protocol-module) for every constructor
+   appearing anywhere in a pattern. *)
+let pattern_ctors pat =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) -> (
+              match flatten txt with
+              | [] -> ()
+              | path ->
+                  let name = last_of path in
+                  let qualified =
+                    List.exists (fun m -> List.mem m protocol_modules) path
+                  in
+                  if List.mem name protocol_ctors then acc := (name, qualified) :: !acc)
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it pat;
+  !acc
+
+let is_catch_all (pat : pattern) =
+  let rec strip p =
+    match p.ppat_desc with
+    | Ppat_alias (p, _) | Ppat_constraint (p, _) -> strip p
+    | d -> d
+  in
+  match strip pat with Ppat_any | Ppat_var _ -> true | _ -> false
+
+let fragile cases =
+  List.exists (fun c -> is_catch_all c.pc_lhs) cases
+  &&
+  let ctors = List.concat_map (fun c -> pattern_ctors c.pc_lhs) cases in
+  let names = List.sort_uniq String.compare (List.map fst ctors) in
+  let qualified_hit = List.exists (fun (_, q) -> q) ctors in
+  let group_hit =
+    List.exists
+      (fun g -> List.length (List.filter (fun n -> List.mem n g) names) >= 2)
+      ctor_groups
+  in
+  let distinctive_hit =
+    List.exists (fun n -> not (List.mem n ambiguous_ctors)) names
+  in
+  qualified_hit || group_hit || distinctive_hit
+
+let r4_check ~report ~rel:_ e =
+  match e.pexp_desc with
+  | Pexp_match (_, cases) | Pexp_function cases ->
+      if fragile cases then
+        report ~loc:e.pexp_loc
+          "catch-all branch over a protocol msg/action type: enumerate the constructors so \
+           adding one forces a handler update"
+  | _ -> ()
+
+let r4 =
+  {
+    Engine.name = "fragile-match";
+    summary =
+      "forbid catch-all _ branches in matches over the protocol msg/action constructor alphabets";
+    check = r4_check;
+  }
+
+(* ----------------------- R5: hashtbl iteration ----------------------- *)
+
+(* Paper stake: Hashtbl.iter/fold order is unspecified; if it reaches
+   emitted messages or probes, byte-level run reproducibility (and with it
+   every measured whp claim) is hostage to hashing internals.  Inside the
+   protocol core and baselines, iterate sorted keys or a deterministic
+   structure instead. *)
+
+let r5_dirs = [ "lib/core/"; "lib/baselines/" ]
+
+let r5_banned = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let r5_check ~report ~rel e =
+  if in_dirs rel r5_dirs then
+    match ident_path e with
+    | Some [ "Hashtbl"; fn ] when List.mem fn r5_banned ->
+        report ~loc:e.pexp_loc
+          (Printf.sprintf
+             "Hashtbl.%s iterates in unspecified order inside protocol state: iterate sorted \
+              keys (or a deterministic structure) so ordering never reaches messages or probes"
+             fn)
+    | Some _ | None -> ()
+
+let r5 =
+  {
+    Engine.name = "hashtbl-iter";
+    summary =
+      "flag Hashtbl.iter/fold/to_seq over protocol state in lib/core and lib/baselines \
+       (unspecified order must not reach messages or probes)";
+    check = r5_check;
+  }
+
+(* ----------------------------- registry ------------------------------ *)
+
+let all = [ r1; r2; r3; r4; r5 ]
+
+let find name = List.find_opt (fun r -> String.equal r.Engine.name name) all
