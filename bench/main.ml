@@ -7,6 +7,10 @@
      dune exec bench/main.exe -- --no-micro   -- skip the bechamel section
      dune exec bench/main.exe -- --json F     -- also write rows to F
                                                  (coincidence.bench/1)
+     dune exec bench/main.exe -- --jobs 4     -- fan estimator campaigns over
+                                                 an Exec domain pool (0 = the
+                                                 recommended domain count);
+                                                 output is jobs-invariant
 
    One section per paper artefact (see DESIGN.md section 3 and
    EXPERIMENTS.md for the paper-vs-measured discussion):
@@ -19,12 +23,14 @@
      E7  Def 2.1     delayed-adaptivity ablation
      E8  extension   eventual synchrony (GST sweep)
      E9  extension   concurrent repeated agreement (chain throughput)
+     SC  scaling     estimator trials/sec vs --jobs (Exec domain pool)
      B1  micro       primitive costs (bechamel)                         *)
 
 let full = ref false
 let which_table = ref "all"
 let run_micro = ref true
 let json_path : string option ref = ref None
+let jobs = ref 1
 
 let () =
   let rec parse = function
@@ -41,6 +47,13 @@ let () =
         parse rest
     | "--json" :: path :: rest ->
         json_path := Some path;
+        parse rest
+    | "--jobs" :: j :: rest ->
+        (match int_of_string_opt j with
+        | Some j when j >= 0 -> jobs := j
+        | Some _ | None ->
+            Format.eprintf "--jobs expects a non-negative integer, got %S@." j;
+            exit 2);
         parse rest
     | arg :: _ ->
         Format.eprintf "unknown argument %S@." arg;
@@ -78,6 +91,8 @@ let write_json path =
            [
              ("timer", js "Unix.gettimeofday");
              ("timer_kind", js "wall-clock");
+             ("jobs", ji !jobs);
+             ("recommended_domain_count", ji (Exec.default_jobs ()));
              ("note",
               js
                 "keygen warm_seconds rows are wall time (was Sys.time process CPU time \
@@ -358,8 +373,8 @@ let table_e3 () =
       let f = int_of_float (float_of_int n *. ((1.0 /. 3.0) -. epsilon)) in
       let bound = Core.Params.coin_success_bound ~epsilon in
       let run scheduler base_seed =
-        Core.Analysis.estimate_shared_coin ?scheduler ~keyring:(keyring n) ~n ~f ~crash:f ~trials
-          ~base_seed ()
+        Core.Analysis.estimate_shared_coin ?scheduler ~jobs:!jobs ~keyring:(keyring n) ~n ~f
+          ~crash:f ~trials ~base_seed ()
       in
       (* distinct seeds per row, or the same VRF draws repeat down the table *)
       let random = run None (1000 + (idx * 131071)) in
@@ -409,8 +424,8 @@ let table_e4 () =
     (fun (lambda, d) ->
       let params = Core.Params.make_exn ~strict:false ~epsilon:0.28 ~d ~lambda ~n () in
       let est =
-        Core.Analysis.estimate_whp_coin ~keyring:(keyring n) ~params ~crash:params.Core.Params.f
-          ~trials ~base_seed:4000 ()
+        Core.Analysis.estimate_whp_coin ~jobs:!jobs ~keyring:(keyring n) ~params
+          ~crash:params.Core.Params.f ~trials ~base_seed:4000 ()
       in
       let bound = Core.Params.whp_coin_success_bound ~d in
       Format.printf "%8d %6.3f %4d %4d | %8.3f | %8.3f %8.0f%% %10.0f@." lambda d
@@ -475,7 +490,8 @@ let table_e5 () =
           let lambda = min n (mult * Core.Params.default_lambda ~n / 8) in
           let params = Core.Params.make_exn ~strict:false ~epsilon:0.28 ~d:0.05 ~lambda ~n () in
           let est =
-            Core.Analysis.estimate_committees ~keyring:(keyring n) ~params ~trials ~base_seed:n ()
+            Core.Analysis.estimate_committees ~jobs:!jobs ~keyring:(keyring n) ~params ~trials
+              ~base_seed:n ()
           in
           let b1, b2, b3, b4 =
             claim1_bounds ~epsilon:params.Core.Params.epsilon ~d:params.Core.Params.d ~lambda
@@ -532,7 +548,7 @@ let table_e6 () =
       let params = practical_params n in
       let kr = keyring n in
       let run scheduler base_seed =
-        Core.Analysis.estimate_ba ?scheduler ~keyring:kr ~params ~trials ~base_seed ()
+        Core.Analysis.estimate_ba ?scheduler ~jobs:!jobs ~keyring:kr ~params ~trials ~base_seed ()
       in
       let rand = run None 9000 in
       let split =
@@ -721,6 +737,69 @@ let table_e9 () =
      once, any number of BA instances' in action.@."
 
 (* ------------------------------------------------------------------ *)
+(* SC: estimator throughput vs jobs (Exec domain pool)                  *)
+(* ------------------------------------------------------------------ *)
+
+let table_scaling () =
+  section "SC: estimator trials/sec vs jobs (Exec domain pool)";
+  let n = 32 in
+  let kr = keyring n in
+  let params = practical_params n in
+  let coin_trials = if !full then 400 else 120 in
+  let ba_trials = if !full then 24 else 8 in
+  Format.printf
+    "shared-coin and BA campaign throughput at jobs = 1/2/4/8 (n = %d).  The@.\
+     estimator output is byte-identical at every jobs value (DESIGN.md), so@.\
+     this table is wall-clock only.  recommended_domain_count here: %d.@.@."
+    n (Exec.default_jobs ());
+  Format.printf "%6s | %14s %8s | %14s %8s@." "jobs" "coin trials/s" "speedup" "ba trials/s"
+    "speedup";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let base_coin = ref nan and base_ba = ref nan in
+  List.iter
+    (fun j ->
+      let dt_coin =
+        time (fun () ->
+            ignore
+              (Core.Analysis.estimate_shared_coin ~jobs:j ~crash:4 ~keyring:kr ~n ~f:4
+                 ~trials:coin_trials ~base_seed:31337 ()))
+      in
+      let dt_ba =
+        time (fun () ->
+            ignore
+              (Core.Analysis.estimate_ba ~jobs:j ~keyring:kr ~params ~trials:ba_trials
+                 ~base_seed:4242 ()))
+      in
+      let coin_tps = float_of_int coin_trials /. dt_coin in
+      let ba_tps = float_of_int ba_trials /. dt_ba in
+      if j = 1 then begin
+        base_coin := coin_tps;
+        base_ba := ba_tps
+      end;
+      Format.printf "%6d | %14.1f %7.2fx | %14.1f %7.2fx@." j coin_tps (coin_tps /. !base_coin)
+        ba_tps (ba_tps /. !base_ba);
+      record ~table:"scaling"
+        [
+          ("jobs", ji j);
+          ("recommended_domain_count", ji (Exec.default_jobs ()));
+          ("coin_trials", ji coin_trials);
+          ("coin_trials_per_sec", jf coin_tps);
+          ("coin_speedup", jf (coin_tps /. !base_coin));
+          ("ba_trials", ji ba_trials);
+          ("ba_trials_per_sec", jf ba_tps);
+          ("ba_speedup", jf (ba_tps /. !base_ba));
+        ])
+    [ 1; 2; 4; 8 ];
+  Format.printf
+    "@.expected shape: near-linear speedup until jobs exceeds the physical core@.\
+     count, then flat or worse -- on a single-core container every jobs > 1@.\
+     point is a slowdown (OCaml 5 minor-GC barriers across domains).@."
+
+(* ------------------------------------------------------------------ *)
 (* B1: bechamel microbenchmarks                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,6 +826,14 @@ let micro () =
   let share_subset = Array.to_list (Array.sub shares 0 11) in
   let kr = keyring 64 in
   let vrf_out = Vrf.Keyring.prove kr 0 "bench-alpha" in
+  (* Verification memo effect on the real backend: same certificate each
+     iteration, one keyring with the default cache bound and one with the
+     cache disabled. *)
+  let fdh_cached = Vrf.Keyring.create ~backend:(Vrf.Rsa_fdh { bits = 256 }) ~n:4 ~seed:"bench-vc" () in
+  let fdh_uncached =
+    Vrf.Keyring.create ~backend:(Vrf.Rsa_fdh { bits = 256 }) ~cache_bound:0 ~n:4 ~seed:"bench-vc" ()
+  in
+  let fdh_out = Vrf.Keyring.prove fdh_cached 0 "bench-alpha" in
   let dleq_grp = Vrf.Group.generate ~qbits:160 ~seed:"bench-grp" () in
   let dleq_sk = Vrf.Dleq_vrf.keygen dleq_grp ~random in
   let dleq_pk = Vrf.Dleq_vrf.public_of_secret dleq_sk in
@@ -782,6 +869,10 @@ let micro () =
              Vrf.Keyring.prove kr (!counter mod 64) (string_of_int !counter)));
       Test.make ~name:"vrf-verify-mock"
         (Staged.stage (fun () -> Vrf.Keyring.verify kr ~signer:0 "bench-alpha" vrf_out));
+      Test.make ~name:"keyring-verify-cached"
+        (Staged.stage (fun () -> Vrf.Keyring.verify fdh_cached ~signer:0 "bench-alpha" fdh_out));
+      Test.make ~name:"keyring-verify-uncached"
+        (Staged.stage (fun () -> Vrf.Keyring.verify fdh_uncached ~signer:0 "bench-alpha" fdh_out));
       Test.make ~name:"dleq160-prove"
         (Staged.stage (fun () ->
              incr counter;
@@ -833,6 +924,7 @@ let () =
   if want "e7" then table_e7 ();
   if want "e8" then table_e8 ();
   if want "e9" then table_e9 ();
+  if want "scaling" then table_scaling ();
   if !run_micro && (want "b1" || want "micro" || !which_table = "all") then micro ();
   (match !json_path with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

@@ -3,12 +3,16 @@
    coincidence params    -- inspect the parameter windows for an n
    coincidence ba        -- run Byzantine Agreement instances
    coincidence coin      -- flip the shared / WHP coin
+   coincidence estimate  -- statistical campaigns (coin / whp-coin /
+                            committee / ba), optionally domain-parallel
    coincidence committee -- sample and inspect committees
    coincidence obs       -- run an instrumented BA and summarize it
    coincidence table1    -- quick Table-1 style comparison run
 
    `ba` and `obs` take --emit-metrics/--emit-trace/--emit-events to write
-   the machine-readable exports (see EXPERIMENTS.md for the schemas).     *)
+   the machine-readable exports (see EXPERIMENTS.md for the schemas).
+   `coin` and `estimate` take --jobs to fan trials over worker domains;
+   outputs are byte-identical for every --jobs value (see DESIGN.md).     *)
 
 open Cmdliner
 
@@ -46,6 +50,23 @@ let backend_arg =
 
 let rsa_bits_arg =
   Arg.(value & opt int 256 & info [ "rsa-bits" ] ~docv:"BITS" ~doc:"RSA modulus size.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:"Worker domains for estimator trials (0 = recommended domain count). Results are \
+              byte-identical for every value.")
+
+(* Estimator flags are validated before any keygen happens: a campaign
+   over zero trials has no rates (Analysis raises too, but the CLI should
+   fail with usage text, not a backtrace). *)
+let check_campaign_flags ~trials ~jobs =
+  if trials <= 0 then Error (Printf.sprintf "--trials must be positive (got %d)" trials)
+  else if jobs < 0 then
+    Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = recommended domain count)" jobs)
+  else Ok ()
 
 let scheduler_arg =
   Arg.(
@@ -450,25 +471,32 @@ let obs_cmd =
 (* ------------------------------- coin ------------------------------- *)
 
 let coin_cmd =
-  let run n seed trials lambda epsilon d backend rsa_bits committee =
-    let keyring = make_keyring backend rsa_bits n seed in
-    if committee then begin
-      let params = make_params n epsilon d lambda in
-      Format.printf "WHP coin (Algorithm 2), %a@." Core.Params.pp params;
-      let est =
-        Core.Analysis.estimate_whp_coin ~keyring ~params ~trials ~base_seed:seed ()
-      in
-      Format.printf "%a@." Core.Analysis.pp_coin_estimate est;
-      Format.printf "Lemma B.7 bound: %.4f@." (Core.Params.whp_coin_success_bound ~d)
-    end
-    else begin
-      let f = int_of_float (float_of_int n *. ((1.0 /. 3.0) -. epsilon)) in
-      Format.printf "shared coin (Algorithm 1), n = %d, f = %d@." n f;
-      let est = Core.Analysis.estimate_shared_coin ~keyring ~n ~f ~trials ~base_seed:seed () in
-      Format.printf "%a@." Core.Analysis.pp_coin_estimate est;
-      Format.printf "Lemma 4.8 bound: %.4f@." (Core.Params.coin_success_bound ~epsilon)
-    end;
-    0
+  let run n seed trials lambda epsilon d backend rsa_bits committee jobs =
+    match check_campaign_flags ~trials ~jobs with
+    | Error e ->
+        Format.eprintf "coin: %s@." e;
+        2
+    | Ok () ->
+        let keyring = make_keyring backend rsa_bits n seed in
+        if committee then begin
+          let params = make_params n epsilon d lambda in
+          Format.printf "WHP coin (Algorithm 2), %a@." Core.Params.pp params;
+          let est =
+            Core.Analysis.estimate_whp_coin ~jobs ~keyring ~params ~trials ~base_seed:seed ()
+          in
+          Format.printf "%a@." Core.Analysis.pp_coin_estimate est;
+          Format.printf "Lemma B.7 bound: %.4f@." (Core.Params.whp_coin_success_bound ~d)
+        end
+        else begin
+          let f = int_of_float (float_of_int n *. ((1.0 /. 3.0) -. epsilon)) in
+          Format.printf "shared coin (Algorithm 1), n = %d, f = %d@." n f;
+          let est =
+            Core.Analysis.estimate_shared_coin ~jobs ~keyring ~n ~f ~trials ~base_seed:seed ()
+          in
+          Format.printf "%a@." Core.Analysis.pp_coin_estimate est;
+          Format.printf "Lemma 4.8 bound: %.4f@." (Core.Params.coin_success_bound ~epsilon)
+        end;
+        0
   in
   let committee_arg =
     Arg.(value & flag & info [ "committee" ] ~doc:"Use the committee-based WHP coin (Algorithm 2).")
@@ -477,7 +505,180 @@ let coin_cmd =
     Term.(
       const run $ n_arg $ seed_arg
       $ Arg.(value & opt int 50 & info [ "trials" ] ~docv:"K" ~doc:"Flips.")
-      $ lambda_arg $ epsilon_arg $ d_arg $ backend_arg $ rsa_bits_arg $ committee_arg)
+      $ lambda_arg $ epsilon_arg $ d_arg $ backend_arg $ rsa_bits_arg $ committee_arg $ jobs_arg)
+
+(* ----------------------------- estimate ------------------------------ *)
+
+(* Statistical campaigns with a machine-readable export.  The document
+   deliberately has no "jobs" member: the worker count is an execution
+   detail, and CI diffs --jobs 1 vs --jobs 4 outputs byte-for-byte to
+   enforce the determinism contract. *)
+let estimate_schema = "coincidence.estimate/1"
+
+let estimate_cmd =
+  let js s = Obs.Json.Str s
+  and ji i = Obs.Json.Int i
+  and jf f = Obs.Json.Float f in
+  let summary_json (s : Core.Stats.summary) =
+    Obs.Json.Obj
+      [
+        ("count", ji s.Core.Stats.count);
+        ("mean", jf s.Core.Stats.mean);
+        ("stddev", jf s.Core.Stats.stddev);
+        ("min", jf s.Core.Stats.min);
+        ("p50", jf s.Core.Stats.p50);
+        ("p95", jf s.Core.Stats.p95);
+        ("max", jf s.Core.Stats.max);
+      ]
+  in
+  let coin_json (e : Core.Analysis.coin_estimate) =
+    Obs.Json.Obj
+      [
+        ("trials", ji e.Core.Analysis.trials);
+        ("all_zero", ji e.Core.Analysis.all_zero);
+        ("all_one", ji e.Core.Analysis.all_one);
+        ("disagree", ji e.Core.Analysis.disagree);
+        ("success_rate", jf e.Core.Analysis.success_rate);
+        ("mean_words", jf e.Core.Analysis.mean_words);
+        ("mean_depth", jf e.Core.Analysis.mean_depth);
+      ]
+  in
+  let params_json (p : Core.Params.t) =
+    Obs.Json.Obj
+      [
+        ("n", ji p.Core.Params.n);
+        ("f", ji p.Core.Params.f);
+        ("lambda", ji p.Core.Params.lambda);
+        ("w", ji p.Core.Params.w);
+        ("b", ji p.Core.Params.b);
+        ("epsilon", jf p.Core.Params.epsilon);
+        ("d", jf p.Core.Params.d);
+      ]
+  in
+  let run kind n seed trials lambda epsilon d backend rsa_bits crash jobs json =
+    match check_campaign_flags ~trials ~jobs with
+    | Error e ->
+        Format.eprintf "estimate: %s@." e;
+        2
+    | Ok () ->
+        let keyring = make_keyring backend rsa_bits n seed in
+        let params () = make_params n epsilon d lambda in
+        let kind_name, params_member, estimate_json, human =
+          match kind with
+          | `Coin ->
+              let f = int_of_float (float_of_int n *. ((1.0 /. 3.0) -. epsilon)) in
+              let est =
+                Core.Analysis.estimate_shared_coin ~crash ~jobs ~keyring ~n ~f ~trials
+                  ~base_seed:seed ()
+              in
+              ( "coin",
+                Obs.Json.Obj [ ("n", ji n); ("f", ji f) ],
+                coin_json est,
+                fun fmt -> Format.fprintf fmt "%a" Core.Analysis.pp_coin_estimate est )
+          | `Whp_coin ->
+              let p = params () in
+              let est =
+                Core.Analysis.estimate_whp_coin ~crash ~jobs ~keyring ~params:p ~trials
+                  ~base_seed:seed ()
+              in
+              ( "whp-coin",
+                params_json p,
+                coin_json est,
+                fun fmt -> Format.fprintf fmt "%a" Core.Analysis.pp_coin_estimate est )
+          | `Committee ->
+              let p = params () in
+              let est =
+                Core.Analysis.estimate_committees ~jobs ~keyring ~params:p ~trials
+                  ~base_seed:seed ()
+              in
+              ( "committee",
+                params_json p,
+                Obs.Json.Obj
+                  [
+                    ("trials", ji est.Core.Analysis.trials);
+                    ("s1", jf est.Core.Analysis.s1);
+                    ("s2", jf est.Core.Analysis.s2);
+                    ("s3", jf est.Core.Analysis.s3);
+                    ("s4", jf est.Core.Analysis.s4);
+                    ("mean_size", jf est.Core.Analysis.mean_size);
+                  ],
+                fun fmt -> Format.fprintf fmt "%a" Core.Analysis.pp_committee_estimate est )
+          | `Ba ->
+              let p = params () in
+              let est =
+                Core.Analysis.estimate_ba ~jobs ~keyring ~params:p ~trials ~base_seed:seed ()
+              in
+              ( "ba",
+                params_json p,
+                Obs.Json.Obj
+                  [
+                    ("trials", ji est.Core.Analysis.trials);
+                    ("safe", ji est.Core.Analysis.safe);
+                    ("complete", ji est.Core.Analysis.complete);
+                    ("rounds", summary_json est.Core.Analysis.rounds);
+                    ("words", summary_json est.Core.Analysis.words);
+                    ("depth", summary_json est.Core.Analysis.depth);
+                  ],
+                fun fmt -> Format.fprintf fmt "%a" Core.Analysis.pp_ba_estimate est )
+        in
+        let doc =
+          Obs.Json.Obj
+            [
+              ("schema", js estimate_schema);
+              ("kind", js kind_name);
+              ("base_seed", ji seed);
+              ("trials", ji trials);
+              ("backend",
+               js (match backend with `Mock -> "mock" | `Rsa -> "rsa" | `Dleq -> "dleq"));
+              ("params", params_member);
+              ("estimate", estimate_json);
+            ]
+        in
+        (match json with
+        | Some "-" ->
+            (* machine-clean stdout: the document and nothing else *)
+            Obs.Json.to_channel stdout doc;
+            print_newline ()
+        | Some path ->
+            write_file path (fun oc ->
+                Obs.Json.to_channel oc doc;
+                output_char oc '\n');
+            Format.printf "%s campaign: %t@.wrote %s@." kind_name human path
+        | None -> Format.printf "%s campaign: %t@." kind_name human);
+        0
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("coin", `Coin); ("whp-coin", `Whp_coin); ("committee", `Committee); ("ba", `Ba) ])
+          `Coin
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Campaign: coin (Algorithm 1), whp-coin (Algorithm 2), committee (Claim 1) or ba \
+                (Algorithm 4).")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "crash" ] ~docv:"K" ~doc:"Crash K random processes per coin trial.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a coincidence.estimate/1 document to FILE (\"-\" for stdout). The document \
+                never mentions the worker count, so runs at different --jobs diff clean.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Run a seeded statistical campaign (optionally across worker domains with --jobs) \
+             and report the estimate, optionally as machine-readable JSON.")
+    Term.(
+      const run $ kind_arg $ n_arg $ seed_arg $ trials_arg $ lambda_arg $ epsilon_arg $ d_arg
+      $ backend_arg $ rsa_bits_arg $ crash_arg $ jobs_arg $ json_arg)
 
 (* ----------------------------- committee ----------------------------- *)
 
@@ -557,4 +758,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ params_cmd; ba_cmd; obs_cmd; coin_cmd; committee_cmd; chain_cmd; table1_cmd ]))
+          [
+            params_cmd;
+            ba_cmd;
+            obs_cmd;
+            coin_cmd;
+            estimate_cmd;
+            committee_cmd;
+            chain_cmd;
+            table1_cmd;
+          ]))

@@ -8,7 +8,26 @@ type coin_estimate = {
   mean_depth : float;
 }
 
+(* Every estimator fans its independent per-trial runs through the Exec
+   domain pool.  Determinism across any [jobs] value rests on three
+   pillars (argued in DESIGN.md "Parallel campaign harness"): trial [i]'s
+   seed is a pure function of [base_seed + i]; each worker runs on its own
+   [Vrf.Keyring.clone] (no shared caches, no shared Montgomery scratch);
+   and Exec returns outcomes in ascending trial order, so the float folds
+   below consume the exact sequence a sequential run produces. *)
+
+let check_trials trials =
+  if trials <= 0 then invalid_arg "Analysis: trials must be positive"
+
+(* With one worker the caller's keyring is used directly (warming its
+   caches, as the sequential estimators always did); parallel workers each
+   clone it so no mutable key material crosses a domain boundary. *)
+let keyring_ctx ~jobs keyring =
+  if Exec.resolve_jobs jobs <= 1 then fun () -> keyring
+  else fun () -> Vrf.Keyring.clone keyring
+
 let coin_estimate_of ~trials outcomes =
+  check_trials trials;
   let all_zero = ref 0 and all_one = ref 0 and disagree = ref 0 in
   let words = ref [] and depths = ref [] in
   List.iter
@@ -35,19 +54,23 @@ let crash_set ~seed ~n ~crash =
   if crash = 0 then []
   else Crypto.Rng.sample_without_replacement (Crypto.Rng.create (seed lxor 0xc4a5)) crash n
 
-let estimate_shared_coin ?scheduler ?(crash = 0) ~keyring ~n ~f ~trials ~base_seed () =
+let estimate_shared_coin ?scheduler ?(crash = 0) ?(jobs = 1) ~keyring ~n ~f ~trials ~base_seed
+    () =
+  check_trials trials;
   let outcomes =
-    List.init trials (fun i ->
+    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
         let seed = base_seed + i in
         Runner.run_shared_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring ~n ~f
           ~round:i ~seed ())
   in
   coin_estimate_of ~trials outcomes
 
-let estimate_whp_coin ?scheduler ?(crash = 0) ~keyring ~params ~trials ~base_seed () =
+let estimate_whp_coin ?scheduler ?(crash = 0) ?(jobs = 1) ~keyring ~params ~trials ~base_seed ()
+    =
+  check_trials trials;
   let n = params.Params.n in
   let outcomes =
-    List.init trials (fun i ->
+    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
         let seed = base_seed + i in
         Runner.run_whp_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring ~params
           ~round:i ~seed ())
@@ -63,7 +86,8 @@ type committee_estimate = {
   mean_size : float;
 }
 
-let estimate_committees ~keyring ~params ~trials ~base_seed () =
+let estimate_committees ?(jobs = 1) ~keyring ~params ~trials ~base_seed () =
+  check_trials trials;
   let n = params.Params.n in
   let lambda = params.Params.lambda in
   let d = params.Params.d in
@@ -71,18 +95,25 @@ let estimate_committees ~keyring ~params ~trials ~base_seed () =
   let rng = Crypto.Rng.create base_seed in
   let byz = Crypto.Rng.sample_without_replacement rng params.Params.f n in
   let is_byz pid = List.exists (Int.equal pid) byz in
+  (* Per trial: committee size and its Byzantine-member count; the S1-S4
+     threshold counting happens in the (ordered) sequential fold below. *)
+  let samples =
+    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
+        let com =
+          Sample.committee keyring ~s:(Printf.sprintf "est-%d-%d" base_seed (i + 1)) ~lambda
+        in
+        (List.length com, List.length (List.filter is_byz com)))
+  in
   let s1 = ref 0 and s2 = ref 0 and s3 = ref 0 and s4 = ref 0 in
   let sizes = ref [] in
-  for i = 1 to trials do
-    let com = Sample.committee keyring ~s:(Printf.sprintf "est-%d-%d" base_seed i) ~lambda in
-    let size = List.length com in
-    let byz_count = List.length (List.filter is_byz com) in
-    sizes := float_of_int size :: !sizes;
-    if float_of_int size <= (1.0 +. d) *. fl then incr s1;
-    if float_of_int size >= (1.0 -. d) *. fl then incr s2;
-    if size - byz_count >= params.Params.w then incr s3;
-    if byz_count <= params.Params.b then incr s4
-  done;
+  List.iter
+    (fun (size, byz_count) ->
+      sizes := float_of_int size :: !sizes;
+      if float_of_int size <= (1.0 +. d) *. fl then incr s1;
+      if float_of_int size >= (1.0 -. d) *. fl then incr s2;
+      if size - byz_count >= params.Params.w then incr s3;
+      if byz_count <= params.Params.b then incr s4)
+    samples;
   let frac x = float_of_int !x /. float_of_int trials in
   { trials; s1 = frac s1; s2 = frac s2; s3 = frac s3; s4 = frac s4; mean_size = Stats.mean !sizes }
 
@@ -95,11 +126,12 @@ type ba_estimate = {
   depth : Stats.summary;
 }
 
-let estimate_ba ?scheduler ?(corruption = Runner.Honest) ?(mixed_inputs = true) ~keyring ~params
-    ~trials ~base_seed () =
+let estimate_ba ?scheduler ?(corruption = Runner.Honest) ?(mixed_inputs = true) ?(jobs = 1)
+    ~keyring ~params ~trials ~base_seed () =
+  check_trials trials;
   let n = params.Params.n in
   let outcomes =
-    List.init trials (fun i ->
+    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
         let seed = base_seed + i in
         let inputs =
           if mixed_inputs then Array.init n (fun p -> (p + i) mod 2) else Array.make n 1

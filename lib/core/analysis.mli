@@ -2,7 +2,16 @@
     the experiment tables (EXPERIMENTS.md) and the bench harness.
 
     Every campaign is deterministic: trial [i] runs with a seed derived
-    from [base_seed + i], so tables regenerate bit-identically. *)
+    from [base_seed + i], so tables regenerate bit-identically.
+
+    All estimators take [?jobs] (default [1]; [0] = the recommended
+    domain count) and fan their independent trials over an {!Exec} domain
+    pool.  The output is byte-identical for every [jobs] value: seeds are
+    sharded by trial index, each worker domain runs on its own
+    {!Vrf.Keyring.clone} (so no caches or Montgomery scratch buffers are
+    shared across domains), and results are merged in ascending trial
+    order.  Estimators raise [Invalid_argument] when [trials <= 0]
+    (rates would otherwise be NaN) and on negative [jobs]. *)
 
 type coin_estimate = {
   trials : int;
@@ -18,6 +27,7 @@ type coin_estimate = {
 val estimate_shared_coin :
   ?scheduler:Coin.msg Sim.Scheduler.t ->
   ?crash:int ->
+  ?jobs:int ->
   keyring:Vrf.Keyring.t ->
   n:int ->
   f:int ->
@@ -31,6 +41,7 @@ val estimate_shared_coin :
 val estimate_whp_coin :
   ?scheduler:Whp_coin.msg Sim.Scheduler.t ->
   ?crash:int ->
+  ?jobs:int ->
   keyring:Vrf.Keyring.t ->
   params:Params.t ->
   trials:int ->
@@ -50,6 +61,7 @@ type committee_estimate = {
 }
 
 val estimate_committees :
+  ?jobs:int ->
   keyring:Vrf.Keyring.t -> params:Params.t -> trials:int -> base_seed:int -> unit ->
   committee_estimate
 (** Claim 1 frequencies under a random corruption set of size [f]. *)
@@ -67,6 +79,7 @@ val estimate_ba :
   ?scheduler:Ba.msg Sim.Scheduler.t ->
   ?corruption:Runner.corruption ->
   ?mixed_inputs:bool ->
+  ?jobs:int ->
   keyring:Vrf.Keyring.t ->
   params:Params.t ->
   trials:int ->

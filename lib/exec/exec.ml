@@ -1,0 +1,87 @@
+(* Deterministic domain pool: index-sharded fan-out with ordered collection.
+
+   Determinism contract (see the .mli): the value of cell [i] depends only
+   on [f], the worker-local context and [i] — never on scheduling — and
+   cells are read back in ascending order.  The only cross-domain state is
+   the chunk counter (an Atomic) and the [cells] array, which is written
+   at disjoint indices (each index belongs to exactly one chunk, each
+   chunk to exactly one worker) and read only after every writer joined,
+   so the domain happens-before edge of [Domain.join] orders all writes
+   before the collection scan. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "Exec: jobs must be >= 0 (0 = recommended domain count)"
+  else if jobs = 0 then default_jobs ()
+  else jobs
+
+(* A cell holds the trial's value or the exception it raised; [Pending]
+   only survives a worker dying without writing, which [Domain.join]
+   propagating its exception already turns into an error. *)
+type 'a cell = Pending | Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let sequential ~ctx n f =
+  let c = ctx () in
+  (* Explicit ascending loop: List.init's application order is
+     unspecified (and [::] evaluates right-to-left), and the
+     exception-determinism contract needs left-to-right evaluation. *)
+  let rec go i =
+    if i >= n then []
+    else
+      let v = f c i in
+      v :: go (i + 1)
+  in
+  go 0
+
+let parallel ~workers ~ctx n f =
+  (* Chunks are contiguous index ranges; ~8 chunks per worker balances
+     queue contention against tail latency from uneven trial costs. *)
+  let chunk = max 1 (n / (workers * 8)) in
+  let nchunks = ((n + chunk) - 1) / chunk in
+  let next = Atomic.make 0 in
+  let cells = Array.make n Pending in
+  let body () =
+    let c = ctx () in
+    let rec drain () =
+      let k = Atomic.fetch_and_add next 1 in
+      if k < nchunks then begin
+        let lo = k * chunk in
+        let hi = min n ((k + 1) * chunk) - 1 in
+        for i = lo to hi do
+          cells.(i) <-
+            (match f c i with
+            | v -> Value v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+        done;
+        drain ()
+      end
+    in
+    drain ()
+  in
+  let domains = List.init (workers - 1) (fun _ -> Domain.spawn body) in
+  (* The spawning domain is worker 0: it drains the same queue, so a
+     [jobs = 1] caller never pays a domain spawn. *)
+  let own = match body () with () -> None | exception e -> Some e in
+  List.iter Domain.join domains;
+  (match own with Some e -> raise e | None -> ());
+  (* Smallest-index captured exception wins, matching what a sequential
+     left-to-right run would have raised. *)
+  Array.iter
+    (function
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Value _ | Pending -> ())
+    cells;
+  (* Ordered collection, ascending. *)
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match cells.(i) with
+    | Value v -> out := v :: !out
+    | Raised _ | Pending -> assert false (* every chunk was claimed and drained *)
+  done;
+  !out
+
+let map ?(jobs = 1) ~ctx n f =
+  if n < 0 then invalid_arg "Exec.map: negative length";
+  let workers = min (resolve_jobs jobs) (max n 1) in
+  if workers <= 1 then sequential ~ctx n f else parallel ~workers ~ctx n f

@@ -1,0 +1,41 @@
+(** Deterministic domain-pool executor.
+
+    The one audited parallelism abstraction of the tree: every
+    [Domain.spawn] in the repository lives behind this interface (coinlint
+    rule [domain-hygiene] enforces it).  The design goal is that a
+    computation fanned out over any number of workers is {e byte-identical}
+    to its sequential run:
+
+    - work is sharded by {e index}, never by arrival order: trial [i]
+      always computes the same value, whichever worker claims it;
+    - results are collected into an index-addressed buffer and returned in
+      ascending index order, so downstream float folds see the exact
+      sequence a [jobs = 1] run produces;
+    - per-worker context ([ctx]) isolates mutable state (keyring clones,
+      Montgomery scratch): workers share nothing but the read-only closure
+      and the atomic chunk counter;
+    - exceptions are captured per index and re-raised for the {e smallest}
+      raising index after every worker has drained, which is the same
+      exception a sequential left-to-right run surfaces. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the worker count that [jobs = 0]
+    resolves to. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs j] is [j] for positive [j] and {!default_jobs}[ ()] for
+    [0].
+    @raise Invalid_argument on negative [j]. *)
+
+val map :
+  ?jobs:int -> ctx:(unit -> 'ctx) -> int -> ('ctx -> int -> 'a) -> 'a list
+(** [map ~jobs ~ctx n f] is [[f c 0; f c 1; ...; f c (n-1)]] evaluated on
+    [min (resolve_jobs jobs) n] worker domains (default [jobs = 1]:
+    sequential, no domain is spawned).  [ctx] runs once per worker, inside
+    that worker's domain; [f] must depend only on its context and index.
+    The work queue hands out contiguous index chunks via an atomic
+    counter, so workers never contend on single indices.
+
+    If any [f c i] raises, the exception of the smallest raising index is
+    re-raised (with its backtrace) once all workers have finished.
+    @raise Invalid_argument on negative [n] or [jobs]. *)

@@ -42,10 +42,20 @@ module Keyring = struct
            broadcast; memoizing the boolean outcome keeps simulations
            tractable without changing any observable behaviour (negative
            results are cached too, so forgeries still fail everywhere). *)
+    verify_order : string Queue.t;
+        (* insertion order of the live verify_cache keys: the FIFO
+           eviction queue.  Invariant: queue contents = table keys. *)
+    cache_bound : int;  (* 0 disables the verify memo *)
+    mutable cache_hits : int;
+    mutable cache_misses : int;
   }
 
-  let create ?(backend = Rsa_fdh { bits = 256 }) ~n ~seed () =
+  let default_cache_bound = 65536
+
+  let create ?(backend = Rsa_fdh { bits = 256 }) ?(cache_bound = default_cache_bound) ~n ~seed
+      () =
     if n <= 0 then invalid_arg "Keyring.create: n must be positive";
+    if cache_bound < 0 then invalid_arg "Keyring.create: cache_bound must be >= 0";
     {
       n;
       backend;
@@ -53,19 +63,51 @@ module Keyring = struct
       keys = Array.make n None;
       group = None;
       prove_cache = Hashtbl.create 4096;
-      verify_cache = Hashtbl.create 4096;
+      verify_cache = Hashtbl.create (min 4096 (max 16 cache_bound));
+      verify_order = Queue.create ();
+      cache_bound;
+      cache_hits = 0;
+      cache_misses = 0;
     }
 
+  let clone t = create ~backend:t.backend ~cache_bound:t.cache_bound ~n:t.n ~seed:t.seed ()
+
+  (* Verification is a pure function of the cache key (which embeds the
+     full proof bytes), so the memo is semantics-preserving even for
+     Byzantine-forged proofs: a forgery misses, fails the real check, and
+     that negative verdict is what later receivers replay. *)
   let cached t key compute =
     match Hashtbl.find_opt t.verify_cache key with
-    | Some v -> v
+    | Some v ->
+        t.cache_hits <- t.cache_hits + 1;
+        v
     | None ->
         let v = compute () in
-        Hashtbl.replace t.verify_cache key v;
+        t.cache_misses <- t.cache_misses + 1;
+        if t.cache_bound > 0 then begin
+          if Hashtbl.length t.verify_cache >= t.cache_bound then begin
+            (* FIFO: drop the oldest insertion.  The queue is non-empty
+               exactly when the table is, so take cannot raise here. *)
+            let oldest = Queue.take t.verify_order in
+            Hashtbl.remove t.verify_cache oldest
+          end;
+          Hashtbl.replace t.verify_cache key v;
+          Queue.add key t.verify_order
+        end;
         v
 
   let n t = t.n
   let backend t = t.backend
+
+  type cache_stats = { size : int; bound : int; hits : int; misses : int }
+
+  let verify_cache_stats t =
+    {
+      size = Hashtbl.length t.verify_cache;
+      bound = t.cache_bound;
+      hits = t.cache_hits;
+      misses = t.cache_misses;
+    }
 
   let group t qbits =
     match t.group with

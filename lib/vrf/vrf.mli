@@ -53,12 +53,41 @@ module Keyring : sig
 
   type t
 
-  val create : ?backend:backend -> n:int -> seed:string -> unit -> t
+  val create : ?backend:backend -> ?cache_bound:int -> n:int -> seed:string -> unit -> t
   (** Default backend is [Rsa_fdh { bits = 256 }] — small keys keep
-      simulation key-setup cheap while exercising the full code path. *)
+      simulation key-setup cheap while exercising the full code path.
+
+      [cache_bound] (default [65536], [0] disables caching) bounds the
+      verification memo cache: {!verify} and {!verify_sig} are pure
+      functions of (signer, message, proof bytes), so their boolean
+      outcome is memoized — every receiver of a broadcast share re-checks
+      the same certificate, and the memo collapses those [O(n)] duplicate
+      verifications to one.  Entries beyond the bound evict the oldest
+      insertion (FIFO), keeping long campaigns at bounded memory.
+      Caching negative outcomes too means a forged proof keeps failing
+      everywhere; see DESIGN.md "cache soundness".
+      @raise Invalid_argument on negative [cache_bound] or [n <= 0]. *)
+
+  val clone : t -> t
+  (** A fresh keyring with the same (backend, n, seed, cache bound) and no
+      shared mutable state: keys, group and caches are regenerated
+      (deterministically) on demand.  Because every piece of key material
+      derives from [seed], a clone is observationally identical to the
+      original — this is how {!Exec}-style parallel campaigns give each
+      worker domain its own key directory (and thereby its own Montgomery
+      scratch buffers, which are not re-entrant across domains). *)
 
   val n : t -> int
   val backend : t -> backend
+
+  type cache_stats = {
+    size : int;    (** live entries in the verify memo. *)
+    bound : int;   (** configured capacity ([0] = caching disabled). *)
+    hits : int;
+    misses : int;  (** full verifications actually performed. *)
+  }
+
+  val verify_cache_stats : t -> cache_stats
 
   val warm : t -> unit
   (** Eagerly generates all [n] keys (and the shared group for the Dleq

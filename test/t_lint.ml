@@ -164,6 +164,42 @@ let r5_allow =
   check_rule ~rule:"hashtbl-iter" ~rel:"lib/core/x.ml" ~expect:0
     "let a f h = (Hashtbl.fold f h [] [@lint.allow \"hashtbl-iter\"])\n"
 
+(* ------------------------------ R6 ----------------------------------- *)
+
+let r6_pos_domain =
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:2
+    "let a f = Domain.spawn f\nlet b k = Domain.DLS.get k\n"
+
+let r6_pos_sync =
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:3
+    "let a () = Atomic.make 0\nlet b () = Mutex.create ()\nlet c m = Condition.wait c m\n"
+
+let r6_pos_bin =
+  check_rule ~rule:"domain-hygiene" ~rel:"bin/x.ml" ~expect:1 "let a f = Domain.spawn f\n"
+
+let r6_neg_exec =
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/exec/x.ml" ~expect:0
+    "let a f = Domain.spawn f\nlet b () = Atomic.make 0\nlet c k = Domain.DLS.get k\n"
+
+let r6_neg_bignum_sync =
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/bignum/x.ml" ~expect:0
+    "let a () = Atomic.make 0\nlet b () = Mutex.create ()\n"
+
+let r6_neg_bignum_spawn =
+  (* only the sync primitives are allowed in lib/bignum; spawning is not *)
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/bignum/x.ml" ~expect:1
+    "let a f = Domain.spawn f\n"
+
+let r6_neg_query =
+  (* read-only Domain queries (recommended_domain_count, is_main_domain)
+     do not create parallelism and stay legal everywhere *)
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:0
+    "let a () = Domain.recommended_domain_count ()\nlet b () = Domain.is_main_domain ()\n"
+
+let r6_allow =
+  check_rule ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:0
+    "let a f = (Domain.spawn f [@lint.allow \"domain-hygiene\"])\n"
+
 (* --------------------------- engine/reporter -------------------------- *)
 
 let allow_scopes_dont_leak () =
@@ -275,6 +311,14 @@ let suite =
     Alcotest.test_case "r5 fine outside protocol dirs" `Quick r5_neg_outside_dirs;
     Alcotest.test_case "r5 point operations fine" `Quick r5_neg_point_ops;
     Alcotest.test_case "r5 allow" `Quick r5_allow;
+    Alcotest.test_case "r6 Domain.spawn/DLS outside lib/exec" `Quick r6_pos_domain;
+    Alcotest.test_case "r6 sync primitives outside exec/bignum" `Quick r6_pos_sync;
+    Alcotest.test_case "r6 applies to bin too" `Quick r6_pos_bin;
+    Alcotest.test_case "r6 lib/exec exempt" `Quick r6_neg_exec;
+    Alcotest.test_case "r6 bignum may use sync primitives" `Quick r6_neg_bignum_sync;
+    Alcotest.test_case "r6 bignum may not spawn" `Quick r6_neg_bignum_spawn;
+    Alcotest.test_case "r6 read-only Domain queries fine" `Quick r6_neg_query;
+    Alcotest.test_case "r6 allow" `Quick r6_allow;
     Alcotest.test_case "allow scope does not leak" `Quick allow_scopes_dont_leak;
     Alcotest.test_case "malformed allow payload reported" `Quick malformed_allow_reported;
     Alcotest.test_case "parse failure reported" `Quick parse_failure_reported;

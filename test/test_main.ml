@@ -36,4 +36,5 @@ let () =
       ("fuzz", T_fuzz.suite);
       ("integration", T_integration.suite);
       ("lint", T_lint.suite);
+      ("exec", T_exec.suite);
     ]

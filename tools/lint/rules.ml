@@ -25,7 +25,27 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.equal (String.sub s 0 (String.length prefix)) prefix
 
-let in_dirs rel dirs = List.exists (fun d -> starts_with ~prefix:d rel) dirs
+(* [rel] is whatever path the caller handed the engine — repo-relative
+   from the dune rule, but absolute with ./.. segments when the test
+   suite scans the tree from inside _build.  Resolve the segments, then
+   accept the dir as a prefix or anywhere below an untracked root; this
+   must be exact for rules that fail *closed* outside their dirs (R6). *)
+let in_dirs rel dirs =
+  let nrel =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | ("" | ".") :: rest -> go acc rest
+      | ".." :: rest -> go (match acc with _ :: tl -> tl | [] -> []) rest
+      | s :: rest -> go (s :: acc) rest
+    in
+    "/" ^ String.concat "/" (go [] (String.split_on_char '/' rel))
+  in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec at i = i + n <= m && (String.equal (String.sub s i n) sub || at (i + 1)) in
+    at 0
+  in
+  List.exists (fun d -> contains ~sub:("/" ^ d) nrel) dirs
 
 let last_of = function [] -> "" | path -> List.nth path (List.length path - 1)
 
@@ -327,8 +347,52 @@ let r5 =
     check = r5_check;
   }
 
+(* ------------------------ R6: domain hygiene ------------------------- *)
+
+(* Paper stake: the estimator campaigns are byte-identical across worker
+   counts only because all parallelism flows through lib/exec's audited
+   pool (index sharding, per-worker keyring clones, ordered merge) — see
+   DESIGN.md "Parallel campaign harness".  A stray Domain.spawn elsewhere
+   reintroduces scheduling-dependent behaviour (and races on the
+   Montgomery per-context scratch); ad-hoc Mutex/Atomic use outside the
+   pool (and lib/bignum, which owns the kernel scratch discipline) hides
+   shared mutable state the determinism argument does not cover. *)
+
+let r6_exec_dirs = [ "lib/exec/" ]
+let r6_sync_dirs = [ "lib/exec/"; "lib/bignum/" ]
+let r6_domain_banned = [ "spawn"; "DLS" ]
+
+let r6_check ~report ~rel e =
+  match ident_path e with
+  | Some ("Domain" :: rest) when not (in_dirs rel r6_exec_dirs) -> (
+      match rest with
+      | fn :: _ when List.mem fn r6_domain_banned ->
+          report ~loc:e.pexp_loc
+            (Printf.sprintf
+               "Domain.%s outside lib/exec: parallelism must go through the audited Exec pool \
+                (deterministic sharding, per-worker state)"
+               fn)
+      | _ -> ())
+  | Some ((("Mutex" | "Atomic" | "Condition" | "Semaphore") as m) :: _)
+    when not (in_dirs rel r6_sync_dirs) ->
+      report ~loc:e.pexp_loc
+        (Printf.sprintf
+           "%s.* outside lib/exec and lib/bignum: shared mutable state across domains belongs \
+            behind the audited Exec abstraction"
+           m)
+  | Some _ | None -> ()
+
+let r6 =
+  {
+    Engine.name = "domain-hygiene";
+    summary =
+      "confine Domain.spawn/DLS to lib/exec and Mutex/Atomic/Condition/Semaphore to \
+       lib/exec+lib/bignum (one audited parallelism abstraction)";
+    check = r6_check;
+  }
+
 (* ----------------------------- registry ------------------------------ *)
 
-let all = [ r1; r2; r3; r4; r5 ]
+let all = [ r1; r2; r3; r4; r5; r6 ]
 
 let find name = List.find_opt (fun r -> String.equal r.Engine.name name) all
