@@ -24,6 +24,7 @@
      E8  extension   eventual synchrony (GST sweep)
      E9  extension   concurrent repeated agreement (chain throughput)
      SC  scaling     estimator trials/sec vs --jobs (Exec domain pool)
+     LINT provenance coinlint's own runtime, syntactic vs semantic tier
      B1  micro       primitive costs (bechamel)                         *)
 
 let full = ref false
@@ -800,6 +801,49 @@ let table_scaling () =
      point is a slowdown (OCaml 5 minor-GC barriers across domains).@."
 
 (* ------------------------------------------------------------------ *)
+(* LINT: coinlint self-measurement                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Analysis cost is provenance too: both lint tiers' wall seconds land in
+   --json, so if the semantic tier ever gets slow enough to tempt someone
+   into skipping it in CI, the trend is visible across PRs first. *)
+let table_lint () =
+  section "LINT: coinlint runtime, syntactic vs semantic tier";
+  let roots = List.filter Sys.file_exists [ "lib"; "bin"; "bench" ] in
+  if roots = [] then Format.printf "  (source roots not visible from cwd; skipped)@."
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let files, syn = Coinlint.Engine.lint_paths ~rules:Coinlint.Rules.all roots in
+    let syn_s = Unix.gettimeofday () -. t0 in
+    let t1 = Unix.gettimeofday () in
+    (* no dune-under-dune: measure whatever .cmt set the build already
+       produced (empty when nothing is compiled, and the row says so) *)
+    let units = Coinlint.Cmt_loader.load ~allow_build:false roots in
+    let sem = Coinlint.Sem_rules.lint_units ~rules:Coinlint.Sem_rules.all units in
+    let sem_s = Unix.gettimeofday () -. t1 in
+    Format.printf "  %-10s %8s %9s %9s@." "tier" "inputs" "findings" "wall_s";
+    Format.printf "  %-10s %8d %9d %9.3f@." "syntactic" files (List.length syn) syn_s;
+    Format.printf "  %-10s %8d %9d %9.3f@." "semantic" (List.length units) (List.length sem)
+      sem_s;
+    if units = [] then
+      Format.printf "  (no .cmt files visible: run `dune build @@check` for a real measurement)@.";
+    record ~table:"lint"
+      [
+        ("tier", js "syntactic");
+        ("inputs", ji files);
+        ("findings", ji (List.length syn));
+        ("wall_s", jf syn_s);
+      ];
+    record ~table:"lint"
+      [
+        ("tier", js "semantic");
+        ("inputs", ji (List.length units));
+        ("findings", ji (List.length sem));
+        ("wall_s", jf sem_s);
+      ]
+  end
+
+(* ------------------------------------------------------------------ *)
 (* B1: bechamel microbenchmarks                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -925,6 +969,7 @@ let () =
   if want "e8" then table_e8 ();
   if want "e9" then table_e9 ();
   if want "scaling" then table_scaling ();
+  if want "lint" then table_lint ();
   if !run_micro && (want "b1" || want "micro" || !which_table = "all") then micro ();
   (match !json_path with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

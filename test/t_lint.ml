@@ -227,17 +227,39 @@ let findings_are_sorted () =
 
 let json_shape () =
   let findings = lint ~rel:"lib/core/x.ml" "let a f h = Hashtbl.iter f h\n" in
-  let doc = Coinlint.Engine.json_report ~rules:Coinlint.Rules.all (1, findings) in
+  let rules =
+    List.map (fun r -> (r.Coinlint.Engine.name, Coinlint.Engine.tier_syntactic)) Coinlint.Rules.all
+    @ List.map
+        (fun (r : Coinlint.Sem_rules.rule) -> (r.name, Coinlint.Engine.tier_semantic))
+        Coinlint.Sem_rules.all
+  in
+  let doc =
+    Coinlint.Engine.json_report ~rules ~files_scanned:1 ~semantic_units:0 ~baseline_suppressed:0
+      findings
+  in
   let member k = Obs.Json.member k doc in
   Alcotest.(check (option string))
-    "schema" (Some "coincidence.lint/1")
+    "schema" (Some "coincidence.lint/2")
     (Option.bind (member "schema") Obs.Json.to_string_opt);
   Alcotest.(check (option int)) "files_scanned" (Some 1)
     (Option.bind (member "files_scanned") Obs.Json.to_int_opt);
+  Alcotest.(check (option int)) "semantic_units" (Some 0)
+    (Option.bind (member "semantic_units") Obs.Json.to_int_opt);
+  Alcotest.(check (option int)) "baseline_suppressed" (Some 0)
+    (Option.bind (member "baseline_suppressed") Obs.Json.to_int_opt);
   Alcotest.(check (option int)) "count" (Some 1)
     (Option.bind (member "count") Obs.Json.to_int_opt);
-  Alcotest.(check int) "rules listed" (List.length Coinlint.Rules.all)
-    (List.length (Obs.Json.to_list (Option.value ~default:Obs.Json.Null (member "rules"))));
+  (* v2 lists rules as {name, tier} objects, self-describing about tiers *)
+  (match Obs.Json.to_list (Option.value ~default:Obs.Json.Null (member "rules")) with
+  | [] -> Alcotest.fail "no rules listed"
+  | r0 :: _ as listed ->
+      Alcotest.(check int) "rules listed" (List.length rules) (List.length listed);
+      Alcotest.(check (option string))
+        "rule name" (Some "poly-compare")
+        (Option.bind (Obs.Json.member "name" r0) Obs.Json.to_string_opt);
+      Alcotest.(check (option string))
+        "rule tier" (Some "syntactic")
+        (Option.bind (Obs.Json.member "tier" r0) Obs.Json.to_string_opt));
   (match Obs.Json.to_list (Option.value ~default:Obs.Json.Null (member "findings")) with
   | [ f ] ->
       Alcotest.(check (option string))
@@ -246,6 +268,12 @@ let json_shape () =
       Alcotest.(check (option string))
         "finding rule" (Some "hashtbl-iter")
         (Option.bind (Obs.Json.member "rule" f) Obs.Json.to_string_opt);
+      Alcotest.(check (option string))
+        "finding tier" (Some "syntactic")
+        (Option.bind (Obs.Json.member "tier" f) Obs.Json.to_string_opt);
+      Alcotest.(check (option string))
+        "finding symbol" (Some "a")
+        (Option.bind (Obs.Json.member "symbol" f) Obs.Json.to_string_opt);
       Alcotest.(check bool) "finding line present" true
         (Option.is_some (Option.bind (Obs.Json.member "line" f) Obs.Json.to_int_opt))
   | fs -> Alcotest.failf "expected exactly one finding object, got %d" (List.length fs));
@@ -254,21 +282,21 @@ let json_shape () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "json round-trip: %s" e
 
+let find_repo_root () =
+  let rec find dir depth =
+    if depth > 6 then None
+    else if Sys.file_exists (Filename.concat dir "dune-project")
+            && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else find (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  find (Sys.getcwd ()) 0
+
 let repo_is_clean () =
   (* The acceptance bar for the whole PR: zero findings over the real
      tree.  Skipped when the sources are not visible from the test's cwd
      (sandboxed runs); the root dune rule enforces it there. *)
-  let root =
-    let rec find dir depth =
-      if depth > 6 then None
-      else if Sys.file_exists (Filename.concat dir "dune-project")
-              && Sys.file_exists (Filename.concat dir "lib")
-      then Some dir
-      else find (Filename.concat dir Filename.parent_dir_name) (depth + 1)
-    in
-    find (Sys.getcwd ()) 0
-  in
-  match root with
+  match find_repo_root () with
   | None -> ()
   | Some root ->
       let paths = List.map (Filename.concat root) [ "lib"; "bin"; "bench" ] in
@@ -279,6 +307,255 @@ let repo_is_clean () =
           Format.eprintf "%a@." Coinlint.Engine.pp_finding f)
         findings;
       Alcotest.(check int) "repo findings" 0 (List.length findings)
+
+(* =========================== semantic tier ============================ *)
+
+let slint ?(rel = "lib/x.ml") ?only src =
+  let rules =
+    match only with
+    | None -> Coinlint.Sem_rules.all
+    | Some names -> List.filter_map Coinlint.Sem_rules.find names
+  in
+  Coinlint.Sem_rules.lint_source ~rules ~rel src
+
+let sem_rule_names = List.map (fun (r : Coinlint.Sem_rules.rule) -> r.name) Coinlint.Sem_rules.all
+
+let sem_without rule = List.filter (fun n -> not (String.equal n rule)) sem_rule_names
+
+let check_sem ~rule ?(rel = "lib/x.ml") ~expect src () =
+  let fs = slint ~rel src in
+  Alcotest.(check int) (rule ^ " fixture typechecks") 0 (count "typecheck" fs);
+  Alcotest.(check int) (rule ^ " findings") expect (count rule fs);
+  Alcotest.(check int)
+    (rule ^ " disabled")
+    0
+    (count rule (slint ~rel ~only:(sem_without rule) src))
+
+(* The tentpole regression shape: spelled this way the syntactic tier
+   provably sees nothing; resolved to paths, the semantic tier fires. *)
+let differential ~rule ?(rel = "lib/x.ml") ~expect src () =
+  Alcotest.(check int) (rule ^ ": syntactic tier misses") 0 (count rule (lint ~rel src));
+  let fs = slint ~rel src in
+  Alcotest.(check int) (rule ^ ": fixture typechecks") 0 (count "typecheck" fs);
+  Alcotest.(check int) (rule ^ ": semantic tier catches") expect (count rule fs)
+
+(* --------------------------- ignored-verify --------------------------- *)
+
+let keyring = "module Keyring = struct let verify _ _ = true end\n"
+
+let s1_sequenced =
+  check_sem ~rule:"ignored-verify" ~expect:1 (keyring ^ "let a x = Keyring.verify x x; 42\n")
+
+let s1_ignored =
+  check_sem ~rule:"ignored-verify" ~expect:1 (keyring ^ "let a x = ignore (Keyring.verify x x)\n")
+
+let s1_discarded =
+  (* both the local `let _ =` and the top-level `let _ok =` drop the bit *)
+  check_sem ~rule:"ignored-verify" ~expect:2
+    (keyring ^ "let a x = let _ = Keyring.verify x x in 0\nlet _ok = Keyring.verify 1 2\n")
+
+let s1_alias =
+  (* aliasing the keyring module does not launder the obligation *)
+  check_sem ~rule:"ignored-verify" ~expect:1
+    (keyring ^ "module K = Keyring\nlet a x = K.verify x x; 0\n")
+
+let s1_neg =
+  check_sem ~rule:"ignored-verify" ~expect:0
+    (keyring
+   ^ "let a x = if Keyring.verify x x then 1 else 2\nlet b x = Keyring.verify x x\n")
+
+let s1_allow =
+  check_sem ~rule:"ignored-verify" ~expect:0
+    (keyring ^ "let a x = ignore (Keyring.verify x x [@lint.allow \"ignored-verify\"])\n")
+
+(* --------------------- determinism (path-resolved) --------------------- *)
+
+let sem_det_alias =
+  differential ~rule:"determinism" ~rel:"lib/sim/x.ml" ~expect:1
+    "module R = Random\nlet a () = R.int 10\n"
+
+let sem_det_open =
+  differential ~rule:"determinism" ~rel:"lib/core/x.ml" ~expect:1 "open Sys\nlet a () = time ()\n"
+
+let sem_det_open_unix =
+  differential ~rule:"determinism" ~rel:"lib/core/x.ml" ~expect:1
+    "open Unix\nlet a () = gettimeofday ()\n"
+
+let sem_det_letmodule =
+  differential ~rule:"determinism" ~rel:"lib/sim/x.ml" ~expect:1
+    "let a () = let module Q = Random in Q.bits ()\n"
+
+let sem_det_self_init_alias =
+  (* self-seeding is banned everywhere, aliased or not *)
+  differential ~rule:"determinism" ~rel:"bench/x.ml" ~expect:1
+    "module R = Random\nlet () = R.self_init ()\n"
+
+let sem_det_neg =
+  check_sem ~rule:"determinism" ~rel:"bench/x.ml" ~expect:0
+    "module R = Random\nlet a () = R.int 10\n"
+
+let sem_det_allow =
+  check_sem ~rule:"determinism" ~rel:"lib/sim/x.ml" ~expect:0
+    "module R = Random\nlet a () = (R.int 10 [@lint.allow \"determinism\"])\n"
+
+(* -------------------- secret-hygiene (path-resolved) ------------------- *)
+
+let sem_sec_alias =
+  differential ~rule:"secret-hygiene" ~expect:1
+    "module P = Printf\nlet a sk = P.printf \"%s\" sk\n"
+
+let sem_sec_open =
+  differential ~rule:"secret-hygiene" ~expect:1
+    "open Printf\nlet a secret = printf \"%s\" secret\n"
+
+let sem_sec_neg =
+  check_sem ~rule:"secret-hygiene" ~expect:0 "module P = Printf\nlet a pk = P.printf \"%s\" pk\n"
+
+let sem_sec_allow =
+  check_sem ~rule:"secret-hygiene" ~expect:0
+    "module P = Printf\nlet a sk = (P.printf \"%s\" sk [@lint.allow \"secret-hygiene\"])\n"
+
+(* -------------------- domain-hygiene (path-resolved) ------------------- *)
+
+let sem_dom_alias =
+  differential ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:1
+    "module D = Domain\nlet a f = D.spawn f\n"
+
+let sem_dom_atomic_alias =
+  differential ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:1
+    "module A = Atomic\nlet a () = A.make 0\n"
+
+let sem_dom_neg_exec =
+  check_sem ~rule:"domain-hygiene" ~rel:"lib/exec/x.ml" ~expect:0
+    "module D = Domain\nlet a f = D.spawn f\n"
+
+let sem_dom_allow =
+  check_sem ~rule:"domain-hygiene" ~rel:"lib/core/x.ml" ~expect:0
+    "module D = Domain\nlet a f = (D.spawn f [@lint.allow \"domain-hygiene\"])\n"
+
+(* ----------------------- handler-exhaustiveness ------------------------ *)
+
+let s5_wildcard =
+  (* all constructors handled, but a live catch-all still swallows any
+     constructor added tomorrow *)
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:1
+    "type msg = First | Second\n\
+     let handle m = match m with First -> 1 | Second -> 2 | _ -> 3\n\
+     let tag_of_msg = function First -> \"F\" | Second -> \"S\"\n"
+
+let s5_unconsumed =
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:1
+    "type msg = First | Second | Third\n\
+     let handle m = match m with First -> 1 | Second -> 2\n\
+     let tag_of_msg = function First -> \"F\" | Second -> \"S\" | Third -> \"T\"\n"
+
+let s5_tag_wildcard =
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:1
+    "type msg = First | Second\n\
+     let handle m = match m with First -> 1 | Second -> 2\n\
+     let tag_of_msg = function First -> \"F\" | _ -> \"X\"\n"
+
+let s5_tag_missing_arm =
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:1
+    "type msg = First | Second\n\
+     let handle m = match m with First -> 1 | Second -> 2\n\
+     let tag_of_msg = function First -> \"F\"\n"
+
+let s5_no_handler =
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:1
+    "type msg = First\nlet tag_of_msg = function First -> \"F\"\n"
+
+let s5_neg =
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:0
+    "type msg = First | Second\n\
+     let handle m = match m with First -> 1 | Second -> 2\n\
+     let tag_of_msg = function First -> \"F\" | Second -> \"S\"\n"
+
+let s5_neg_non_protocol =
+  (* a `msg` type in a non-protocol module carries no handler obligations *)
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/x.ml" ~expect:0
+    "type msg = First | Second\nlet handle m = match m with First -> 1 | _ -> 0\n"
+
+let s5_allow =
+  check_sem ~rule:"handler-exhaustiveness" ~rel:"lib/core/coin.ml" ~expect:0
+    "[@@@lint.allow \"handler-exhaustiveness\"]\n\
+     type msg = First | Second\n\
+     let handle m = match m with First -> 1 | _ -> 0\n"
+
+(* ----------------------------- span-balance ---------------------------- *)
+
+let span_mod = "module Span = struct let begin_span _ = 1 let end_span _ = () end\n"
+
+let s6_pos =
+  check_sem ~rule:"span-balance" ~expect:1 (span_mod ^ "let a () = Span.begin_span \"phase\"\n")
+
+let s6_neg_balanced =
+  (* begin/end in different functions is fine: the obligation is per unit *)
+  check_sem ~rule:"span-balance" ~expect:0
+    (span_mod ^ "let a () = Span.begin_span \"phase\"\nlet b s = Span.end_span s\n")
+
+let s6_allow =
+  check_sem ~rule:"span-balance" ~expect:0
+    (span_mod ^ "let a () = (Span.begin_span \"phase\" [@lint.allow \"span-balance\"])\n")
+
+(* ----------------------- engine: merge + baseline ---------------------- *)
+
+let typecheck_failure_reported () =
+  let fs = slint "let a : int = \"x\"\n" in
+  Alcotest.(check int) "typecheck finding" 1 (count "typecheck" fs)
+
+let merge_dedups_same_site () =
+  (* A plain violation is seen by both tiers at the same location; the
+     merged report must carry it once, as the syntactic finding. *)
+  let src = "let a () = Random.self_init ()\n" in
+  let syn = lint ~rel:"lib/sim/x.ml" src in
+  let sem = slint ~rel:"lib/sim/x.ml" src in
+  Alcotest.(check int) "syntactic fires" 1 (count "determinism" syn);
+  Alcotest.(check int) "semantic fires" 1 (count "determinism" sem);
+  let merged = Coinlint.Engine.merge_findings syn sem in
+  Alcotest.(check int) "merged carries one" 1 (count "determinism" merged);
+  match List.filter (fun f -> String.equal f.Coinlint.Engine.rule "determinism") merged with
+  | [ f ] ->
+      Alcotest.(check string) "syntactic wins" Coinlint.Engine.tier_syntactic
+        f.Coinlint.Engine.tier
+  | _ -> Alcotest.fail "expected exactly one merged determinism finding"
+
+let baseline_suppression () =
+  let src = "let a f h = Hashtbl.iter f h\n" in
+  let findings = lint ~rel:"lib/core/x.ml" src in
+  let rules = [ ("hashtbl-iter", Coinlint.Engine.tier_syntactic) ] in
+  let doc =
+    Coinlint.Engine.json_report ~rules ~files_scanned:1 ~semantic_units:0 ~baseline_suppressed:0
+      findings
+  in
+  match Coinlint.Engine.baseline_of_json doc with
+  | Error e -> Alcotest.failf "baseline parse: %s" e
+  | Ok keys ->
+      (* the key is rule/file/symbol, so the finding stays suppressed
+         when unrelated lines above it move it down the file *)
+      let moved = lint ~rel:"lib/core/x.ml" ("\n\n" ^ src) in
+      let kept, n = Coinlint.Engine.apply_baseline ~baseline:keys moved in
+      Alcotest.(check int) "moved finding suppressed" 0 (List.length kept);
+      Alcotest.(check int) "suppressed count" 1 n;
+      (* a finding in a different symbol is new and must be kept *)
+      let other = lint ~rel:"lib/core/x.ml" "let b f h = Hashtbl.iter f h\n" in
+      let kept2, n2 = Coinlint.Engine.apply_baseline ~baseline:keys other in
+      Alcotest.(check int) "new symbol kept" 1 (List.length kept2);
+      Alcotest.(check int) "nothing suppressed" 0 n2
+
+let repo_sem_clean () =
+  (* Zero semantic findings over the real tree's typedtrees.  Skipped
+     when no .cmt files are visible from the test's cwd; the root dune
+     rule (which declares the check alias as a dep) enforces it there. *)
+  match find_repo_root () with
+  | None -> ()
+  | Some root -> (
+      match Coinlint.Cmt_loader.scan ~base:root [ "lib"; "bin"; "bench" ] with
+      | [] -> ()
+      | units ->
+          let findings = Coinlint.Sem_rules.lint_units ~rules:Coinlint.Sem_rules.all units in
+          List.iter (fun f -> Format.eprintf "%a@." Coinlint.Engine.pp_finding f) findings;
+          Alcotest.(check int) "semantic repo findings" 0 (List.length findings))
 
 let suite =
   [
@@ -325,4 +602,41 @@ let suite =
     Alcotest.test_case "findings sorted" `Quick findings_are_sorted;
     Alcotest.test_case "json reporter shape" `Quick json_shape;
     Alcotest.test_case "repo scan is clean" `Quick repo_is_clean;
+    Alcotest.test_case "s1 ignored-verify sequenced away" `Quick s1_sequenced;
+    Alcotest.test_case "s1 ignored-verify passed to ignore" `Quick s1_ignored;
+    Alcotest.test_case "s1 ignored-verify bound to _" `Quick s1_discarded;
+    Alcotest.test_case "s1 ignored-verify through alias" `Quick s1_alias;
+    Alcotest.test_case "s1 branch/return fine" `Quick s1_neg;
+    Alcotest.test_case "s1 allow" `Quick s1_allow;
+    Alcotest.test_case "sem determinism: module alias evades syntactic" `Quick sem_det_alias;
+    Alcotest.test_case "sem determinism: open Sys evades syntactic" `Quick sem_det_open;
+    Alcotest.test_case "sem determinism: open Unix evades syntactic" `Quick sem_det_open_unix;
+    Alcotest.test_case "sem determinism: let module evades syntactic" `Quick sem_det_letmodule;
+    Alcotest.test_case "sem determinism: aliased self_init" `Quick sem_det_self_init_alias;
+    Alcotest.test_case "sem determinism: negatives" `Quick sem_det_neg;
+    Alcotest.test_case "sem determinism: allow" `Quick sem_det_allow;
+    Alcotest.test_case "sem secret-hygiene: aliased Printf evades syntactic" `Quick sem_sec_alias;
+    Alcotest.test_case "sem secret-hygiene: open Printf evades syntactic" `Quick sem_sec_open;
+    Alcotest.test_case "sem secret-hygiene: negatives" `Quick sem_sec_neg;
+    Alcotest.test_case "sem secret-hygiene: allow" `Quick sem_sec_allow;
+    Alcotest.test_case "sem domain-hygiene: aliased Domain evades syntactic" `Quick sem_dom_alias;
+    Alcotest.test_case "sem domain-hygiene: aliased Atomic evades syntactic" `Quick
+      sem_dom_atomic_alias;
+    Alcotest.test_case "sem domain-hygiene: lib/exec exempt" `Quick sem_dom_neg_exec;
+    Alcotest.test_case "sem domain-hygiene: allow" `Quick sem_dom_allow;
+    Alcotest.test_case "s5 catch-all over msg" `Quick s5_wildcard;
+    Alcotest.test_case "s5 constructor never consumed" `Quick s5_unconsumed;
+    Alcotest.test_case "s5 tag_of_msg wildcard" `Quick s5_tag_wildcard;
+    Alcotest.test_case "s5 tag_of_msg missing arm" `Quick s5_tag_missing_arm;
+    Alcotest.test_case "s5 msg without handler" `Quick s5_no_handler;
+    Alcotest.test_case "s5 exhaustive module fine" `Quick s5_neg;
+    Alcotest.test_case "s5 non-protocol module exempt" `Quick s5_neg_non_protocol;
+    Alcotest.test_case "s5 allow" `Quick s5_allow;
+    Alcotest.test_case "s6 unbalanced begin_span" `Quick s6_pos;
+    Alcotest.test_case "s6 cross-function balance fine" `Quick s6_neg_balanced;
+    Alcotest.test_case "s6 allow" `Quick s6_allow;
+    Alcotest.test_case "typecheck failure reported" `Quick typecheck_failure_reported;
+    Alcotest.test_case "merge dedups same-site findings" `Quick merge_dedups_same_site;
+    Alcotest.test_case "baseline keyed by rule/file/symbol" `Quick baseline_suppression;
+    Alcotest.test_case "semantic repo scan is clean" `Quick repo_sem_clean;
   ]

@@ -1,21 +1,41 @@
 (* coinlint engine: file discovery, parsing, attribute-scoped allowlisting
-   and the rule-dispatch AST walk.
+   and the syntactic rule-dispatch AST walk, plus the reporters shared by
+   both analysis tiers.
 
-   The pass is purely syntactic — it runs on the Parsetree, before any
-   typing — so rules over-approximate: they flag every site that *could*
-   violate an invariant and rely on `[@lint.allow "<rule>"]` for the few
-   deliberate exceptions.  That trade keeps the linter independent of the
-   build (no .cmt files needed) and fast enough to run on every `dune
-   runtest`.
+   coinlint has two tiers:
 
-   Allow attributes scope lexically:
+     - the *syntactic* tier (this module + rules.ml) runs on the
+       Parsetree, before any typing.  It is build-independent and fast,
+       but rules over-approximate and fire on what code *spells*: a
+       `module R = Random` alias or a local `open` silently defeats them.
+
+     - the *semantic* tier (cmt_loader.ml + sem_rules.ml) runs on the
+       Typedtree loaded from the .cmt files `dune build @check` produces,
+       so identifiers resolve to fully-qualified paths and rules fire on
+       what code *means*.
+
+   Findings from both tiers carry a `tier` tag and merge into the same
+   human and JSON reports (schema coincidence.lint/2).  Each finding also
+   records the enclosing top-level `symbol`, which is what --baseline
+   keys on (rule/file/symbol, deliberately not line numbers, so a saved
+   baseline survives unrelated edits).
+
+   Allow attributes scope lexically and apply uniformly to both tiers:
      - on an expression:      (e [@lint.allow "poly-compare"])
      - on a let binding:      let[@lint.allow "r"] f x = ...
      - floating, file-level:  [@@@lint.allow "r"]  (rest of the file)
    The payload is a string of rule names separated by spaces or commas;
    the name "all" suppresses every rule. *)
 
-type finding = { file : string; line : int; col : int; rule : string; msg : string }
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+  tier : string;    (* "syntactic" | "semantic" *)
+  symbol : string;  (* enclosing top-level binding, "" at module level *)
+}
 
 type report = loc:Location.t -> string -> unit
 
@@ -25,16 +45,29 @@ type rule = {
   check : report:report -> rel:string -> Parsetree.expression -> unit;
 }
 
+let tier_syntactic = "syntactic"
+let tier_semantic = "semantic"
+
 type ctx = {
   rel : string;                       (* path as reported in findings *)
   mutable allows : string list list;  (* lexical allow frames, innermost first *)
+  mutable sym : string;               (* enclosing top-level binding name *)
   mutable out : finding list;
 }
 
 let add ctx ~(loc : Location.t) ~rule msg =
   let p = loc.loc_start in
   ctx.out <-
-    { file = ctx.rel; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg } :: ctx.out
+    {
+      file = ctx.rel;
+      line = p.pos_lnum;
+      col = p.pos_cnum - p.pos_bol;
+      rule;
+      msg;
+      tier = tier_syntactic;
+      symbol = ctx.sym;
+    }
+    :: ctx.out
 
 (* ---------------------- allow-attribute parsing ---------------------- *)
 
@@ -46,10 +79,10 @@ let split_names s =
   |> List.filter (fun x -> not (String.equal x ""))
 
 (* Returns the rule names of one [@lint.allow] attribute, or [None] when
-   the attribute is someone else's.  A malformed payload is reported as a
-   finding instead of being silently ignored: a typo'd allow that
-   suppresses nothing is exactly the kind of bug a linter exists for. *)
-let allow_frame ctx (a : Parsetree.attribute) =
+   the attribute is someone else's or malformed.  Shared with the
+   semantic tier, which must not re-report malformed payloads the
+   syntactic pass already flagged. *)
+let allow_payload (a : Parsetree.attribute) =
   if not (String.equal a.attr_name.txt attr_name) then None
   else
     match a.attr_payload with
@@ -63,17 +96,34 @@ let allow_frame ctx (a : Parsetree.attribute) =
         ]
       when split_names s <> [] ->
         Some (split_names s)
-    | _ ->
+    | _ -> None
+
+(* A malformed payload is reported as a finding instead of being silently
+   ignored: a typo'd allow that suppresses nothing is exactly the kind of
+   bug a linter exists for. *)
+let allow_frame ctx (a : Parsetree.attribute) =
+  match allow_payload a with
+  | Some names -> Some names
+  | None ->
+      if String.equal a.attr_name.txt attr_name then
         add ctx ~loc:a.attr_loc ~rule:"lint"
           "malformed [@lint.allow] payload: expected a string of rule names";
-        None
+      None
 
 let allows_of_attrs ctx attrs = List.filter_map (allow_frame ctx) attrs
 
-let allowed ctx rule =
+let allowed_in frames rule =
   List.exists
     (List.exists (fun a -> String.equal a rule || String.equal a "all"))
-    ctx.allows
+    frames
+
+let allowed ctx rule = allowed_in ctx.allows rule
+
+let rec binding_name (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
 
 (* ------------------------------ walk -------------------------------- *)
 
@@ -100,7 +150,21 @@ let iterator ~rules ctx =
   let value_binding it (vb : Parsetree.value_binding) =
     with_frames (allows_of_attrs ctx vb.pvb_attributes) (fun () -> super.value_binding it vb)
   in
-  let structure it items =
+  let structure_item (it : Ast_iterator.iterator) (item : Parsetree.structure_item) =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        (* Top-level bindings name the enclosing symbol recorded on each
+           finding (the --baseline key); nested lets keep the outer name. *)
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let saved = ctx.sym in
+            (match binding_name vb.pvb_pat with Some n -> ctx.sym <- n | None -> ());
+            it.value_binding it vb;
+            ctx.sym <- saved)
+          vbs
+    | _ -> super.structure_item it item
+  in
+  let structure (it : Ast_iterator.iterator) items =
     (* A floating [@@@lint.allow] covers the remainder of its structure. *)
     let saved = ctx.allows in
     List.iter
@@ -111,11 +175,11 @@ let iterator ~rules ctx =
             | Some frame -> ctx.allows <- frame :: ctx.allows
             | None -> ())
         | _ -> ());
-        super.structure_item it item)
+        it.structure_item it item)
       items;
     ctx.allows <- saved
   in
-  { super with expr; value_binding; structure }
+  { super with expr; value_binding; structure_item; structure }
 
 (* ----------------------------- driving ------------------------------ *)
 
@@ -132,10 +196,13 @@ let compare_findings a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.tier b.tier
 
 let lint_source ~rules ~rel source =
-  let ctx = { rel; allows = []; out = [] } in
+  let ctx = { rel; allows = []; sym = ""; out = [] } in
   (try
      let ast = parse_impl ~filename:rel source in
      let it = iterator ~rules ctx in
@@ -150,6 +217,8 @@ let lint_source ~rules ~rel source =
          col = 0;
          rule = "parse";
          msg = "cannot parse: " ^ Printexc.to_string exn;
+         tier = tier_syntactic;
+         symbol = "";
        }
        :: ctx.out);
   List.sort compare_findings ctx.out
@@ -194,10 +263,71 @@ let lint_paths ~rules roots =
   let findings = List.concat_map (lint_file ~rules) files in
   (List.length files, List.sort compare_findings findings)
 
+(* ------------------------------ merge -------------------------------- *)
+
+(* A plain violation (no alias games) is seen by both tiers at the same
+   location; keep the first occurrence (callers pass the syntactic list
+   first) so the merged report never double-counts one site. *)
+let same_site a b =
+  String.equal a.file b.file && a.line = b.line && a.col = b.col && String.equal a.rule b.rule
+
+let merge_findings first second =
+  let deduped =
+    List.filter (fun s -> not (List.exists (fun f -> same_site f s) first)) second
+  in
+  List.sort compare_findings (first @ deduped)
+
+(* ----------------------------- baseline ------------------------------ *)
+
+(* Baseline suppression keys on rule/file/symbol — not line/col — so a
+   saved coincidence.lint/2 report keeps suppressing a known finding
+   while unrelated lines above it churn.  This is what lets the semantic
+   tier land on a large tree incrementally: freeze today's findings,
+   fail CI only on new ones, burn the baseline down over time. *)
+type baseline_key = { b_rule : string; b_file : string; b_symbol : string }
+
+let baseline_of_finding f = { b_rule = f.rule; b_file = f.file; b_symbol = f.symbol }
+
+let baseline_mem keys f =
+  let k = baseline_of_finding f in
+  List.exists
+    (fun b ->
+      String.equal b.b_rule k.b_rule
+      && String.equal b.b_file k.b_file
+      && String.equal b.b_symbol k.b_symbol)
+    keys
+
+let baseline_of_json doc =
+  let str k o = Option.bind (Obs.Json.member k o) Obs.Json.to_string_opt in
+  match Obs.Json.member "findings" doc with
+  | Some fs ->
+      Ok
+        (List.filter_map
+           (fun f ->
+             match (str "rule" f, str "file" f) with
+             | Some b_rule, Some b_file ->
+                 Some { b_rule; b_file; b_symbol = Option.value ~default:"" (str "symbol" f) }
+             | _ -> None)
+           (Obs.Json.to_list fs))
+  | None -> Error "baseline document has no \"findings\" member"
+
+let load_baseline path =
+  match Obs.Json.of_string (read_file path) with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok doc -> baseline_of_json doc
+  | exception Sys_error e -> Error e
+
+(* Returns the findings not covered by the baseline, plus the suppressed
+   count (reported in the JSON document so a baselined run is auditable). *)
+let apply_baseline ~baseline findings =
+  let kept, suppressed = List.partition (fun f -> not (baseline_mem baseline f)) findings in
+  (kept, List.length suppressed)
+
 (* ---------------------------- reporters ------------------------------ *)
 
 let pp_finding fmt f =
-  Format.fprintf fmt "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+  Format.fprintf fmt "%s:%d:%d: [%s/%s] %s%s" f.file f.line f.col f.rule f.tier f.msg
+    (if String.equal f.symbol "" then "" else Printf.sprintf " (in %s)" f.symbol)
 
 let print_human fmt (files, findings) =
   List.iter (fun f -> Format.fprintf fmt "%a@." pp_finding f) findings;
@@ -207,7 +337,7 @@ let print_human fmt (files, findings) =
     files
     (if files = 1 then "" else "s")
 
-let schema = "coincidence.lint/1"
+let schema = "coincidence.lint/2"
 
 let json_finding f =
   Obs.Json.Obj
@@ -216,15 +346,29 @@ let json_finding f =
       ("line", Obs.Json.Int f.line);
       ("col", Obs.Json.Int f.col);
       ("rule", Obs.Json.Str f.rule);
+      ("tier", Obs.Json.Str f.tier);
+      ("symbol", Obs.Json.Str f.symbol);
       ("msg", Obs.Json.Str f.msg);
     ]
 
-let json_report ~rules (files, findings) =
+(* [rules] pairs each registry entry with its tier so a v2 report is
+   self-describing about what ran; [semantic_units] counts the typedtree
+   compilation units the semantic tier actually loaded (0 when the tier
+   was skipped), and [baseline_suppressed] how many findings --baseline
+   removed before [findings]. *)
+let json_report ~rules ~files_scanned ~semantic_units ~baseline_suppressed findings =
   Obs.Json.Obj
     [
       ("schema", Obs.Json.Str schema);
-      ("rules", Obs.Json.List (List.map (fun r -> Obs.Json.Str r.name) rules));
-      ("files_scanned", Obs.Json.Int files);
+      ( "rules",
+        Obs.Json.List
+          (List.map
+             (fun (name, tier) ->
+               Obs.Json.Obj [ ("name", Obs.Json.Str name); ("tier", Obs.Json.Str tier) ])
+             rules) );
+      ("files_scanned", Obs.Json.Int files_scanned);
+      ("semantic_units", Obs.Json.Int semantic_units);
+      ("baseline_suppressed", Obs.Json.Int baseline_suppressed);
       ("count", Obs.Json.Int (List.length findings));
       ("findings", Obs.Json.List (List.map json_finding findings));
     ]

@@ -2,23 +2,42 @@
 
    Usage:
      dune exec tools/lint/main.exe -- [options] [dir-or-file ...]
+       --tier T       which analysis tiers run: syntactic|semantic|all
+                      (default: all)
        --json PATH    also write the findings document (PATH "-" = stdout)
-       --rules NAMES  comma-separated subset of rules (default: all)
-       --list-rules   print the registry and exit
+       --baseline P   suppress findings present in a previously saved
+                      coincidence.lint/2 report (keyed by rule/file/symbol)
+       --rules NAMES  comma-separated subset of rules (default: all);
+                      names are looked up in both tiers' registries
+       --list-rules   print both registries and exit (takes no other args)
        --root DIR     chdir to DIR before scanning
      default scan set: lib bin bench
 
+   The semantic tier needs .cmt files: it reuses _build/default when
+   present (or the cwd under dune, where rule deps guarantee them) and
+   otherwise drives `dune build @check` once itself.
+
    Exit status: 0 clean, 1 findings, 2 usage/IO error. *)
 
+let usage_line =
+  "usage: coinlint [--tier syntactic|semantic|all] [--json PATH] [--baseline PATH] [--rules \
+   r1,r2] [--list-rules] [--root DIR] [paths...]"
+
 let usage () =
-  prerr_endline
-    "usage: coinlint [--json PATH] [--rules r1,r2] [--list-rules] [--root DIR] [paths...]";
+  prerr_endline usage_line;
   exit 2
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("coinlint: " ^ s); exit 2) fmt
+
+type tier = Syntactic | Semantic | All
 
 let () =
   let json_out = ref None in
   let root = ref None in
   let rule_names = ref None in
+  let baseline_path = ref None in
+  let tier = ref All in
+  let list_rules = ref false in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -31,41 +50,88 @@ let () =
     | "--rules" :: names :: rest ->
         rule_names := Some (String.split_on_char ',' names);
         parse rest
-    | "--list-rules" :: _ ->
-        List.iter
-          (fun r -> Format.printf "%-16s %s@." r.Coinlint.Engine.name r.Coinlint.Engine.summary)
-          Coinlint.Rules.all;
-        exit 0
-    | ("--json" | "--root" | "--rules") :: [] -> usage ()
-    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | "--baseline" :: p :: rest ->
+        baseline_path := Some p;
+        parse rest
+    | "--tier" :: t :: rest ->
+        (tier :=
+           match t with
+           | "syntactic" -> Syntactic
+           | "semantic" -> Semantic
+           | "all" -> All
+           | other -> fail "unknown tier %S (expected syntactic, semantic or all)" other);
+        parse rest
+    | "--list-rules" :: rest ->
+        list_rules := true;
+        parse rest
+    | ("--json" | "--root" | "--rules" | "--baseline" | "--tier") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Format.eprintf "coinlint: unknown option %s@." arg;
+        usage ()
     | p :: rest ->
         paths := p :: !paths;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (match !root with Some d -> Sys.chdir d | None -> ());
-  let rules =
+  if !list_rules then begin
+    (* A listing that silently ignored other arguments would mask typos
+       like `--list-rules lib`; reject anything else on the line. *)
+    if Array.length Sys.argv <> 2 then begin
+      prerr_endline "coinlint: --list-rules takes no other arguments";
+      usage ()
+    end;
+    List.iter
+      (fun r ->
+        Format.printf "%-24s [syntactic] %s@." r.Coinlint.Engine.name r.Coinlint.Engine.summary)
+      Coinlint.Rules.all;
+    List.iter
+      (fun (r : Coinlint.Sem_rules.rule) -> Format.printf "%-24s [semantic]  %s@." r.name r.summary)
+      Coinlint.Sem_rules.all;
+    exit 0
+  end;
+  (match !root with Some d -> (try Sys.chdir d with Sys_error e -> fail "%s" e) | None -> ());
+  let want_syn = !tier <> Semantic and want_sem = !tier <> Syntactic in
+  (* One name may exist in both registries (the alias-evasion upgrades
+     share their syntactic rule's name); --rules selects every tier's
+     homonym that the --tier filter keeps. *)
+  let syn_rules, sem_rules =
     match !rule_names with
-    | None -> Coinlint.Rules.all
+    | None -> ((if want_syn then Coinlint.Rules.all else []),
+               if want_sem then Coinlint.Sem_rules.all else [])
     | Some names ->
-        List.map
+        let syn = ref [] and sem = ref [] in
+        List.iter
           (fun n ->
-            match Coinlint.Rules.find n with
-            | Some r -> r
-            | None ->
-                Format.eprintf "coinlint: unknown rule %S (try --list-rules)@." n;
-                exit 2)
-          names
+            let in_syn = Coinlint.Rules.find n and in_sem = Coinlint.Sem_rules.find n in
+            if in_syn = None && in_sem = None then
+              fail "unknown rule %S (try --list-rules)" n;
+            (match in_syn with Some r when want_syn -> syn := r :: !syn | _ -> ());
+            match in_sem with Some r when want_sem -> sem := r :: !sem | _ -> ())
+          names;
+        (List.rev !syn, List.rev !sem)
+  in
+  let baseline =
+    match !baseline_path with
+    | None -> []
+    | Some p -> (
+        match Coinlint.Engine.load_baseline p with
+        | Ok keys -> keys
+        | Error e -> fail "cannot load baseline: %s" e)
   in
   let roots = match !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> List.rev ps in
-  List.iter
-    (fun p ->
-      if not (Sys.file_exists p) then begin
-        Format.eprintf "coinlint: no such path %s@." p;
-        exit 2
-      end)
-    roots;
-  let result = Coinlint.Engine.lint_paths ~rules roots in
+  List.iter (fun p -> if not (Sys.file_exists p) then fail "no such path %s" p) roots;
+  let files_scanned, syn_findings =
+    if want_syn then Coinlint.Engine.lint_paths ~rules:syn_rules roots else (0, [])
+  in
+  let sem_units = if want_sem then Coinlint.Cmt_loader.load roots else [] in
+  if want_sem && sem_units = [] then
+    fail
+      "semantic tier found no .cmt files under %s: run `dune build @check` first (or use --tier \
+       syntactic)"
+      (String.concat " " roots);
+  let sem_findings = Coinlint.Sem_rules.lint_units ~rules:sem_rules sem_units in
+  let merged = Coinlint.Engine.merge_findings syn_findings sem_findings in
+  let findings, baseline_suppressed = Coinlint.Engine.apply_baseline ~baseline merged in
   (* With --json -, stdout is the machine report; keep the human one on
      stderr so the two never interleave. *)
   let human_fmt =
@@ -73,16 +139,25 @@ let () =
     | Some "-" -> Format.err_formatter
     | Some _ | None -> Format.std_formatter
   in
-  Coinlint.Engine.print_human human_fmt result;
+  Coinlint.Engine.print_human human_fmt (files_scanned + List.length sem_units, findings);
+  let report () =
+    let rules =
+      List.map (fun r -> (r.Coinlint.Engine.name, Coinlint.Engine.tier_syntactic)) syn_rules
+      @ List.map
+          (fun (r : Coinlint.Sem_rules.rule) -> (r.name, Coinlint.Engine.tier_semantic))
+          sem_rules
+    in
+    Coinlint.Engine.json_report ~rules ~files_scanned ~semantic_units:(List.length sem_units)
+      ~baseline_suppressed findings
+  in
   (match !json_out with
-  | Some "-" -> print_endline (Obs.Json.to_string (Coinlint.Engine.json_report ~rules result))
+  | Some "-" -> print_endline (Obs.Json.to_string (report ()))
   | Some path ->
       let oc = open_out path in
       Fun.protect
         ~finally:(fun () -> close_out oc)
         (fun () ->
-          Obs.Json.to_channel oc (Coinlint.Engine.json_report ~rules result);
+          Obs.Json.to_channel oc (report ());
           output_char oc '\n')
   | None -> ());
-  let _, findings = result in
   exit (if findings = [] then 0 else 1)

@@ -1,0 +1,715 @@
+(* coinlint's semantic tier: rules over the Typedtree.
+
+   The walk mirrors the syntactic engine (lexical [@lint.allow] frames,
+   per-top-level-symbol tracking) but every identifier is first resolved
+   to a fully-qualified path: `module R = Random` aliases are expanded
+   through a per-unit alias map, local and top-level `open`s are already
+   expanded by the typechecker, and dune's name-mangled module prefixes
+   (`Core__Coin`, `Stdlib__Random`, alias stubs like `Core__`) are
+   demangled away.  Rules therefore fire on what code *means*; the
+   syntactic tier's spelling tricks (aliasing, opens, rebinding the
+   module) do not evade them — t_lint.ml carries differential fixtures
+   proving exactly that.
+
+   Rule matching is on *suffixes* of the normalized path
+   (["Keyring"; "verify"] matches Vrf.Keyring.verify however it is
+   reached), so the rules keep working whether a call goes through the
+   library interface module, a local alias, or an open. *)
+
+type sctx = {
+  rel : string;
+  modname : string;  (* demangled compilation-unit name, e.g. Coin *)
+  aliases : (string, string list) Hashtbl.t;  (* Ident.unique_name -> normalized path *)
+  mutable allows : string list list;
+  mutable sym : string;
+  mutable out : Engine.finding list;
+}
+
+let add_raw ctx ~rule ~(loc : Location.t) ~symbol msg =
+  let p = loc.loc_start in
+  ctx.out <-
+    {
+      Engine.file = ctx.rel;
+      line = p.pos_lnum;
+      col = p.pos_cnum - p.pos_bol;
+      rule;
+      msg;
+      tier = Engine.tier_semantic;
+      symbol;
+    }
+    :: ctx.out
+
+let report ctx ~rule ~loc msg =
+  if not (Engine.allowed_in ctx.allows rule) then add_raw ctx ~rule ~loc ~symbol:ctx.sym msg
+
+(* Snapshot the allow frames and enclosing symbol *now*, deliver the
+   finding *later* (module-level rules conclude at end-of-unit, after the
+   frames are gone). *)
+let capture ctx ~rule ~loc =
+  let suppressed = Engine.allowed_in ctx.allows rule in
+  let symbol = ctx.sym in
+  fun msg -> if not suppressed then add_raw ctx ~rule ~loc ~symbol msg
+
+(* --------------------- path resolution/normalization ------------------ *)
+
+let rec raw_path ctx (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt ctx.aliases (Ident.unique_name id) with
+      | Some path -> path
+      | None -> ( match Cmt_loader.demangle (Ident.name id) with Some s -> [ s ] | None -> [] ))
+  | Path.Pdot (p, s) -> raw_path ctx p @ [ s ]
+  | Path.Papply (p, _) -> raw_path ctx p
+  | Path.Pextra_ty (p, _) -> raw_path ctx p
+
+let normalize ctx p =
+  match raw_path ctx p with "Stdlib" :: rest -> rest | path -> path
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let ends_with ~suffix path =
+  let lp = List.length path and ls = List.length suffix in
+  lp >= ls && Rules.path_equal (drop (lp - ls) path) suffix
+
+let dots = String.concat "."
+
+(* --------------------------- generic helpers -------------------------- *)
+
+let iter_subexprs f e =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e
+
+let ident_path ctx (e : Typedtree.expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (normalize ctx p) | _ -> None
+
+let rec catch_all : type k. k Typedtree.general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_any | Tpat_var _ -> true
+  | Tpat_alias (p, _, _) -> catch_all p
+  | Tpat_or (a, b, _) -> catch_all a || catch_all b
+  | Tpat_value p -> catch_all (p :> Typedtree.value Typedtree.general_pattern)
+  | _ -> false
+
+let rec vb_name (p : Typedtree.pattern) =
+  match p.pat_desc with Tpat_var (_, { txt; _ }) -> Some txt | Tpat_alias (p, _, _) -> vb_name p | _ -> None
+
+(* Type-constructor path of an expression/pattern type, normalized. *)
+let type_path ctx ty =
+  match Types.get_desc ty with Types.Tconstr (p, _, _) -> Some (normalize ctx p) | _ -> None
+
+(* ------------------------------- rules -------------------------------- *)
+
+type hooks = {
+  on_expr : sctx -> Typedtree.expression -> unit;
+  on_item : sctx -> Typedtree.structure_item -> unit;
+  on_done : sctx -> unit;
+}
+
+let nop_hooks =
+  { on_expr = (fun _ _ -> ()); on_item = (fun _ _ -> ()); on_done = (fun _ -> ()) }
+
+type rule = { name : string; summary : string; make : unit -> hooks }
+
+(* --------------------- S1: ignored verification ----------------------- *)
+
+(* Paper stake: Algorithm 1's "verify" step and the committee-credential
+   checks (Section 5, S1-S6) are the whole defence against forged VRF
+   draws and fake committee members.  A verification whose boolean is
+   computed and then dropped — `ignore`d, bound to `_`, or sequenced
+   away — is indistinguishable at runtime from one that was never made.
+   The result must flow into a branch or be returned. *)
+
+let verify_fns =
+  [
+    [ "Keyring"; "verify" ];
+    [ "Keyring"; "verify_sig" ];
+    [ "Dleq_vrf"; "verify" ];
+    [ "Dleq_vrf"; "verify_sig" ];
+    [ "Rsa"; "verify" ];
+    [ "Rsa"; "verify'" ];
+  ]
+
+let verify_call ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match ident_path ctx f with
+      | Some path when List.exists (fun suffix -> ends_with ~suffix path) verify_fns -> Some path
+      | Some _ | None -> None)
+  | _ -> None
+
+(* The dropped call's own attributes (and the binding's, for `let _ =`)
+   count towards the allow decision: the natural place to write
+   [@lint.allow "ignored-verify"] is on the verification expression
+   itself, which the walk only enters *after* the enclosing context has
+   been checked. *)
+let frames_of_attrs attrs = List.filter_map Engine.allow_payload attrs
+
+let s1_report ctx ~extra_attrs (call : Typedtree.expression) path how =
+  let rule = "ignored-verify" in
+  if
+    not
+      (Engine.allowed_in
+         (frames_of_attrs (call.exp_attributes @ extra_attrs) @ ctx.allows)
+         rule)
+  then
+    add_raw ctx ~rule ~loc:call.exp_loc ~symbol:ctx.sym
+      (Printf.sprintf
+         "result of %s is dropped (%s): the verification outcome must flow into a branch or be \
+          returned"
+         (dots path) how)
+
+let s1_discarded_vb ctx ~extra_attrs (vb : Typedtree.value_binding) =
+  let dropped =
+    match vb.vb_pat.pat_desc with
+    | Tpat_any -> Some "bound to _"
+    | Tpat_var (_, { txt; _ }) when String.length txt > 0 && txt.[0] = '_' ->
+        Some (Printf.sprintf "bound to %s" txt)
+    | _ -> None
+  in
+  match dropped with
+  | Some how -> (
+      match verify_call ctx vb.vb_expr with
+      | Some path -> s1_report ctx ~extra_attrs:(vb.vb_attributes @ extra_attrs) vb.vb_expr path how
+      | None -> ())
+  | None -> ()
+
+let s1_make () =
+  let on_expr ctx (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_sequence (a, _) -> (
+        match verify_call ctx a with
+        | Some path -> s1_report ctx ~extra_attrs:[] a path "sequenced away with ;"
+        | None -> ())
+    | Texp_let (_, vbs, _) -> List.iter (s1_discarded_vb ctx ~extra_attrs:[]) vbs
+    | Texp_apply (f, args) -> (
+        match ident_path ctx f with
+        | Some ([ "ignore" ] | [ "Fun"; "ignore" ]) ->
+            List.iter
+              (fun (_, arg) ->
+                match arg with
+                | Some (a : Typedtree.expression) -> (
+                    match verify_call ctx a with
+                    | Some path -> s1_report ctx ~extra_attrs:[] a path "passed to ignore"
+                    | None -> ())
+                | None -> ())
+              args
+        | Some _ | None -> ())
+    | _ -> ()
+  in
+  let on_item ctx (si : Typedtree.structure_item) =
+    match si.str_desc with
+    | Tstr_value (_, vbs) -> List.iter (s1_discarded_vb ctx ~extra_attrs:[]) vbs
+    | _ -> ()
+  in
+  { nop_hooks with on_expr; on_item }
+
+let s1 =
+  {
+    name = "ignored-verify";
+    summary =
+      "the result of Keyring.verify/verify_sig, Dleq_vrf.verify and Rsa.verify must reach a \
+       branch or be returned — never ignore/let _/; it away";
+    make = s1_make;
+  }
+
+(* ------------------- S2: determinism (path-resolved) ------------------- *)
+
+(* Same invariant as the syntactic `determinism` rule (all randomness and
+   time must flow from the seeded sim RNG / virtual clock inside lib/sim
+   and lib/core), but on resolved paths: `module R = Random`, `open Sys`
+   and friends no longer evade it. *)
+
+let s2_make () =
+  let on_expr ctx (e : Typedtree.expression) =
+    match ident_path ctx e with
+    | Some path ->
+        if
+          ends_with ~suffix:[ "Random"; "self_init" ] path
+          || ends_with ~suffix:[ "Random"; "State"; "make_self_init" ] path
+        then
+          report ctx ~rule:"determinism" ~loc:e.exp_loc
+            (Printf.sprintf "resolves to %s: Random self-seeding is never deterministic; use the \
+                             seeded sim RNG" (dots path))
+        else if Rules.in_dirs ctx.rel Rules.r2_dirs then begin
+          match path with
+          | "Random" :: _ ->
+              report ctx ~rule:"determinism" ~loc:e.exp_loc
+                (Printf.sprintf
+                   "resolves to %s: ambient randomness in deterministic code; all randomness \
+                    must flow from the seeded sim RNG (Crypto.Rng)"
+                   (dots path))
+          | _ ->
+              if
+                List.exists (Rules.path_equal path)
+                  [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ] ]
+              then
+                report ctx ~rule:"determinism" ~loc:e.exp_loc
+                  (Printf.sprintf
+                     "resolves to %s: wall-clock read in deterministic code; use the simulator's \
+                      virtual time"
+                     (dots path))
+        end
+    | None -> ()
+  in
+  { nop_hooks with on_expr }
+
+let s2 =
+  {
+    name = "determinism";
+    summary =
+      "path-resolved form of the syntactic rule: catches Random/wall-clock reads reached \
+       through module aliases, opens or rebinding";
+    make = s2_make;
+  }
+
+(* ------------------ S3: secret hygiene (path-resolved) ----------------- *)
+
+let s3_mentions_secret ctx (e : Typedtree.expression) =
+  let found = ref false in
+  iter_subexprs
+    (fun (e : Typedtree.expression) ->
+      match e.exp_desc with
+      | Texp_ident (p, _, _) ->
+          if List.mem (Rules.last_of (normalize ctx p)) Rules.secret_names then found := true
+      | Texp_field (_, _, lbl) ->
+          if List.mem lbl.Types.lbl_name Rules.secret_names then found := true
+      | _ -> ())
+    e;
+  !found
+
+let s3_make () =
+  let on_expr ctx (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_apply (f, args) -> (
+        match ident_path ctx f with
+        | Some path when Rules.is_sink_path path ->
+            if
+              List.exists
+                (fun (_, a) -> match a with Some a -> s3_mentions_secret ctx a | None -> false)
+                args
+            then
+              report ctx ~rule:"secret-hygiene" ~loc:e.exp_loc
+                (Printf.sprintf
+                   "secret material reaches a print/observability sink (resolves to %s): render \
+                    a fingerprint or public part instead"
+                   (dots path))
+        | Some _ | None -> ())
+    | _ -> ()
+  in
+  { nop_hooks with on_expr }
+
+let s3 =
+  {
+    name = "secret-hygiene";
+    summary =
+      "path-resolved form of the syntactic rule: catches sinks reached through module aliases \
+       (module P = Printf) or opens";
+    make = s3_make;
+  }
+
+(* ------------------ S4: domain hygiene (path-resolved) ----------------- *)
+
+let s4_make () =
+  let on_expr ctx (e : Typedtree.expression) =
+    match ident_path ctx e with
+    | Some ("Domain" :: rest) when not (Rules.in_dirs ctx.rel Rules.r6_exec_dirs) -> (
+        match rest with
+        | fn :: _ when List.mem fn Rules.r6_domain_banned ->
+            report ctx ~rule:"domain-hygiene" ~loc:e.exp_loc
+              (Printf.sprintf
+                 "resolves to Domain.%s outside lib/exec: parallelism must go through the \
+                  audited Exec pool (deterministic sharding, per-worker state)"
+                 fn)
+        | _ -> ())
+    | Some ((("Mutex" | "Atomic" | "Condition" | "Semaphore") as m) :: _)
+      when not (Rules.in_dirs ctx.rel Rules.r6_sync_dirs) ->
+        report ctx ~rule:"domain-hygiene" ~loc:e.exp_loc
+          (Printf.sprintf
+             "resolves to %s.* outside lib/exec and lib/bignum: shared mutable state across \
+              domains belongs behind the audited Exec abstraction"
+             m)
+    | Some _ | None -> ()
+  in
+  { nop_hooks with on_expr }
+
+let s4 =
+  {
+    name = "domain-hygiene";
+    summary =
+      "path-resolved form of the syntactic rule: catches Domain/Mutex/Atomic/Condition/\
+       Semaphore reached through aliases or opens";
+    make = s4_make;
+  }
+
+(* ------------------- S5: handler exhaustiveness ------------------------ *)
+
+(* Paper stake: S1-S6 message validation assumes every protocol message
+   is *examined*.  A `_` arm over a protocol `msg` type compiles silently
+   when a constructor is added and silently swallows the new message —
+   indistinguishable from adversarial loss.  The type system already
+   rejects *missing* constructors (partial matches are errors under the
+   strict profile); this rule closes the complementary hole: the
+   constructor-swallowing wildcard.  Additionally, within the protocol
+   modules themselves, every `msg` constructor must actually be consumed
+   by the step/handle function, and `tag_of_msg` — the observability
+   bridge's identity map — must stay a total one-constructor-per-arm
+   match so per-tag metrics never silently merge. *)
+
+let protocol_modules = [ "Coin"; "Whp_coin"; "Approver"; "Ba" ]
+
+(* Which protocol module owns this `msg` type, if any: a qualified path
+   names it directly; a bare local `msg` belongs to the unit being
+   scanned. *)
+let msg_owner ctx ty =
+  match type_path ctx ty with
+  | Some [ "msg" ] -> if List.mem ctx.modname protocol_modules then Some ctx.modname else None
+  | Some path -> (
+      match List.rev path with
+      | "msg" :: owner :: _ when List.mem owner protocol_modules -> Some owner
+      | _ -> None)
+  | None -> None
+
+type arm_shape = Arm_ctor of string | Arm_catch_all | Arm_or | Arm_other
+
+let rec arm_shape : type k. k Typedtree.general_pattern -> arm_shape =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_construct (_, c, _, _) -> Arm_ctor c.Types.cstr_name
+  | Tpat_alias (p, _, _) -> arm_shape p
+  | Tpat_value p -> arm_shape (p :> Typedtree.value Typedtree.general_pattern)
+  | Tpat_any | Tpat_var _ -> Arm_catch_all
+  | Tpat_or _ -> Arm_or
+  | _ -> Arm_other
+
+let case_patterns_catch_all cases =
+  List.exists (fun (c : _ Typedtree.case) -> catch_all c.c_lhs) cases
+
+(* Pull the case list a tag_of_msg-style definition matches over: either
+   `function C1 .. | C2 ..` directly, or `fun m -> match m with ...`. *)
+let rec msg_case_shapes ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_lhs; c_rhs; _ } ]; _ } when catch_all c_lhs ->
+      msg_case_shapes ctx c_rhs
+  | Texp_function { cases; _ }
+    when cases <> []
+         && msg_owner ctx (List.hd cases).Typedtree.c_lhs.pat_type <> None ->
+      Some (List.map (fun (c : _ Typedtree.case) -> arm_shape c.c_lhs) cases)
+  | Texp_match (scrut, cases, _) when msg_owner ctx scrut.exp_type <> None ->
+      Some (List.map (fun (c : _ Typedtree.case) -> arm_shape c.c_lhs) cases)
+  | _ -> None
+
+let handler_syms = [ "handle"; "step" ]
+
+let s5_make () =
+  let rule = "handler-exhaustiveness" in
+  (* declared `msg` constructors of this unit (protocol modules only) *)
+  let declared : (string list * (string -> unit)) option ref = ref None in
+  let has_handler = ref false in
+  let consumed : string list ref = ref [] in
+  let tag_findings : (unit -> unit) list ref = ref [] in
+  let check_swallow ctx ~loc owner cases =
+    if case_patterns_catch_all cases then
+      report ctx ~rule ~loc
+        (Printf.sprintf
+           "catch-all arm over %s.msg: a `_` silently swallows any constructor added later; \
+            enumerate the constructors"
+           owner)
+  in
+  let on_expr ctx (e : Typedtree.expression) =
+    (* Inside tag_of_msg the dedicated totality check below reports with
+       a sharper message; do not double-fire the generic wildcard check. *)
+    if not (String.equal ctx.sym "tag_of_msg") then
+      match e.exp_desc with
+      | Texp_match (scrut, cases, _) -> (
+          match msg_owner ctx scrut.exp_type with
+          | Some owner -> check_swallow ctx ~loc:e.exp_loc owner cases
+          | None -> ())
+      | Texp_function { cases = [ c ]; _ } when catch_all c.Typedtree.c_lhs ->
+          (* a plain lambda parameter, not a `function` match *)
+          ()
+      | Texp_function { cases; _ } when cases <> [] -> (
+          match msg_owner ctx (List.hd cases).Typedtree.c_lhs.pat_type with
+          | Some owner -> check_swallow ctx ~loc:e.exp_loc owner cases
+          | None -> ())
+      | _ -> ()
+  in
+  let on_item ctx (si : Typedtree.structure_item) =
+    if List.mem ctx.modname protocol_modules then
+      match si.str_desc with
+      | Tstr_type (_, decls) ->
+          List.iter
+            (fun (d : Typedtree.type_declaration) ->
+              if String.equal d.typ_name.txt "msg" then
+                match d.typ_kind with
+                | Ttype_variant ctors ->
+                    declared :=
+                      Some
+                        ( List.map (fun (c : Typedtree.constructor_declaration) -> c.cd_name.txt) ctors,
+                          capture ctx ~rule ~loc:d.typ_loc )
+                | _ -> ())
+            decls
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              match vb_name vb.vb_pat with
+              | Some n when List.mem n handler_syms ->
+                  has_handler := true;
+                  (* Constructors of *this unit's* msg consumed anywhere
+                     inside the handler body. *)
+                  let saved_sym = ctx.sym in
+                  ctx.sym <- n;
+                  let record : type k. k Typedtree.general_pattern -> unit =
+                   fun p ->
+                    match p.pat_desc with
+                    | Tpat_construct (_, c, _, _)
+                      when msg_owner ctx c.Types.cstr_res = Some ctx.modname ->
+                        consumed := c.Types.cstr_name :: !consumed
+                    | _ -> ()
+                  in
+                  let it =
+                    {
+                      Tast_iterator.default_iterator with
+                      pat =
+                        (fun (type k) it (p : k Typedtree.general_pattern) ->
+                          record p;
+                          Tast_iterator.default_iterator.pat it p);
+                    }
+                  in
+                  it.expr it vb.vb_expr;
+                  ctx.sym <- saved_sym
+              | Some "tag_of_msg" -> (
+                  match msg_case_shapes ctx vb.vb_expr with
+                  | Some shapes ->
+                      let cap = capture ctx ~rule ~loc:vb.vb_loc in
+                      let bad =
+                        List.exists
+                          (function Arm_ctor _ -> false | Arm_catch_all | Arm_or | Arm_other -> true)
+                          shapes
+                      in
+                      if bad then
+                        tag_findings :=
+                          (fun () ->
+                            cap
+                              "tag_of_msg must be a total one-constructor-per-arm match (no \
+                               wildcard or or-pattern arms): per-tag metrics must never merge \
+                               constructors")
+                          :: !tag_findings
+                      else
+                        let tags =
+                          List.filter_map (function Arm_ctor c -> Some c | _ -> None) shapes
+                        in
+                        tag_findings :=
+                          (fun () ->
+                            match !declared with
+                            | Some (ctors, _) ->
+                                List.iter
+                                  (fun c ->
+                                    if not (List.exists (String.equal c) tags) then
+                                      cap
+                                        (Printf.sprintf
+                                           "tag_of_msg has no arm for constructor %s of msg" c))
+                                  ctors
+                            | None -> ())
+                          :: !tag_findings
+                  | None -> ())
+              | Some _ | None -> ())
+            vbs
+      | _ -> ()
+  in
+  let on_done _ctx =
+    (match !declared with
+    | Some (ctors, cap) ->
+        if !has_handler then
+          List.iter
+            (fun c ->
+              if not (List.exists (String.equal c) !consumed) then
+                cap
+                  (Printf.sprintf
+                     "constructor %s of msg is never consumed by the module's handle/step \
+                      function: the message would be silently dropped"
+                     c))
+            ctors
+        else
+          cap "protocol module declares a msg type but no handle/step function consumes it"
+    | None -> ());
+    List.iter (fun f -> f ()) !tag_findings
+  in
+  { on_expr; on_item; on_done }
+
+let s5 =
+  {
+    name = "handler-exhaustiveness";
+    summary =
+      "matches over protocol msg types must not swallow constructors with `_`; every msg \
+       constructor must be consumed by handle/step, and tag_of_msg must be total, one \
+       constructor per arm";
+    make = s5_make;
+  }
+
+(* --------------------------- S6: span balance -------------------------- *)
+
+(* Paper stake: the observability layer's spans time protocol phases; an
+   opened span that is never closed corrupts every duration downstream
+   of it (and Chrome traces render it as running forever).  Within one
+   compilation unit, any Span.begin_span must be matched by a reachable
+   Span.end_span — begin/end may legitimately live in different
+   functions (attach/finish callback pairs), so the obligation is
+   per-unit.  Prefer Obs.Span.with_span, which cannot unbalance. *)
+
+let s6_make () =
+  let rule = "span-balance" in
+  let begins : (unit -> unit) list ref = ref [] in
+  let ends = ref 0 in
+  let on_expr ctx (e : Typedtree.expression) =
+    match ident_path ctx e with
+    | Some path ->
+        if ends_with ~suffix:[ "Span"; "begin_span" ] path then begin
+          let cap = capture ctx ~rule ~loc:e.exp_loc in
+          begins :=
+            (fun () ->
+              cap
+                "begin_span with no end_span anywhere in this compilation unit: the span never \
+                 closes (prefer Obs.Span.with_span)")
+            :: !begins
+        end
+        else if ends_with ~suffix:[ "Span"; "end_span" ] path then incr ends
+    | None -> ()
+  in
+  let on_done _ctx = if !ends = 0 then List.iter (fun f -> f ()) !begins in
+  { nop_hooks with on_expr; on_done }
+
+let s6 =
+  {
+    name = "span-balance";
+    summary =
+      "every Obs.Span.begin_span must be matched by an end_span in the same compilation unit \
+       (prefer with_span)";
+    make = s6_make;
+  }
+
+(* ----------------------------- registry ------------------------------- *)
+
+let all = [ s1; s2; s3; s4; s5; s6 ]
+
+let find name = List.find_opt (fun r -> String.equal r.name name) all
+
+(* ------------------------------- walk --------------------------------- *)
+
+let walk ctx hooks str0 =
+  let super = Tast_iterator.default_iterator in
+  let with_frames frames f =
+    if frames = [] then f ()
+    else begin
+      let saved = ctx.allows in
+      ctx.allows <- frames @ ctx.allows;
+      f ();
+      ctx.allows <- saved
+    end
+  in
+  let frames_of attrs = List.filter_map Engine.allow_payload attrs in
+  let record_alias id (mexpr : Typedtree.module_expr) =
+    let rec alias_path (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_ident (p, _) -> Some p
+      | Tmod_constraint (m, _, _, _) -> alias_path m
+      | _ -> None
+    in
+    match (id, alias_path mexpr) with
+    | Some id, Some p -> Hashtbl.replace ctx.aliases (Ident.unique_name id) (normalize ctx p)
+    | _ -> ()
+  in
+  let expr it (e : Typedtree.expression) =
+    with_frames (frames_of e.exp_attributes) (fun () ->
+        (match e.exp_desc with
+        | Texp_letmodule (id, _, _, mexpr, _) -> record_alias id mexpr
+        | _ -> ());
+        List.iter (fun h -> h.on_expr ctx e) hooks;
+        super.expr it e)
+  in
+  let value_binding it (vb : Typedtree.value_binding) =
+    with_frames (frames_of vb.vb_attributes) (fun () -> super.value_binding it vb)
+  in
+  let structure_item (it : Tast_iterator.iterator) (si : Typedtree.structure_item) =
+    (match si.str_desc with
+    | Tstr_module mb -> record_alias mb.mb_id mb.mb_expr
+    | _ -> ());
+    List.iter (fun h -> h.on_item ctx si) hooks;
+    match si.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let saved = ctx.sym in
+            (match vb_name vb.vb_pat with Some n -> ctx.sym <- n | None -> ());
+            it.value_binding it vb;
+            ctx.sym <- saved)
+          vbs
+    | _ -> super.structure_item it si
+  in
+  let structure (it : Tast_iterator.iterator) (str : Typedtree.structure) =
+    (* A floating [@@@lint.allow] covers the remainder of its structure.
+       Malformed payloads are the syntactic tier's finding to make; here
+       they just fail to open a frame. *)
+    let saved = ctx.allows in
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        (match item.str_desc with
+        | Tstr_attribute a -> (
+            match Engine.allow_payload a with
+            | Some frame -> ctx.allows <- frame :: ctx.allows
+            | None -> ())
+        | _ -> ());
+        it.structure_item it item)
+      str.str_items;
+    ctx.allows <- saved
+  in
+  let it = { super with expr; value_binding; structure_item; structure } in
+  it.structure it str0
+
+(* ------------------------------ driving -------------------------------- *)
+
+let lint_unit ~rules (u : Cmt_loader.unit_) =
+  let ctx =
+    {
+      rel = u.rel;
+      modname = u.modname;
+      aliases = Hashtbl.create 16;
+      allows = [];
+      sym = "";
+      out = [];
+    }
+  in
+  let hooks = List.map (fun r -> r.make ()) rules in
+  walk ctx hooks u.structure;
+  List.iter (fun h -> h.on_done ctx) hooks;
+  List.sort Engine.compare_findings ctx.out
+
+let lint_units ~rules units =
+  List.sort Engine.compare_findings (List.concat_map (lint_unit ~rules) units)
+
+(* Typecheck a fixture string and lint it — the test-suite entry point.
+   Ill-typed input becomes a "typecheck" finding, mirroring the
+   syntactic tier's "parse" findings. *)
+let lint_source ~rules ~rel source =
+  match Cmt_loader.unit_of_source ~rel source with
+  | u -> lint_unit ~rules u
+  | exception exn ->
+      [
+        {
+          Engine.file = rel;
+          line = 1;
+          col = 0;
+          rule = "typecheck";
+          msg = "cannot typecheck: " ^ Printexc.to_string exn;
+          tier = Engine.tier_semantic;
+          symbol = "";
+        };
+      ]
