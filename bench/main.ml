@@ -24,14 +24,22 @@
      E8  extension   eventual synchrony (GST sweep)
      E9  extension   concurrent repeated agreement (chain throughput)
      SC  scaling     estimator trials/sec vs --jobs (Exec domain pool)
+     SIM sim         simulator messages/sec, ledger attached vs not
      LINT provenance coinlint's own runtime, syntactic vs semantic tier
-     B1  micro       primitive costs (bechamel)                         *)
+     B1  micro       primitive costs (bechamel)
+
+   Regression gate:
+     dune exec bench/main.exe -- --compare OLD.json NEW.json [--threshold T]
+   diffs the b1 microbenchmark rows of two --json documents and exits 1
+   when any grew by more than the relative threshold (default 0.25).     *)
 
 let full = ref false
 let which_table = ref "all"
 let run_micro = ref true
 let json_path : string option ref = ref None
 let jobs = ref 1
+let compare_files : (string * string) option ref = ref None
+let threshold = ref 0.25
 
 let () =
   let rec parse = function
@@ -56,11 +64,69 @@ let () =
             Format.eprintf "--jobs expects a non-negative integer, got %S@." j;
             exit 2);
         parse rest
+    | "--compare" :: old_path :: new_path :: rest ->
+        compare_files := Some (old_path, new_path);
+        parse rest
+    | "--threshold" :: t :: rest ->
+        (match float_of_string_opt t with
+        | Some t when Float.is_finite t && t >= 0.0 -> threshold := t
+        | Some _ | None ->
+            Format.eprintf "--threshold expects a non-negative float, got %S@." t;
+            exit 2);
+        parse rest
     | arg :: _ ->
         Format.eprintf "unknown argument %S@." arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------- --compare mode ---------------------------- *)
+
+(* Diff the b1 rows of two bench documents; non-zero exit on regression
+   so CI can gate on it.  Runs instead of the tables and never measures
+   anything itself: both inputs are prior --json transcripts. *)
+let run_compare (old_path, new_path) =
+  let read path =
+    match open_in_bin path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Obs.Json.of_string (really_input_string ic (in_channel_length ic)))
+    | exception Sys_error e -> Error e
+  in
+  match (read old_path, read new_path) with
+  | Error e, _ ->
+      Format.eprintf "%s: %s@." old_path e;
+      exit 2
+  | _, Error e ->
+      Format.eprintf "%s: %s@." new_path e;
+      exit 2
+  | Ok old_doc, Ok new_doc -> (
+      match Obs.Export.bench_compare ~threshold:!threshold old_doc new_doc with
+      | Error e ->
+          Format.eprintf "compare: %s@." e;
+          exit 2
+      | Ok deltas ->
+          Format.printf "b1 comparison, threshold %+.0f%% (%s -> %s)@.@." (100.0 *. !threshold)
+            old_path new_path;
+          Format.printf "%-34s %14s %14s %8s@." "name" "old ns/op" "new ns/op" "ratio";
+          let regressed = ref 0 in
+          List.iter
+            (fun (d : Obs.Export.bench_delta) ->
+              if d.Obs.Export.cmp_regressed then incr regressed;
+              Format.printf "%-34s %14.0f %14.0f %7.2fx%s@." d.Obs.Export.cmp_name
+                d.Obs.Export.cmp_old d.Obs.Export.cmp_new d.Obs.Export.cmp_ratio
+                (if d.Obs.Export.cmp_regressed then "  REGRESSED" else ""))
+            deltas;
+          if !regressed > 0 then begin
+            Format.printf "@.%d benchmark(s) regressed beyond the %.0f%% threshold@." !regressed
+              (100.0 *. !threshold);
+            exit 1
+          end
+          else begin
+            Format.printf "@.no regressions (%d benchmarks compared)@." (List.length deltas);
+            exit 0
+          end)
 
 let want t = !which_table = "all" || !which_table = t
 
@@ -801,6 +867,78 @@ let table_scaling () =
      point is a slowdown (OCaml 5 minor-GC barriers across domains).@."
 
 (* ------------------------------------------------------------------ *)
+(* SIM: simulator throughput, ledger attached vs not                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The ledger's price tag: the ISSUE's "cheap enough to leave attached"
+   claim as a measured ratio.  Attachment must not change outcomes
+   (t_ledger pins byte-identity); this table pins the cost. *)
+let table_sim () =
+  section "SIM: simulator messages/sec -- word-complexity ledger attached vs not";
+  let runs = if !full then 6 else 3 in
+  Format.printf
+    "BA at n = 64 (mixed inputs) and Ben-Or at large n (unanimous), %d seeded@.\
+     runs per row; msgs/sec counts correct-process sends over wall time.@.@."
+    runs;
+  Format.printf "%-22s %8s | %12s %12s %9s@." "protocol" "n" "plain msg/s" "ledger msg/s"
+    "overhead";
+  let rate f =
+    let t0 = Unix.gettimeofday () in
+    let msgs = ref 0 in
+    for i = 1 to runs do
+      msgs := !msgs + f i
+    done;
+    (float_of_int !msgs /. (Unix.gettimeofday () -. t0), !msgs)
+  in
+  let row name n plain with_ledger =
+    let plain_rate, _ = rate plain in
+    let ledger_rate, msgs = rate with_ledger in
+    let overhead = (plain_rate /. ledger_rate) -. 1.0 in
+    Format.printf "%-22s %8d | %12.0f %12.0f %8.1f%%@." name n plain_rate ledger_rate
+      (100.0 *. overhead);
+    record ~table:"sim"
+      [
+        ("protocol", js name);
+        ("n", ji n);
+        ("msgs", ji msgs);
+        ("plain_msgs_per_sec", jf plain_rate);
+        ("ledger_msgs_per_sec", jf ledger_rate);
+        ("overhead", jf overhead);
+      ]
+  in
+  let n = 64 in
+  let kr = keyring n in
+  let params = practical_params n in
+  let inputs i = Array.init n (fun p -> (p + i) mod 2) in
+  let ba_ledger = Sim.Ledger.create () in
+  row "BA (Alg.4)" n
+    (fun i ->
+      (Core.Runner.run_ba ~keyring:kr ~params ~inputs:(inputs i) ~seed:(600 + i) ())
+        .Core.Runner.msgs)
+    (fun i ->
+      (Core.Runner.run_ba
+         ~probe:(fun eng -> Core.Instrument.attach_ba_ledger eng ba_ledger)
+         ~keyring:kr ~params ~inputs:(inputs i) ~seed:(600 + i) ())
+        .Core.Runner.msgs);
+  let bn = if !full then 1024 else 400 in
+  let b_inputs = Array.make bn 1 in
+  let b_ledger = Sim.Ledger.create () in
+  row "Ben-Or (unanimous)" bn
+    (fun i ->
+      (Baselines.Brun.run_benor ~n:bn ~f:((bn - 1) / 5) ~inputs:b_inputs ~seed:(700 + i) ())
+        .Baselines.Brun.msgs)
+    (fun i ->
+      (Baselines.Brun.run_benor
+         ~probe:(fun eng ->
+           Sim.Ledger.attach eng b_ledger ~tag_of:Baselines.Benor.tag_of_msg
+             ~round_of:Baselines.Benor.round_of_msg ())
+         ~n:bn ~f:((bn - 1) / 5) ~inputs:b_inputs ~seed:(700 + i) ())
+        .Baselines.Brun.msgs);
+  Format.printf
+    "@.expected shape: overhead within a few percent -- the ledger's record path@.\
+     is a phase lookup plus integer stores, no allocation, no hashing.@."
+
+(* ------------------------------------------------------------------ *)
 (* LINT: coinlint self-measurement                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -957,6 +1095,7 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
+  (match !compare_files with Some files -> run_compare files | None -> ());
   Format.printf "coincidence bench harness (seeded, deterministic)%s@."
     (if !full then " [--full]" else "");
   if want "t1" then table_t1 ();
@@ -969,6 +1108,7 @@ let () =
   if want "e8" then table_e8 ();
   if want "e9" then table_e9 ();
   if want "scaling" then table_scaling ();
+  if want "sim" then table_sim ();
   if want "lint" then table_lint ();
   if !run_micro && (want "b1" || want "micro" || !which_table = "all") then micro ();
   (match !json_path with Some path -> write_json path | None -> ());

@@ -8,11 +8,15 @@
    coincidence committee -- sample and inspect committees
    coincidence obs       -- run an instrumented BA and summarize it
    coincidence table1    -- quick Table-1 style comparison run
+   coincidence complexity-- word-complexity ledger sweep (E2 crossover)
 
    `ba` and `obs` take --emit-metrics/--emit-trace/--emit-events to write
    the machine-readable exports (see EXPERIMENTS.md for the schemas).
    `coin` and `estimate` take --jobs to fan trials over worker domains;
-   outputs are byte-identical for every --jobs value (see DESIGN.md).     *)
+   outputs are byte-identical for every --jobs value (see DESIGN.md).
+   `estimate --emit-metrics` exports the merged per-worker-shard campaign
+   metrics (jobs-invariant); `--emit-trace` exports wall-clock worker
+   tracks (execution detail, deliberately jobs/time-dependent).           *)
 
 open Cmdliner
 
@@ -428,9 +432,34 @@ let summarize_loaded path =
             0
           end
         end
+      | Some s when s = Obs.Export.ledger_schema -> begin
+          (* Ledger sweeps get the full structural validation: CI runs
+             freshly emitted `complexity --json` files through here. *)
+          match Obs.Export.validate_ledger doc with
+          | Error e ->
+              Format.eprintf "%s: %s@." path e;
+              1
+          | Ok entries ->
+              Format.printf "schema: %s@.sweep entries: %d@." s entries;
+              List.iter
+                (fun entry ->
+                  match (str_member "protocol" entry, int_member "n" entry) with
+                  | Some proto, Some n ->
+                      let words =
+                        Option.value ~default:0
+                          (Option.bind (Obs.Json.member "total" entry)
+                             (int_member "correct_words"))
+                      in
+                      Format.printf "  %-10s n=%-7d correct_words=%-10d rounds=%d@." proto n
+                        words
+                        (List.length (list_member "rounds" entry))
+                  | _ -> ())
+                (list_member "sweep" doc);
+              0
+        end
       | Some s ->
-          Format.eprintf "%s: unexpected schema %S (want %S or %S)@." path s
-            Core.Instrument.metrics_schema Obs.Export.bench_schema;
+          Format.eprintf "%s: unexpected schema %S (want %S, %S or %S)@." path s
+            Core.Instrument.metrics_schema Obs.Export.bench_schema Obs.Export.ledger_schema;
           1
       | None ->
           Format.eprintf "%s: missing \"schema\" member@." path;
@@ -456,8 +485,9 @@ let obs_cmd =
       value
       & opt (some string) None
       & info [ "load" ] ~docv:"FILE"
-          ~doc:"Summarize an existing --emit-metrics or bench --json document instead of \
-                running; exits non-zero if the file does not parse or carries the wrong schema.")
+          ~doc:"Summarize an existing --emit-metrics, bench --json or complexity --json document \
+                instead of running; exits non-zero if the file does not parse, carries the wrong \
+                schema, or (for ledger sweeps) fails structural validation.")
   in
   Cmd.v
     (Cmd.info "obs"
@@ -555,7 +585,8 @@ let estimate_cmd =
         ("d", jf p.Core.Params.d);
       ]
   in
-  let run kind n seed trials lambda epsilon d backend rsa_bits crash jobs json =
+  let run kind n seed trials lambda epsilon d backend rsa_bits crash jobs json emit_metrics
+      emit_trace =
     match check_campaign_flags ~trials ~jobs with
     | Error e ->
         Format.eprintf "estimate: %s@." e;
@@ -563,12 +594,32 @@ let estimate_cmd =
     | Ok () ->
         let keyring = make_keyring backend rsa_bits n seed in
         let params () = make_params n epsilon d lambda in
+        (* Campaign observability: one metrics shard + span recorder per
+           worker slot.  The metrics sink keeps the default zero clock so
+           its merged output is jobs-invariant; asking for a trace opts
+           into wall-clock worker tracks (microseconds since start). *)
+        let obs =
+          if emit_metrics = None && emit_trace = None then None
+          else if emit_trace <> None then begin
+            let t0 = Unix.gettimeofday () in
+            let us () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+            Some
+              (Core.Analysis.campaign_obs
+                 ~clock:
+                   {
+                     Obs.Span.step = us;
+                     now = (fun () -> Unix.gettimeofday () -. t0);
+                   }
+                 ~jobs ())
+          end
+          else Some (Core.Analysis.campaign_obs ~jobs ())
+        in
         let kind_name, params_member, estimate_json, human =
           match kind with
           | `Coin ->
               let f = int_of_float (float_of_int n *. ((1.0 /. 3.0) -. epsilon)) in
               let est =
-                Core.Analysis.estimate_shared_coin ~crash ~jobs ~keyring ~n ~f ~trials
+                Core.Analysis.estimate_shared_coin ~crash ~jobs ?obs ~keyring ~n ~f ~trials
                   ~base_seed:seed ()
               in
               ( "coin",
@@ -578,7 +629,7 @@ let estimate_cmd =
           | `Whp_coin ->
               let p = params () in
               let est =
-                Core.Analysis.estimate_whp_coin ~crash ~jobs ~keyring ~params:p ~trials
+                Core.Analysis.estimate_whp_coin ~crash ~jobs ?obs ~keyring ~params:p ~trials
                   ~base_seed:seed ()
               in
               ( "whp-coin",
@@ -588,7 +639,7 @@ let estimate_cmd =
           | `Committee ->
               let p = params () in
               let est =
-                Core.Analysis.estimate_committees ~jobs ~keyring ~params:p ~trials
+                Core.Analysis.estimate_committees ~jobs ?obs ~keyring ~params:p ~trials
                   ~base_seed:seed ()
               in
               ( "committee",
@@ -606,7 +657,7 @@ let estimate_cmd =
           | `Ba ->
               let p = params () in
               let est =
-                Core.Analysis.estimate_ba ~jobs ~keyring ~params:p ~trials ~base_seed:seed ()
+                Core.Analysis.estimate_ba ~jobs ?obs ~keyring ~params:p ~trials ~base_seed:seed ()
               in
               ( "ba",
                 params_json p,
@@ -634,6 +685,46 @@ let estimate_cmd =
               ("estimate", estimate_json);
             ]
         in
+        (match (emit_metrics, obs) with
+        | Some path, Some o ->
+            (* A metrics/1 document from the merged shards.  Runs and
+               spans are deliberately empty: the estimate document carries
+               the per-run data, and spans under the zero clock are noise
+               — what's left is exactly the jobs-invariant part, so
+               --jobs 1 and --jobs 4 files diff clean. *)
+            let merged = Obs.Metrics.Sharded.merged o.Core.Analysis.obs_metrics in
+            let mdoc =
+              Obs.Json.Obj
+                [
+                  ("schema", js Core.Instrument.metrics_schema);
+                  ("params", params_member);
+                  ("runs", Obs.Json.List []);
+                  ("metrics", Obs.Metrics.to_json merged);
+                  ("spans", Obs.Json.List []);
+                ]
+            in
+            write_file path (fun oc ->
+                Obs.Json.to_channel oc mdoc;
+                output_char oc '\n')
+        | _ -> ());
+        (match (emit_trace, obs) with
+        | Some path, Some o ->
+            (* One Chrome track per worker domain: thread_name metadata
+               plus that worker's spans with tid forced to the slot. *)
+            let events =
+              Obs.Export.chrome_process_name ~pid:0
+                (Printf.sprintf "estimate %s" kind_name)
+              :: List.concat
+                   (List.init (Array.length o.Core.Analysis.obs_spans) (fun w ->
+                        Obs.Export.chrome_thread_name ~pid:0 ~tid:w
+                          (Printf.sprintf "worker %d" w)
+                        :: Obs.Export.chrome_of_spans ~pid:0 ~tid:w
+                             o.Core.Analysis.obs_spans.(w)))
+            in
+            write_file path (fun oc ->
+                Obs.Json.to_channel oc (Obs.Export.chrome_trace events);
+                output_char oc '\n')
+        | _ -> ());
         (match json with
         | Some "-" ->
             (* machine-clean stdout: the document and nothing else *)
@@ -678,7 +769,8 @@ let estimate_cmd =
              and report the estimate, optionally as machine-readable JSON.")
     Term.(
       const run $ kind_arg $ n_arg $ seed_arg $ trials_arg $ lambda_arg $ epsilon_arg $ d_arg
-      $ backend_arg $ rsa_bits_arg $ crash_arg $ jobs_arg $ json_arg)
+      $ backend_arg $ rsa_bits_arg $ crash_arg $ jobs_arg $ json_arg $ emit_metrics_arg
+      $ emit_trace_arg)
 
 (* ----------------------------- committee ----------------------------- *)
 
@@ -752,6 +844,257 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Quick Table-1 style comparison (see bench/main.exe for the full version).")
     Term.(const run $ seed_arg)
 
+(* ---------------------------- complexity ----------------------------- *)
+
+(* The E2 crossover evidence, live: sweep n with the word-complexity
+   ledger attached, fit log-log slopes, and report where WHP-BA's
+   sub-quadratic curve undercuts the Theta(n^2) baselines.  Inputs are
+   unanimous (all 1): Ben-Or's mixed-input phase is expected-exponential
+   in n and would hang the sweep, while the unanimous path terminates in
+   O(1) rounds for every protocol — the per-round word complexity is the
+   comparison the paper's Section 2 metric makes. *)
+
+let complexity_proto_name = function
+  | `Whp_ba -> "whp-ba"
+  | `Benor -> "benor"
+  | `Bracha -> "bracha"
+  | `Rabin -> "rabin"
+
+(* One (protocol, n) point: [trials] fixed-seed runs accumulated into one
+   ledger.  Returns the ledger plus whether every run terminated safely. *)
+let complexity_point proto ~n ~trials ~seed =
+  let ledger = Sim.Ledger.create () in
+  let inputs = Array.make n 1 in
+  let ok = ref true in
+  let note all_decided agreement = if not (all_decided && agreement) then ok := false in
+  for i = 0 to trials - 1 do
+    let seed = seed + i in
+    match proto with
+    | `Whp_ba ->
+        let keyring = make_keyring `Mock 256 n seed in
+        let params = make_params n 0.25 0.04 None in
+        let o =
+          Core.Runner.run_ba
+            ~probe:(fun eng -> Core.Instrument.attach_ba_ledger eng ledger)
+            ~keyring ~params ~inputs ~seed ()
+        in
+        note o.Core.Runner.all_decided o.Core.Runner.agreement
+    | `Benor ->
+        let o =
+          Baselines.Brun.run_benor
+            ~probe:(fun eng ->
+              Sim.Ledger.attach eng ledger ~tag_of:Baselines.Benor.tag_of_msg
+                ~round_of:Baselines.Benor.round_of_msg ())
+            ~n ~f:((n - 1) / 5) ~inputs ~seed ()
+        in
+        note o.Baselines.Brun.all_decided o.Baselines.Brun.agreement
+    | `Bracha ->
+        let o =
+          Baselines.Brun.run_bracha
+            ~probe:(fun eng ->
+              Sim.Ledger.attach eng ledger ~tag_of:Baselines.Bracha.tag_of_msg
+                ~round_of:Baselines.Bracha.round_of_msg ())
+            ~n ~f:((n - 1) / 3) ~inputs ~seed ()
+        in
+        note o.Baselines.Brun.all_decided o.Baselines.Brun.agreement
+    | `Rabin ->
+        let o =
+          Baselines.Brun.run_rabin
+            ~probe:(fun eng ->
+              Sim.Ledger.attach eng ledger ~tag_of:Baselines.Rabin.tag_of_msg
+                ~round_of:Baselines.Rabin.round_of_msg ())
+            ~n ~f:((n - 1) / 10) ~inputs ~seed ()
+        in
+        note o.Baselines.Brun.all_decided o.Baselines.Brun.agreement
+  done;
+  (ledger, !ok)
+
+let complexity_cmd =
+  let run ns trials seed protos json =
+    if trials <= 0 then begin
+      Format.eprintf "complexity: --trials must be positive (got %d)@." trials;
+      2
+    end
+    else if ns = [] || List.exists (fun n -> n < 4) ns then begin
+      Format.eprintf "complexity: --ns needs a non-empty list of n >= 4@." ;
+      2
+    end
+    else begin
+      let ns = List.sort_uniq Int.compare ns in
+      (* results.(p) = per-n (n, ledger, ok, mean correct words/trial) *)
+      let results =
+        List.map
+          (fun proto ->
+            let points =
+              List.map
+                (fun n ->
+                  let ledger, ok = complexity_point proto ~n ~trials ~seed in
+                  let words =
+                    float_of_int (Sim.Ledger.total ledger).Sim.Ledger.correct_words
+                    /. float_of_int trials
+                  in
+                  (n, ledger, ok, words))
+                ns
+            in
+            (proto, points))
+          protos
+      in
+      let fit points =
+        Core.Stats.loglog_slope
+          (List.map (fun (n, _, _, w) -> (float_of_int n, max 1.0 w)) points)
+      in
+      (match json with
+      | Some target ->
+          let entries =
+            List.concat_map
+              (fun (proto, points) ->
+                List.map
+                  (fun (n, ledger, ok, _) ->
+                    Core.Instrument.ledger_json
+                      ~protocol:(complexity_proto_name proto)
+                      ~n
+                      ~extra:
+                        [ ("trials", Obs.Json.Int trials); ("ok", Obs.Json.Bool ok) ]
+                      ledger)
+                  points)
+              results
+          in
+          let fits =
+            List.map
+              (fun (proto, points) ->
+                Obs.Json.Obj
+                  [
+                    ("protocol", Obs.Json.Str (complexity_proto_name proto));
+                    ("loglog_slope", Obs.Json.Float (fit points));
+                  ])
+              results
+          in
+          let doc =
+            Core.Instrument.ledger_doc
+              ~extra:
+                [
+                  ("base_seed", Obs.Json.Int seed);
+                  ("trials", Obs.Json.Int trials);
+                  ("fits", Obs.Json.List fits);
+                ]
+              entries
+          in
+          if target = "-" then begin
+            Obs.Json.to_channel stdout doc;
+            print_newline ()
+          end
+          else
+            write_file target (fun oc ->
+                Obs.Json.to_channel oc doc;
+                output_char oc '\n')
+      | None ->
+          Format.printf "%-8s %8s %12s %12s %8s %6s@." "proto" "n" "words/trial" "msgs/trial"
+            "rounds" "ok";
+          List.iter
+            (fun (proto, points) ->
+              List.iter
+                (fun (n, ledger, ok, words) ->
+                  let t = Sim.Ledger.total ledger in
+                  Format.printf "%-8s %8d %12.1f %12.1f %8d %6b@."
+                    (complexity_proto_name proto)
+                    n words
+                    (float_of_int t.Sim.Ledger.correct_msgs /. float_of_int trials)
+                    (Sim.Ledger.max_round ledger + 1)
+                    ok)
+                points;
+              Format.printf "%-8s log-log slope = %.2f@."
+                (complexity_proto_name proto)
+                (fit points))
+            results;
+          (* Crossover: against each baseline, the first swept n where
+             WHP-BA is cheaper, or the log-log extrapolation if the sweep
+             never reaches it. *)
+          (match
+             List.find_map
+               (fun (proto, points) ->
+                 match proto with `Whp_ba -> Some points | _ -> None)
+               results
+           with
+          | None -> ()
+          | Some whp_points ->
+              let whp_fit =
+                Core.Stats.linear_fit
+                  (List.map
+                     (fun (n, _, _, w) -> (log (float_of_int n), log (max 1.0 w)))
+                     whp_points)
+              in
+              List.iter
+                (fun (proto, points) ->
+                  if proto <> `Whp_ba then begin
+                    let name = complexity_proto_name proto in
+                    let observed =
+                      List.find_opt
+                        (fun ((n, _, _, w), (n', _, _, w')) -> n = n' && w <= w')
+                        (List.combine whp_points points)
+                    in
+                    match observed with
+                    | Some ((n, _, _, _), _) ->
+                        Format.printf "crossover vs %-8s observed at n = %d@." name n
+                    | None ->
+                        let s1, b1 = whp_fit in
+                        let s2, b2 =
+                          Core.Stats.linear_fit
+                            (List.map
+                               (fun (n, _, _, w) ->
+                                 (log (float_of_int n), log (max 1.0 w)))
+                               points)
+                        in
+                        if s1 < s2 then begin
+                          let star = exp ((b1 -. b2) /. (s2 -. s1)) in
+                          if star <= 1e9 then
+                            Format.printf
+                              "crossover vs %-8s projected at n ~ %.0f (extrapolated)@." name
+                              star
+                          else
+                            Format.printf
+                              "crossover vs %-8s beyond n ~ 1e9 at these constants (slope gap \
+                               %.2f)@."
+                              name (s2 -. s1)
+                        end
+                        else
+                          Format.printf "crossover vs %-8s not reached in sweep@." name
+                  end)
+                results));
+      0
+    end
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64 ]
+      & info [ "ns" ] ~docv:"N1,N2,..." ~doc:"Comma-separated process counts to sweep.")
+  in
+  let protos_arg =
+    Arg.(
+      value
+      & opt
+          (list (enum [ ("whp-ba", `Whp_ba); ("benor", `Benor); ("bracha", `Bracha); ("rabin", `Rabin) ]))
+          [ `Whp_ba; `Benor; `Bracha; `Rabin ]
+      & info [ "protocols" ] ~docv:"P1,P2,..."
+          ~doc:"Protocols to sweep: whp-ba (Algorithm 4) and the benor/bracha/rabin baselines.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a coincidence.ledger/1 document to FILE (\"-\" for stdout): per-(protocol, \
+                n) totals with the per-round, per-phase breakdown, plus fitted log-log slopes.")
+  in
+  Cmd.v
+    (Cmd.info "complexity"
+       ~doc:"Sweep n with the word-complexity ledger attached and report per-phase/per-round \
+             word counts, log-log slopes and the sub-quadratic crossover (unanimous inputs).")
+    Term.(
+      const run $ ns_arg
+      $ Arg.(value & opt int 2 & info [ "trials" ] ~docv:"K" ~doc:"Fixed-seed runs per point.")
+      $ seed_arg $ protos_arg $ json_arg)
+
 let () =
   let doc = "Sub-quadratic asynchronous Byzantine Agreement WHP (Cohen-Keidar-Spiegelman, PODC 2020)" in
   let info = Cmd.info "coincidence" ~version:"1.0.0" ~doc in
@@ -767,4 +1110,5 @@ let () =
             committee_cmd;
             chain_cmd;
             table1_cmd;
+            complexity_cmd;
           ]))

@@ -2,6 +2,10 @@ type msg = Report of { round : int; v : int } | Proposal of { round : int; v : i
 
 let words_of_msg (Report _ | Proposal _) = 2
 
+(* Phase tag / round for the observability layer's word-complexity ledger. *)
+let tag_of_msg = function Report _ -> "REPORT" | Proposal _ -> "PROPOSAL"
+let round_of_msg = function Report { round; _ } | Proposal { round; _ } -> round
+
 type action = Broadcast of msg | Decide of int
 
 type round_st = {

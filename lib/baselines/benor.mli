@@ -18,6 +18,11 @@ type msg =
 
 val words_of_msg : msg -> int
 
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: ["REPORT"] or ["PROPOSAL"]. *)
+
+val round_of_msg : msg -> int
+
 type action = Broadcast of msg | Decide of int
 
 type t

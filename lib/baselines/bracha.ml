@@ -2,6 +2,11 @@ type msg = { round : int; step : int; originator : int; inner : Rbc.msg }
 
 let words_of_msg { inner; _ } = 2 + Rbc.words_of_msg inner
 
+(* Phase tag: which of the per-round RBC steps carries the message, dot
+   the RBC message kind — e.g. ["S0.ECHO"]. *)
+let tag_of_msg m = Printf.sprintf "S%d.%s" m.step (Rbc.tag_of_msg m.inner)
+let round_of_msg m = m.round
+
 type action = Broadcast of msg | Decide of int
 
 (* Step-3 payload encoding: 0/1 = d(v); 2 = "?". *)

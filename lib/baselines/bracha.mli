@@ -19,6 +19,11 @@ type msg = { round : int; step : int; originator : int; inner : Rbc.msg }
 
 val words_of_msg : msg -> int
 
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: step dot RBC kind, e.g. ["S0.ECHO"]. *)
+
+val round_of_msg : msg -> int
+
 type action = Broadcast of msg | Decide of int
 
 type t

@@ -12,7 +12,8 @@ type outcome = {
 
 (* One generic execution loop shared by all baselines: protocols differ
    only in their state/message/action types, abstracted by closures. *)
-let run_generic (type st msg) ?scheduler ?(pre_crash = []) ?max_steps ~n ~seed
+let run_generic (type st msg) ?scheduler ?(pre_crash = []) ?max_steps
+    ?(probe : (msg Sim.Engine.t -> unit) option) ~n ~seed
     ~(create : pid:int -> st) ~(propose : st -> int -> 'a list)
     ~(handle : st -> src:int -> msg -> 'a list)
     ~(classify : 'a -> [ `Broadcast of msg | `Decide of int ]) ~(words : msg -> int)
@@ -24,6 +25,9 @@ let run_generic (type st msg) ?scheduler ?(pre_crash = []) ?max_steps ~n ~seed
     | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
     | None -> Sim.Engine.create ~n ~seed ()
   in
+  (* The probe attaches observers (word-complexity ledger, traces) before
+     any send — the same hook point Core.Runner exposes. *)
+  (match probe with Some f -> f eng | None -> ());
   let procs = Array.init n (fun pid -> create ~pid) in
   let perform pid actions =
     List.iter
@@ -77,8 +81,8 @@ let run_generic (type st msg) ?scheduler ?(pre_crash = []) ?max_steps ~n ~seed
     result;
   }
 
-let run_benor ?scheduler ?pre_crash ?max_steps ~n ~f ~inputs ~seed () =
-  run_generic ?scheduler ?pre_crash ?max_steps ~n ~seed
+let run_benor ?scheduler ?pre_crash ?max_steps ?probe ~n ~f ~inputs ~seed () =
+  run_generic ?scheduler ?pre_crash ?max_steps ?probe ~n ~seed
     ~create:(fun ~pid -> Benor.create ~n ~f ~pid ~coin_seed:seed)
     ~propose:Benor.propose
     ~handle:Benor.handle
@@ -86,8 +90,8 @@ let run_benor ?scheduler ?pre_crash ?max_steps ~n ~f ~inputs ~seed () =
     ~words:Benor.words_of_msg ~decision:Benor.decision ~decided_round:Benor.decided_round
     ~inputs ()
 
-let run_bracha ?scheduler ?pre_crash ?max_steps ~n ~f ~inputs ~seed () =
-  run_generic ?scheduler ?pre_crash ?max_steps ~n ~seed
+let run_bracha ?scheduler ?pre_crash ?max_steps ?probe ~n ~f ~inputs ~seed () =
+  run_generic ?scheduler ?pre_crash ?max_steps ?probe ~n ~seed
     ~create:(fun ~pid -> Bracha.create ~n ~f ~pid ~coin_seed:seed)
     ~propose:Bracha.propose
     ~handle:Bracha.handle
@@ -95,9 +99,9 @@ let run_bracha ?scheduler ?pre_crash ?max_steps ~n ~f ~inputs ~seed () =
     ~words:Bracha.words_of_msg ~decision:Bracha.decision ~decided_round:Bracha.decided_round
     ~inputs ()
 
-let run_rabin ?scheduler ?pre_crash ?max_steps ~n ~f ~inputs ~seed () =
+let run_rabin ?scheduler ?pre_crash ?max_steps ?probe ~n ~f ~inputs ~seed () =
   let dealer = Rabin.make_dealer ~n ~f ~seed:(string_of_int seed) in
-  run_generic ?scheduler ?pre_crash ?max_steps ~n ~seed
+  run_generic ?scheduler ?pre_crash ?max_steps ?probe ~n ~seed
     ~create:(fun ~pid -> Rabin.create ~dealer ~pid)
     ~propose:Rabin.propose
     ~handle:Rabin.handle
@@ -105,8 +109,8 @@ let run_rabin ?scheduler ?pre_crash ?max_steps ~n ~f ~inputs ~seed () =
     ~words:Rabin.words_of_msg ~decision:Rabin.decision ~decided_round:Rabin.decided_round
     ~inputs ()
 
-let run_mmr ?scheduler ?pre_crash ?max_steps ~coin ~n ~f ~inputs ~seed () =
-  run_generic ?scheduler ?pre_crash ?max_steps ~n ~seed
+let run_mmr ?scheduler ?pre_crash ?max_steps ?probe ~coin ~n ~f ~inputs ~seed () =
+  run_generic ?scheduler ?pre_crash ?max_steps ?probe ~n ~seed
     ~create:(fun ~pid -> Mmr.create ~n ~f ~pid ~instance:(Printf.sprintf "mmr-%d" seed) ~coin)
     ~propose:Mmr.propose
     ~handle:Mmr.handle

@@ -13,6 +13,12 @@ type msg =
 
 let words_of_msg = function Report _ | Proposal _ -> 2 | Share _ -> 3
 
+(* Phase tag / round for the observability layer's word-complexity ledger. *)
+let tag_of_msg = function Report _ -> "REPORT" | Proposal _ -> "PROPOSAL" | Share _ -> "SHARE"
+
+let round_of_msg = function
+  | Report { round; _ } | Proposal { round; _ } | Share { round; _ } -> round
+
 type action = Broadcast of msg | Decide of int
 
 type round_st = {

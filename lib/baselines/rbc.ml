@@ -4,6 +4,10 @@ type msg = Initial of payload | Echo of payload | Ready of payload
 
 let words_of_msg (Initial _ | Echo _ | Ready _) = 2
 
+(* Phase tag for the observability layer (one arm per constructor — the
+   handler-exhaustiveness lint keeps it total as constructors evolve). *)
+let tag_of_msg = function Initial _ -> "INITIAL" | Echo _ -> "ECHO" | Ready _ -> "READY"
+
 type action = Broadcast of msg | Deliver of payload
 
 type t = {

@@ -18,6 +18,9 @@ type msg =
 
 val words_of_msg : msg -> int
 
+val tag_of_msg : msg -> string
+(** Phase tag for metrics labelling: ["INITIAL"], ["ECHO"] or ["READY"]. *)
+
 type action = Broadcast of msg | Deliver of payload
 
 type t

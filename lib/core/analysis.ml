@@ -23,8 +23,82 @@ let check_trials trials =
    caches, as the sequential estimators always did); parallel workers each
    clone it so no mutable key material crosses a domain boundary. *)
 let keyring_ctx ~jobs keyring =
-  if Exec.resolve_jobs jobs <= 1 then fun () -> keyring
-  else fun () -> Vrf.Keyring.clone keyring
+  if Exec.resolve_jobs jobs <= 1 then fun _ -> keyring
+  else fun _ -> Vrf.Keyring.clone keyring
+
+(* -------------------- campaign observability ------------------------- *)
+
+type campaign_obs = {
+  obs_metrics : Obs.Metrics.Sharded.t;
+  obs_spans : Obs.Span.t array;  (* one recorder per worker slot *)
+}
+
+(* Spans recorded without a clock are still useful: the per-trial span
+   stream carries names and pids (trial indices), and [campaign_obs] with
+   an engine-free zero clock keeps the merged document jobs-invariant.
+   Callers wanting wall-clock worker tracks pass their own clock. *)
+let zero_clock = { Obs.Span.step = (fun () -> 0); now = (fun () -> 0.0) }
+
+let campaign_obs ?(clock = zero_clock) ~jobs () =
+  let workers = Exec.resolve_jobs jobs in
+  {
+    obs_metrics = Obs.Metrics.Sharded.create ~workers;
+    obs_spans = Array.init workers (fun _ -> Obs.Span.create clock);
+  }
+
+(* Worker context: claim the worker's shard (a cross-campaign aliasing
+   guard, not a lock) and pair the worker slot with its keyring. *)
+let campaign_ctx ?obs ~jobs keyring =
+  let kr = keyring_ctx ~jobs keyring in
+  fun w ->
+    (match obs with Some o -> ignore (Obs.Metrics.Sharded.claim o.obs_metrics w) | None -> ());
+    (w, kr w)
+
+(* Release shard claims once the pool has joined — even if a trial raised
+   — so the same [campaign_obs] can aggregate several campaigns. *)
+let with_claims ?obs f =
+  match obs with
+  | None -> f ()
+  | Some o -> Fun.protect ~finally:(fun () -> Obs.Metrics.Sharded.release_all o.obs_metrics) f
+
+(* Per-trial recording wrapper.  Everything recorded is a pure function
+   of the trial (integer-valued observations, per-trial cache deltas), so
+   the merged registry is byte-identical at any jobs value: which worker
+   records a trial changes only the shard it lands in, and shard merging
+   is grouping-independent for integer data (DESIGN.md "Sharded
+   metrics").  Cache hit/miss deltas are jobs-invariant because every VRF
+   alpha embeds the per-trial instance string, making cache keys
+   trial-unique: no trial's verdict about its own verifications depends
+   on which clone ran the trials before it. *)
+let observed ?obs ~kind ~worker ~trial ~keyring ~record run =
+  match obs with
+  | None -> run ()
+  | Some o ->
+      let shard = Obs.Metrics.Sharded.shard o.obs_metrics worker in
+      let s0 = Vrf.Keyring.verify_cache_stats keyring in
+      let result =
+        Obs.Span.with_span o.obs_spans.(worker) ~pid:trial (kind ^ "-trial") run
+      in
+      let s1 = Vrf.Keyring.verify_cache_stats keyring in
+      let kl = [ ("kind", kind) ] in
+      Obs.Metrics.incr shard ~labels:kl "trials";
+      Obs.Metrics.incr shard
+        ~by:(s1.Vrf.Keyring.hits - s0.Vrf.Keyring.hits)
+        ~labels:kl "verify_cache_hits";
+      Obs.Metrics.incr shard
+        ~by:(s1.Vrf.Keyring.misses - s0.Vrf.Keyring.misses)
+        ~labels:kl "verify_cache_misses";
+      record shard result;
+      result
+
+let record_coin_trial ~kind shard (o : Runner.coin_outcome) =
+  let kl = [ ("kind", kind) ] in
+  let outcome =
+    match o.Runner.unanimous with Some 0 -> "zero" | Some 1 -> "one" | Some _ | None -> "split"
+  in
+  Obs.Metrics.incr shard ~labels:(("outcome", outcome) :: kl) "coin_outcome";
+  Obs.Metrics.observe shard ~labels:kl "trial_words" (float_of_int o.Runner.coin_words);
+  Obs.Metrics.observe shard ~labels:kl "trial_depth" (float_of_int o.Runner.coin_depth)
 
 let coin_estimate_of ~trials outcomes =
   check_trials trials;
@@ -54,26 +128,32 @@ let crash_set ~seed ~n ~crash =
   if crash = 0 then []
   else Crypto.Rng.sample_without_replacement (Crypto.Rng.create (seed lxor 0xc4a5)) crash n
 
-let estimate_shared_coin ?scheduler ?(crash = 0) ?(jobs = 1) ~keyring ~n ~f ~trials ~base_seed
-    () =
+let estimate_shared_coin ?scheduler ?(crash = 0) ?(jobs = 1) ?obs ~keyring ~n ~f ~trials
+    ~base_seed () =
   check_trials trials;
   let outcomes =
-    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
-        let seed = base_seed + i in
-        Runner.run_shared_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring ~n ~f
-          ~round:i ~seed ())
+    with_claims ?obs (fun () ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+            let seed = base_seed + i in
+            observed ?obs ~kind:"coin" ~worker:w ~trial:i ~keyring
+              ~record:(record_coin_trial ~kind:"coin") (fun () ->
+                Runner.run_shared_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash)
+                  ~keyring ~n ~f ~round:i ~seed ())))
   in
   coin_estimate_of ~trials outcomes
 
-let estimate_whp_coin ?scheduler ?(crash = 0) ?(jobs = 1) ~keyring ~params ~trials ~base_seed ()
-    =
+let estimate_whp_coin ?scheduler ?(crash = 0) ?(jobs = 1) ?obs ~keyring ~params ~trials
+    ~base_seed () =
   check_trials trials;
   let n = params.Params.n in
   let outcomes =
-    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
-        let seed = base_seed + i in
-        Runner.run_whp_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring ~params
-          ~round:i ~seed ())
+    with_claims ?obs (fun () ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+            let seed = base_seed + i in
+            observed ?obs ~kind:"whp-coin" ~worker:w ~trial:i ~keyring
+              ~record:(record_coin_trial ~kind:"whp-coin") (fun () ->
+                Runner.run_whp_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring
+                  ~params ~round:i ~seed ())))
   in
   coin_estimate_of ~trials outcomes
 
@@ -86,7 +166,7 @@ type committee_estimate = {
   mean_size : float;
 }
 
-let estimate_committees ?(jobs = 1) ~keyring ~params ~trials ~base_seed () =
+let estimate_committees ?(jobs = 1) ?obs ~keyring ~params ~trials ~base_seed () =
   check_trials trials;
   let n = params.Params.n in
   let lambda = params.Params.lambda in
@@ -98,11 +178,20 @@ let estimate_committees ?(jobs = 1) ~keyring ~params ~trials ~base_seed () =
   (* Per trial: committee size and its Byzantine-member count; the S1-S4
      threshold counting happens in the (ordered) sequential fold below. *)
   let samples =
-    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
-        let com =
-          Sample.committee keyring ~s:(Printf.sprintf "est-%d-%d" base_seed (i + 1)) ~lambda
-        in
-        (List.length com, List.length (List.filter is_byz com)))
+    with_claims ?obs (fun () ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+            observed ?obs ~kind:"committee" ~worker:w ~trial:i ~keyring
+              ~record:(fun shard (size, byz_count) ->
+                let kl = [ ("kind", "committee") ] in
+                Obs.Metrics.observe shard ~labels:kl "committee_size" (float_of_int size);
+                Obs.Metrics.observe shard ~labels:kl "committee_byz" (float_of_int byz_count))
+              (fun () ->
+                let com =
+                  Sample.committee keyring
+                    ~s:(Printf.sprintf "est-%d-%d" base_seed (i + 1))
+                    ~lambda
+                in
+                (List.length com, List.length (List.filter is_byz com)))))
   in
   let s1 = ref 0 and s2 = ref 0 and s3 = ref 0 and s4 = ref 0 in
   let sizes = ref [] in
@@ -127,16 +216,26 @@ type ba_estimate = {
 }
 
 let estimate_ba ?scheduler ?(corruption = Runner.Honest) ?(mixed_inputs = true) ?(jobs = 1)
-    ~keyring ~params ~trials ~base_seed () =
+    ?obs ~keyring ~params ~trials ~base_seed () =
   check_trials trials;
   let n = params.Params.n in
+  let record_ba shard ((o : Runner.outcome), _inputs) =
+    let kl = [ ("kind", "ba") ] in
+    if o.Runner.agreement then Obs.Metrics.incr shard ~labels:kl "ba_agreed";
+    if o.Runner.all_decided then Obs.Metrics.incr shard ~labels:kl "ba_decided";
+    Obs.Metrics.observe shard ~labels:kl "trial_words" (float_of_int o.Runner.words);
+    Obs.Metrics.observe shard ~labels:kl "trial_rounds" (float_of_int o.Runner.rounds);
+    Obs.Metrics.observe shard ~labels:kl "trial_depth" (float_of_int o.Runner.depth)
+  in
   let outcomes =
-    Exec.map ~jobs ~ctx:(keyring_ctx ~jobs keyring) trials (fun keyring i ->
-        let seed = base_seed + i in
-        let inputs =
-          if mixed_inputs then Array.init n (fun p -> (p + i) mod 2) else Array.make n 1
-        in
-        (Runner.run_ba ?scheduler ~corruption ~keyring ~params ~inputs ~seed (), inputs))
+    with_claims ?obs (fun () ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+            let seed = base_seed + i in
+            let inputs =
+              if mixed_inputs then Array.init n (fun p -> (p + i) mod 2) else Array.make n 1
+            in
+            observed ?obs ~kind:"ba" ~worker:w ~trial:i ~keyring ~record:record_ba (fun () ->
+                (Runner.run_ba ?scheduler ~corruption ~keyring ~params ~inputs ~seed (), inputs))))
   in
   let safe = ref 0 and complete = ref 0 in
   let rounds = ref [] and words = ref [] and depth = ref [] in

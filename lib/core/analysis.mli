@@ -13,6 +13,33 @@
     order.  Estimators raise [Invalid_argument] when [trials <= 0]
     (rates would otherwise be NaN) and on negative [jobs]. *)
 
+(** {2 Campaign observability}
+
+    Estimators optionally record per-trial metrics and spans into a
+    {!Obs.Metrics.Sharded} registry — one shard and one span recorder per
+    worker slot, so the hot path needs no synchronisation.  Everything
+    recorded is a pure function of the trial: the counter series
+    ([trials], [coin_outcome], [ba_agreed]/[ba_decided]), the
+    integer-valued histogram observations ([trial_words], [trial_rounds],
+    [trial_depth], [committee_size], [committee_byz]) and the per-trial
+    {!Vrf.Keyring.verify_cache_stats} deltas ([verify_cache_hits]/
+    [verify_cache_misses]) are all jobs-invariant, so the {e merged}
+    registry is byte-identical for every [jobs] value (DESIGN.md
+    "Sharded metrics").  All series carry a ["kind"] label so one
+    registry can aggregate several campaigns. *)
+
+type campaign_obs = {
+  obs_metrics : Obs.Metrics.Sharded.t;
+  obs_spans : Obs.Span.t array;  (** one recorder per worker slot. *)
+}
+
+val campaign_obs : ?clock:Obs.Span.clock -> jobs:int -> unit -> campaign_obs
+(** Sized for [Exec.resolve_jobs jobs] workers; pass the same [jobs] to
+    the estimator.  The default clock reads constant zero, which keeps
+    span streams (and hence any document embedding them) jobs-invariant;
+    pass a real clock for wall-time worker tracks and accept that those
+    are execution detail, not campaign output. *)
+
 type coin_estimate = {
   trials : int;
   all_zero : int;      (** runs where every correct process output 0. *)
@@ -28,6 +55,7 @@ val estimate_shared_coin :
   ?scheduler:Coin.msg Sim.Scheduler.t ->
   ?crash:int ->
   ?jobs:int ->
+  ?obs:campaign_obs ->
   keyring:Vrf.Keyring.t ->
   n:int ->
   f:int ->
@@ -42,6 +70,7 @@ val estimate_whp_coin :
   ?scheduler:Whp_coin.msg Sim.Scheduler.t ->
   ?crash:int ->
   ?jobs:int ->
+  ?obs:campaign_obs ->
   keyring:Vrf.Keyring.t ->
   params:Params.t ->
   trials:int ->
@@ -62,6 +91,7 @@ type committee_estimate = {
 
 val estimate_committees :
   ?jobs:int ->
+  ?obs:campaign_obs ->
   keyring:Vrf.Keyring.t -> params:Params.t -> trials:int -> base_seed:int -> unit ->
   committee_estimate
 (** Claim 1 frequencies under a random corruption set of size [f]. *)
@@ -80,6 +110,7 @@ val estimate_ba :
   ?corruption:Runner.corruption ->
   ?mixed_inputs:bool ->
   ?jobs:int ->
+  ?obs:campaign_obs ->
   keyring:Vrf.Keyring.t ->
   params:Params.t ->
   trials:int ->

@@ -7,6 +7,19 @@ let attach_coin eng ~metrics = Obs.Bridge.attach eng ~metrics ~tag_of:Coin.tag_o
 let attach_whp_coin eng ~metrics = Obs.Bridge.attach eng ~metrics ~tag_of:Whp_coin.tag_of_msg ()
 let attach_approver eng ~metrics = Obs.Bridge.attach eng ~metrics ~tag_of:Approver.tag_of_msg ()
 
+(* Ledger attachments: the flat word-complexity accumulator, tagged with
+   the same phase names the metrics bridge uses so the two views line up. *)
+let attach_ba_ledger eng ledger =
+  Sim.Ledger.attach eng ledger ~tag_of:Ba.tag_of_msg ~round_of:Ba.round_of_msg ()
+
+let attach_coin_ledger eng ledger = Sim.Ledger.attach eng ledger ~tag_of:Coin.tag_of_msg ()
+
+let attach_whp_coin_ledger eng ledger =
+  Sim.Ledger.attach eng ledger ~tag_of:Whp_coin.tag_of_msg ()
+
+let attach_approver_ledger eng ledger =
+  Sim.Ledger.attach eng ledger ~tag_of:Approver.tag_of_msg ()
+
 let params_json (p : Params.t) =
   Obs.Json.Obj
     [
@@ -39,6 +52,65 @@ let outcome_json (o : Runner.outcome) =
       ("steps", Obs.Json.Int o.Runner.steps);
       ("result", run_result_json o.Runner.result);
     ]
+
+(* ------------------------- ledger documents -------------------------- *)
+
+let cell_fields (c : Sim.Ledger.cell) =
+  [
+    ("correct_msgs", Obs.Json.Int c.Sim.Ledger.correct_msgs);
+    ("correct_words", Obs.Json.Int c.Sim.Ledger.correct_words);
+    ("byz_msgs", Obs.Json.Int c.Sim.Ledger.byz_msgs);
+    ("byz_words", Obs.Json.Int c.Sim.Ledger.byz_words);
+    ("delivered", Obs.Json.Int c.Sim.Ledger.delivered);
+  ]
+
+let cell_json c = Obs.Json.Obj (cell_fields c)
+
+(* One sweep entry: grand total plus the per-round breakdown, each round
+   carrying its per-phase cells.  Zero cells are skipped (the ledger's
+   fold already does), so documents stay proportional to activity, not to
+   phase-count x round-count. *)
+let ledger_json ~protocol ~n ?(extra = []) ledger =
+  let rounds =
+    (* fold visits rounds ascending, phases first-seen within a round —
+       collect per-round phase lists in that order. *)
+    let by_round =
+      Sim.Ledger.fold ledger ~init:[] ~f:(fun acc ~phase ~round cell ->
+          match acc with
+          | (r, cells) :: rest when r = round -> (r, (phase, cell) :: cells) :: rest
+          | _ -> (round, [ (phase, cell) ]) :: acc)
+    in
+    List.rev_map
+      (fun (round, rev_cells) ->
+        let cells = List.rev rev_cells in
+        let total =
+          List.fold_left
+            (fun acc (_, c) -> Sim.Ledger.add_cell acc c)
+            Sim.Ledger.zero_cell cells
+        in
+        Obs.Json.Obj
+          (("round", Obs.Json.Int round)
+           :: cell_fields total
+          @ [
+              ( "phases",
+                Obs.Json.List
+                  (List.map
+                     (fun (phase, c) ->
+                       Obs.Json.Obj (("phase", Obs.Json.Str phase) :: cell_fields c))
+                     cells) );
+            ]))
+      by_round
+  in
+  Obs.Json.Obj
+    ([ ("protocol", Obs.Json.Str protocol); ("n", Obs.Json.Int n) ]
+    @ extra
+    @ [ ("total", cell_json (Sim.Ledger.total ledger)); ("rounds", Obs.Json.List rounds) ])
+
+let ledger_doc ?(extra = []) entries =
+  Obs.Json.Obj
+    (("schema", Obs.Json.Str Obs.Export.ledger_schema)
+     :: extra
+    @ [ ("sweep", Obs.Json.List entries) ])
 
 let metrics_schema = "coincidence.metrics/1"
 

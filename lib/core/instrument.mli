@@ -24,6 +24,32 @@ val attach_coin : Coin.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
 val attach_whp_coin : Whp_coin.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
 val attach_approver : Approver.msg Sim.Engine.t -> metrics:Obs.Metrics.t -> unit
 
+(** {1 Word-complexity ledger}
+
+    The {!Sim.Ledger} variants of the attachments above: same tag
+    functions, but feeding the flat (phase, round, sender-class)
+    accumulator instead of the metrics registry — cheap enough to stay
+    attached at the largest simulated [n].  Several engines may share one
+    ledger to aggregate trials. *)
+
+val attach_ba_ledger : Ba.msg Sim.Engine.t -> Sim.Ledger.t -> unit
+val attach_coin_ledger : Coin.msg Sim.Engine.t -> Sim.Ledger.t -> unit
+val attach_whp_coin_ledger : Whp_coin.msg Sim.Engine.t -> Sim.Ledger.t -> unit
+val attach_approver_ledger : Approver.msg Sim.Engine.t -> Sim.Ledger.t -> unit
+
+val cell_json : Sim.Ledger.cell -> Obs.Json.t
+
+val ledger_json :
+  protocol:string -> n:int -> ?extra:(string * Obs.Json.t) list -> Sim.Ledger.t -> Obs.Json.t
+(** One sweep entry of a {!Obs.Export.ledger_schema} document:
+    [{"protocol", "n", extra..., "total": cell, "rounds": [{"round", cell
+    fields, "phases": [{"phase", cell fields}]}]}], rounds ascending,
+    zero cells skipped. *)
+
+val ledger_doc : ?extra:(string * Obs.Json.t) list -> Obs.Json.t list -> Obs.Json.t
+(** The [coincidence complexity --json] document: [{"schema", extra...,
+    "sweep": entries}], validated by {!Obs.Export.validate_ledger}. *)
+
 (** {1 Machine-readable run documents} *)
 
 val metrics_schema : string

@@ -22,7 +22,7 @@ let resolve_jobs jobs =
 type 'a cell = Pending | Value of 'a | Raised of exn * Printexc.raw_backtrace
 
 let sequential ~ctx n f =
-  let c = ctx () in
+  let c = ctx 0 in
   (* Explicit ascending loop: List.init's application order is
      unspecified (and [::] evaluates right-to-left), and the
      exception-determinism contract needs left-to-right evaluation. *)
@@ -41,8 +41,12 @@ let parallel ~workers ~ctx n f =
   let nchunks = ((n + chunk) - 1) / chunk in
   let next = Atomic.make 0 in
   let cells = Array.make n Pending in
-  let body () =
-    let c = ctx () in
+  (* [w] is the worker slot index — stable across runs (0 = the spawning
+     domain, 1..workers-1 the spawned ones), unlike any scheduling-order
+     notion of identity.  Contexts that key per-worker state (metric
+     shards, span recorders) key it on [w]. *)
+  let body w =
+    let c = ctx w in
     let rec drain () =
       let k = Atomic.fetch_and_add next 1 in
       if k < nchunks then begin
@@ -59,10 +63,10 @@ let parallel ~workers ~ctx n f =
     in
     drain ()
   in
-  let domains = List.init (workers - 1) (fun _ -> Domain.spawn body) in
+  let domains = List.init (workers - 1) (fun k -> Domain.spawn (fun () -> body (k + 1))) in
   (* The spawning domain is worker 0: it drains the same queue, so a
      [jobs = 1] caller never pays a domain spawn. *)
-  let own = match body () with () -> None | exception e -> Some e in
+  let own = match body 0 with () -> None | exception e -> Some e in
   List.iter Domain.join domains;
   (match own with Some e -> raise e | None -> ());
   (* Smallest-index captured exception wins, matching what a sequential

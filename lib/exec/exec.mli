@@ -28,13 +28,15 @@ val resolve_jobs : int -> int
     @raise Invalid_argument on negative [j]. *)
 
 val map :
-  ?jobs:int -> ctx:(unit -> 'ctx) -> int -> ('ctx -> int -> 'a) -> 'a list
+  ?jobs:int -> ctx:(int -> 'ctx) -> int -> ('ctx -> int -> 'a) -> 'a list
 (** [map ~jobs ~ctx n f] is [[f c 0; f c 1; ...; f c (n-1)]] evaluated on
     [min (resolve_jobs jobs) n] worker domains (default [jobs = 1]:
-    sequential, no domain is spawned).  [ctx] runs once per worker, inside
-    that worker's domain; [f] must depend only on its context and index.
-    The work queue hands out contiguous index chunks via an atomic
-    counter, so workers never contend on single indices.
+    sequential, no domain is spawned).  [ctx w] runs once per worker,
+    inside that worker's domain, with [w] the worker slot index (0 = the
+    spawning domain, then 1..workers-1) — the stable key for per-worker
+    state such as metric shards; [f] must depend only on its context and
+    index.  The work queue hands out contiguous index chunks via an
+    atomic counter, so workers never contend on single indices.
 
     If any [f c i] raises, the exception of the smallest raising index is
     re-raised (with its backtrace) once all workers have finished.

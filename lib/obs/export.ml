@@ -93,7 +93,7 @@ let chrome_of_trace ?(pid = 0) trace =
   in
   List.rev (Sim.Trace.fold trace ~init:[] ~f:(fun acc e -> ev e :: acc))
 
-let chrome_of_spans ?(pid = 0) spans =
+let chrome_of_spans ?(pid = 0) ?tid spans =
   List.map
     (fun (s : Span.span) ->
       Json.Obj
@@ -104,7 +104,12 @@ let chrome_of_spans ?(pid = 0) spans =
           ("ts", Json.Int s.Span.begin_step);
           ("dur", Json.Int (max 1 (s.Span.end_step - s.Span.begin_step)));
           ("pid", Json.Int pid);
-          ("tid", Json.Int (match s.Span.pid with Some p -> p | None -> 0));
+          ( "tid",
+            Json.Int
+              (match (tid, s.Span.pid) with
+              | Some t, _ -> t
+              | None, Some p -> p
+              | None, None -> 0) );
           ( "args",
             Json.Obj
               [
@@ -125,5 +130,171 @@ let chrome_process_name ~pid name =
       ("args", Json.Obj [ ("name", Json.Str name) ]);
     ]
 
+let chrome_thread_name ~pid ~tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
 let chrome_trace events =
   Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.Str "ms") ]
+
+(* -------------------------- bench comparison ------------------------- *)
+
+type bench_delta = {
+  cmp_name : string;
+  cmp_old : float;   (** ns/op in the baseline document. *)
+  cmp_new : float;
+  cmp_ratio : float; (** new / old; [infinity] when old is 0. *)
+  cmp_regressed : bool;
+}
+
+let bench_rows doc = match Json.member "rows" doc with Some l -> Json.to_list l | None -> []
+
+let check_bench_schema doc =
+  match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+  | Some s when String.equal s bench_schema -> Ok ()
+  | Some s -> Error (Printf.sprintf "unexpected schema %S (want %S)" s bench_schema)
+  | None -> Error "missing \"schema\" member"
+
+(* b1 rows are the stable comparison surface: (name, ns_per_op) pairs.
+   Experiment tables carry statistical estimates whose run-to-run drift
+   is expected; the micro rows are what a perf regression moves. *)
+let b1_rows doc =
+  List.filter_map
+    (fun r ->
+      match Json.member "table" r with
+      | Some (Json.Str "b1") -> (
+          match
+            ( Option.bind (Json.member "name" r) Json.to_string_opt,
+              Option.bind (Json.member "ns_per_op" r) Json.to_float_opt )
+          with
+          | Some name, Some v -> Some (name, v)
+          | _ -> None)
+      | _ -> None)
+    (bench_rows doc)
+
+let bench_compare ~threshold old_doc new_doc =
+  if not (Float.is_finite threshold) || threshold < 0.0 then
+    invalid_arg "Export.bench_compare: threshold must be finite and >= 0";
+  match (check_bench_schema old_doc, check_bench_schema new_doc) with
+  | Error e, _ -> Error ("old document: " ^ e)
+  | _, Error e -> Error ("new document: " ^ e)
+  | Ok (), Ok () -> (
+      let olds = b1_rows old_doc and news = b1_rows new_doc in
+      match (olds, news) with
+      | [], _ -> Error "old document has no b1 rows"
+      | _, [] -> Error "new document has no b1 rows"
+      | _, _ ->
+          Ok
+            (List.filter_map
+               (fun (name, ov) ->
+                 match
+                   List.find_map
+                     (fun (n, v) -> if String.equal n name then Some v else None)
+                     news
+                 with
+                 | None -> None
+                 | Some nv ->
+                     let ratio = if ov > 0.0 then nv /. ov else Float.infinity in
+                     Some
+                       {
+                         cmp_name = name;
+                         cmp_old = ov;
+                         cmp_new = nv;
+                         cmp_ratio = ratio;
+                         cmp_regressed = ov > 0.0 && nv > ov *. (1.0 +. threshold);
+                       })
+               (List.sort (fun (a, _) (b, _) -> String.compare a b) olds)))
+
+(* -------------------------- ledger documents ------------------------- *)
+
+let ledger_schema = "coincidence.ledger/1"
+
+let cell_fields = [ "correct_msgs"; "correct_words"; "byz_msgs"; "byz_words"; "delivered" ]
+
+let validate_cell ~what j =
+  List.fold_left
+    (fun acc k ->
+      Result.bind acc (fun () ->
+          match Option.bind (Json.member k j) Json.to_int_opt with
+          | Some v when v >= 0 -> Ok ()
+          | Some v -> Error (Printf.sprintf "%s: %s = %d is negative" what k v)
+          | None -> Error (Printf.sprintf "%s: missing integer %S" what k)))
+    (Ok ()) cell_fields
+
+let validate_ledger_entry ~idx entry =
+  let what = Printf.sprintf "sweep[%d]" idx in
+  match Option.bind (Json.member "protocol" entry) Json.to_string_opt with
+  | None -> Error (Printf.sprintf "%s: missing \"protocol\" string" what)
+  | Some proto -> (
+      let what = Printf.sprintf "%s (%s)" what proto in
+      match Option.bind (Json.member "n" entry) Json.to_int_opt with
+      | Some n when n <= 0 -> Error (Printf.sprintf "%s: n = %d must be positive" what n)
+      | None -> Error (Printf.sprintf "%s: missing integer \"n\"" what)
+      | Some _ ->
+          Result.bind
+            (match Json.member "total" entry with
+            | Some tot -> validate_cell ~what:(what ^ ".total") tot
+            | None -> Error (Printf.sprintf "%s: missing \"total\"" what))
+            (fun () ->
+              let rounds =
+                match Json.member "rounds" entry with Some l -> Json.to_list l | None -> []
+              in
+              let step (acc : (int, string) result) r =
+                Result.bind acc (fun prev ->
+                    match Option.bind (Json.member "round" r) Json.to_int_opt with
+                    | None -> Error (Printf.sprintf "%s: round entry missing \"round\"" what)
+                    | Some rd when rd < 0 ->
+                        Error (Printf.sprintf "%s: round %d is negative" what rd)
+                    | Some rd when rd <= prev ->
+                        Error
+                          (Printf.sprintf "%s: rounds not strictly increasing (%d after %d)"
+                             what rd prev)
+                    | Some rd ->
+                        let cw = Printf.sprintf "%s.round[%d]" what rd in
+                        Result.bind (validate_cell ~what:cw r) (fun () ->
+                            let phases =
+                              match Json.member "phases" r with
+                              | Some l -> Json.to_list l
+                              | None -> []
+                            in
+                            Result.map
+                              (fun () -> rd)
+                              (List.fold_left
+                                 (fun acc p ->
+                                   Result.bind acc (fun () ->
+                                       match
+                                         Option.bind (Json.member "phase" p) Json.to_string_opt
+                                       with
+                                       | None ->
+                                           Error
+                                             (Printf.sprintf
+                                                "%s: phase entry missing \"phase\"" cw)
+                                       | Some ph ->
+                                           validate_cell
+                                             ~what:(Printf.sprintf "%s.%s" cw ph) p))
+                                 (Ok ()) phases)))
+              in
+              Result.map (fun _ -> ()) (List.fold_left step (Ok (-1)) rounds)))
+
+let validate_ledger doc =
+  match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+  | Some s when String.equal s ledger_schema -> (
+      match Json.member "sweep" doc with
+      | Some (Json.List entries) ->
+          let rec go idx = function
+            | [] -> Ok (List.length entries)
+            | e :: rest -> (
+                match validate_ledger_entry ~idx e with
+                | Ok () -> go (idx + 1) rest
+                | Error e -> Error e)
+          in
+          go 0 entries
+      | Some _ | None -> Error "missing \"sweep\" list")
+  | Some s -> Error (Printf.sprintf "unexpected schema %S (want %S)" s ledger_schema)
+  | None -> Error "missing \"schema\" member"

@@ -37,9 +37,52 @@ val trace_jsonl : ?run:int -> Sim.Trace.t -> Json.t list
 val chrome_of_trace : ?pid:int -> Sim.Trace.t -> Json.t list
 (** [pid] (default 0) distinguishes trials in one trace file. *)
 
-val chrome_of_spans : ?pid:int -> Span.t -> Json.t list
+val chrome_of_spans : ?pid:int -> ?tid:int -> Span.t -> Json.t list
+(** [tid] (when given) overrides the per-span process id as the track
+    row — the hook for rendering each {!Exec} worker domain on its own
+    track (pair it with {!chrome_thread_name}). *)
 
 val chrome_process_name : pid:int -> string -> Json.t
 (** A metadata event labelling trace process [pid] in the viewer. *)
 
+val chrome_thread_name : pid:int -> tid:int -> string -> Json.t
+(** A metadata event labelling track [tid] of process [pid] — e.g.
+    ["worker 3"] for spans recorded inside an Exec worker domain. *)
+
 val chrome_trace : Json.t list -> Json.t
+
+(** {2 Bench comparison}
+
+    Diff two {!bench_schema} documents by their [b1] microbenchmark rows
+    — the regression gate behind [bench --compare]. *)
+
+type bench_delta = {
+  cmp_name : string;
+  cmp_old : float;   (** ns/op in the baseline document. *)
+  cmp_new : float;
+  cmp_ratio : float; (** new / old; [infinity] when old is 0. *)
+  cmp_regressed : bool;  (** new > old * (1 + threshold). *)
+}
+
+val bench_compare :
+  threshold:float -> Json.t -> Json.t -> (bench_delta list, string) result
+(** [bench_compare ~threshold old new] pairs the [b1] rows of the two
+    documents by benchmark name (sorted; rows only in one document are
+    skipped) and marks a row regressed when its ns/op grew by more than
+    the relative [threshold] (e.g. [0.25] = 25%).  [Error] on schema
+    mismatch or when either document has no [b1] rows.
+    @raise Invalid_argument on a negative or non-finite threshold. *)
+
+(** {2 Ledger documents} *)
+
+val ledger_schema : string
+(** Schema tag ["coincidence.ledger/1"] carried by the word-complexity
+    sweep documents of [coincidence complexity]: [{"schema", ...,
+    "sweep": [{"protocol", "n", "total": {cell}, "rounds": [{"round",
+    cell fields, "phases": [{"phase", cell fields}]}]}]}] where a cell is
+    the five non-negative counters of {!Sim.Ledger.cell}. *)
+
+val validate_ledger : Json.t -> (int, string) result
+(** Structural validation of a {!ledger_schema} document: schema name,
+    every cell counter a non-negative integer, every entry's rounds
+    strictly increasing.  [Ok] carries the number of sweep entries. *)

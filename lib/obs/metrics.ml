@@ -54,25 +54,27 @@ let incr t ?(by = 1) ?(labels = []) name =
   | Some (_, r) -> r := !r + by
   | None -> Hashtbl.replace t.counters key ({ name; labels }, ref by)
 
+(* [labels] must already be canonical. *)
+let hist_cell t name labels =
+  let key = render name labels in
+  match Hashtbl.find_opt t.histograms key with
+  | Some (_, c) -> c
+  | None ->
+      let c =
+        {
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+          h_buckets = Array.make (Array.length bucket_bounds) 0;
+        }
+      in
+      Hashtbl.replace t.histograms key ({ name; labels }, c);
+      c
+
 let observe t ?(labels = []) name v =
   let labels = canonical labels in
-  let key = render name labels in
-  let cell =
-    match Hashtbl.find_opt t.histograms key with
-    | Some (_, c) -> c
-    | None ->
-        let c =
-          {
-            h_count = 0;
-            h_sum = 0.0;
-            h_min = Float.infinity;
-            h_max = Float.neg_infinity;
-            h_buckets = Array.make (Array.length bucket_bounds) 0;
-          }
-        in
-        Hashtbl.replace t.histograms key ({ name; labels }, c);
-        c
-  in
+  let cell = hist_cell t name labels in
   cell.h_count <- cell.h_count + 1;
   cell.h_sum <- cell.h_sum +. v;
   if v < cell.h_min then cell.h_min <- v;
@@ -155,3 +157,77 @@ let to_json t =
     |> List.rev
   in
   Json.Obj [ ("counters", Json.List counters); ("histograms", Json.List histograms) ]
+
+(* ------------------------------ merging ------------------------------ *)
+
+let merge_into ~into src =
+  List.iter
+    (fun (_, s, r) -> incr into ~by:!r ~labels:s.labels s.name)
+    (sorted_seq src.counters);
+  List.iter
+    (fun (_, s, c) ->
+      (* s.labels is canonical already: it was canonicalised on insert. *)
+      let dst = hist_cell into s.name s.labels in
+      dst.h_count <- dst.h_count + c.h_count;
+      dst.h_sum <- dst.h_sum +. c.h_sum;
+      if c.h_min < dst.h_min then dst.h_min <- c.h_min;
+      if c.h_max > dst.h_max then dst.h_max <- c.h_max;
+      Array.iteri (fun i v -> dst.h_buckets.(i) <- dst.h_buckets.(i) + v) c.h_buckets)
+    (sorted_seq src.histograms)
+
+(* ------------------------- domain sharding --------------------------- *)
+
+module Sharded = struct
+  type registry = t
+
+  let fresh_registry : unit -> registry = create
+
+  (* Each Exec worker owns one private shard: the hot path (incr/observe
+     on a claimed shard) is the plain single-domain mutation above — no
+     Mutex, no Atomic, no fence.  Safety rests on the Exec protocol, not
+     on synchronisation: worker w touches only shard w, and Domain.join
+     orders every shard write before the merge reads them.
+
+     The claim flags below are the one sanctioned cross-domain primitive
+     (see the coinlint domain-hygiene allowance): an Atomic.exchange
+     turns "two workers were handed the same shard" — a silent Hashtbl
+     race under the no-sync design — into an immediate exception at
+     campaign start. *)
+  type t = { shards : registry array; claimed : bool Atomic.t array }
+
+  let create ~workers =
+    if workers <= 0 then invalid_arg "Obs.Metrics.Sharded.create: workers must be positive";
+    {
+      shards = Array.init workers (fun _ -> fresh_registry ());
+      claimed = Array.init workers (fun _ -> Atomic.make false);
+    }
+
+  let workers t = Array.length t.shards
+
+  let check t w fn =
+    if w < 0 || w >= Array.length t.shards then
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics.Sharded.%s: worker %d out of range (workers = %d)" fn w
+           (Array.length t.shards))
+
+  let shard t w =
+    check t w "shard";
+    t.shards.(w)
+
+  let claim t w =
+    check t w "claim";
+    if Atomic.exchange t.claimed.(w) true then
+      invalid_arg
+        (Printf.sprintf
+           "Obs.Metrics.Sharded.claim: shard %d already claimed (two workers, or two \
+            concurrent campaigns sharing one registry)"
+           w);
+    t.shards.(w)
+
+  let release_all t = Array.iter (fun c -> Atomic.set c false) t.claimed
+
+  let merged t =
+    let out = fresh_registry () in
+    Array.iter (fun s -> merge_into ~into:out s) t.shards;
+    out
+end

@@ -55,3 +55,56 @@ val to_json : t -> Json.t
                       "buckets":[{"le","count"}...]}...]}]
     with zero-count buckets omitted; series sorted by (name, labels) so
     the document is deterministic. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every series of the source registry into [into]: counters add,
+    histogram cells add component-wise (count, sum, buckets; min/max take
+    the extremum).  Series are matched by (name, canonical labels), so
+    merging is insensitive to call-site label order. *)
+
+module Sharded : sig
+  (** One private registry per {!Exec} worker, merged after the pool
+      joins.
+
+      The hot path is untouched single-domain mutation: worker [w]
+      records into [shard t w] and nothing else, so no Mutex or Atomic
+      guards {!incr}/{!observe} — the coinlint [domain-hygiene] rule
+      stays honest.  Cross-domain visibility comes from [Domain.join]'s
+      happens-before edge (Exec joins every worker before the caller can
+      {!merged}).  {!claim} is the one synchronised operation: an atomic
+      test-and-set per shard that turns an accidental double-assignment
+      — which the no-sync design would otherwise corrupt silently — into
+      an immediate exception.
+
+      {!merged} combines shards in ascending worker order.  The merged
+      registry is byte-identical for every worker count provided each
+      observation is attributable to a trial and trials are index-sharded
+      (the {!Core.Analysis} discipline): integer counters add exactly,
+      and campaign observations are integer-valued floats whose sums stay
+      far below 2^53, so float addition is exact and grouping-independent
+      — see DESIGN.md "Sharded metrics". *)
+
+  type registry = t
+
+  type t
+
+  val create : workers:int -> t
+  (** @raise Invalid_argument when [workers <= 0]. *)
+
+  val workers : t -> int
+
+  val shard : t -> int -> registry
+  (** Read access to shard [w] without claiming it.
+      @raise Invalid_argument when out of range. *)
+
+  val claim : t -> int -> registry
+  (** Take exclusive ownership of shard [w] for one campaign.
+      @raise Invalid_argument when out of range or already claimed. *)
+
+  val release_all : t -> unit
+  (** Drop every claim (call after the pool has joined), so a registry
+      can accumulate across several sequential campaigns. *)
+
+  val merged : t -> registry
+  (** A fresh registry holding all shards merged in worker-index order. *)
+end

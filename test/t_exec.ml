@@ -21,12 +21,12 @@ let test_map_ordered () =
       Alcotest.(check (list int))
         (Printf.sprintf "jobs=%d" jobs)
         expected
-        (Exec.map ~jobs ~ctx:(fun () -> ()) 100 (fun () i -> i * i)))
+        (Exec.map ~jobs ~ctx:(fun _ -> ()) 100 (fun () i -> i * i)))
     [ 1; 2; 4; 7 ]
 
 let test_map_ctx_per_worker () =
   let count = Atomic.make 0 in
-  let ctx () = Atomic.incr count in
+  let ctx _ = Atomic.incr count in
   ignore (Exec.map ~jobs:4 ~ctx 100 (fun () i -> i));
   Alcotest.(check int) "one ctx per worker" 4 (Atomic.get count);
   (* fewer items than workers: the pool must not spawn idle domains *)
@@ -35,17 +35,17 @@ let test_map_ctx_per_worker () =
   Alcotest.(check int) "workers capped at n" 3 (Atomic.get count)
 
 let test_map_edges () =
-  Alcotest.(check (list int)) "n = 0" [] (Exec.map ~jobs:4 ~ctx:(fun () -> ()) 0 (fun () i -> i));
+  Alcotest.(check (list int)) "n = 0" [] (Exec.map ~jobs:4 ~ctx:(fun _ -> ()) 0 (fun () i -> i));
   Alcotest.(check (list int)) "n = 1" [ 7 ]
-    (Exec.map ~jobs:4 ~ctx:(fun () -> ()) 1 (fun () _ -> 7));
+    (Exec.map ~jobs:4 ~ctx:(fun _ -> ()) 1 (fun () _ -> 7));
   Alcotest.check_raises "negative n" (Invalid_argument "Exec.map: negative length") (fun () ->
-      ignore (Exec.map ~ctx:(fun () -> ()) (-1) (fun () i -> i)));
+      ignore (Exec.map ~ctx:(fun _ -> ()) (-1) (fun () i -> i)));
   Alcotest.check_raises "negative jobs"
     (Invalid_argument "Exec: jobs must be >= 0 (0 = recommended domain count)") (fun () ->
-      ignore (Exec.map ~jobs:(-2) ~ctx:(fun () -> ()) 4 (fun () i -> i)));
+      ignore (Exec.map ~jobs:(-2) ~ctx:(fun _ -> ()) 4 (fun () i -> i)));
   (* jobs = 0 resolves to the recommended domain count, whatever it is *)
   Alcotest.(check (list int)) "jobs = 0" [ 0; 1; 2; 3 ]
-    (Exec.map ~jobs:0 ~ctx:(fun () -> ()) 4 (fun () i -> i));
+    (Exec.map ~jobs:0 ~ctx:(fun _ -> ()) 4 (fun () i -> i));
   Alcotest.(check bool) "resolve_jobs 0 positive" true (Exec.resolve_jobs 0 >= 1);
   Alcotest.(check int) "resolve_jobs passthrough" 5 (Exec.resolve_jobs 5)
 
@@ -58,7 +58,7 @@ let test_exception_propagation () =
       Alcotest.check_raises
         (Printf.sprintf "jobs=%d raises smallest index" jobs)
         (Failure "trial-3")
-        (fun () -> ignore (Exec.map ~jobs ~ctx:(fun () -> ()) 50 f)))
+        (fun () -> ignore (Exec.map ~jobs ~ctx:(fun _ -> ()) 50 f)))
     [ 1; 2; 4 ]
 
 (* ----------------------- estimator determinism ----------------------- *)
@@ -103,6 +103,34 @@ let test_estimate_ba_jobs () =
   let reference = est 1 in
   Alcotest.(check int) "sane trial count" 8 reference.Analysis.trials;
   Alcotest.(check bool) "jobs=4 byte-identical" true (est 4 = reference)
+
+(* The tentpole determinism claim for sharded metrics: the merged
+   registry serialises byte-identically at any worker count, because
+   trials are index-sharded and campaign observations are integer-valued
+   floats (exact addition in any grouping). *)
+let test_sharded_metrics_jobs_invariant () =
+  (* A private keyring per jobs value: at jobs=1 the estimator uses the
+     caller's keyring directly (warming its verify memo), at jobs>1 cold
+     clones — so the cache-delta counters only match across jobs when
+     every campaign starts from an equally cold memo. *)
+  let campaign jobs =
+    let kr = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"sharded-test" () in
+    let obs = Analysis.campaign_obs ~jobs () in
+    let (_ : Analysis.ba_estimate) =
+      Analysis.estimate_ba ~jobs ~obs ~keyring:kr ~params:(Lazy.force params) ~trials:8
+        ~base_seed:21 ()
+    in
+    Obs.Json.to_string (Obs.Metrics.to_json (Obs.Metrics.Sharded.merged obs.Analysis.obs_metrics))
+  in
+  let reference = campaign 1 in
+  Alcotest.(check bool) "campaign recorded something" true
+    (String.length reference > String.length "{}");
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d merged metrics byte-identical" jobs)
+        reference (campaign jobs))
+    [ 2; 4 ]
 
 let test_trials_rejected () =
   List.iter
@@ -229,6 +257,8 @@ let suite =
     Alcotest.test_case "whp-coin estimator jobs-invariant" `Quick test_estimate_whp_coin_jobs;
     Alcotest.test_case "committee estimator jobs-invariant" `Quick test_estimate_committees_jobs;
     Alcotest.test_case "ba estimator jobs-invariant" `Quick test_estimate_ba_jobs;
+    Alcotest.test_case "sharded metrics merge jobs-invariant" `Quick
+      test_sharded_metrics_jobs_invariant;
     Alcotest.test_case "trials <= 0 rejected" `Quick test_trials_rejected;
     Alcotest.test_case "keyring clone observationally identical" `Quick test_clone_identical;
     Alcotest.test_case "verify memo differential (vrf)" `Quick test_cache_differential;

@@ -244,6 +244,140 @@ let test_chrome_trace_shape () =
   Alcotest.(check bool) "no end without a begin" true
     (List.for_all (fun id -> List.mem id begins) ends)
 
+(* --------------------------- sharded metrics ------------------------- *)
+
+let test_sharded_claims () =
+  Alcotest.check_raises "workers <= 0 rejected"
+    (Invalid_argument "Obs.Metrics.Sharded.create: workers must be positive") (fun () ->
+      ignore (Obs.Metrics.Sharded.create ~workers:0));
+  let s = Obs.Metrics.Sharded.create ~workers:2 in
+  Alcotest.(check int) "worker count" 2 (Obs.Metrics.Sharded.workers s);
+  let r0 = Obs.Metrics.Sharded.claim s 0 in
+  Obs.Metrics.incr r0 "c";
+  (* double-claim is the aliasing accident the guard exists to catch *)
+  (try
+     ignore (Obs.Metrics.Sharded.claim s 0);
+     Alcotest.fail "double claim not rejected"
+   with Invalid_argument _ -> ());
+  (* the other shard is still claimable, and release_all resets both *)
+  ignore (Obs.Metrics.Sharded.claim s 1);
+  Obs.Metrics.Sharded.release_all s;
+  let r0' = Obs.Metrics.Sharded.claim s 0 in
+  Obs.Metrics.incr r0' "c";
+  (try
+     ignore (Obs.Metrics.Sharded.shard s 2);
+     Alcotest.fail "out-of-range shard not rejected"
+   with Invalid_argument _ -> ());
+  Alcotest.(check string) "claims do not reset counts: both incrs merged"
+    (Obs.Json.to_string
+       (Obs.Metrics.to_json
+          (let direct = Obs.Metrics.create () in
+           Obs.Metrics.incr direct ~by:2 "c";
+           direct)))
+    (Obs.Json.to_string (Obs.Metrics.to_json (Obs.Metrics.Sharded.merged s)))
+
+(* Merging shards must reproduce exactly what a single registry would
+   have recorded, with counters and histograms interleaved across
+   workers. *)
+let test_sharded_merge_equals_direct () =
+  let s = Obs.Metrics.Sharded.create ~workers:3 in
+  let direct = Obs.Metrics.create () in
+  for i = 0 to 29 do
+    let shard = Obs.Metrics.Sharded.shard s (i mod 3) in
+    let labels = [ ("kind", if i mod 2 = 0 then "even" else "odd") ] in
+    Obs.Metrics.incr shard ~labels "trials";
+    Obs.Metrics.incr direct ~labels "trials";
+    Obs.Metrics.observe shard ~labels "words" (float_of_int (i * i));
+    Obs.Metrics.observe direct ~labels "words" (float_of_int (i * i))
+  done;
+  Alcotest.(check string) "merged = direct"
+    (Obs.Json.to_string (Obs.Metrics.to_json direct))
+    (Obs.Json.to_string (Obs.Metrics.to_json (Obs.Metrics.Sharded.merged s)))
+
+(* --------------------------- bench compare --------------------------- *)
+
+let bench_doc rows =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str Obs.Export.bench_schema);
+      ( "rows",
+        List
+          (List.map
+             (fun (table, name, ns) ->
+               Obj [ ("table", Str table); ("name", Str name); ("ns_per_op", Float ns) ])
+             rows) );
+    ]
+
+let test_bench_compare () =
+  let old_doc =
+    bench_doc [ ("b1", "sha", 100.0); ("b1", "vrf", 200.0); ("scaling", "ignored", 1.0) ]
+  in
+  let new_doc =
+    bench_doc [ ("b1", "sha", 110.0); ("b1", "vrf", 300.0); ("b1", "extra", 5.0) ]
+  in
+  match Obs.Export.bench_compare ~threshold:0.25 old_doc new_doc with
+  | Error e -> Alcotest.failf "compare failed: %s" e
+  | Ok deltas ->
+      (* rows are paired by name; rows present on only one side skipped *)
+      Alcotest.(check (list string)) "paired rows" [ "sha"; "vrf" ]
+        (List.map (fun d -> d.Obs.Export.cmp_name) deltas);
+      let sha = List.nth deltas 0 and vrf = List.nth deltas 1 in
+      Alcotest.(check bool) "+10% under 25% threshold" false sha.Obs.Export.cmp_regressed;
+      Alcotest.(check bool) "+50% over 25% threshold" true vrf.Obs.Export.cmp_regressed;
+      Alcotest.(check (float 1e-9)) "ratio" 1.5 vrf.Obs.Export.cmp_ratio
+
+let test_bench_compare_errors () =
+  let ok = bench_doc [ ("b1", "sha", 100.0) ] in
+  let expect_error what old_doc new_doc =
+    match Obs.Export.bench_compare ~threshold:0.25 old_doc new_doc with
+    | Ok _ -> Alcotest.failf "%s: expected Error" what
+    | Error _ -> ()
+  in
+  expect_error "old wrong schema" (Obs.Json.Obj [ ("schema", Obs.Json.Str "x") ]) ok;
+  expect_error "new missing schema" ok (Obs.Json.Obj []);
+  expect_error "old without b1 rows" (bench_doc [ ("scaling", "s", 1.0) ]) ok;
+  expect_error "new without b1 rows" ok (bench_doc []);
+  List.iter
+    (fun threshold ->
+      Alcotest.check_raises
+        (Printf.sprintf "threshold %f rejected" threshold)
+        (Invalid_argument "Export.bench_compare: threshold must be finite and >= 0")
+        (fun () -> ignore (Obs.Export.bench_compare ~threshold ok ok)))
+    [ -0.1; Float.nan; Float.infinity ]
+
+(* ------------------------- per-worker tracks ------------------------- *)
+
+let test_chrome_worker_tracks () =
+  let clock, tick = Obs.Span.manual_clock () in
+  let rec_ = Obs.Span.create clock in
+  tick 1 0.1;
+  Obs.Span.with_span rec_ ~pid:7 "trial" (fun () -> tick 2 0.2);
+  (* default: the span's own pid labels the track *)
+  let tid_of ev =
+    match Obs.Json.member "tid" ev with Some (Obs.Json.Int t) -> t | _ -> -1
+  in
+  (match Obs.Export.chrome_of_spans ~pid:0 rec_ with
+  | [ ev ] -> Alcotest.(check int) "span pid becomes tid" 7 (tid_of ev)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  (* explicit ~tid (the Exec worker slot) overrides it *)
+  (match Obs.Export.chrome_of_spans ~pid:0 ~tid:3 rec_ with
+  | [ ev ] -> Alcotest.(check int) "explicit tid wins" 3 (tid_of ev)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  (* thread_name metadata event names the track in the viewer *)
+  let meta = Obs.Export.chrome_thread_name ~pid:0 ~tid:3 "worker 3" in
+  let str k =
+    match Obs.Json.member k meta with Some (Obs.Json.Str s) -> s | _ -> "?"
+  in
+  Alcotest.(check string) "metadata phase" "M" (str "ph");
+  Alcotest.(check string) "metadata name" "thread_name" (str "name");
+  Alcotest.(check int) "metadata tid" 3 (tid_of meta);
+  match Obs.Json.member "args" meta with
+  | Some args ->
+      Alcotest.(check string) "track label" "worker 3"
+        (match Obs.Json.member "name" args with Some (Obs.Json.Str s) -> s | _ -> "?")
+  | None -> Alcotest.fail "thread_name without args"
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -260,4 +394,9 @@ let suite =
     Alcotest.test_case "metrics doc deterministic" `Quick test_metrics_doc_deterministic;
     Alcotest.test_case "jsonl deterministic" `Quick test_jsonl_deterministic;
     Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+    Alcotest.test_case "sharded claim guard" `Quick test_sharded_claims;
+    Alcotest.test_case "sharded merge equals direct" `Quick test_sharded_merge_equals_direct;
+    Alcotest.test_case "bench compare deltas" `Quick test_bench_compare;
+    Alcotest.test_case "bench compare errors" `Quick test_bench_compare_errors;
+    Alcotest.test_case "chrome per-worker tracks" `Quick test_chrome_worker_tracks;
   ]

@@ -37,4 +37,5 @@ let () =
       ("integration", T_integration.suite);
       ("lint", T_lint.suite);
       ("exec", T_exec.suite);
+      ("ledger", T_ledger.suite);
     ]

@@ -331,11 +331,12 @@ let s4_make () =
                  fn)
         | _ -> ())
     | Some ((("Mutex" | "Atomic" | "Condition" | "Semaphore") as m) :: _)
-      when not (Rules.in_dirs ctx.rel Rules.r6_sync_dirs) ->
+      when not (Rules.r6_sync_ok ctx.rel) ->
         report ctx ~rule:"domain-hygiene" ~loc:e.exp_loc
           (Printf.sprintf
-             "resolves to %s.* outside lib/exec and lib/bignum: shared mutable state across \
-              domains belongs behind the audited Exec abstraction"
+             "resolves to %s.* outside lib/exec, lib/bignum and the audited Obs.Metrics.Sharded \
+              claim guard: shared mutable state across domains belongs behind the audited Exec \
+              abstraction"
              m)
     | Some _ | None -> ()
   in
