@@ -942,11 +942,12 @@ let table_sim () =
 (* LINT: coinlint self-measurement                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Analysis cost is provenance too: both lint tiers' wall seconds land in
-   --json, so if the semantic tier ever gets slow enough to tempt someone
-   into skipping it in CI, the trend is visible across PRs first. *)
+(* Analysis cost is provenance too: every lint tier's wall seconds land
+   in --json, so if the semantic or race tier ever gets slow enough to
+   tempt someone into skipping it in CI, the trend is visible across PRs
+   first. *)
 let table_lint () =
-  section "LINT: coinlint runtime, syntactic vs semantic tier";
+  section "LINT: coinlint runtime per tier";
   let roots = List.filter Sys.file_exists [ "lib"; "bin"; "bench" ] in
   if roots = [] then Format.printf "  (source roots not visible from cwd; skipped)@."
   else begin
@@ -959,10 +960,17 @@ let table_lint () =
     let units = Coinlint.Cmt_loader.load ~allow_build:false roots in
     let sem = Coinlint.Sem_rules.lint_units ~rules:Coinlint.Sem_rules.all units in
     let sem_s = Unix.gettimeofday () -. t1 in
+    (* cold race tier: per-function summaries plus the interprocedural
+       rules, no summary cache so the row measures the full analysis *)
+    let t2 = Unix.gettimeofday () in
+    let race = Coinlint.Race_rules.lint_units ~rules:Coinlint.Race_rules.all units in
+    let race_s = Unix.gettimeofday () -. t2 in
     Format.printf "  %-10s %8s %9s %9s@." "tier" "inputs" "findings" "wall_s";
     Format.printf "  %-10s %8d %9d %9.3f@." "syntactic" files (List.length syn) syn_s;
     Format.printf "  %-10s %8d %9d %9.3f@." "semantic" (List.length units) (List.length sem)
       sem_s;
+    Format.printf "  %-10s %8d %9d %9.3f@." "race" (List.length units) (List.length race)
+      race_s;
     if units = [] then
       Format.printf "  (no .cmt files visible: run `dune build @@check` for a real measurement)@.";
     record ~table:"lint"
@@ -978,6 +986,13 @@ let table_lint () =
         ("inputs", ji (List.length units));
         ("findings", ji (List.length sem));
         ("wall_s", jf sem_s);
+      ];
+    record ~table:"lint"
+      [
+        ("tier", js "race");
+        ("inputs", ji (List.length units));
+        ("findings", ji (List.length race));
+        ("wall_s", jf race_s);
       ]
   end
 

@@ -46,13 +46,33 @@ let campaign_obs ?(clock = zero_clock) ~jobs () =
     obs_spans = Array.init workers (fun _ -> Obs.Span.create clock);
   }
 
+(* Everything a worker domain may touch, bundled at context-creation
+   time: the keyring is this worker's own clone (or the caller's, when
+   sequential), and the observability pair is this worker's claimed
+   shard plus its span recorder.  Workers receive the slot as their
+   first argument and must reach shared campaign state only through it —
+   the race tier's domain-escape rule checks exactly that. *)
+type worker_slot = {
+  slot_keyring : Vrf.Keyring.t;
+  slot_obs : (Obs.Metrics.t * Obs.Span.t) option;
+}
+
 (* Worker context: claim the worker's shard (a cross-campaign aliasing
-   guard, not a lock) and pair the worker slot with its keyring. *)
+   guard, not a lock), select its span recorder, and pair both with the
+   worker's keyring.  Runs on the worker domain (Exec applies ~ctx
+   there), so every hand-off below is a sanctioned per-worker boundary:
+   Sharded.claim, per-worker array selection, Keyring.clone. *)
 let campaign_ctx ?obs ~jobs keyring =
   let kr = keyring_ctx ~jobs keyring in
   fun w ->
-    (match obs with Some o -> ignore (Obs.Metrics.Sharded.claim o.obs_metrics w) | None -> ());
-    (w, kr w)
+    let slot_obs =
+      match obs with
+      | Some o ->
+          let shard = Obs.Metrics.Sharded.claim o.obs_metrics w in
+          Some (shard, o.obs_spans.(w))
+      | None -> None
+    in
+    { slot_keyring = kr w; slot_obs }
 
 (* Release shard claims once the pool has joined — even if a trial raised
    — so the same [campaign_obs] can aggregate several campaigns. *)
@@ -70,15 +90,13 @@ let with_claims ?obs f =
    alpha embeds the per-trial instance string, making cache keys
    trial-unique: no trial's verdict about its own verifications depends
    on which clone ran the trials before it. *)
-let observed ?obs ~kind ~worker ~trial ~keyring ~record run =
-  match obs with
+let observed ~slot ~kind ~trial ~record run =
+  match slot.slot_obs with
   | None -> run ()
-  | Some o ->
-      let shard = Obs.Metrics.Sharded.shard o.obs_metrics worker in
+  | Some (shard, span) ->
+      let keyring = slot.slot_keyring in
       let s0 = Vrf.Keyring.verify_cache_stats keyring in
-      let result =
-        Obs.Span.with_span o.obs_spans.(worker) ~pid:trial (kind ^ "-trial") run
-      in
+      let result = Obs.Span.with_span span ~pid:trial (kind ^ "-trial") run in
       let s1 = Vrf.Keyring.verify_cache_stats keyring in
       let kl = [ ("kind", kind) ] in
       Obs.Metrics.incr shard ~labels:kl "trials";
@@ -133,10 +151,11 @@ let estimate_shared_coin ?scheduler ?(crash = 0) ?(jobs = 1) ?obs ~keyring ~n ~f
   check_trials trials;
   let outcomes =
     with_claims ?obs (fun () ->
-        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun slot i ->
             let seed = base_seed + i in
-            observed ?obs ~kind:"coin" ~worker:w ~trial:i ~keyring
-              ~record:(record_coin_trial ~kind:"coin") (fun () ->
+            let keyring = slot.slot_keyring in
+            observed ~slot ~kind:"coin" ~trial:i ~record:(record_coin_trial ~kind:"coin")
+              (fun () ->
                 Runner.run_shared_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash)
                   ~keyring ~n ~f ~round:i ~seed ())))
   in
@@ -148,9 +167,10 @@ let estimate_whp_coin ?scheduler ?(crash = 0) ?(jobs = 1) ?obs ~keyring ~params 
   let n = params.Params.n in
   let outcomes =
     with_claims ?obs (fun () ->
-        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun slot i ->
             let seed = base_seed + i in
-            observed ?obs ~kind:"whp-coin" ~worker:w ~trial:i ~keyring
+            let keyring = slot.slot_keyring in
+            observed ~slot ~kind:"whp-coin" ~trial:i
               ~record:(record_coin_trial ~kind:"whp-coin") (fun () ->
                 Runner.run_whp_coin ?scheduler ~pre_corrupt:(crash_set ~seed ~n ~crash) ~keyring
                   ~params ~round:i ~seed ())))
@@ -179,15 +199,15 @@ let estimate_committees ?(jobs = 1) ?obs ~keyring ~params ~trials ~base_seed () 
      threshold counting happens in the (ordered) sequential fold below. *)
   let samples =
     with_claims ?obs (fun () ->
-        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
-            observed ?obs ~kind:"committee" ~worker:w ~trial:i ~keyring
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun slot i ->
+            observed ~slot ~kind:"committee" ~trial:i
               ~record:(fun shard (size, byz_count) ->
                 let kl = [ ("kind", "committee") ] in
                 Obs.Metrics.observe shard ~labels:kl "committee_size" (float_of_int size);
                 Obs.Metrics.observe shard ~labels:kl "committee_byz" (float_of_int byz_count))
               (fun () ->
                 let com =
-                  Sample.committee keyring
+                  Sample.committee slot.slot_keyring
                     ~s:(Printf.sprintf "est-%d-%d" base_seed (i + 1))
                     ~lambda
                 in
@@ -229,13 +249,15 @@ let estimate_ba ?scheduler ?(corruption = Runner.Honest) ?(mixed_inputs = true) 
   in
   let outcomes =
     with_claims ?obs (fun () ->
-        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun (w, keyring) i ->
+        Exec.map ~jobs ~ctx:(campaign_ctx ?obs ~jobs keyring) trials (fun slot i ->
             let seed = base_seed + i in
             let inputs =
               if mixed_inputs then Array.init n (fun p -> (p + i) mod 2) else Array.make n 1
             in
-            observed ?obs ~kind:"ba" ~worker:w ~trial:i ~keyring ~record:record_ba (fun () ->
-                (Runner.run_ba ?scheduler ~corruption ~keyring ~params ~inputs ~seed (), inputs))))
+            observed ~slot ~kind:"ba" ~trial:i ~record:record_ba (fun () ->
+                ( Runner.run_ba ?scheduler ~corruption ~keyring:slot.slot_keyring ~params ~inputs
+                    ~seed (),
+                  inputs ))))
   in
   let safe = ref 0 and complete = ref 0 in
   let rounds = ref [] and words = ref [] and depth = ref [] in

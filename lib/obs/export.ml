@@ -161,10 +161,12 @@ let check_bench_schema doc =
   | Some s -> Error (Printf.sprintf "unexpected schema %S (want %S)" s bench_schema)
   | None -> Error "missing \"schema\" member"
 
-(* b1 rows are the stable comparison surface: (name, ns_per_op) pairs.
-   Experiment tables carry statistical estimates whose run-to-run drift
-   is expected; the micro rows are what a perf regression moves. *)
-let b1_rows doc =
+(* The stable comparison surface: b1 micro rows as (name, ns_per_op),
+   plus the lint table's per-tier analysis cost as ("lint/<tier>", wall
+   nanoseconds) — so a race-tier slowdown trips the same gate as a
+   kernel regression.  Experiment tables carry statistical estimates
+   whose run-to-run drift is expected and stay out. *)
+let comparable_rows doc =
   List.filter_map
     (fun r ->
       match Json.member "table" r with
@@ -174,6 +176,13 @@ let b1_rows doc =
               Option.bind (Json.member "ns_per_op" r) Json.to_float_opt )
           with
           | Some name, Some v -> Some (name, v)
+          | _ -> None)
+      | Some (Json.Str "lint") -> (
+          match
+            ( Option.bind (Json.member "tier" r) Json.to_string_opt,
+              Option.bind (Json.member "wall_s" r) Json.to_float_opt )
+          with
+          | Some tier, Some v -> Some ("lint/" ^ tier, v *. 1e9)
           | _ -> None)
       | _ -> None)
     (bench_rows doc)
@@ -185,10 +194,10 @@ let bench_compare ~threshold old_doc new_doc =
   | Error e, _ -> Error ("old document: " ^ e)
   | _, Error e -> Error ("new document: " ^ e)
   | Ok (), Ok () -> (
-      let olds = b1_rows old_doc and news = b1_rows new_doc in
+      let olds = comparable_rows old_doc and news = comparable_rows new_doc in
       match (olds, news) with
-      | [], _ -> Error "old document has no b1 rows"
-      | _, [] -> Error "new document has no b1 rows"
+      | [], _ -> Error "old document has no comparable (b1 or lint) rows"
+      | _, [] -> Error "new document has no comparable (b1 or lint) rows"
       | _, _ ->
           Ok
             (List.filter_map

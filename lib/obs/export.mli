@@ -53,8 +53,10 @@ val chrome_trace : Json.t list -> Json.t
 
 (** {2 Bench comparison}
 
-    Diff two {!bench_schema} documents by their [b1] microbenchmark rows
-    — the regression gate behind [bench --compare]. *)
+    Diff two {!bench_schema} documents by their comparable rows — the
+    [b1] microbenchmark rows plus the [lint] table's per-tier analysis
+    cost (as ["lint/<tier>"] pseudo-benchmarks) — the regression gate
+    behind [bench --compare]. *)
 
 type bench_delta = {
   cmp_name : string;
@@ -66,11 +68,11 @@ type bench_delta = {
 
 val bench_compare :
   threshold:float -> Json.t -> Json.t -> (bench_delta list, string) result
-(** [bench_compare ~threshold old new] pairs the [b1] rows of the two
-    documents by benchmark name (sorted; rows only in one document are
-    skipped) and marks a row regressed when its ns/op grew by more than
-    the relative [threshold] (e.g. [0.25] = 25%).  [Error] on schema
-    mismatch or when either document has no [b1] rows.
+(** [bench_compare ~threshold old new] pairs the comparable rows of the
+    two documents by benchmark name (sorted; rows only in one document
+    are skipped) and marks a row regressed when its cost grew by more
+    than the relative [threshold] (e.g. [0.25] = 25%).  [Error] on
+    schema mismatch or when either document has no comparable rows.
     @raise Invalid_argument on a negative or non-finite threshold. *)
 
 (** {2 Ledger documents} *)

@@ -232,6 +232,9 @@ let json_shape () =
     @ List.map
         (fun (r : Coinlint.Sem_rules.rule) -> (r.name, Coinlint.Engine.tier_semantic))
         Coinlint.Sem_rules.all
+    @ List.map
+        (fun (r : Coinlint.Race_rules.rule) -> (r.name, Coinlint.Engine.tier_race))
+        Coinlint.Race_rules.all
   in
   let doc =
     Coinlint.Engine.json_report ~rules ~files_scanned:1 ~semantic_units:0 ~baseline_suppressed:0
@@ -239,7 +242,7 @@ let json_shape () =
   in
   let member k = Obs.Json.member k doc in
   Alcotest.(check (option string))
-    "schema" (Some "coincidence.lint/2")
+    "schema" (Some "coincidence.lint/3")
     (Option.bind (member "schema") Obs.Json.to_string_opt);
   Alcotest.(check (option int)) "files_scanned" (Some 1)
     (Option.bind (member "files_scanned") Obs.Json.to_int_opt);
@@ -534,14 +537,22 @@ let baseline_suppression () =
       (* the key is rule/file/symbol, so the finding stays suppressed
          when unrelated lines above it move it down the file *)
       let moved = lint ~rel:"lib/core/x.ml" ("\n\n" ^ src) in
-      let kept, n = Coinlint.Engine.apply_baseline ~baseline:keys moved in
+      let kept, n, stale = Coinlint.Engine.apply_baseline ~baseline:keys moved in
       Alcotest.(check int) "moved finding suppressed" 0 (List.length kept);
       Alcotest.(check int) "suppressed count" 1 n;
-      (* a finding in a different symbol is new and must be kept *)
+      Alcotest.(check int) "no stale entries" 0 (List.length stale);
+      (* a finding in a different symbol is new and must be kept; the
+         baseline entry for the old symbol is now stale *)
       let other = lint ~rel:"lib/core/x.ml" "let b f h = Hashtbl.iter f h\n" in
-      let kept2, n2 = Coinlint.Engine.apply_baseline ~baseline:keys other in
+      let kept2, n2, stale2 = Coinlint.Engine.apply_baseline ~baseline:keys other in
       Alcotest.(check int) "new symbol kept" 1 (List.length kept2);
-      Alcotest.(check int) "nothing suppressed" 0 n2
+      Alcotest.(check int) "nothing suppressed" 0 n2;
+      Alcotest.(check int) "stale entry reported" 1 (List.length stale2);
+      (match stale2 with
+      | [ b ] ->
+          Alcotest.(check string) "stale rule" "hashtbl-iter" b.Coinlint.Engine.b_rule;
+          Alcotest.(check string) "stale symbol" "a" b.Coinlint.Engine.b_symbol
+      | _ -> Alcotest.fail "expected exactly one stale baseline key")
 
 let repo_sem_clean () =
   (* Zero semantic findings over the real tree's typedtrees.  Skipped
@@ -556,6 +567,182 @@ let repo_sem_clean () =
           let findings = Coinlint.Sem_rules.lint_units ~rules:Coinlint.Sem_rules.all units in
           List.iter (fun f -> Format.eprintf "%a@." Coinlint.Engine.pp_finding f) findings;
           Alcotest.(check int) "semantic repo findings" 0 (List.length findings))
+
+(* ----------------------------- race tier ------------------------------ *)
+
+let rlint ?(rel = "lib/core/x.ml") ?only src =
+  let rules =
+    match only with
+    | None -> Coinlint.Race_rules.all
+    | Some names -> List.filter_map Coinlint.Race_rules.find names
+  in
+  Coinlint.Race_rules.lint_source ~rules ~rel src
+
+(* Self-contained mocks mirroring the shapes the race tier keys on:
+   path suffixes (Exec.map, Keyring.clone), a mutable-record keyring and
+   the sequential-guard condition.  Everything the classifier needs is
+   declared in the fixture itself. *)
+let race_prelude =
+  "module Vrf = struct\n\
+  \  module Keyring = struct\n\
+  \    type t = { mutable hits : int }\n\
+  \    let create () = { hits = 0 }\n\
+  \    let clone (k : t) = { hits = k.hits }\n\
+  \  end\n\
+   end\n\
+   module Exec = struct\n\
+  \  let resolve_jobs j = j\n\
+  \  let map ~jobs ~ctx n f = ignore jobs; List.init n (fun i -> f (ctx 0) i)\n\
+  \  let sequential n f = List.init n (fun i -> f () i)\n\
+   end\n\
+   let use (k : Vrf.Keyring.t) = k.Vrf.Keyring.hits <- k.Vrf.Keyring.hits + 1\n"
+
+(* The campaign-loop chain of lib/core/analysis.ml with the Keyring.clone
+   hand-off removed: the keyring escapes keyring_ctx raw (conditionally —
+   the mutant is polymorphic), composes through the campaign_ctx factory,
+   and fires where Exec.map pins the argument to the mutable keyring. *)
+let race_mutant_body =
+  "let keyring_ctx ~jobs keyring =\n\
+  \  if Exec.resolve_jobs jobs <= 1 then fun _ -> keyring else fun _ -> keyring\n\
+   let campaign_ctx ~jobs keyring =\n\
+  \  let kr = keyring_ctx ~jobs keyring in\n\
+  \  fun w -> kr w\n\
+   let estimate ~jobs ~keyring trials =\n\
+  \  Exec.map ~jobs ~ctx:(campaign_ctx ~jobs keyring) trials (fun kr i -> use kr; i)\n"
+
+let race_clone_mutant () =
+  let fs = rlint (race_prelude ^ race_mutant_body) in
+  Alcotest.(check int) "domain-escape fires" 1 (count "domain-escape" fs);
+  match List.filter (fun f -> String.equal f.Coinlint.Engine.rule "domain-escape") fs with
+  | [ f ] ->
+      Alcotest.(check string) "race tier" Coinlint.Engine.tier_race f.Coinlint.Engine.tier;
+      Alcotest.(check string) "at the call site symbol" "estimate" f.Coinlint.Engine.symbol;
+      let w = f.Coinlint.Engine.witness in
+      Alcotest.(check bool) "witness chain present" true (List.length w >= 4);
+      let texts = List.map (fun s -> s.Coinlint.Engine.w_what) w in
+      let mentions sub =
+        List.exists
+          (fun t ->
+            let n = String.length sub in
+            let rec go i = i + n <= String.length t && (String.equal (String.sub t i n) sub || go (i + 1)) in
+            go 0)
+          texts
+      in
+      Alcotest.(check bool) "witness names the factory hand-off" true
+        (mentions "factory keyring_ctx");
+      Alcotest.(check bool) "witness ends at the worker boundary" true (mentions "Exec.map")
+  | _ -> Alcotest.fail "expected exactly one domain-escape finding"
+
+let race_clone_mutant_aliased () =
+  (* Same mutant reached through a module alias; and conversely, the
+     sanctioned clone spelled through the alias must stay silent. *)
+  let aliased_mutant =
+    "module K = Vrf.Keyring\n" ^ race_mutant_body
+  in
+  Alcotest.(check int) "aliased mutant fires" 1
+    (count "domain-escape" (rlint (race_prelude ^ aliased_mutant)))
+
+let race_sanctioned_clone_clean () =
+  let body =
+    "module K = Vrf.Keyring\n\
+     let keyring_ctx ~jobs keyring =\n\
+    \  if Exec.resolve_jobs jobs <= 1 then fun _ -> keyring\n\
+    \  else fun _ -> K.clone keyring\n\
+     let campaign_ctx ~jobs keyring =\n\
+    \  let kr = keyring_ctx ~jobs keyring in\n\
+    \  fun w -> kr w\n\
+     let estimate ~jobs ~keyring trials =\n\
+    \  Exec.map ~jobs ~ctx:(campaign_ctx ~jobs keyring) trials (fun kr i -> use kr; i)\n"
+  in
+  Alcotest.(check int) "clone hand-off is sanctioned" 0
+    (List.length (rlint (race_prelude ^ body)))
+
+let race_direct_capture () =
+  (* No factory involved: the worker closure itself captures the mutable
+     keyring parameter and consumes it across the boundary. *)
+  let body =
+    "let estimate ~jobs ~(keyring : Vrf.Keyring.t) trials =\n\
+    \  Exec.map ~jobs ~ctx:(fun w -> w) trials (fun _ i -> use keyring; i)\n"
+  in
+  Alcotest.(check int) "direct capture fires" 1
+    (count "domain-escape" (rlint (race_prelude ^ body)))
+
+let race_sequential_guard_clean () =
+  (* Exec.sequential runs on the caller's domain: sharing is fine there,
+     and the guard shape keeps the sequential branch out of the race
+     tier entirely. *)
+  let body =
+    "let estimate ~jobs ~(keyring : Vrf.Keyring.t) trials =\n\
+    \  if Exec.resolve_jobs jobs <= 1 then Exec.sequential trials (fun () i -> use keyring; i)\n\
+    \  else []\n"
+  in
+  Alcotest.(check int) "sequential worker unchecked" 0
+    (List.length (rlint (race_prelude ^ body)))
+
+let race_global_reach () =
+  let body =
+    "let tbl : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+     let run ~jobs trials =\n\
+    \  Exec.map ~jobs ~ctx:(fun w -> w) trials (fun _ i -> Hashtbl.replace tbl i i; i)\n"
+  in
+  let fs =
+    rlint ~rel:"lib/sim/x.ml" ~only:[ "global-mutable-reach" ] (race_prelude ^ body)
+  in
+  Alcotest.(check int) "global reach fires" 1 (count "global-mutable-reach" fs);
+  (* outside the protected trees the same shape is not this rule's business *)
+  let out =
+    rlint ~rel:"bench/x.ml" ~only:[ "global-mutable-reach" ] (race_prelude ^ body)
+  in
+  Alcotest.(check int) "unprotected tree silent" 0 (count "global-mutable-reach" out)
+
+let race_unguarded_lazy () =
+  let body =
+    "let table = lazy (Array.init 10 (fun i -> i))\n\
+     let run ~jobs trials =\n\
+    \  Exec.map ~jobs ~ctx:(fun w -> w) trials (fun _ i -> ignore (Lazy.force table); i)\n"
+  in
+  let fs = rlint ~only:[ "unguarded-lazy" ] (race_prelude ^ body) in
+  Alcotest.(check int) "unguarded force fires" 1 (count "unguarded-lazy" fs)
+
+let race_json_witness () =
+  (* A race finding's witness chain survives the JSON reporter and the
+     strict parser round-trip. *)
+  let fs = rlint (race_prelude ^ race_mutant_body) in
+  let rules = [ ("domain-escape", Coinlint.Engine.tier_race) ] in
+  let doc =
+    Coinlint.Engine.json_report ~rules ~files_scanned:0 ~semantic_units:1 ~baseline_suppressed:0
+      fs
+  in
+  (match Obs.Json.to_list (Option.value ~default:Obs.Json.Null (Obs.Json.member "findings" doc)) with
+  | f :: _ -> (
+      match Obs.Json.to_list (Option.value ~default:Obs.Json.Null (Obs.Json.member "witness" f)) with
+      | [] -> Alcotest.fail "witness missing from JSON finding"
+      | s :: _ as steps ->
+          Alcotest.(check bool) "several steps" true (List.length steps >= 4);
+          Alcotest.(check bool) "step has file" true
+            (Option.is_some (Option.bind (Obs.Json.member "file" s) Obs.Json.to_string_opt));
+          Alcotest.(check bool) "step has line" true
+            (Option.is_some (Option.bind (Obs.Json.member "line" s) Obs.Json.to_int_opt));
+          Alcotest.(check bool) "step has what" true
+            (Option.is_some (Option.bind (Obs.Json.member "what" s) Obs.Json.to_string_opt)))
+  | [] -> Alcotest.fail "expected findings in the report");
+  match Obs.Json.of_string (Obs.Json.to_string doc) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "json round-trip: %s" e
+
+let repo_race_clean () =
+  (* The refactored campaign code (worker_slot in lib/core/analysis.ml,
+     sharded metrics in lib/obs) must satisfy the race tier with zero
+     allow sites. *)
+  match find_repo_root () with
+  | None -> ()
+  | Some root -> (
+      match Coinlint.Cmt_loader.scan ~base:root [ "lib"; "bin"; "bench" ] with
+      | [] -> ()
+      | units ->
+          let findings = Coinlint.Race_rules.lint_units ~rules:Coinlint.Race_rules.all units in
+          List.iter (fun f -> Format.eprintf "%a@." Coinlint.Engine.pp_finding f) findings;
+          Alcotest.(check int) "race repo findings" 0 (List.length findings))
 
 let suite =
   [
@@ -639,4 +826,13 @@ let suite =
     Alcotest.test_case "merge dedups same-site findings" `Quick merge_dedups_same_site;
     Alcotest.test_case "baseline keyed by rule/file/symbol" `Quick baseline_suppression;
     Alcotest.test_case "semantic repo scan is clean" `Quick repo_sem_clean;
+    Alcotest.test_case "race: clone-removed campaign mutant" `Quick race_clone_mutant;
+    Alcotest.test_case "race: mutant through module alias" `Quick race_clone_mutant_aliased;
+    Alcotest.test_case "race: sanctioned clone clean" `Quick race_sanctioned_clone_clean;
+    Alcotest.test_case "race: direct mutable capture" `Quick race_direct_capture;
+    Alcotest.test_case "race: sequential guard unchecked" `Quick race_sequential_guard_clean;
+    Alcotest.test_case "race: global reach in protected trees" `Quick race_global_reach;
+    Alcotest.test_case "race: unguarded lazy force" `Quick race_unguarded_lazy;
+    Alcotest.test_case "race: witness survives JSON round-trip" `Quick race_json_witness;
+    Alcotest.test_case "race repo scan is clean" `Quick repo_race_clean;
   ]

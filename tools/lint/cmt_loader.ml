@@ -23,6 +23,7 @@
 type unit_ = {
   rel : string;      (* source path as recorded by the compiler, e.g. lib/core/coin.ml *)
   modname : string;  (* demangled module name, e.g. Coin *)
+  digest : string;   (* source digest (cache key for the race-tier summaries) *)
   structure : Typedtree.structure;
 }
 
@@ -88,8 +89,21 @@ let source_under roots src =
 
 let load_cmt path =
   match Cmt_format.read_cmt path with
-  | { cmt_annots = Implementation structure; cmt_sourcefile = Some rel; cmt_modname; _ } ->
-      Some { rel; modname = Option.value ~default:cmt_modname (demangle cmt_modname); structure }
+  | {
+      cmt_annots = Implementation structure;
+      cmt_sourcefile = Some rel;
+      cmt_modname;
+      cmt_source_digest;
+      _;
+    } ->
+      Some
+        {
+          rel;
+          modname = Option.value ~default:cmt_modname (demangle cmt_modname);
+          digest =
+            (match cmt_source_digest with Some d -> Digest.to_hex d | None -> "");
+          structure;
+        }
   | _ -> None
   | exception _ -> None  (* unreadable / wrong-version .cmt: the build will complain, not us *)
 
@@ -151,4 +165,9 @@ let modname_of_rel rel =
 (* Typecheck a source string into a semantic-tier unit.  Raises on
    ill-typed input; sem_rules turns that into a "typecheck" finding. *)
 let unit_of_source ~rel source =
-  { rel; modname = modname_of_rel rel; structure = typecheck_impl ~filename:rel source }
+  {
+    rel;
+    modname = modname_of_rel rel;
+    digest = Digest.to_hex (Digest.string source);
+    structure = typecheck_impl ~filename:rel source;
+  }

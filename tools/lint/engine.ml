@@ -27,14 +27,20 @@
    The payload is a string of rule names separated by spaces or commas;
    the name "all" suppresses every rule. *)
 
+(* One link of a race-tier witness chain: value origin, capture site,
+   hand-offs, violating consumption, worker-pool call site — oldest
+   first.  Empty for the syntactic and semantic tiers. *)
+type witness_step = { w_what : string; w_file : string; w_line : int; w_col : int }
+
 type finding = {
   file : string;
   line : int;
   col : int;
   rule : string;
   msg : string;
-  tier : string;    (* "syntactic" | "semantic" *)
+  tier : string;    (* "syntactic" | "semantic" | "race" *)
   symbol : string;  (* enclosing top-level binding, "" at module level *)
+  witness : witness_step list;
 }
 
 type report = loc:Location.t -> string -> unit
@@ -47,6 +53,7 @@ type rule = {
 
 let tier_syntactic = "syntactic"
 let tier_semantic = "semantic"
+let tier_race = "race"
 
 type ctx = {
   rel : string;                       (* path as reported in findings *)
@@ -66,6 +73,7 @@ let add ctx ~(loc : Location.t) ~rule msg =
       msg;
       tier = tier_syntactic;
       symbol = ctx.sym;
+      witness = [];
     }
     :: ctx.out
 
@@ -219,6 +227,7 @@ let lint_source ~rules ~rel source =
          msg = "cannot parse: " ^ Printexc.to_string exn;
          tier = tier_syntactic;
          symbol = "";
+         witness = [];
        }
        :: ctx.out);
   List.sort compare_findings ctx.out
@@ -317,17 +326,37 @@ let load_baseline path =
   | Ok doc -> baseline_of_json doc
   | exception Sys_error e -> Error e
 
-(* Returns the findings not covered by the baseline, plus the suppressed
-   count (reported in the JSON document so a baselined run is auditable). *)
+(* Returns the findings not covered by the baseline, the suppressed count
+   (reported in the JSON document so a baselined run is auditable), and
+   the *stale* baseline entries — keys that no longer match any finding.
+   A stale entry is silently-dead suppression: the bug it excused is
+   fixed (or the symbol renamed) and leaving it in place would excuse a
+   future regression at the same key. *)
 let apply_baseline ~baseline findings =
   let kept, suppressed = List.partition (fun f -> not (baseline_mem baseline f)) findings in
-  (kept, List.length suppressed)
+  let stale =
+    List.filter
+      (fun b ->
+        not
+          (List.exists
+             (fun f ->
+               let k = baseline_of_finding f in
+               String.equal b.b_rule k.b_rule
+               && String.equal b.b_file k.b_file
+               && String.equal b.b_symbol k.b_symbol)
+             findings))
+      baseline
+  in
+  (kept, List.length suppressed, stale)
 
 (* ---------------------------- reporters ------------------------------ *)
 
 let pp_finding fmt f =
   Format.fprintf fmt "%s:%d:%d: [%s/%s] %s%s" f.file f.line f.col f.rule f.tier f.msg
-    (if String.equal f.symbol "" then "" else Printf.sprintf " (in %s)" f.symbol)
+    (if String.equal f.symbol "" then "" else Printf.sprintf " (in %s)" f.symbol);
+  List.iter
+    (fun w -> Format.fprintf fmt "@.    %s:%d:%d: %s" w.w_file w.w_line w.w_col w.w_what)
+    f.witness
 
 let print_human fmt (files, findings) =
   List.iter (fun f -> Format.fprintf fmt "%a@." pp_finding f) findings;
@@ -337,26 +366,38 @@ let print_human fmt (files, findings) =
     files
     (if files = 1 then "" else "s")
 
-let schema = "coincidence.lint/2"
+let schema = "coincidence.lint/3"
+
+let json_witness_step w =
+  Obs.Json.Obj
+    [
+      ("what", Obs.Json.Str w.w_what);
+      ("file", Obs.Json.Str w.w_file);
+      ("line", Obs.Json.Int w.w_line);
+      ("col", Obs.Json.Int w.w_col);
+    ]
 
 let json_finding f =
   Obs.Json.Obj
-    [
-      ("file", Obs.Json.Str f.file);
-      ("line", Obs.Json.Int f.line);
-      ("col", Obs.Json.Int f.col);
-      ("rule", Obs.Json.Str f.rule);
-      ("tier", Obs.Json.Str f.tier);
-      ("symbol", Obs.Json.Str f.symbol);
-      ("msg", Obs.Json.Str f.msg);
-    ]
+    ([
+       ("file", Obs.Json.Str f.file);
+       ("line", Obs.Json.Int f.line);
+       ("col", Obs.Json.Int f.col);
+       ("rule", Obs.Json.Str f.rule);
+       ("tier", Obs.Json.Str f.tier);
+       ("symbol", Obs.Json.Str f.symbol);
+       ("msg", Obs.Json.Str f.msg);
+     ]
+    @ if f.witness = [] then [] else [ ("witness", Obs.Json.List (List.map json_witness_step f.witness)) ])
 
-(* [rules] pairs each registry entry with its tier so a v2 report is
+(* [rules] pairs each registry entry with its tier so a v3 report is
    self-describing about what ran; [semantic_units] counts the typedtree
-   compilation units the semantic tier actually loaded (0 when the tier
-   was skipped), and [baseline_suppressed] how many findings --baseline
-   removed before [findings]. *)
-let json_report ~rules ~files_scanned ~semantic_units ~baseline_suppressed findings =
+   compilation units the semantic and race tiers actually loaded (0 when
+   those tiers were skipped), [baseline_suppressed] how many findings
+   --baseline removed before [findings], and [stale_baseline] the
+   baseline entries that matched nothing. *)
+let json_report ~rules ~files_scanned ~semantic_units ~baseline_suppressed
+    ?(stale_baseline = []) findings =
   Obs.Json.Obj
     [
       ("schema", Obs.Json.Str schema);
@@ -369,6 +410,17 @@ let json_report ~rules ~files_scanned ~semantic_units ~baseline_suppressed findi
       ("files_scanned", Obs.Json.Int files_scanned);
       ("semantic_units", Obs.Json.Int semantic_units);
       ("baseline_suppressed", Obs.Json.Int baseline_suppressed);
+      ( "stale_baseline",
+        Obs.Json.List
+          (List.map
+             (fun b ->
+               Obs.Json.Obj
+                 [
+                   ("rule", Obs.Json.Str b.b_rule);
+                   ("file", Obs.Json.Str b.b_file);
+                   ("symbol", Obs.Json.Str b.b_symbol);
+                 ])
+             stale_baseline) );
       ("count", Obs.Json.Int (List.length findings));
       ("findings", Obs.Json.List (List.map json_finding findings));
     ]

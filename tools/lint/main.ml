@@ -2,26 +2,33 @@
 
    Usage:
      dune exec tools/lint/main.exe -- [options] [dir-or-file ...]
-       --tier T       which analysis tiers run: syntactic|semantic|all
-                      (default: all)
-       --json PATH    also write the findings document (PATH "-" = stdout)
-       --baseline P   suppress findings present in a previously saved
-                      coincidence.lint/2 report (keyed by rule/file/symbol)
-       --rules NAMES  comma-separated subset of rules (default: all);
-                      names are looked up in both tiers' registries
-       --list-rules   print both registries and exit (takes no other args)
-       --root DIR     chdir to DIR before scanning
+       --tier T        which analysis tiers run:
+                       syntactic|semantic|race|all (default: all)
+       --json PATH     also write the findings document (PATH "-" = stdout)
+       --baseline P    suppress findings present in a previously saved
+                       coincidence.lint report (keyed by rule/file/symbol)
+       --baseline-strict
+                       exit non-zero when any baseline entry is stale
+                       (matches no current finding)
+       --only NAMES    comma-separated subset of rules (default: all);
+                       names are looked up in every tier's registry;
+                       --rules is an alias
+       --summaries P   race-tier summary cache location
+                       (default: _build/lint-summaries.bin)
+       --list-rules    print the registries and exit (takes no other args)
+       --root DIR      chdir to DIR before scanning
      default scan set: lib bin bench
 
-   The semantic tier needs .cmt files: it reuses _build/default when
-   present (or the cwd under dune, where rule deps guarantee them) and
-   otherwise drives `dune build @check` once itself.
+   The semantic and race tiers need .cmt files: they reuse _build/default
+   when present (or the cwd under dune, where rule deps guarantee them)
+   and otherwise drive `dune build @check` once themselves.
 
-   Exit status: 0 clean, 1 findings, 2 usage/IO error. *)
+   Exit status: 0 clean, 1 findings (or stale baseline under
+   --baseline-strict), 2 usage/IO error. *)
 
 let usage_line =
-  "usage: coinlint [--tier syntactic|semantic|all] [--json PATH] [--baseline PATH] [--rules \
-   r1,r2] [--list-rules] [--root DIR] [paths...]"
+  "usage: coinlint [--tier syntactic|semantic|race|all] [--json PATH] [--baseline PATH] \
+   [--baseline-strict] [--only r1,r2] [--summaries PATH] [--list-rules] [--root DIR] [paths...]"
 
 let usage () =
   prerr_endline usage_line;
@@ -29,13 +36,15 @@ let usage () =
 
 let fail fmt = Format.kasprintf (fun s -> prerr_endline ("coinlint: " ^ s); exit 2) fmt
 
-type tier = Syntactic | Semantic | All
+type tier = Syntactic | Semantic | Race | All
 
 let () =
   let json_out = ref None in
   let root = ref None in
   let rule_names = ref None in
   let baseline_path = ref None in
+  let baseline_strict = ref false in
+  let summaries_path = ref (Filename.concat "_build" "lint-summaries.bin") in
   let tier = ref All in
   let list_rules = ref false in
   let paths = ref [] in
@@ -47,24 +56,33 @@ let () =
     | "--root" :: d :: rest ->
         root := Some d;
         parse rest
-    | "--rules" :: names :: rest ->
+    | ("--only" | "--rules") :: names :: rest ->
         rule_names := Some (String.split_on_char ',' names);
         parse rest
     | "--baseline" :: p :: rest ->
         baseline_path := Some p;
+        parse rest
+    | "--baseline-strict" :: rest ->
+        baseline_strict := true;
+        parse rest
+    | "--summaries" :: p :: rest ->
+        summaries_path := p;
         parse rest
     | "--tier" :: t :: rest ->
         (tier :=
            match t with
            | "syntactic" -> Syntactic
            | "semantic" -> Semantic
+           | "race" -> Race
            | "all" -> All
-           | other -> fail "unknown tier %S (expected syntactic, semantic or all)" other);
+           | other -> fail "unknown tier %S (expected syntactic, semantic, race or all)" other);
         parse rest
     | "--list-rules" :: rest ->
         list_rules := true;
         parse rest
-    | ("--json" | "--root" | "--rules" | "--baseline" | "--tier") :: [] -> usage ()
+    | ("--json" | "--root" | "--only" | "--rules" | "--baseline" | "--tier" | "--summaries") :: []
+      ->
+        usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         Format.eprintf "coinlint: unknown option %s@." arg;
         usage ()
@@ -87,28 +105,47 @@ let () =
     List.iter
       (fun (r : Coinlint.Sem_rules.rule) -> Format.printf "%-24s [semantic]  %s@." r.name r.summary)
       Coinlint.Sem_rules.all;
+    List.iter
+      (fun (r : Coinlint.Race_rules.rule) ->
+        Format.printf "%-24s [race]      %s@." r.name r.summary)
+      Coinlint.Race_rules.all;
     exit 0
   end;
   (match !root with Some d -> (try Sys.chdir d with Sys_error e -> fail "%s" e) | None -> ());
-  let want_syn = !tier <> Semantic and want_sem = !tier <> Syntactic in
-  (* One name may exist in both registries (the alias-evasion upgrades
-     share their syntactic rule's name); --rules selects every tier's
-     homonym that the --tier filter keeps. *)
-  let syn_rules, sem_rules =
+  let want_syn = !tier = Syntactic || !tier = All in
+  let want_sem = !tier = Semantic || !tier = All in
+  let want_race = !tier = Race || !tier = All in
+  (* One name may exist in several registries (the alias-evasion upgrades
+     share their syntactic rule's name); --only selects every tier's
+     homonym that the --tier filter keeps.  An unknown name is a hard
+     usage error: a typo that silently selected nothing would report
+     "clean" for the wrong reason. *)
+  let syn_rules, sem_rules, race_rules =
     match !rule_names with
-    | None -> ((if want_syn then Coinlint.Rules.all else []),
-               if want_sem then Coinlint.Sem_rules.all else [])
+    | None ->
+        ( (if want_syn then Coinlint.Rules.all else []),
+          (if want_sem then Coinlint.Sem_rules.all else []),
+          if want_race then Coinlint.Race_rules.all else [] )
     | Some names ->
-        let syn = ref [] and sem = ref [] in
+        let syn = ref [] and sem = ref [] and race = ref [] in
         List.iter
           (fun n ->
-            let in_syn = Coinlint.Rules.find n and in_sem = Coinlint.Sem_rules.find n in
-            if in_syn = None && in_sem = None then
-              fail "unknown rule %S (try --list-rules)" n;
+            let in_syn = Coinlint.Rules.find n
+            and in_sem = Coinlint.Sem_rules.find n
+            and in_race = Coinlint.Race_rules.find n in
+            if in_syn = None && in_sem = None && in_race = None then
+              fail "unknown rule %S; valid names: %s" n
+                (String.concat ", "
+                   (List.map (fun r -> r.Coinlint.Engine.name) Coinlint.Rules.all
+                   @ List.map (fun (r : Coinlint.Sem_rules.rule) -> r.name) Coinlint.Sem_rules.all
+                   @ List.map
+                       (fun (r : Coinlint.Race_rules.rule) -> r.name)
+                       Coinlint.Race_rules.all));
             (match in_syn with Some r when want_syn -> syn := r :: !syn | _ -> ());
-            match in_sem with Some r when want_sem -> sem := r :: !sem | _ -> ())
+            (match in_sem with Some r when want_sem -> sem := r :: !sem | _ -> ());
+            match in_race with Some r when want_race -> race := r :: !race | _ -> ())
           names;
-        (List.rev !syn, List.rev !sem)
+        (List.rev !syn, List.rev !sem, List.rev !race)
   in
   let baseline =
     match !baseline_path with
@@ -123,15 +160,30 @@ let () =
   let files_scanned, syn_findings =
     if want_syn then Coinlint.Engine.lint_paths ~rules:syn_rules roots else (0, [])
   in
-  let sem_units = if want_sem then Coinlint.Cmt_loader.load roots else [] in
-  if want_sem && sem_units = [] then
+  let units = if want_sem || want_race then Coinlint.Cmt_loader.load roots else [] in
+  if (want_sem || want_race) && units = [] then
     fail
-      "semantic tier found no .cmt files under %s: run `dune build @check` first (or use --tier \
-       syntactic)"
+      "semantic/race tiers found no .cmt files under %s: run `dune build @check` first (or use \
+       --tier syntactic)"
       (String.concat " " roots);
-  let sem_findings = Coinlint.Sem_rules.lint_units ~rules:sem_rules sem_units in
-  let merged = Coinlint.Engine.merge_findings syn_findings sem_findings in
-  let findings, baseline_suppressed = Coinlint.Engine.apply_baseline ~baseline merged in
+  let sem_findings =
+    if want_sem then Coinlint.Sem_rules.lint_units ~rules:sem_rules units else []
+  in
+  let race_findings =
+    if want_race then
+      Coinlint.Race_rules.lint_units ~rules:race_rules ~cache_file:!summaries_path units
+    else []
+  in
+  (* Same-site dedup across tiers: syntactic wins over semantic wins over
+     race, so an upgraded rule never double-reports one site. *)
+  let merged =
+    Coinlint.Engine.merge_findings
+      (Coinlint.Engine.merge_findings syn_findings sem_findings)
+      race_findings
+  in
+  let findings, baseline_suppressed, stale_baseline =
+    Coinlint.Engine.apply_baseline ~baseline merged
+  in
   (* With --json -, stdout is the machine report; keep the human one on
      stderr so the two never interleave. *)
   let human_fmt =
@@ -139,16 +191,25 @@ let () =
     | Some "-" -> Format.err_formatter
     | Some _ | None -> Format.std_formatter
   in
-  Coinlint.Engine.print_human human_fmt (files_scanned + List.length sem_units, findings);
+  Coinlint.Engine.print_human human_fmt (files_scanned + List.length units, findings);
+  List.iter
+    (fun (b : Coinlint.Engine.baseline_key) ->
+      Format.fprintf human_fmt "note: [stale-baseline] %s at %s%s matches no finding@."
+        b.b_rule b.b_file
+        (if String.equal b.b_symbol "" then "" else Printf.sprintf " (in %s)" b.b_symbol))
+    stale_baseline;
   let report () =
     let rules =
       List.map (fun r -> (r.Coinlint.Engine.name, Coinlint.Engine.tier_syntactic)) syn_rules
       @ List.map
           (fun (r : Coinlint.Sem_rules.rule) -> (r.name, Coinlint.Engine.tier_semantic))
           sem_rules
+      @ List.map
+          (fun (r : Coinlint.Race_rules.rule) -> (r.name, Coinlint.Engine.tier_race))
+          race_rules
     in
-    Coinlint.Engine.json_report ~rules ~files_scanned ~semantic_units:(List.length sem_units)
-      ~baseline_suppressed findings
+    Coinlint.Engine.json_report ~rules ~files_scanned ~semantic_units:(List.length units)
+      ~baseline_suppressed ~stale_baseline findings
   in
   (match !json_out with
   | Some "-" -> print_endline (Obs.Json.to_string (report ()))
@@ -160,4 +221,5 @@ let () =
           Obs.Json.to_channel oc (report ());
           output_char oc '\n')
   | None -> ());
-  exit (if findings = [] then 0 else 1)
+  let stale_fails = !baseline_strict && stale_baseline <> [] in
+  exit (if findings = [] && not stale_fails then 0 else 1)

@@ -1,0 +1,468 @@
+(* coinlint's race tier: three rules over the per-function summaries of
+   summaries.ml.
+
+     domain-escape        a mutable value crosses into code that runs on
+                          another domain (a worker closure handed to
+                          Exec.map/Exec.sequential's parallel siblings or
+                          Domain.spawn, or the per-worker context factory)
+                          without passing through a sanctioned hand-off —
+                          Keyring.clone, Metrics.Sharded.create/claim/
+                          shard, or per-worker array selection.
+     global-mutable-reach toplevel mutable state in the protocol
+                          libraries (lib/sim, lib/baselines, lib/vrf) is
+                          reachable from a worker closure through any
+                          chain of calls.
+     unguarded-lazy       a Lazy.force is reachable from a parallel
+                          worker: forcing mutates the thunk cell, so two
+                          domains racing on the same lazy is undefined.
+
+   All three consult the interprocedural summary database: calls are
+   resolved to same-scan functions (same-unit candidates first, then a
+   unique cross-unit match — ambiguity resolves to nothing, keeping the
+   tier under-approximate), and reachability is a bounded BFS over each
+   summary's recorded calls.  Every finding carries the witness chain
+   assembled by the taint analysis, extended with the call-resolution
+   hops and the worker-pool call site, so the human report reads as
+   value -> capture -> hand-off -> Exec.map.
+
+   lib/exec is the audited TCB that implements the domain pool itself;
+   worker sites inside it are exempt, mirroring the syntactic R6 rule. *)
+
+module S = Summaries
+
+type rule = { name : string; summary : string }
+
+let domain_escape =
+  {
+    name = "domain-escape";
+    summary =
+      "mutable value crosses an Exec/Domain worker boundary without a sanctioned hand-off \
+       (Keyring.clone, Metrics.Sharded, per-worker selection)";
+  }
+
+let global_mutable_reach =
+  {
+    name = "global-mutable-reach";
+    summary =
+      "toplevel mutable state in lib/sim, lib/baselines or lib/vrf reachable from a worker \
+       closure";
+  }
+
+let unguarded_lazy =
+  {
+    name = "unguarded-lazy";
+    summary = "Lazy.force reachable from more than one domain (forcing mutates the thunk cell)";
+  }
+
+let all = [ domain_escape; global_mutable_reach; unguarded_lazy ]
+let find name = List.find_opt (fun r -> String.equal r.name name) all
+let selected rules r = List.exists (fun x -> String.equal x.name r.name) rules
+
+(* Directories whose toplevel mutable state global-mutable-reach guards.
+   lib/obs is deliberately absent: its sharded-metrics globals are the
+   sanctioned mechanism, already guarded by claim tokens. *)
+let protected_dirs = [ "lib/sim/"; "lib/baselines/"; "lib/vrf/" ]
+
+let kind_str = function
+  | S.W_map -> "Exec.map"
+  | S.W_sequential -> "Exec.sequential"
+  | S.W_spawn -> "Domain.spawn"
+
+(* ------------------------- finding construction ------------------------ *)
+
+let wstep (s : S.step) =
+  {
+    Engine.w_what = s.S.st_what;
+    w_file = s.st_site.s_file;
+    w_line = s.st_site.s_line;
+    w_col = s.st_site.s_col;
+  }
+
+let finding ~rule ~(site : S.site) ~symbol ~msg steps =
+  {
+    Engine.file = site.s_file;
+    line = site.s_line;
+    col = site.s_col;
+    rule;
+    msg;
+    tier = Engine.tier_race;
+    symbol;
+    witness = List.map wstep steps;
+  }
+
+let ws_step (ws : S.worker_site) =
+  {
+    S.st_what = Printf.sprintf "worker closure handed to %s here" (kind_str ws.ws_kind);
+    st_site = ws.ws_site;
+  }
+
+(* --------------------------- summary database -------------------------- *)
+
+type db = { funcs : (S.unit_summary * S.func) list }
+
+let db_of sums =
+  { funcs = List.concat_map (fun (u : S.unit_summary) -> List.map (fun f -> (u, f)) u.u_funcs) sums }
+
+(* Resolve a call head against the scanned functions: same-unit
+   candidates win (a bare local name is unambiguous there), otherwise a
+   unique cross-unit suffix match; anything ambiguous resolves to
+   nothing — a missed resolution only hides findings. *)
+let resolve db ~rel path =
+  if path = [] then None
+  else begin
+    let matches (_, (f : S.func)) =
+      S.ends_with ~suffix:path f.f_path || S.ends_with ~suffix:f.f_path path
+    in
+    let cands = List.filter matches db.funcs in
+    match List.filter (fun ((u : S.unit_summary), _) -> String.equal u.u_rel rel) cands with
+    | [ x ] -> Some x
+    | _ :: _ -> None
+    | [] -> ( match cands with [ x ] -> Some x | _ -> None)
+  end
+
+(* Bounded BFS from a worker closure's calls through the call graph;
+   yields each function reached once, with the chain of call steps that
+   got there (witness material). *)
+let reach db (roots : S.call list) =
+  let visited = Hashtbl.create 32 in
+  let out = ref [] in
+  let rec go depth via (c : S.call) =
+    if depth < 8 then
+      match resolve db ~rel:c.S.c_site.s_file c.c_path with
+      | None -> ()
+      | Some ((u : S.unit_summary), (f : S.func)) ->
+          let key = u.u_rel ^ "#" ^ S.dots f.f_path in
+          if not (Hashtbl.mem visited key) then begin
+            Hashtbl.replace visited key ();
+            let via =
+              via
+              @ [
+                  {
+                    S.st_what = Printf.sprintf "reached via call to %s" (S.dots c.c_path);
+                    st_site = c.c_site;
+                  };
+                ]
+            in
+            out := (f, via) :: !out;
+            List.iter (go (depth + 1) via) f.f_calls
+          end
+  in
+  List.iter (go 0 []) roots;
+  List.rev !out
+
+(* Class and display name of the argument a call passes for [f]'s
+   parameter [pname]: labelled params match by label (optional and
+   labelled application both count), unlabelled by position among the
+   unlabelled arguments. *)
+let arg_class_for (f : S.func) (c : S.call) pname =
+  match List.find_opt (fun (p : S.param) -> String.equal p.p_name pname) f.f_params with
+  | None -> None
+  | Some p -> (
+      let by_label l =
+        List.find_map
+          (function
+            | (S.L_labelled l' | S.L_optional l'), cls, d when String.equal l l' -> Some (cls, d)
+            | _ -> None)
+          c.S.c_args
+      in
+      match p.p_label with
+      | S.L_labelled l | S.L_optional l -> by_label l
+      | S.L_none ->
+          let pos =
+            let rec idx i = function
+              | [] -> -1
+              | (q : S.param) :: tl ->
+                  if q.p_label = S.L_none then
+                    if String.equal q.p_name pname then i else idx (i + 1) tl
+                  else idx i tl
+            in
+            idx 0 f.f_params
+          in
+          let unlabelled =
+            List.filter_map (function S.L_none, cls, d -> Some (cls, d) | _ -> None) c.c_args
+          in
+          List.nth_opt unlabelled pos)
+
+(* A worker site the race rules look at: actually parallel (sequential
+   runs every iteration on the calling domain) and outside the audited
+   pool implementation. *)
+let checked (ws : S.worker_site) =
+  ws.S.ws_kind <> S.W_sequential && not (Rules.in_dirs ws.ws_site.s_file Rules.r6_exec_dirs)
+
+(* ---------------------------- domain-escape ---------------------------- *)
+
+let domain_escape_findings db sums =
+  let rule = domain_escape.name in
+  let out = ref [] in
+  let fire ~site ~symbol msg steps = out := finding ~rule ~site ~symbol ~msg steps :: !out in
+  (* Direct worker-closure escapes and context-factory escapes, per site. *)
+  List.iter
+    (fun (u : S.unit_summary) ->
+      List.iter
+        (fun (ws : S.worker_site) ->
+          if checked ws && not (Engine.allowed_in ws.ws_allows rule) then begin
+            List.iter
+              (fun (e : S.escape) ->
+                fire ~site:ws.ws_site ~symbol:ws.ws_sym
+                  (Printf.sprintf
+                     "mutable value %s (%s) escapes into a %s worker closure without a \
+                      sanctioned hand-off"
+                     e.e_name e.e_why (kind_str ws.ws_kind))
+                  (e.e_steps @ [ ws_step ws ]))
+              ws.ws_escapes;
+            match ws.ws_ctx with
+            | S.Ctx_escapes escs ->
+                List.iter
+                  (fun (e : S.escape) ->
+                    (* [e_cond] escapes are caller-dependent — they only
+                       become findings where a call pins the parameter to
+                       a concretely mutable argument (the Ctx_call and
+                       param-escape passes below). *)
+                    if not e.e_cond then
+                      fire ~site:ws.ws_site ~symbol:ws.ws_sym
+                        (Printf.sprintf
+                           "mutable value %s (%s) escapes through the per-worker context factory"
+                           e.e_name e.e_why)
+                        (e.e_steps @ [ ws_step ws ]))
+                  escs
+            | S.Ctx_call c when not (Engine.allowed_in c.c_allows rule) -> (
+                match resolve db ~rel:c.c_site.s_file c.c_path with
+                | None -> ()
+                | Some (_, (f : S.func)) ->
+                    List.iter
+                      (fun (e : S.escape) ->
+                        match e.e_param with
+                        | None ->
+                            fire ~site:ws.ws_site ~symbol:ws.ws_sym
+                              (Printf.sprintf
+                                 "mutable value %s (%s) escapes through context factory %s"
+                                 e.e_name e.e_why f.f_name)
+                              (e.e_steps
+                              @ [
+                                  {
+                                    S.st_what =
+                                      Printf.sprintf "factory %s used as ~ctx" f.f_name;
+                                    st_site = c.c_site;
+                                  };
+                                  ws_step ws;
+                                ])
+                        | Some pname -> (
+                            match arg_class_for f c pname with
+                            | Some (S.V_mut why, display) ->
+                                fire ~site:ws.ws_site ~symbol:ws.ws_sym
+                                  (Printf.sprintf
+                                     "mutable value %s (%s) is shared across worker domains \
+                                      through context factory %s (parameter %s escapes raw)"
+                                     display why f.f_name pname)
+                                  (e.e_steps
+                                  @ [
+                                      {
+                                        S.st_what =
+                                          Printf.sprintf
+                                            "mutable %s passed for escaping parameter %s"
+                                            display pname;
+                                        st_site = c.c_site;
+                                      };
+                                      ws_step ws;
+                                    ])
+                            | _ -> ()))
+                      f.f_ctx_escapes)
+            | _ -> ()
+          end)
+        u.u_workers)
+    sums;
+  (* Unresolved-parameter escapes, fired at call sites that pin the
+     parameter to a concretely mutable argument.  f_calls of the
+     enclosing toplevel already includes every call under it, so this
+     pass covers worker-internal calls too. *)
+  List.iter
+    (fun (u : S.unit_summary) ->
+      List.iter
+        (fun (g : S.func) ->
+          List.iter
+            (fun (c : S.call) ->
+              if
+                (not (Rules.in_dirs c.c_site.s_file Rules.r6_exec_dirs))
+                && not (Engine.allowed_in c.c_allows rule)
+              then
+                match resolve db ~rel:c.c_site.s_file c.c_path with
+                | Some (_, (f : S.func)) when f.f_param_escapes <> [] ->
+                    List.iter
+                      (fun (e : S.escape) ->
+                        match e.e_param with
+                        | Some pname -> (
+                            match arg_class_for f c pname with
+                            | Some (S.V_mut why, display) ->
+                                fire ~site:c.c_site ~symbol:c.c_sym
+                                  (Printf.sprintf
+                                     "mutable value %s (%s) is captured by a worker closure \
+                                      inside %s (via parameter %s)"
+                                     display why f.f_name pname)
+                                  (e.e_steps
+                                  @ [
+                                      {
+                                        S.st_what =
+                                          Printf.sprintf
+                                            "mutable %s passed here for parameter %s" display
+                                            pname;
+                                        st_site = c.c_site;
+                                      };
+                                    ])
+                            | _ -> ())
+                        | None -> ())
+                      f.f_param_escapes
+                | _ -> ())
+            g.f_calls)
+        u.u_funcs)
+    sums;
+  !out
+
+(* ------------------------- global-mutable-reach ------------------------- *)
+
+let global_findings db sums =
+  let rule = global_mutable_reach.name in
+  let globals =
+    List.concat_map
+      (fun (u : S.unit_summary) ->
+        if Rules.in_dirs u.u_rel protected_dirs then u.u_globals else [])
+      sums
+  in
+  if globals = [] then []
+  else begin
+    let out = ref [] in
+    List.iter
+      (fun (u : S.unit_summary) ->
+        List.iter
+          (fun (ws : S.worker_site) ->
+            if checked ws && not (Engine.allowed_in ws.ws_allows rule) then begin
+              let touches =
+                List.map (fun t -> (t, [])) ws.ws_touches
+                @ List.concat_map
+                    (fun ((f : S.func), via) -> List.map (fun t -> (t, via)) f.f_touches)
+                    (reach db ws.ws_calls)
+              in
+              List.iter
+                (fun (((tpath, tsite) : string list * S.site), via) ->
+                  List.iter
+                    (fun (g : S.global_) ->
+                      if
+                        S.ends_with ~suffix:tpath g.g_path
+                        || S.ends_with ~suffix:g.g_path tpath
+                      then
+                        out :=
+                          finding ~rule ~site:tsite ~symbol:ws.ws_sym
+                            ~msg:
+                              (Printf.sprintf
+                                 "toplevel mutable state %s (%s) is reachable from a %s worker \
+                                  closure"
+                                 (S.dots g.g_path) g.g_why (kind_str ws.ws_kind))
+                            ([
+                               {
+                                 S.st_what =
+                                   Printf.sprintf "%s (%s) is toplevel mutable state"
+                                     (S.dots g.g_path) g.g_why;
+                                 st_site = g.g_site;
+                               };
+                             ]
+                            @ via
+                            @ [
+                                { S.st_what = "touched here"; st_site = tsite };
+                                ws_step ws;
+                              ])
+                          :: !out)
+                    globals)
+                touches
+            end)
+          u.u_workers)
+      sums;
+    !out
+  end
+
+(* ----------------------------- unguarded-lazy --------------------------- *)
+
+let lazy_findings db sums =
+  let rule = unguarded_lazy.name in
+  let out = ref [] in
+  List.iter
+    (fun (u : S.unit_summary) ->
+      List.iter
+        (fun (ws : S.worker_site) ->
+          if checked ws && not (Engine.allowed_in ws.ws_allows rule) then begin
+            let forces =
+              List.map (fun s -> (s, [])) ws.ws_forces
+              @ List.concat_map
+                  (fun ((f : S.func), via) -> List.map (fun s -> (s, via)) f.f_forces)
+                  (reach db ws.ws_calls)
+            in
+            List.iter
+              (fun ((fsite : S.site), via) ->
+                out :=
+                  finding ~rule ~site:fsite ~symbol:ws.ws_sym
+                    ~msg:
+                      (Printf.sprintf
+                         "Lazy.force is reachable from every %s worker domain (forcing mutates \
+                          the shared thunk cell)"
+                         (kind_str ws.ws_kind))
+                    (via
+                    @ [
+                        { S.st_what = "Lazy.force here"; st_site = fsite };
+                        ws_step ws;
+                      ])
+                  :: !out)
+              forces
+          end)
+        u.u_workers)
+    sums;
+  !out
+
+(* -------------------------------- driving ------------------------------- *)
+
+let dedup findings =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (f : Engine.finding) ->
+      let key = (f.file, f.line, f.col, f.rule, f.msg) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    findings
+
+let of_summaries ~rules sums =
+  let db = db_of sums in
+  let out =
+    (if selected rules domain_escape then domain_escape_findings db sums else [])
+    @ (if selected rules global_mutable_reach then global_findings db sums else [])
+    @ if selected rules unguarded_lazy then lazy_findings db sums else []
+  in
+  List.sort Engine.compare_findings (dedup out)
+
+(* Summarize a scan's units, reusing [cache_file] entries whose source
+   digests still match; returns the cache-hit count for reporting. *)
+let summarize_units ?cache_file units =
+  let table = S.decl_table units in
+  S.summarize ?cache_file ~table units
+
+let lint_units ~rules ?cache_file units =
+  let sums, _hits = summarize_units ?cache_file units in
+  of_summaries ~rules sums
+
+(* Typecheck a fixture string and run the race tier on it — the
+   test-suite entry point, mirroring Sem_rules.lint_source. *)
+let lint_source ~rules ~rel source =
+  match Cmt_loader.unit_of_source ~rel source with
+  | u -> lint_units ~rules [ u ]
+  | exception exn ->
+      [
+        {
+          Engine.file = rel;
+          line = 1;
+          col = 0;
+          rule = "typecheck";
+          msg = "cannot typecheck: " ^ Printexc.to_string exn;
+          tier = Engine.tier_race;
+          symbol = "";
+          witness = [];
+        };
+      ]

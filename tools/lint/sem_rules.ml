@@ -36,6 +36,7 @@ let add_raw ctx ~rule ~(loc : Location.t) ~symbol msg =
       msg;
       tier = Engine.tier_semantic;
       symbol;
+      witness = [];
     }
     :: ctx.out
 
@@ -712,5 +713,6 @@ let lint_source ~rules ~rel source =
           msg = "cannot typecheck: " ^ Printexc.to_string exn;
           tier = Engine.tier_semantic;
           symbol = "";
+          witness = [];
         };
       ]

@@ -1,0 +1,1433 @@
+(* Bottom-up per-function summaries for coinlint's race tier.
+
+   For every compilation unit this module computes, from the same .cmt
+   Typedtree the semantic tier walks, a marshal-safe [unit_summary]:
+
+     - every worker site — a call whose head resolves to [Exec.map],
+       [Exec.sequential] or [Domain.spawn] — with an *escape analysis*
+       of the worker closure and of the [~ctx] argument;
+     - per-function data the rules consume interprocedurally: which
+       parameters escape raw into a returned per-worker context factory
+       ([f_ctx_escapes]), which parameters are captured by a worker
+       closure without a resolvable verdict ([f_param_escapes]), every
+       call made (with per-argument mutability classes), every
+       [Lazy.force] site and every mutable-classed global touched;
+     - the unit's toplevel mutable globals.
+
+   The escape analysis is *occurrence-level taint*: a closure that will
+   run on worker domains (the worker function itself, or the lambda a
+   context factory returns — Exec calls [ctx w] on the worker domain)
+   starts with its mutable captures tainted, and a finding is produced
+   only when a tainted value is *consumed* across the boundary — passed
+   to a call that is not a sanctioned per-worker boundary, mutated,
+   called, or returned raw.  Sanctioned boundaries are exactly the
+   audited hand-off points: [Keyring.clone], [Metrics.Sharded.create]/
+   [claim]/[shard], plus per-worker array selection [xs.(w)] where [w]
+   is the factory's worker-index parameter.  A tainted value that only
+   ever flows through those is what the parallel-campaign design calls
+   correct code, and stays silent.
+
+   Two pieces of deliberate engineering keep the real campaign code
+   clean while the clone-removal mutant fires:
+
+     - the sequential guard `if Exec.resolve_jobs jobs <= 1 then A else
+       B` is recognized and the sequential branch skipped — sharing the
+       caller's keyring when there is exactly one worker is sound and
+       documented;
+     - context factories compose: a local bound to a call of a
+       same-unit factory whose summary says "parameter p escapes raw"
+       becomes *factory-tainted* when the call passes a tainted or
+       mutable argument for p, so the taint (and its witness chain)
+       flows through `let kr = keyring_ctx ~jobs keyring in fun w ->
+       ... kr w ...` to the outer factory's own summary.
+
+   Everything here under-approximates: [Unknown] mutability (arrows,
+   type variables, out-of-scan abstract types) never taints, free-
+   variable computation over-approximates boundness, and unhandled
+   expression forms propagate taint without inventing violations.  The
+   tier's contract is "no false alarms on audited code"; soundness
+   holes are listed in DESIGN.md 6b.
+
+   Summaries are serialized (Marshal) to [_build/lint-summaries.bin]
+   keyed by each unit's source digest plus a fingerprint of every type
+   declaration the classifier saw — editing any type invalidates the
+   whole cache, editing one module re-summarizes only that module. *)
+
+(* ------------------------- summary data types ------------------------- *)
+(* All marshal-safe: strings, ints, lists only. *)
+
+type site = { s_file : string; s_line : int; s_col : int }
+
+type vclass = V_imm | V_unknown | V_mut of string
+
+type step = { st_what : string; st_site : site }
+(** One link of a witness chain, oldest first: value origin, capture,
+    hand-offs, then the violating consumption. *)
+
+type escape = {
+  e_name : string;  (* the value, as the user named it *)
+  e_why : string;   (* mutability reason from the classifier *)
+  e_param : string option;
+      (* [Some p]: only real when the enclosing function's parameter [p]
+         receives a mutable argument — fires at call sites.  [None]:
+         unconditional (a captured local/global). *)
+  e_cond : bool;
+      (* the escaping value's own mutability is caller-dependent (an
+         [Unknown]-classed parameter — e.g. a polymorphic pass-through
+         factory): never reported at its own site, only where a call
+         pins [e_param] to a concretely mutable argument. *)
+  e_steps : step list;
+}
+
+type label_kind = L_none | L_labelled of string | L_optional of string
+
+type param = { p_label : label_kind; p_name : string; p_class : vclass }
+
+type call = {
+  c_path : string list;  (* normalized head path *)
+  c_site : site;
+  c_args : (label_kind * vclass * string) list;  (* label, class, display *)
+  c_allows : string list list;
+  c_sym : string;
+}
+
+type ctx_info =
+  | Ctx_none      (* no ~ctx argument (Domain.spawn, or defaulted) *)
+  | Ctx_clean     (* inline factory lambda analyzed, no escapes *)
+  | Ctx_escapes of escape list  (* inline factory lambda leaks *)
+  | Ctx_call of call  (* factory built by a named function: resolve via its summary *)
+  | Ctx_opaque    (* not a lambda and not a resolvable call *)
+
+type ws_kind = W_map | W_sequential | W_spawn
+
+type worker_site = {
+  ws_kind : ws_kind;
+  ws_site : site;
+  ws_sym : string;  (* enclosing toplevel symbol *)
+  ws_allows : string list list;
+  ws_escapes : escape list;  (* direct leaks through the worker closure *)
+  ws_ctx : ctx_info;
+  ws_calls : call list;   (* calls made from the worker closure (reach roots) *)
+  ws_forces : site list;  (* Lazy.force directly in the worker closure *)
+  ws_touches : (string list * site) list;
+}
+
+type func = {
+  f_path : string list;  (* modname :: submodules @ [name] *)
+  f_name : string;
+  f_site : site;
+  f_params : param list;
+  f_calls : call list;
+  f_forces : site list;
+  f_touches : (string list * site) list;  (* mutable-classed idents used *)
+  f_ctx_escapes : escape list;
+  f_param_escapes : escape list;
+}
+
+type global_ = { g_path : string list; g_why : string; g_site : site }
+
+type unit_summary = {
+  u_rel : string;
+  u_modname : string;
+  u_digest : string;
+  u_funcs : func list;
+  u_workers : worker_site list;
+  u_globals : global_ list;
+}
+
+let vclass_of = function
+  | Mut_types.Imm -> V_imm
+  | Mut_types.Unknown -> V_unknown
+  | Mut_types.Mut why -> V_mut why
+
+let dots = String.concat "."
+
+(* ------------------------- unit walk context -------------------------- *)
+
+type uctx = {
+  rel : string;
+  modname : string;
+  table : Mut_types.table;
+  aliases : (string, string list) Hashtbl.t;  (* Ident.unique_name -> path *)
+  def_locs : (string, Location.t) Hashtbl.t;  (* Ident.unique_name -> binding loc *)
+  toplevels : (string, unit) Hashtbl.t;       (* unit-toplevel value idents *)
+  mutable unit_frames : string list list;     (* floating [@@@lint.allow] *)
+  mutable vb_frames : string list list;       (* enclosing binding's allows *)
+  mutable funcs_rev : func list;
+  mutable workers_rev : worker_site list;
+  mutable globals_rev : global_ list;
+  mutable sym : string;
+  mutable params : (string * string * vclass) list;
+      (* enclosing toplevel function's params: unique_name, name, class *)
+  mutable local_mut_closures : (string, string * string * Location.t) Hashtbl.t;
+      (* local lambdas closing over a mutable value: unique_name ->
+         (captured name, why, lambda def loc) *)
+}
+
+let site_of u (loc : Location.t) =
+  let p = loc.loc_start in
+  { s_file = u.rel; s_line = p.pos_lnum; s_col = p.pos_cnum - p.pos_bol }
+
+(* Path normalization: same scheme as the semantic tier (alias expansion,
+   demangling, Stdlib stripped) so the two tiers agree on what code means. *)
+let rec raw_path u (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt u.aliases (Ident.unique_name id) with
+      | Some path -> path
+      | None -> ( match Cmt_loader.demangle (Ident.name id) with Some s -> [ s ] | None -> [] ))
+  | Path.Pdot (p, s) -> raw_path u p @ [ s ]
+  | Path.Papply (p, _) -> raw_path u p
+  | Path.Pextra_ty (p, _) -> raw_path u p
+
+let normalize u p =
+  match raw_path u p with "Stdlib" :: rest -> rest | path -> path
+
+let ends_with = Mut_types.ends_with
+
+let classify u ty =
+  vclass_of (Mut_types.classify u.table ~normalize:(normalize u) ~modname:u.modname ty)
+
+let head_path u (e : Typedtree.expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (normalize u p) | _ -> None
+
+let label_kind_of = function
+  | Asttypes.Nolabel -> L_none
+  | Asttypes.Labelled s -> L_labelled s
+  | Asttypes.Optional s -> L_optional s
+
+(* ------------------------- sanctioned boundaries ----------------------- *)
+
+let exec_map = [ "Exec"; "map" ]
+let exec_sequential = [ "Exec"; "sequential" ]
+let domain_spawn = [ "Domain"; "spawn" ]
+
+(* The audited per-worker hand-off points.  [ignore] is included because
+   discarding a value retains nothing on the worker. *)
+let sanctioned_suffixes =
+  [
+    [ "Keyring"; "clone" ];
+    [ "Sharded"; "create" ];
+    [ "Sharded"; "claim" ];
+    [ "Sharded"; "shard" ];
+    [ "ignore" ];
+  ]
+
+let array_get_suffixes = [ [ "Array"; "get" ]; [ "Array"; "unsafe_get" ] ]
+let lazy_force_suffixes = [ [ "Lazy"; "force" ]; [ "Lazy"; "force_val" ] ]
+
+let is_sanctioned path = List.exists (fun suffix -> ends_with ~suffix path) sanctioned_suffixes
+let is_array_get path = List.exists (fun suffix -> ends_with ~suffix path) array_get_suffixes
+let is_lazy_force path = List.exists (fun suffix -> ends_with ~suffix path) lazy_force_suffixes
+
+(* --------------------------- generic helpers -------------------------- *)
+
+(* Immediate sub-expressions of [e]: the default iterator visits each
+   child through [it.expr], so an override that records without recursing
+   captures exactly depth one. *)
+let immediate_subexprs (e : Typedtree.expression) =
+  let acc = ref [] in
+  let it =
+    { Tast_iterator.default_iterator with expr = (fun _ c -> acc := c :: !acc) }
+  in
+  Tast_iterator.default_iterator.expr it e;
+  List.rev !acc
+
+let iter_exprs f e =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e
+
+(* Variable nodes of a pattern: ident, binding loc, and the type at the
+   binder (for skipping provably-immutable binders during taint splits). *)
+let rec pat_var_nodes : type k. k Typedtree.general_pattern -> (Ident.t * Location.t * Types.type_expr) list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (id, s) -> [ (id, s.loc, p.pat_type) ]
+  | Tpat_alias (sub, id, s) -> (id, s.loc, p.pat_type) :: pat_var_nodes sub
+  | Tpat_tuple ps -> List.concat_map pat_var_nodes ps
+  | Tpat_construct (_, _, ps, _) -> List.concat_map pat_var_nodes ps
+  | Tpat_variant (_, Some p, _) -> pat_var_nodes p
+  | Tpat_record (fields, _) -> List.concat_map (fun (_, _, p) -> pat_var_nodes p) fields
+  | Tpat_array ps -> List.concat_map pat_var_nodes ps
+  | Tpat_lazy p -> pat_var_nodes p
+  | Tpat_or (a, b, _) -> pat_var_nodes a @ pat_var_nodes b
+  | Tpat_value p -> pat_var_nodes (p :> Typedtree.value Typedtree.general_pattern)
+  | Tpat_exception p -> pat_var_nodes p
+  | _ -> []
+
+(* An annotated binding `let x : t = e` elaborates to
+   [Tpat_alias (Tpat_any, x)] — the alias ident, not a nested var, is
+   the binder, so fall back to it when the sub-pattern has none. *)
+let rec simple_var (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, _) -> Some id
+  | Tpat_alias (sub, id, _) -> ( match simple_var sub with Some _ as s -> s | None -> Some id)
+  | _ -> None
+
+let rec vb_name (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_var (_, { txt; _ }) -> Some txt
+  | Tpat_alias (sub, _, { txt; _ }) -> (
+      match vb_name sub with Some _ as s -> s | None -> Some txt)
+  | _ -> None
+
+(* Free variables of [e]: used [Pident]s minus idents bound anywhere in
+   the subtree (params, lets, match arms, for-loop indices) minus the
+   unit's toplevel values (those are globals, not captures).  Boundness
+   is over-approximated — a name bound in one branch discharges a use in
+   another — which only ever *hides* captures: under-approximation in
+   the direction this tier promises. *)
+let free_vars u (e : Typedtree.expression) =
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let used : (string, Ident.t * Typedtree.expression) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) it (p : k Typedtree.general_pattern) ->
+          List.iter (fun (id, _, _) -> Hashtbl.replace bound (Ident.unique_name id) ()) (pat_var_nodes p);
+          Tast_iterator.default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) ->
+              let key = Ident.unique_name id in
+              if not (Hashtbl.mem used key) then begin
+                Hashtbl.replace used key (id, e);
+                order := key :: !order
+              end
+          | Texp_for (id, _, _, _, _, _) -> Hashtbl.replace bound (Ident.unique_name id) ()
+          | Texp_letmodule (Some id, _, _, _, _) -> Hashtbl.replace bound (Ident.unique_name id) ()
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  List.filter_map
+    (fun key ->
+      if Hashtbl.mem bound key || Hashtbl.mem u.toplevels key then None
+      else Option.map (fun (id, e) -> (key, id, e)) (Hashtbl.find_opt used key))
+    (List.rev !order)
+
+let def_loc_of u key (fallback : Location.t) =
+  match Hashtbl.find_opt u.def_locs key with Some l -> l | None -> fallback
+
+(* ------------------------ sequential-guard shape ----------------------- *)
+
+let expr_mentions u ~suffix e =
+  let found = ref false in
+  iter_exprs
+    (fun (e : Typedtree.expression) ->
+      match e.exp_desc with
+      | Texp_ident (p, _, _) -> if ends_with ~suffix (normalize u p) then found := true
+      | _ -> ())
+    e;
+  !found
+
+(* `if Exec.resolve_jobs jobs <= 1 then A else B`: which branch runs the
+   single-worker (same-domain) case?  Comparison orientation decides;
+   when [resolve_jobs] sits on the right of the operator the answer
+   flips.  Anything unrecognized returns [None] and both branches are
+   analyzed. *)
+let sequential_branch u (cond : Typedtree.expression) =
+  match cond.exp_desc with
+  | Texp_apply (op, [ (_, Some a); (_, Some b) ]) -> (
+      match head_path u op with
+      | Some path -> (
+          let op_name = match List.rev path with s :: _ -> s | [] -> "" in
+          let on_left = expr_mentions u ~suffix:[ "Exec"; "resolve_jobs" ] a in
+          let on_right = expr_mentions u ~suffix:[ "Exec"; "resolve_jobs" ] b in
+          if not (on_left || on_right) then None
+          else
+            match (op_name, on_left) with
+            | ("<=" | "<" | "="), true | (">" | ">="), false -> Some `Then_is_sequential
+            | (">" | ">="), true | ("<=" | "<" | "="), false -> Some `Else_is_sequential
+            | _ -> None)
+      | None -> None)
+  | _ -> None
+
+(* ----------------------------- taint state ----------------------------- *)
+
+type taint = {
+  tn : string;
+  twhy : string;
+  tparam : string option;
+  tsteps : step list;
+  tfactory : bool;  (* a per-worker factory: applying it propagates instead of violating *)
+  tcond : bool;
+      (* conditional: an [Unknown]-classed parameter that is only
+         mutable if the caller's argument is.  Consumptions stay silent
+         (under-approximation) except the one that matters — being
+         returned raw by a context factory, which records an [e_cond]
+         escape for call sites to check. *)
+}
+
+type tenv = {
+  u : uctx;
+  tbl : (string, taint) Hashtbl.t;  (* unique_name -> taint *)
+  selector : string option;         (* worker-index param of a ctx lambda *)
+  mutable viol : escape list;
+}
+
+(* Record a boundary violation.  Conditional taints stay silent unless
+   [force] — only the ctx-factory raw return reports them, as an
+   [e_cond] escape that call sites resolve against concrete arguments. *)
+let violate ?(force = false) env t ~what ~(loc : Location.t) =
+  if force || not t.tcond then
+    env.viol <-
+      {
+        e_name = t.tn;
+        e_why = t.twhy;
+        e_param = t.tparam;
+        e_cond = t.tcond;
+        e_steps = t.tsteps @ [ { st_what = what; st_site = site_of env.u loc } ];
+      }
+      :: env.viol
+
+let is_selector env (e : Typedtree.expression) =
+  match (env.selector, e.exp_desc) with
+  | Some key, Texp_ident (Path.Pident id, _, _) -> String.equal key (Ident.unique_name id)
+  | _ -> None <> None
+
+(* A human-readable head name for violation messages. *)
+let head_name u (e : Typedtree.expression) =
+  match head_path u e with Some p when p <> [] -> dots p | _ -> "<fun>"
+
+(* ---------------------- interprocedural factories ---------------------- *)
+
+(* Find a function already summarized *in this unit* whose path matches
+   the (normalized) call head.  Within one unit a bare name is
+   unambiguous enough; disagreeing suffix matches resolve to nothing. *)
+let find_unit_func u path =
+  let matches f = ends_with ~suffix:path f.f_path || ends_with ~suffix:f.f_path path in
+  match List.filter matches u.funcs_rev with
+  | [ f ] -> Some f
+  | f :: rest -> if List.for_all (fun g -> g.f_ctx_escapes == f.f_ctx_escapes) rest then Some f else None
+  | [] -> None
+
+(* Match one [f_ctx_escapes] entry against the arguments of a call to
+   [f]: labelled escaping params match by label, unlabelled by position
+   among the unlabelled args.  Returns the argument expression. *)
+let arg_for_param (f : func) (args : (Asttypes.arg_label * Typedtree.expression option) list)
+    pname =
+  match List.find_opt (fun p -> String.equal p.p_name pname) f.f_params with
+  | None -> None
+  | Some p -> (
+      match p.p_label with
+      | L_labelled l ->
+          List.find_map
+            (function Asttypes.Labelled l', Some a when String.equal l l' -> Some a | _ -> None)
+            args
+      | L_optional l ->
+          List.find_map
+            (function Asttypes.Optional l', Some a when String.equal l l' -> Some a | _ -> None)
+            args
+      | L_none ->
+          let pos =
+            let rec idx i = function
+              | [] -> -1
+              | q :: tl -> if q.p_label = L_none then (if String.equal q.p_name pname then i else idx (i + 1) tl) else idx i tl
+            in
+            idx 0 f.f_params
+          in
+          let unlabelled = List.filter_map (function Asttypes.Nolabel, a -> a | _ -> None) args in
+          List.nth_opt unlabelled pos)
+
+(* ------------------------------ evaluator ------------------------------ *)
+
+(* [eval env e] walks per-worker code: returns the taint carried by the
+   *value* of [e] (if any) and records violations for tainted values
+   consumed across the boundary. *)
+let rec eval env (e : Typedtree.expression) : taint option =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> (
+      let key = Ident.unique_name id in
+      match Hashtbl.find_opt env.tbl key with
+      | Some t -> Some t
+      | None ->
+          if Hashtbl.mem env.u.toplevels key then
+            match classify env.u e.exp_type with
+            | V_mut why ->
+                Some
+                  {
+                    tn = Ident.name id;
+                    twhy = why;
+                    tparam = None;
+                    tsteps =
+                      [
+                        {
+                          st_what =
+                            Printf.sprintf "%s (%s) is unit-toplevel mutable state" (Ident.name id) why;
+                          st_site = site_of env.u (def_loc_of env.u key e.exp_loc);
+                        };
+                      ];
+                    tfactory = false;
+                    tcond = false;
+                  }
+            | _ -> None
+          else None)
+  | Texp_ident (p, _, _) -> (
+      (* Cross-unit value: mutable-classed module state used on a worker. *)
+      match classify env.u e.exp_type with
+      | V_mut why ->
+          let name = dots (normalize env.u p) in
+          Some
+            {
+              tn = name;
+              twhy = why;
+              tparam = None;
+              tsteps =
+                [
+                  {
+                    st_what = Printf.sprintf "%s (%s) is module-level mutable state" name why;
+                    st_site = site_of env.u e.exp_loc;
+                  };
+                ];
+              tfactory = false;
+              tcond = false;
+            }
+      | _ -> None)
+  | Texp_constant _ -> None
+  | Texp_apply (fh, args) -> eval_apply env e fh args
+  | Texp_field (r, _, lbl) -> (
+      match eval env r with
+      | Some t -> (
+          match classify env.u lbl.Types.lbl_arg with V_imm -> None | _ -> Some t)
+      | None -> None)
+  | Texp_setfield (r, _, _, v) ->
+      (match eval env r with
+      | Some t -> violate env t ~what:"a field of the captured value is mutated here" ~loc:e.exp_loc
+      | None -> ());
+      ignore (eval env v);
+      None
+  | Texp_let (_, vbs, body) ->
+      List.iter (bind_vb env) vbs;
+      eval env body
+  | Texp_ifthenelse (c, t, eo) -> (
+      match sequential_branch env.u c with
+      | Some `Then_is_sequential -> ( match eo with Some b -> eval env b | None -> None)
+      | Some `Else_is_sequential -> eval env t
+      | None ->
+          ignore (eval env c);
+          let a = eval env t in
+          let b = match eo with Some b -> eval env b | None -> None in
+          (match a with Some _ -> a | None -> b))
+  | Texp_match (scrut, cases, _) ->
+      let sv = eval env scrut in
+      (match sv with
+      | Some t -> List.iter (fun (c : _ Typedtree.case) -> bind_pattern env t c.c_lhs) cases
+      | None -> ());
+      List.fold_left
+        (fun acc (c : _ Typedtree.case) ->
+          (match c.c_guard with Some g -> ignore (eval env g) | None -> ());
+          let v = eval env c.c_rhs in
+          match acc with Some _ -> acc | None -> v)
+        None cases
+  | Texp_function { cases; _ } ->
+      (* A closure value: tainted iff it closes over a tainted name; its
+         body is still per-worker code, so violations inside it count. *)
+      let captured =
+        List.find_map
+          (fun (key, _, _) -> Hashtbl.find_opt env.tbl key)
+          (free_vars env.u e)
+      in
+      List.iter
+        (fun (c : _ Typedtree.case) ->
+          (match c.c_guard with Some g -> ignore (eval env g) | None -> ());
+          ignore (eval env c.c_rhs))
+        cases;
+      Option.map
+        (fun t ->
+          {
+            t with
+            tfactory = false;
+            tsteps =
+              t.tsteps
+              @ [ { st_what = "captured by a closure built here"; st_site = site_of env.u e.exp_loc } ];
+          })
+        captured
+  | Texp_sequence (a, b) ->
+      ignore (eval env a);
+      eval env b
+  | Texp_tuple es -> List.fold_left (fun acc x -> match acc with Some _ -> acc | None -> eval env x) None es
+  | Texp_construct (_, _, es) ->
+      List.fold_left (fun acc x -> match acc with Some _ -> acc | None -> eval env x) None es
+  | Texp_variant (_, eo) -> ( match eo with Some x -> eval env x | None -> None)
+  | Texp_record { fields; extended_expression } ->
+      let base = match extended_expression with Some x -> eval env x | None -> None in
+      Array.fold_left
+        (fun acc (_, def) ->
+          match def with
+          | Typedtree.Overridden (_, x) -> ( match acc with Some _ -> acc | None -> eval env x)
+          | Typedtree.Kept _ -> acc)
+        base fields
+  | Texp_array es -> List.fold_left (fun acc x -> match acc with Some _ -> acc | None -> eval env x) None es
+  | Texp_lazy x -> eval env x
+  | Texp_open (_, body) -> eval env body
+  | Texp_try (b, cases) ->
+      let v = eval env b in
+      List.fold_left
+        (fun acc (c : _ Typedtree.case) ->
+          let w = eval env c.c_rhs in
+          match acc with Some _ -> acc | None -> w)
+        v cases
+  | _ ->
+      (* Unhandled form: evaluate immediate children, propagate the first
+         taint, invent no violation. *)
+      List.fold_left
+        (fun acc x -> match acc with Some _ -> acc | None -> eval env x)
+        None (immediate_subexprs e)
+
+and eval_apply env (e : Typedtree.expression) fh args =
+  let arg_exprs = List.filter_map (fun (_, a) -> a) args in
+  match head_path env.u fh with
+  | Some path when is_sanctioned path ->
+      (* Audited hand-off: tainted arguments are consumed, the result is
+         a fresh per-worker value. *)
+      List.iter (fun a -> ignore (eval env a)) arg_exprs;
+      None
+  | Some path when is_array_get path -> (
+      match arg_exprs with
+      | [ arr; idx ] when is_selector env idx ->
+          (* xs.(w): per-worker slice selection, the blessed idiom for
+             pre-sized per-worker resources. *)
+          ignore (eval env arr);
+          None
+      | _ -> eval_apply_default env e fh args arg_exprs)
+  | _ -> eval_apply_default env e fh args arg_exprs
+
+and eval_apply_default env (e : Typedtree.expression) fh _args arg_exprs =
+  match eval env fh with
+  | Some t when t.tfactory ->
+      (* Applying a factory-tainted local (`kr w`): the per-worker value
+         it yields still carries the escaping taint. *)
+      List.iter (fun a -> ignore (eval env a)) arg_exprs;
+      Some
+        {
+          t with
+          tfactory = false;
+          tsteps =
+            t.tsteps
+            @ [ { st_what = "per-worker factory applied here"; st_site = site_of env.u e.exp_loc } ];
+        }
+  | Some t ->
+      violate env t ~what:"a closure reaching the captured value is called here" ~loc:e.exp_loc;
+      List.iter (fun a -> ignore (eval env a)) arg_exprs;
+      None
+  | None ->
+      List.iter
+        (fun (a : Typedtree.expression) ->
+          match eval env a with
+          | Some t ->
+              violate env t
+                ~what:
+                  (Printf.sprintf "passed to %s, which is not a sanctioned per-worker boundary"
+                     (head_name env.u fh))
+                ~loc:a.exp_loc
+          | None -> ())
+        arg_exprs;
+      None
+
+and bind_pattern : type k. tenv -> taint -> k Typedtree.general_pattern -> unit =
+ fun env t p ->
+  List.iter
+    (fun (id, _, ty) ->
+      match classify env.u ty with
+      | V_imm -> ()
+      | _ -> Hashtbl.replace env.tbl (Ident.unique_name id) { t with tfactory = false })
+    (pat_var_nodes p)
+
+and bind_vb env (vb : Typedtree.value_binding) =
+  let factory =
+    match vb.vb_expr.exp_desc with
+    | Texp_apply (fh, args) -> (
+        match head_path env.u fh with
+        | Some path -> (
+            match find_unit_func env.u path with
+            | Some f when f.f_ctx_escapes <> [] -> factory_taint env f fh args
+            | _ -> None)
+        | None -> None)
+    | _ -> None
+  in
+  match factory with
+  | Some t -> (
+      match simple_var vb.vb_pat with
+      | Some id -> Hashtbl.replace env.tbl (Ident.unique_name id) { t with tfactory = true }
+      | None -> ())
+  | None -> (
+      match eval env vb.vb_expr with
+      | Some t -> bind_pattern env t vb.vb_pat
+      | None -> ())
+
+(* A call to a same-unit function whose summary says "this parameter
+   escapes raw into the per-worker lambda I return".  If the matching
+   argument is tainted or mutable-classed, the local bound to the call
+   becomes a tainted factory and the witness chains compose. *)
+and factory_taint env (f : func) fh args =
+  let call_site () = site_of env.u (match args with (_, Some a) :: _ -> a.Typedtree.exp_loc | _ -> fh.Typedtree.exp_loc) in
+  List.find_map
+    (fun (esc : escape) ->
+      match esc.e_param with
+      | None ->
+          Some
+            {
+              tn = esc.e_name;
+              twhy = esc.e_why;
+              tparam = None;
+              tsteps =
+                { st_what = Printf.sprintf "factory %s built here" f.f_name; st_site = call_site () }
+                :: esc.e_steps;
+              tfactory = true;
+              tcond = false;
+            }
+      | Some pname -> (
+          match arg_for_param f args pname with
+          | None -> None
+          | Some (a : Typedtree.expression) -> (
+              let hand_off =
+                {
+                  st_what = Printf.sprintf "passed to factory %s as parameter %s" f.f_name pname;
+                  st_site = site_of env.u a.exp_loc;
+                }
+              in
+              match eval env a with
+              | Some t ->
+                  Some
+                    {
+                      tn = t.tn;
+                      twhy = t.twhy;
+                      tparam = t.tparam;
+                      tsteps = t.tsteps @ (hand_off :: esc.e_steps);
+                      tfactory = true;
+                      tcond = t.tcond;
+                    }
+              | None -> (
+                  match classify env.u a.exp_type with
+                  | V_mut why ->
+                      let name = match head_path env.u a with Some p when p <> [] -> dots p | _ -> esc.e_name in
+                      Some
+                        {
+                          tn = name;
+                          twhy = why;
+                          tparam = None;
+                          tsteps =
+                            {
+                              st_what = Printf.sprintf "%s (%s) originates here" name why;
+                              st_site = site_of env.u a.exp_loc;
+                            }
+                            :: hand_off :: esc.e_steps;
+                          tfactory = true;
+                          tcond = false;
+                        }
+                  | _ -> None))))
+    f.f_ctx_escapes
+
+(* ------------------------ closure-level analyses ------------------------ *)
+
+let dedup_escapes escapes =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun e ->
+      let last = match List.rev e.e_steps with s :: _ -> s.st_site | [] -> { s_file = ""; s_line = 0; s_col = 0 } in
+      let key = (e.e_name, last.s_line, last.s_col) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev escapes)
+
+(* Taints for the mutable free variables of a worker/ctx closure. *)
+let capture_taints u (lam : Typedtree.expression) =
+  List.filter_map
+    (fun (key, id, (use : Typedtree.expression)) ->
+      match classify u use.exp_type with
+      | V_mut why ->
+          let name = Ident.name id in
+          Some
+            ( key,
+              {
+                tn = name;
+                twhy = why;
+                tparam =
+                  List.find_map
+                    (fun (k, n, _) -> if String.equal k key then Some n else None)
+                    u.params;
+                tsteps =
+                  [
+                    {
+                      st_what = Printf.sprintf "%s (%s) is bound here" name why;
+                      st_site = site_of u (def_loc_of u key use.exp_loc);
+                    };
+                    { st_what = "captured by the closure"; st_site = site_of u use.exp_loc };
+                  ];
+                tfactory = false;
+                tcond = false;
+              } )
+      | _ -> None)
+    (free_vars u lam)
+
+(* Direct escapes of a worker closure: mutable captures consumed across
+   the boundary, local closures over mutable state, enclosing-function
+   parameters of unresolvable class (summary data for call sites). *)
+let analyze_worker u (lam : Typedtree.expression) =
+  let env = { u; tbl = Hashtbl.create 8; selector = None; viol = [] } in
+  List.iter (fun (key, t) -> Hashtbl.replace env.tbl key t) (capture_taints u lam);
+  let param_escapes = ref [] in
+  List.iter
+    (fun (key, id, (use : Typedtree.expression)) ->
+      (match Hashtbl.find_opt u.local_mut_closures key with
+      | Some (captured, why, def) ->
+          env.viol <-
+            {
+              e_name = Ident.name id;
+              e_why = Printf.sprintf "closes over %s (%s)" captured why;
+              e_param = None;
+              e_cond = false;
+              e_steps =
+                [
+                  {
+                    st_what = Printf.sprintf "local closure %s closes over mutable %s (%s)" (Ident.name id) captured why;
+                    st_site = site_of u def;
+                  };
+                  { st_what = "captured by the worker closure"; st_site = site_of u use.exp_loc };
+                ];
+            }
+            :: env.viol
+      | None -> ());
+      match List.find_opt (fun (k, _, _) -> String.equal k key) u.params with
+      | Some (_, pname, V_unknown) ->
+          param_escapes :=
+            {
+              e_name = pname;
+              e_why = "mutability unresolved at the definition (abstract type)";
+              e_param = Some pname;
+              e_cond = true;
+              e_steps =
+                [
+                  {
+                    st_what = Printf.sprintf "parameter %s is captured by the worker closure" pname;
+                    st_site = site_of u use.exp_loc;
+                  };
+                ];
+            }
+            :: !param_escapes
+      | _ -> ())
+    (free_vars u lam);
+  (match lam.exp_desc with
+  | Texp_function { cases; _ } ->
+      List.iter
+        (fun (c : _ Typedtree.case) ->
+          match eval env c.c_rhs with
+          | Some t -> violate env t ~what:"returned by the worker closure" ~loc:c.c_rhs.exp_loc
+          | None -> ())
+        cases
+  | _ -> ());
+  (dedup_escapes env.viol, List.rev !param_escapes)
+
+(* Escape analysis of a context-factory lambda: the single-parameter
+   closure Exec will call as [ctx w] on each worker domain.  [extra]
+   seeds the taint table (the enclosing factory's mutable parameters and
+   factory-tainted locals). *)
+let analyze_ctx_lambda u ~extra (lam : Typedtree.expression) =
+  let selector =
+    match lam.exp_desc with
+    | Texp_function { cases = [ c ]; _ } -> Option.map Ident.unique_name (simple_var c.c_lhs)
+    | _ -> None
+  in
+  let env = { u; tbl = Hashtbl.create 8; selector; viol = [] } in
+  Hashtbl.iter (fun k t -> Hashtbl.replace env.tbl k t) extra;
+  List.iter (fun (key, t) -> Hashtbl.replace env.tbl key t) (capture_taints u lam);
+  (match lam.exp_desc with
+  | Texp_function { cases; _ } ->
+      List.iter
+        (fun (c : _ Typedtree.case) ->
+          match eval env c.c_rhs with
+          | Some t ->
+              (* [force]: a conditional (caller-dependent) parameter
+                 escaping through the factory is exactly what call sites
+                 need to know about — the clone-removed mutant turns
+                 [keyring_ctx] into a polymorphic pass-through. *)
+              violate ~force:true env t
+                ~what:"returned raw by the per-worker context factory (reaches every worker domain)"
+                ~loc:c.c_rhs.exp_loc
+          | None -> ())
+        cases
+  | _ -> ());
+  dedup_escapes env.viol
+
+(* ----------------------- per-unit summarization ------------------------ *)
+
+let frames_of_attrs attrs = List.filter_map Engine.allow_payload attrs
+
+let call_of_apply u ~allows ~sym ~path (e : Typedtree.expression)
+    (args : (Asttypes.arg_label * Typedtree.expression option) list) =
+  let c_args =
+    List.filter_map
+      (fun (l, a) ->
+        match a with
+        | Some (a : Typedtree.expression) ->
+            let display =
+              match head_path u a with Some p when p <> [] -> dots p | _ -> "<expr>"
+            in
+            Some (label_kind_of l, classify u a.exp_type, display)
+        | None -> None)
+      args
+  in
+  {
+    c_path = path;
+    c_site = site_of u e.exp_loc;
+    c_args;
+    c_allows = frames_of_attrs e.exp_attributes @ allows;
+    c_sym = sym;
+  }
+
+(* Calls, Lazy.force sites and mutable-state touches anywhere under [e0]. *)
+let sweep u ~allows ~sym (e0 : Typedtree.expression) =
+  let calls = ref [] and forces = ref [] and touches = ref [] in
+  iter_exprs
+    (fun (e : Typedtree.expression) ->
+      match e.exp_desc with
+      | Texp_apply (fh, args) -> (
+          match head_path u fh with
+          | Some path when path <> [] ->
+              if is_lazy_force path then forces := site_of u e.exp_loc :: !forces;
+              calls := call_of_apply u ~allows ~sym ~path e args :: !calls
+          | _ -> ())
+      | Texp_ident (p, _, _) -> (
+          let qualified =
+            match p with
+            | Path.Pident id -> Hashtbl.mem u.toplevels (Ident.unique_name id)
+            | _ -> true
+          in
+          if qualified then
+            match classify u e.exp_type with
+            | V_mut _ -> touches := (normalize u p, site_of u e.exp_loc) :: !touches
+            | _ -> ())
+      | _ -> ())
+    e0;
+  (List.rev !calls, List.rev !forces, List.rev !touches)
+
+let worker_fn_arg args =
+  List.fold_left
+    (fun acc (l, a) -> match (l, a) with Asttypes.Nolabel, Some x -> Some x | _ -> acc)
+    None args
+
+let ctx_arg args =
+  List.find_map
+    (function Asttypes.Labelled "ctx", (Some _ as a) -> a | _ -> None)
+    args
+
+let analyze_worker_site u ~allows ~param_taints kind (e : Typedtree.expression) args =
+  let ws_allows = frames_of_attrs e.exp_attributes @ allows in
+  let fn = worker_fn_arg args in
+  let escapes, wcalls, wforces, wtouches, param_escapes =
+    match fn with
+    | Some ({ Typedtree.exp_desc = Texp_function _; _ } as lam) ->
+        let esc, pesc = analyze_worker u lam in
+        let c, f, t = sweep u ~allows:ws_allows ~sym:u.sym lam in
+        (esc, c, f, t, pesc)
+    | Some other ->
+        let c, f, t = sweep u ~allows:ws_allows ~sym:u.sym other in
+        ([], c, f, t, [])
+    | None -> ([], [], [], [], [])
+  in
+  let ctx =
+    if kind = W_spawn then Ctx_none
+    else
+      match ctx_arg args with
+      | None -> Ctx_none
+      | Some ({ Typedtree.exp_desc = Texp_function _; _ } as lam) -> (
+          match analyze_ctx_lambda u ~extra:(param_taints ()) lam with
+          | [] -> Ctx_clean
+          | esc -> Ctx_escapes esc)
+      | Some ({ Typedtree.exp_desc = Texp_apply (fh, cargs); _ } as ce) -> (
+          match head_path u fh with
+          | Some path when path <> [] ->
+              Ctx_call (call_of_apply u ~allows:ws_allows ~sym:u.sym ~path ce cargs)
+          | _ -> Ctx_opaque)
+      | Some ({ Typedtree.exp_desc = Texp_ident _; _ } as ce) -> (
+          match head_path u ce with
+          | Some path when path <> [] ->
+              Ctx_call (call_of_apply u ~allows:ws_allows ~sym:u.sym ~path ce [])
+          | _ -> Ctx_opaque)
+      | Some _ -> Ctx_opaque
+  in
+  ( {
+      ws_kind = kind;
+      ws_site = site_of u e.exp_loc;
+      ws_sym = u.sym;
+      ws_allows;
+      ws_escapes = escapes;
+      ws_ctx = ctx;
+      ws_calls = wcalls;
+      ws_forces = wforces;
+      ws_touches = wtouches;
+    },
+    param_escapes )
+
+(* -------------------- context-factory candidates ----------------------- *)
+
+(* Peel the leading parameter lambdas of a definition:
+   `let f ~a b = body` is nested [Texp_function]s with one catch-all
+   case each. *)
+let rec peel acc (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { arg_label; cases = [ c ]; _ }
+    when c.c_guard = None
+         && (match c.c_lhs.pat_desc with
+            | Tpat_var _ | Tpat_alias _ | Tpat_any -> true
+            | _ -> false) ->
+      peel ((arg_label, c, e) :: acc) c.c_rhs
+  | _ -> (List.rev acc, e)
+
+(* Walk the let-spine of a factory body to its terminal expressions,
+   binding factory-tainted locals along the way; analyze every terminal
+   lambda as a context factory.  Violations recorded *on the spine*
+   (main-domain setup code) are discarded — only the terminal lambdas
+   are per-worker code. *)
+let ctx_candidates u ~params_tbl body =
+  let spine = { u; tbl = params_tbl; selector = None; viol = [] } in
+  let out = ref [] in
+  let rec go (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_let (_, vbs, b) ->
+        List.iter (bind_vb spine) vbs;
+        go b
+    | Texp_sequence (_, b) -> go b
+    | Texp_open (_, b) -> go b
+    | Texp_ifthenelse (c, t, eo) -> (
+        match sequential_branch u c with
+        | Some `Then_is_sequential -> ( match eo with Some b -> go b | None -> ())
+        | Some `Else_is_sequential -> go t
+        | None ->
+            go t;
+            ( match eo with Some b -> go b | None -> ()))
+    | Texp_match (_, cases, _) -> List.iter (fun (c : _ Typedtree.case) -> go c.c_rhs) cases
+    | Texp_function _ -> out := analyze_ctx_lambda u ~extra:spine.tbl e @ !out
+    | _ -> ()
+  in
+  go body;
+  dedup_escapes !out
+
+(* Is this the `int -> 'ctx` shape of the [~ctx] factory argument?  A
+   yet-ungeneralized variable also qualifies (`fun _ -> keyring` with no
+   annotation) — a false candidate only ever adds unused summary data. *)
+let ctx_shaped u (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Tarrow (Asttypes.Nolabel, targ, _, _) -> (
+      match Types.get_desc targ with
+      | Tconstr (p, [], _) -> ( match normalize u p with [ "int" ] -> true | _ -> false)
+      | Tvar _ -> true
+      | _ -> false)
+  | _ -> false
+
+(* --------------------------- toplevel values --------------------------- *)
+
+let analyze_toplevel u ~path (vb : Typedtree.value_binding) name =
+  let saved_sym = u.sym and saved_params = u.params and saved_vb = u.vb_frames in
+  u.sym <- name;
+  u.vb_frames <- frames_of_attrs vb.vb_attributes @ u.vb_frames;
+  let allows = u.vb_frames @ u.unit_frames in
+  let nodes, body = peel [] vb.vb_expr in
+  let params =
+    List.map
+      (fun (lbl, (c : Typedtree.value Typedtree.case), _) ->
+        let uid, pname =
+          match simple_var c.c_lhs with
+          | Some id -> (Ident.unique_name id, Ident.name id)
+          | None -> ("", "_")
+        in
+        (uid, { p_label = label_kind_of lbl; p_name = pname; p_class = classify u c.c_lhs.pat_type }))
+      nodes
+  in
+  u.params <- List.map (fun (uid, p) -> (uid, p.p_name, p.p_class)) params;
+  let param_taints () =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (uid, p) ->
+        match p.p_class with
+        | V_mut why when uid <> "" ->
+            Hashtbl.replace tbl uid
+              {
+                tn = p.p_name;
+                twhy = why;
+                tparam = Some p.p_name;
+                tsteps =
+                  [
+                    {
+                      st_what = Printf.sprintf "parameter %s (%s) is bound here" p.p_name why;
+                      st_site = site_of u (def_loc_of u uid vb.vb_loc);
+                    };
+                  ];
+                tfactory = false;
+                tcond = false;
+              }
+        | V_unknown when uid <> "" ->
+            (* Caller-dependent mutability (abstract or polymorphic
+               parameter).  Seeded as a *conditional* taint: silent on
+               ordinary consumption, but a raw return through a context
+               factory records an [e_cond] escape so call sites that pin
+               the parameter to a mutable argument still fire. *)
+            Hashtbl.replace tbl uid
+              {
+                tn = p.p_name;
+                twhy = "mutability depends on the caller's argument";
+                tparam = Some p.p_name;
+                tsteps =
+                  [
+                    {
+                      st_what =
+                        Printf.sprintf "parameter %s (mutability caller-dependent) is bound here"
+                          p.p_name;
+                      st_site = site_of u (def_loc_of u uid vb.vb_loc);
+                    };
+                  ];
+                tfactory = false;
+                tcond = true;
+              }
+        | _ -> ())
+      params;
+    tbl
+  in
+  let wsites = ref [] and pescs = ref [] in
+  iter_exprs
+    (fun (e : Typedtree.expression) ->
+      match e.exp_desc with
+      | Texp_apply (fh, args) -> (
+          match head_path u fh with
+          | Some p ->
+              let kind =
+                if ends_with ~suffix:exec_map p then Some W_map
+                else if ends_with ~suffix:exec_sequential p then Some W_sequential
+                else if ends_with ~suffix:domain_spawn p then Some W_spawn
+                else None
+              in
+              (match kind with
+              | Some kind ->
+                  let ws, pe = analyze_worker_site u ~allows ~param_taints kind e args in
+                  wsites := ws :: !wsites;
+                  pescs := pe @ !pescs
+              | None -> ())
+          | None -> ())
+      | _ -> ())
+    vb.vb_expr;
+  let ctx_escapes =
+    let cands = ctx_candidates u ~params_tbl:(param_taints ()) body in
+    if cands <> [] then cands
+    else
+      match List.rev nodes with
+      | (Asttypes.Nolabel, _, fnode) :: _ when ctx_shaped u fnode.Typedtree.exp_type ->
+          analyze_ctx_lambda u ~extra:(param_taints ()) fnode
+      | _ -> []
+  in
+  let calls, forces, touches = sweep u ~allows ~sym:name vb.vb_expr in
+  u.funcs_rev <-
+    {
+      f_path = path @ [ name ];
+      f_name = name;
+      f_site = site_of u vb.vb_loc;
+      f_params = List.map snd params;
+      f_calls = calls;
+      f_forces = forces;
+      f_touches = touches;
+      f_ctx_escapes = ctx_escapes;
+      f_param_escapes = dedup_escapes !pescs;
+    }
+    :: u.funcs_rev;
+  u.workers_rev <- !wsites @ u.workers_rev;
+  (if nodes = [] && not (String.equal name "_") then
+     match vb.vb_expr.exp_desc with
+     | Texp_function _ -> ()
+     | _ -> (
+         match classify u vb.vb_expr.exp_type with
+         | V_mut why ->
+             u.globals_rev <-
+               { g_path = path @ [ name ]; g_why = why; g_site = site_of u vb.vb_loc }
+               :: u.globals_rev
+         | _ -> ()));
+  u.sym <- saved_sym;
+  u.params <- saved_params;
+  u.vb_frames <- saved_vb
+
+(* ----------------------------- unit passes ----------------------------- *)
+
+let rec mod_structure (m : Typedtree.module_expr) =
+  match m.mod_desc with
+  | Tmod_structure s -> Some s
+  | Tmod_constraint (m, _, _, _) -> mod_structure m
+  | _ -> None
+
+let collect_aliases u (str : Typedtree.structure) =
+  let record id (mexpr : Typedtree.module_expr) =
+    let rec alias_path (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_ident (p, _) -> Some p
+      | Tmod_constraint (m, _, _, _) -> alias_path m
+      | _ -> None
+    in
+    match (id, alias_path mexpr) with
+    | Some id, Some p -> Hashtbl.replace u.aliases (Ident.unique_name id) (normalize u p)
+    | _ -> ()
+  in
+  let super = Tast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      structure_item =
+        (fun it si ->
+          (match si.Typedtree.str_desc with
+          | Tstr_module mb -> record mb.mb_id mb.mb_expr
+          | _ -> ());
+          super.structure_item it si);
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Texp_letmodule (id, _, _, mexpr, _) -> record id mexpr
+          | _ -> ());
+          super.expr it e);
+    }
+  in
+  it.structure it str
+
+let collect_defs u (str : Typedtree.structure) =
+  let super = Tast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      pat =
+        (fun (type k) it (p : k Typedtree.general_pattern) ->
+          List.iter
+            (fun (id, loc, _) -> Hashtbl.replace u.def_locs (Ident.unique_name id) loc)
+            (pat_var_nodes p);
+          super.pat it p);
+    }
+  in
+  it.structure it str;
+  let rec tops (s : Typedtree.structure) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                List.iter
+                  (fun (id, _, _) -> Hashtbl.replace u.toplevels (Ident.unique_name id) ())
+                  (pat_var_nodes vb.vb_pat))
+              vbs
+        | Tstr_module mb -> (
+            match mod_structure mb.mb_expr with Some s -> tops s | None -> ())
+        | Tstr_recmodule mbs ->
+            List.iter
+              (fun (mb : Typedtree.module_binding) ->
+                match mod_structure mb.mb_expr with Some s -> tops s | None -> ())
+              mbs
+        | _ -> ())
+      s.str_items
+  in
+  tops str
+
+(* Local `let f = fun ... ` closures over mutable state: a worker that
+   captures such a closure shares the state one hop away. *)
+let collect_local_closures u (str : Typedtree.structure) =
+  let super = Tast_iterator.default_iterator in
+  let it =
+    {
+      super with
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Texp_let (_, vbs, _) ->
+              List.iter
+                (fun (vb : Typedtree.value_binding) ->
+                  match (simple_var vb.vb_pat, vb.vb_expr.exp_desc) with
+                  | Some id, Texp_function _ -> (
+                      match
+                        List.find_map
+                          (fun (_, fid, (use : Typedtree.expression)) ->
+                            match classify u use.exp_type with
+                            | V_mut why -> Some (Ident.name fid, why)
+                            | _ -> None)
+                          (free_vars u vb.vb_expr)
+                      with
+                      | Some (nm, why) ->
+                          Hashtbl.replace u.local_mut_closures (Ident.unique_name id)
+                            (nm, why, vb.vb_loc)
+                      | None -> ())
+                  | _ -> ())
+                vbs
+          | _ -> ());
+          super.expr it e);
+    }
+  in
+  it.structure it str
+
+let rec walk_structure u path (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_attribute a -> (
+          match Engine.allow_payload a with
+          | Some fr -> u.unit_frames <- fr :: u.unit_frames
+          | None -> ())
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              analyze_toplevel u ~path vb (Option.value ~default:"_" (vb_name vb.vb_pat)))
+            vbs
+      | Tstr_module mb -> (
+          match (mb.mb_id, mod_structure mb.mb_expr) with
+          | Some id, Some s -> walk_structure u (path @ [ Ident.name id ]) s
+          | _ -> ())
+      | Tstr_recmodule mbs ->
+          List.iter
+            (fun (mb : Typedtree.module_binding) ->
+              match (mb.mb_id, mod_structure mb.mb_expr) with
+              | Some id, Some s -> walk_structure u (path @ [ Ident.name id ]) s
+              | _ -> ())
+            mbs
+      | _ -> ())
+    str.str_items
+
+(* --------------------------- declaration table ------------------------- *)
+
+let rec collect_decls table path (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_type (_, decls) ->
+          List.iter
+            (fun (d : Typedtree.type_declaration) ->
+              Mut_types.add_decl table ~key:(path @ [ d.typ_name.txt ]) d.typ_type)
+            decls
+      | Tstr_module mb -> (
+          match (mb.mb_id, mod_structure mb.mb_expr) with
+          | Some id, Some s -> collect_decls table (path @ [ Ident.name id ]) s
+          | _ -> ())
+      | Tstr_recmodule mbs ->
+          List.iter
+            (fun (mb : Typedtree.module_binding) ->
+              match (mb.mb_id, mod_structure mb.mb_expr) with
+              | Some id, Some s -> collect_decls table (path @ [ Ident.name id ]) s
+              | _ -> ())
+            mbs
+      | _ -> ())
+    str.str_items
+
+let decl_table units =
+  let table = Mut_types.create_table () in
+  List.iter
+    (fun (cu : Cmt_loader.unit_) -> collect_decls table [ cu.modname ] cu.structure)
+    units;
+  table
+
+(* ------------------------------- driving ------------------------------- *)
+
+let summarize_unit table (cu : Cmt_loader.unit_) =
+  let u =
+    {
+      rel = cu.rel;
+      modname = cu.modname;
+      table;
+      aliases = Hashtbl.create 16;
+      def_locs = Hashtbl.create 64;
+      toplevels = Hashtbl.create 64;
+      unit_frames = [];
+      vb_frames = [];
+      funcs_rev = [];
+      workers_rev = [];
+      globals_rev = [];
+      sym = "";
+      params = [];
+      local_mut_closures = Hashtbl.create 16;
+    }
+  in
+  collect_aliases u cu.structure;
+  collect_defs u cu.structure;
+  collect_local_closures u cu.structure;
+  walk_structure u [ cu.modname ] cu.structure;
+  {
+    u_rel = cu.rel;
+    u_modname = cu.modname;
+    u_digest = cu.digest;
+    u_funcs = List.rev u.funcs_rev;
+    u_workers = List.rev u.workers_rev;
+    u_globals = List.rev u.globals_rev;
+  }
+
+(* --------------------------- incremental cache ------------------------- *)
+
+let cache_magic = "coinlint-summaries"
+let cache_version = 1
+
+type cache_payload = {
+  cf_magic : string;
+  cf_version : int;
+  cf_fingerprint : string;
+  cf_entries : (string * string * unit_summary) list;  (* rel, digest, summary *)
+}
+
+let load_cache path ~fingerprint =
+  if not (Sys.file_exists path) then []
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          (Marshal.from_channel ic : cache_payload))
+    with
+    | { cf_magic; cf_version = v; cf_fingerprint; cf_entries }
+      when String.equal cf_magic cache_magic && v = cache_version
+           && String.equal cf_fingerprint fingerprint ->
+        cf_entries
+    | _ -> []
+    | exception _ -> []
+
+let save_cache path ~fingerprint entries =
+  let dir = Filename.dirname path in
+  if Sys.file_exists dir && Sys.is_directory dir then
+    try
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          Marshal.to_channel oc
+            { cf_magic = cache_magic; cf_version = cache_version; cf_fingerprint = fingerprint; cf_entries = entries }
+            [])
+    with Sys_error _ -> ()
+
+(* Summarize every unit, reusing cached summaries whose source digest
+   still matches.  The fingerprint covers every type declaration the
+   classifier saw: any type edit anywhere invalidates the whole cache
+   (classification is a global property), any single-module edit
+   re-summarizes only that module. *)
+let summarize ?cache_file ~table units =
+  let fingerprint = Mut_types.fingerprint table in
+  let cached = match cache_file with Some p -> load_cache p ~fingerprint | None -> [] in
+  let hits = ref 0 in
+  let out =
+    List.map
+      (fun (cu : Cmt_loader.unit_) ->
+        match
+          List.find_opt
+            (fun (rel, dg, _) ->
+              String.equal rel cu.rel && String.equal dg cu.digest && dg <> "")
+            cached
+        with
+        | Some (_, _, s) ->
+            incr hits;
+            s
+        | None -> summarize_unit table cu)
+      units
+  in
+  (match cache_file with
+  | Some p ->
+      save_cache p ~fingerprint (List.map (fun s -> (s.u_rel, s.u_digest, s)) out)
+  | None -> ());
+  (out, !hits)
