@@ -862,7 +862,7 @@ let complexity_proto_name = function
 
 (* One (protocol, n) point: [trials] fixed-seed runs accumulated into one
    ledger.  Returns the ledger plus whether every run terminated safely. *)
-let complexity_point proto ~n ~trials ~seed =
+let complexity_point proto ~expand ~lambda ~max_steps ~n ~trials ~seed =
   let ledger = Sim.Ledger.create () in
   let inputs = Array.make n 1 in
   let ok = ref true in
@@ -872,16 +872,16 @@ let complexity_point proto ~n ~trials ~seed =
     match proto with
     | `Whp_ba ->
         let keyring = make_keyring `Mock 256 n seed in
-        let params = make_params n 0.25 0.04 None in
+        let params = make_params n 0.25 0.04 lambda in
         let o =
-          Core.Runner.run_ba
+          Core.Runner.run_ba ~expand ?max_steps
             ~probe:(fun eng -> Core.Instrument.attach_ba_ledger eng ledger)
             ~keyring ~params ~inputs ~seed ()
         in
         note o.Core.Runner.all_decided o.Core.Runner.agreement
     | `Benor ->
         let o =
-          Baselines.Brun.run_benor
+          Baselines.Brun.run_benor ~expand ?max_steps
             ~probe:(fun eng ->
               Sim.Ledger.attach eng ledger ~tag_of:Baselines.Benor.tag_of_msg
                 ~round_of:Baselines.Benor.round_of_msg ())
@@ -890,7 +890,7 @@ let complexity_point proto ~n ~trials ~seed =
         note o.Baselines.Brun.all_decided o.Baselines.Brun.agreement
     | `Bracha ->
         let o =
-          Baselines.Brun.run_bracha
+          Baselines.Brun.run_bracha ~expand ?max_steps
             ~probe:(fun eng ->
               Sim.Ledger.attach eng ledger ~tag_of:Baselines.Bracha.tag_of_msg
                 ~round_of:Baselines.Bracha.round_of_msg ())
@@ -899,7 +899,7 @@ let complexity_point proto ~n ~trials ~seed =
         note o.Baselines.Brun.all_decided o.Baselines.Brun.agreement
     | `Rabin ->
         let o =
-          Baselines.Brun.run_rabin
+          Baselines.Brun.run_rabin ~expand ?max_steps
             ~probe:(fun eng ->
               Sim.Ledger.attach eng ledger ~tag_of:Baselines.Rabin.tag_of_msg
                 ~round_of:Baselines.Rabin.round_of_msg ())
@@ -910,7 +910,7 @@ let complexity_point proto ~n ~trials ~seed =
   (ledger, !ok)
 
 let complexity_cmd =
-  let run ns trials seed protos json =
+  let run ns trials seed lambda max_steps protos engine jobs json =
     if trials <= 0 then begin
       Format.eprintf "complexity: --trials must be positive (got %d)@." trials;
       2
@@ -919,7 +919,19 @@ let complexity_cmd =
       Format.eprintf "complexity: --ns needs a non-empty list of n >= 4@." ;
       2
     end
+    else if jobs < 0 then begin
+      Format.eprintf "complexity: --jobs must be >= 0 (got %d)@." jobs;
+      2
+    end
     else begin
+      let expand : Sim.Engine.expand =
+        match engine with
+        | `Eager -> Sim.Engine.Eager
+        | `Lazy -> Sim.Engine.Lazy
+        | `Sharded ->
+            let jobs = Exec.resolve_jobs jobs in
+            Sim.Engine.Sharded { jobs }
+      in
       let ns = List.sort_uniq Int.compare ns in
       (* results.(p) = per-n (n, ledger, ok, mean correct words/trial) *)
       let results =
@@ -928,7 +940,9 @@ let complexity_cmd =
             let points =
               List.map
                 (fun n ->
-                  let ledger, ok = complexity_point proto ~n ~trials ~seed in
+                  let ledger, ok =
+                    complexity_point proto ~expand ~lambda ~max_steps ~n ~trials ~seed
+                  in
                   let words =
                     float_of_int (Sim.Ledger.total ledger).Sim.Ledger.correct_words
                     /. float_of_int trials
@@ -939,9 +953,57 @@ let complexity_cmd =
             (proto, points))
           protos
       in
+      (* A slope needs two points; a single-n sweep (the CI smoke, the
+         100k headline run) still exports its ledger, just without fits. *)
       let fit points =
-        Core.Stats.loglog_slope
-          (List.map (fun (n, _, _, w) -> (float_of_int n, max 1.0 w)) points)
+        if List.length points < 2 then None
+        else
+          Some
+            (Core.Stats.loglog_slope
+               (List.map (fun (n, _, _, w) -> (float_of_int n, max 1.0 w)) points))
+      in
+      let loglog pts =
+        List.map (fun (n, _, _, w) -> (log (float_of_int n), log (max 1.0 w))) pts
+      in
+      (* Crossover vs each baseline: the first swept n where WHP-BA is
+         cheaper, or the log-log extrapolation when the sweep never
+         reaches it.  Computed once here so the human table and the
+         exported document report the same verdicts. *)
+      let crossovers =
+        match
+          List.find_map
+            (fun (proto, points) -> match proto with `Whp_ba -> Some points | _ -> None)
+            results
+        with
+        | None -> []
+        | Some whp_points ->
+            let whp_fit =
+              if List.length whp_points < 2 then None
+              else Some (Core.Stats.linear_fit (loglog whp_points))
+            in
+            List.filter_map
+              (fun (proto, points) ->
+                if proto = `Whp_ba then None
+                else begin
+                  let name = complexity_proto_name proto in
+                  let observed =
+                    List.find_opt
+                      (fun ((n, _, _, w), (n', _, _, w')) -> n = n' && w <= w')
+                      (List.combine whp_points points)
+                  in
+                  match (observed, whp_fit) with
+                  | Some ((n, _, _, _), _), _ -> Some (name, `Observed n)
+                  | None, None -> None
+                  | None, Some (s1, b1) ->
+                      let s2, b2 = Core.Stats.linear_fit (loglog points) in
+                      if s1 < s2 then begin
+                        let star = exp ((b1 -. b2) /. (s2 -. s1)) in
+                        if star <= 1e9 then Some (name, `Projected star)
+                        else Some (name, `Beyond (s2 -. s1))
+                      end
+                      else Some (name, `Not_reached)
+                end)
+              results
       in
       (match json with
       | Some target ->
@@ -950,12 +1012,20 @@ let complexity_cmd =
               (fun (proto, points) ->
                 List.map
                   (fun (n, ledger, ok, _) ->
+                    let extra =
+                      [ ("trials", Obs.Json.Int trials); ("ok", Obs.Json.Bool ok) ]
+                      @
+                      (* Committee size is a WHP-BA knob only; baselines are
+                         all-to-all and have no lambda to report. *)
+                      match proto with
+                      | `Whp_ba ->
+                          let p = make_params n 0.25 0.04 lambda in
+                          [ ("lambda", Obs.Json.Int p.Core.Params.lambda) ]
+                      | _ -> []
+                    in
                     Core.Instrument.ledger_json
                       ~protocol:(complexity_proto_name proto)
-                      ~n
-                      ~extra:
-                        [ ("trials", Obs.Json.Int trials); ("ok", Obs.Json.Bool ok) ]
-                      ledger)
+                      ~n ~extra ledger)
                   points)
               results
           in
@@ -965,9 +1035,26 @@ let complexity_cmd =
                 Obs.Json.Obj
                   [
                     ("protocol", Obs.Json.Str (complexity_proto_name proto));
-                    ("loglog_slope", Obs.Json.Float (fit points));
+                    ( "loglog_slope",
+                      match fit points with
+                      | Some s -> Obs.Json.Float s
+                      | None -> Obs.Json.Null );
                   ])
               results
+          in
+          let crossover_json =
+            List.map
+              (fun (name, kind) ->
+                Obs.Json.Obj
+                  (("vs", Obs.Json.Str name)
+                  ::
+                  (match kind with
+                  | `Observed n -> [ ("observed_at_n", Obs.Json.Int n) ]
+                  | `Projected star -> [ ("projected_at_n", Obs.Json.Float star) ]
+                  | `Beyond gap ->
+                      [ ("beyond_n", Obs.Json.Float 1e9); ("slope_gap", Obs.Json.Float gap) ]
+                  | `Not_reached -> [ ("reached", Obs.Json.Bool false) ])))
+              crossovers
           in
           let doc =
             Core.Instrument.ledger_doc
@@ -976,6 +1063,7 @@ let complexity_cmd =
                   ("base_seed", Obs.Json.Int seed);
                   ("trials", Obs.Json.Int trials);
                   ("fits", Obs.Json.List fits);
+                  ("crossovers", Obs.Json.List crossover_json);
                 ]
               entries
           in
@@ -1002,64 +1090,24 @@ let complexity_cmd =
                     (Sim.Ledger.max_round ledger + 1)
                     ok)
                 points;
-              Format.printf "%-8s log-log slope = %.2f@."
-                (complexity_proto_name proto)
-                (fit points))
+              match fit points with
+              | Some s ->
+                  Format.printf "%-8s log-log slope = %.2f@." (complexity_proto_name proto) s
+              | None -> ())
             results;
-          (* Crossover: against each baseline, the first swept n where
-             WHP-BA is cheaper, or the log-log extrapolation if the sweep
-             never reaches it. *)
-          (match
-             List.find_map
-               (fun (proto, points) ->
-                 match proto with `Whp_ba -> Some points | _ -> None)
-               results
-           with
-          | None -> ()
-          | Some whp_points ->
-              let whp_fit =
-                Core.Stats.linear_fit
-                  (List.map
-                     (fun (n, _, _, w) -> (log (float_of_int n), log (max 1.0 w)))
-                     whp_points)
-              in
-              List.iter
-                (fun (proto, points) ->
-                  if proto <> `Whp_ba then begin
-                    let name = complexity_proto_name proto in
-                    let observed =
-                      List.find_opt
-                        (fun ((n, _, _, w), (n', _, _, w')) -> n = n' && w <= w')
-                        (List.combine whp_points points)
-                    in
-                    match observed with
-                    | Some ((n, _, _, _), _) ->
-                        Format.printf "crossover vs %-8s observed at n = %d@." name n
-                    | None ->
-                        let s1, b1 = whp_fit in
-                        let s2, b2 =
-                          Core.Stats.linear_fit
-                            (List.map
-                               (fun (n, _, _, w) ->
-                                 (log (float_of_int n), log (max 1.0 w)))
-                               points)
-                        in
-                        if s1 < s2 then begin
-                          let star = exp ((b1 -. b2) /. (s2 -. s1)) in
-                          if star <= 1e9 then
-                            Format.printf
-                              "crossover vs %-8s projected at n ~ %.0f (extrapolated)@." name
-                              star
-                          else
-                            Format.printf
-                              "crossover vs %-8s beyond n ~ 1e9 at these constants (slope gap \
-                               %.2f)@."
-                              name (s2 -. s1)
-                        end
-                        else
-                          Format.printf "crossover vs %-8s not reached in sweep@." name
-                  end)
-                results));
+          List.iter
+            (fun (name, kind) ->
+              match kind with
+              | `Observed n -> Format.printf "crossover vs %-8s observed at n = %d@." name n
+              | `Projected star ->
+                  Format.printf "crossover vs %-8s projected at n ~ %.0f (extrapolated)@." name
+                    star
+              | `Beyond gap ->
+                  Format.printf
+                    "crossover vs %-8s beyond n ~ 1e9 at these constants (slope gap %.2f)@."
+                    name gap
+              | `Not_reached -> Format.printf "crossover vs %-8s not reached in sweep@." name)
+            crossovers);
       0
     end
   in
@@ -1086,6 +1134,15 @@ let complexity_cmd =
           ~doc:"Write a coincidence.ledger/1 document to FILE (\"-\" for stdout): per-(protocol, \
                 n) totals with the per-round, per-phase breakdown, plus fitted log-log slopes.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("eager", `Eager); ("lazy", `Lazy); ("sharded", `Sharded) ]) `Lazy
+      & info [ "engine" ] ~docv:"MODE"
+          ~doc:"Broadcast expansion mode: eager (materialize all n envelopes at send), lazy \
+                (per-destination on demand; byte-identical to eager, the default), or sharded \
+                (lazy with --jobs worker domains expanding latency chunks; jobs-invariant).")
+  in
   Cmd.v
     (Cmd.info "complexity"
        ~doc:"Sweep n with the word-complexity ledger attached and report per-phase/per-round \
@@ -1093,7 +1150,15 @@ let complexity_cmd =
     Term.(
       const run $ ns_arg
       $ Arg.(value & opt int 2 & info [ "trials" ] ~docv:"K" ~doc:"Fixed-seed runs per point.")
-      $ seed_arg $ protos_arg $ json_arg)
+      $ seed_arg $ lambda_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-steps" ] ~docv:"STEPS"
+              ~doc:
+                "Delivery cap per run (default: the engine's 50M).  A WHP-BA point at n = \
+                 100,000 sends ~64M messages per round, so completing it needs a larger cap.")
+      $ protos_arg $ engine_arg $ jobs_arg $ json_arg)
 
 let () =
   let doc = "Sub-quadratic asynchronous Byzantine Agreement WHP (Cohen-Keidar-Spiegelman, PODC 2020)" in

@@ -22,14 +22,38 @@ let pp_msg fmt = function
 
 type action = Broadcast of msg | Deliver of int list
 
-(* Per-value receive bookkeeping. *)
+(* Run-shared validation memo.  A broadcast delivers the same physical
+   payload to all n destinations, so each table is keyed by (phase
+   string, sender) and guards its verdict with the message content it
+   validated: a physical-equality hit (the common case — one entry per
+   sender per run) skips re-verification outright, a byte-equal hit does
+   the same after one comparison, and anything else (a Byzantine sender
+   varying its message per destination) falls through to the full check.
+   Verdicts of both polarities are cached; validation is deterministic in
+   the bytes, so this changes no observable behaviour. *)
+type cache = {
+  c_init : (string * int, Sample.cert * bool) Hashtbl.t;
+  c_echo : (string * int, (Sample.cert * string) * bool) Hashtbl.t;
+  c_ok : (string * int, (int * Sample.cert * echo_evidence list) * bool) Hashtbl.t;
+}
+
+let cache () =
+  { c_init = Hashtbl.create 64; c_echo = Hashtbl.create 256; c_ok = Hashtbl.create 64 }
+
+(* Per-value receive bookkeeping.  Dedup sets are committee-rank bitsets
+   (~lambda bits), not n-sized arrays: the senders a phase accepts are
+   exactly the members of its ground-truth committee (Sample.Directory),
+   so the rank is a dense per-phase index. *)
 type value_state = {
-  init_from : bool array;
+  vs_s_echo : string;
+  vs_echo_payload : string;
+  vs_echo_comm : Sample.Directory.comm;
+  init_seen : Sim.Bitset.t;
   mutable init_count : int;
   mutable echoed : bool;
-  echo_from : bool array;
+  echo_seen : Sim.Bitset.t;
   mutable echo_count : int;
-  mutable echo_evidence : echo_evidence list;  (* newest first *)
+  mutable echo_evidence : echo_evidence list; (* newest first, capped at W *)
 }
 
 type t = {
@@ -37,45 +61,64 @@ type t = {
   params : Params.t;
   pid : int;
   instance : string;
+  dir : Sample.Directory.t;
+  cache : cache;
+  s_init : string;
+  s_ok : string;
+  init_comm : Sample.Directory.comm;
+  ok_comm : Sample.Directory.comm;
   mutable values : (int * value_state) list;
       (* per-value receive state, sorted ascending by value: at most the
          two binary inputs plus bot ever appear, and a deterministic
          iteration order keeps emitted-action order independent of
          hashing internals (coinlint hashtbl-iter) *)
-  known_echo : (int * int, Sample.cert * string) Hashtbl.t;
-      (* (pid, v) -> evidence already verified valid.  OK messages carry W
-         support entries each, and every receiver of every OK sees mostly
-         the same entries; byte-comparing against known-good evidence
-         short-circuits re-verification without weakening validation (a
-         different byte string still goes through the full check). *)
   mutable my_input : int option;
   mutable ok_cert : Sample.cert option;  (* our OK-committee certificate *)
   mutable ok_sent : bool;
-  ok_from : bool array;
+  ok_seen : Sim.Bitset.t;
   mutable ok_count : int;
   mutable ok_values : int list;          (* values seen in valid OKs *)
   mutable delivered : int list option;
 }
 
-let s_init t = t.instance ^ "/init"
+let s_init t = t.s_init
 let s_echo t v = Printf.sprintf "%s/echo/%d" t.instance v
-let s_ok t = t.instance ^ "/ok"
+let s_ok t = t.s_ok
 let echo_payload t v = Printf.sprintf "%s/echo-sig/%d" t.instance v
 
-let create ~keyring ~params ~pid ~instance =
+let create ?dir ?cache:copt ~keyring ~params ~pid ~instance () =
   let n = params.Params.n in
-  if not (Int.equal n (Vrf.Keyring.n keyring)) then invalid_arg "Approver.create: n mismatch with keyring";
+  if not (Int.equal n (Vrf.Keyring.n keyring)) then
+    invalid_arg "Approver.create: n mismatch with keyring";
+  let dir =
+    match dir with
+    | Some d ->
+        if Sample.Directory.lambda d <> params.Params.lambda then
+          invalid_arg "Approver.create: directory lambda mismatch";
+        d
+    | None -> Sample.Directory.create keyring ~lambda:params.Params.lambda
+  in
+  let cache = match copt with Some c -> c | None -> cache () in
+  let s_init = instance ^ "/init" in
+  let s_ok = instance ^ "/ok" in
+  let init_comm = Sample.Directory.committee dir ~s:s_init in
+  let ok_comm = Sample.Directory.committee dir ~s:s_ok in
   {
     keyring;
     params;
     pid;
     instance;
+    dir;
+    cache;
+    s_init;
+    s_ok;
+    init_comm;
+    ok_comm;
     values = [];
-    known_echo = Hashtbl.create 64;
     my_input = None;
     ok_cert = None;
     ok_sent = false;
-    ok_from = Array.make n false;
+    ok_seen = Sim.Bitset.create (Sample.Directory.size ok_comm);
     ok_count = 0;
     ok_values = [];
     delivered = None;
@@ -84,18 +127,22 @@ let create ~keyring ~params ~pid ~instance =
 let lambda t = t.params.Params.lambda
 let w t = t.params.Params.w
 let b t = t.params.Params.b
-let n t = t.params.Params.n
 
 let value_state t v =
   match List.find_map (fun (v', s) -> if Int.equal v v' then Some s else None) t.values with
   | Some s -> s
   | None ->
+      let vs_s_echo = s_echo t v in
+      let vs_echo_comm = Sample.Directory.committee t.dir ~s:vs_s_echo in
       let s =
         {
-          init_from = Array.make (n t) false;
+          vs_s_echo;
+          vs_echo_payload = echo_payload t v;
+          vs_echo_comm;
+          init_seen = Sim.Bitset.create (Sample.Directory.size t.init_comm);
           init_count = 0;
           echoed = false;
-          echo_from = Array.make (n t) false;
+          echo_seen = Sim.Bitset.create (Sample.Directory.size vs_echo_comm);
           echo_count = 0;
           echo_evidence = [];
         }
@@ -132,7 +179,7 @@ let input t v =
 let maybe_echo t v st =
   if st.echoed || st.init_count < b t + 1 then []
   else begin
-    let cert = Sample.sample t.keyring ~pid:t.pid ~s:(s_echo t v) ~lambda:(lambda t) in
+    let cert = Sample.sample t.keyring ~pid:t.pid ~s:st.vs_s_echo ~lambda:(lambda t) in
     if not cert.Sample.member then begin
       (* Not in this value's echo committee: mark handled so we do not
          resample on every further init. *)
@@ -146,24 +193,36 @@ let maybe_echo t v st =
     end
   end
 
-let same_evidence (cert : Sample.cert) signature ((kc : Sample.cert), ks) =
-  cert.Sample.member = kc.Sample.member
-  && String.equal cert.Sample.vrf.Vrf.beta kc.Sample.vrf.Vrf.beta
-  && String.equal cert.Sample.vrf.Vrf.proof kc.Sample.vrf.Vrf.proof
-  && String.equal signature ks
+let same_cert (c : Sample.cert) (k : Sample.cert) =
+  c == k
+  || (c.Sample.member = k.Sample.member
+     && String.equal c.Sample.vrf.Vrf.beta k.Sample.vrf.Vrf.beta
+     && String.equal c.Sample.vrf.Vrf.proof k.Sample.vrf.Vrf.proof)
 
-let valid_echo_evidence t v pid cert signature =
-  match Hashtbl.find_opt t.known_echo (pid, v) with
-  | Some known when same_evidence cert signature known -> true
+let valid_init t src cert =
+  let key = (t.s_init, src) in
+  match Hashtbl.find_opt t.cache.c_init key with
+  | Some (kc, verdict) when same_cert cert kc -> verdict
   | Some _ | None ->
-      let ok =
-        Sample.committee_val t.keyring ~s:(s_echo t v) ~lambda:(lambda t) ~pid cert
-        && Vrf.Keyring.verify_sig t.keyring ~signer:pid (echo_payload t v) signature
-      in
-      if ok then Hashtbl.replace t.known_echo (pid, v) (cert, signature);
+      let ok = Sample.committee_val t.keyring ~s:t.s_init ~lambda:(lambda t) ~pid:src cert in
+      Hashtbl.replace t.cache.c_init key (cert, ok);
       ok
 
-let valid_ok_support t v support =
+let valid_echo_evidence t st pid cert signature =
+  let key = (st.vs_s_echo, pid) in
+  match Hashtbl.find_opt t.cache.c_echo key with
+  | Some ((kc, ks), verdict) when same_cert cert kc && (signature == ks || String.equal signature ks)
+    ->
+      verdict
+  | Some _ | None ->
+      let ok =
+        Sample.committee_val t.keyring ~s:st.vs_s_echo ~lambda:(lambda t) ~pid cert
+        && Vrf.Keyring.verify_sig t.keyring ~signer:pid st.vs_echo_payload signature
+      in
+      Hashtbl.replace t.cache.c_echo key ((cert, signature), ok);
+      ok
+
+let valid_ok_support t st support =
   (* W entries, distinct pids, each a certified member of C(<echo,v>) with a
      valid signature on the echo payload. *)
   List.length support = w t
@@ -174,38 +233,54 @@ let valid_ok_support t v support =
       (not (Hashtbl.mem seen pid))
       && begin
            Hashtbl.replace seen pid ();
-           valid_echo_evidence t v pid cert signature
+           valid_echo_evidence t st pid cert signature
          end)
     support
+
+let valid_ok t src v cert support =
+  let key = (t.s_ok, src) in
+  match Hashtbl.find_opt t.cache.c_ok key with
+  | Some ((kv, kc, ksup), verdict) when Int.equal kv v && kc == cert && ksup == support -> verdict
+  | Some _ | None ->
+      let st = value_state t v in
+      let ok =
+        Sample.committee_val t.keyring ~s:t.s_ok ~lambda:(lambda t) ~pid:src cert
+        && valid_ok_support t st support
+      in
+      Hashtbl.replace t.cache.c_ok key ((v, cert, support), ok);
+      ok
 
 let handle t ~src msg =
   match msg with
   | Init { v; cert } ->
       let st = value_state t v in
-      if st.init_from.(src) || not (Sample.committee_val t.keyring ~s:(s_init t) ~lambda:(lambda t) ~pid:src cert)
-      then []
+      let r = Sample.Directory.rank t.init_comm src in
+      if r < 0 || Sim.Bitset.mem st.init_seen r || not (valid_init t src cert) then []
       else begin
-        st.init_from.(src) <- true;
+        Sim.Bitset.add st.init_seen r;
         st.init_count <- st.init_count + 1;
         maybe_echo t v st
       end
   | Echo { v; cert; signature } ->
       let st = value_state t v in
-      if st.echo_from.(src) || not (valid_echo_evidence t v src cert signature) then []
+      let r = Sample.Directory.rank st.vs_echo_comm src in
+      if r < 0 || Sim.Bitset.mem st.echo_seen r
+         || not (valid_echo_evidence t st src cert signature)
+      then []
       else begin
-        st.echo_from.(src) <- true;
+        Sim.Bitset.add st.echo_seen r;
         st.echo_count <- st.echo_count + 1;
-        st.echo_evidence <- { pid = src; cert; signature } :: st.echo_evidence;
+        (* OK support only ever carries the first W echoes, so later
+           evidence need not be retained. *)
+        if st.echo_count <= w t then
+          st.echo_evidence <- { pid = src; cert; signature } :: st.echo_evidence;
         maybe_ok t v st
       end
   | Ok { v; cert; support } ->
-      if
-        t.ok_from.(src)
-        || (not (Sample.committee_val t.keyring ~s:(s_ok t) ~lambda:(lambda t) ~pid:src cert))
-        || not (valid_ok_support t v support)
-      then []
+      let r = Sample.Directory.rank t.ok_comm src in
+      if r < 0 || Sim.Bitset.mem t.ok_seen r || not (valid_ok t src v cert support) then []
       else begin
-        t.ok_from.(src) <- true;
+        Sim.Bitset.add t.ok_seen r;
         t.ok_count <- t.ok_count + 1;
         t.ok_values <- v :: t.ok_values;
         if t.ok_count = w t && t.delivered = None then begin

@@ -46,9 +46,31 @@ type action =
 
 type t
 
-val create : keyring:Vrf.Keyring.t -> params:Params.t -> pid:int -> instance:string -> t
+type cache
+(** Run-shared validation memo: committee-certificate and echo-signature
+    verdicts keyed by (phase string, sender), guarded by the message
+    content they validated (physical equality first — a broadcast shares
+    one payload across all n deliveries — then byte comparison, full
+    re-verification on any mismatch).  Sharing one cache across a run's
+    n instances collapses the O(W) per-delivery support re-verification
+    to an O(1) lookup without weakening validation. *)
+
+val cache : unit -> cache
+
+val create :
+  ?dir:Sample.Directory.t ->
+  ?cache:cache ->
+  keyring:Vrf.Keyring.t ->
+  params:Params.t ->
+  pid:int ->
+  instance:string ->
+  unit ->
+  t
 (** Passive instance ([instance] must be unique per approver invocation:
-    it salts all committee sampling and signatures). *)
+    it salts all committee sampling and signatures).  [dir] (default: a
+    private directory) shares ground-truth committee indexes across the
+    run's instances; its lambda must match [params].  [cache] (default:
+    private) shares validation verdicts. *)
 
 val input : t -> int -> action list
 (** approve(v): line 1 — broadcast INIT when sampled.  Idempotent; the

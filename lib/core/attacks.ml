@@ -8,8 +8,8 @@ let perform eng pid actions =
 let install_two_face eng ~keyring ~params ~instance ~pids =
   List.iter
     (fun pid ->
-      let zero = Ba.create ~keyring ~params ~pid ~instance in
-      let one = Ba.create ~keyring ~params ~pid ~instance in
+      let zero = Ba.create ~keyring ~params ~pid ~instance () in
+      let one = Ba.create ~keyring ~params ~pid ~instance () in
       Sim.Engine.corrupt_byzantine eng pid (fun e ->
           let src = e.Sim.Envelope.src in
           let m = e.Sim.Envelope.payload in

@@ -8,11 +8,18 @@ let words_of_msg = function
   | Cn { inner; _ } -> 1 + Whp_coin.words_of_msg inner
 
 (* Phase tag for the observability layer: which sub-protocol of the round
-   this message belongs to, and the inner message kind. *)
+   this message belongs to, and the inner message kind.  Constant literals
+   on every arm — no [^] — so the ledger's per-message interning is a
+   pointer comparison and tagging allocates nothing on the hot path. *)
 let tag_of_msg = function
-  | A1 { inner; _ } -> "A1." ^ Approver.tag_of_msg inner
-  | A2 { inner; _ } -> "A2." ^ Approver.tag_of_msg inner
-  | Cn { inner; _ } -> "COIN." ^ Whp_coin.tag_of_msg inner
+  | A1 { inner = Approver.Init _; _ } -> "A1.INIT"
+  | A1 { inner = Approver.Echo _; _ } -> "A1.ECHO"
+  | A1 { inner = Approver.Ok _; _ } -> "A1.OK"
+  | A2 { inner = Approver.Init _; _ } -> "A2.INIT"
+  | A2 { inner = Approver.Echo _; _ } -> "A2.ECHO"
+  | A2 { inner = Approver.Ok _; _ } -> "A2.OK"
+  | Cn { inner = Whp_coin.First _; _ } -> "COIN.FIRST"
+  | Cn { inner = Whp_coin.Second _; _ } -> "COIN.SECOND"
 
 let round_of_msg = function A1 { round; _ } | A2 { round; _ } | Cn { round; _ } -> round
 
@@ -33,11 +40,31 @@ type round_state = {
   mutable completed : bool;       (* a2 delivered and est updated *)
 }
 
+(* Context shared by all n instances of one run: the ground-truth
+   committee directory and the validation memos.  One process's view of a
+   committee or a verified certificate is every process's view (they are
+   pure functions of the keyring and the message bytes), so sharing them
+   across instances changes no observable behaviour and removes the
+   per-process O(n) membership state that capped runs at bench-scale n. *)
+type ctx = {
+  dir : Sample.Directory.t;
+  acache : Approver.cache;
+  ccache : Whp_coin.cache;
+}
+
+let make_ctx ~keyring ~params () =
+  {
+    dir = Sample.Directory.create keyring ~lambda:params.Params.lambda;
+    acache = Approver.cache ();
+    ccache = Whp_coin.cache ();
+  }
+
 type t = {
   keyring : Vrf.Keyring.t;
   params : Params.t;
   pid : int;
   instance : string;
+  ctx : ctx;
   rounds : (int, round_state) Hashtbl.t;
   mutable est : int;
   mutable started : bool;
@@ -46,12 +73,14 @@ type t = {
   mutable decided_round : int option;
 }
 
-let create ~keyring ~params ~pid ~instance =
+let create ?ctx ~keyring ~params ~pid ~instance () =
+  let ctx = match ctx with Some c -> c | None -> make_ctx ~keyring ~params () in
   {
     keyring;
     params;
     pid;
     instance;
+    ctx;
     rounds = Hashtbl.create 8;
     est = 0;
     started = false;
@@ -67,11 +96,15 @@ let round_state t r =
       let mk tag = Printf.sprintf "%s/r%d/%s" t.instance r tag in
       let st =
         {
-          a1 = Approver.create ~keyring:t.keyring ~params:t.params ~pid:t.pid ~instance:(mk "a1");
-          a2 = Approver.create ~keyring:t.keyring ~params:t.params ~pid:t.pid ~instance:(mk "a2");
+          a1 =
+            Approver.create ~dir:t.ctx.dir ~cache:t.ctx.acache ~keyring:t.keyring
+              ~params:t.params ~pid:t.pid ~instance:(mk "a1") ();
+          a2 =
+            Approver.create ~dir:t.ctx.dir ~cache:t.ctx.acache ~keyring:t.keyring
+              ~params:t.params ~pid:t.pid ~instance:(mk "a2") ();
           coin =
-            Whp_coin.create ~keyring:t.keyring ~params:t.params ~pid:t.pid ~instance:t.instance
-              ~round:r;
+            Whp_coin.create ~dir:t.ctx.dir ~cache:t.ctx.ccache ~keyring:t.keyring
+              ~params:t.params ~pid:t.pid ~instance:t.instance ~round:r ();
           propose = None;
           coin_val = None;
           a2_input = false;

@@ -38,7 +38,22 @@ type action =
 
 type t
 
-val create : keyring:Vrf.Keyring.t -> params:Params.t -> pid:int -> instance:string -> t
+type ctx
+(** Context shared by all n instances of one run: the ground-truth
+    committee directory ({!Sample.Directory}) plus the {!Approver} and
+    {!Whp_coin} validation memos.  Committees and certificate verdicts
+    are pure functions of the keyring and the message bytes, so sharing
+    changes no observable behaviour — it removes the per-process O(n)
+    membership state and the per-delivery O(W) support re-verification
+    that capped runs at bench-scale n. *)
+
+val make_ctx : keyring:Vrf.Keyring.t -> params:Params.t -> unit -> ctx
+
+val create :
+  ?ctx:ctx -> keyring:Vrf.Keyring.t -> params:Params.t -> pid:int -> instance:string -> unit -> t
+(** [ctx] defaults to a fresh private context (correct, but forfeits the
+    cross-instance sharing — pass one {!make_ctx} result to all n
+    instances of a run). *)
 
 val propose : t -> int -> action list
 (** Start the protocol with binary input (0 or 1). *)

@@ -30,11 +30,14 @@ let run_concurrent ?scheduler ?(pre_crash = []) ?max_steps ~keyring ~params ~inp
     | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
     | None -> Sim.Engine.create ~n ~seed ()
   in
-  (* procs.(slot).(pid): one state machine per (slot, process). *)
+  (* procs.(slot).(pid): one state machine per (slot, process), sharing
+     one context per slot (committees are instance-scoped). *)
   let procs =
     Array.init k (fun slot ->
+        let ctx = Ba.make_ctx ~keyring ~params () in
         Array.init n (fun pid ->
-            Ba.create ~keyring ~params ~pid ~instance:(Printf.sprintf "chain-%d/slot-%d" seed slot)))
+            Ba.create ~ctx ~keyring ~params ~pid
+              ~instance:(Printf.sprintf "chain-%d/slot-%d" seed slot) ()))
   in
   let perform slot pid actions =
     List.iter

@@ -48,18 +48,17 @@ let apply_corruption eng rng = function
 
 let ba_instance_name ~seed = Printf.sprintf "ba-%d" seed
 
-let run_ba ?scheduler ?probe ?(corruption = Honest) ?max_steps ~keyring ~params ~inputs ~seed () =
+let run_ba ?scheduler ?expand ?probe ?(corruption = Honest) ?max_steps ~keyring ~params ~inputs ~seed () =
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Runner.run_ba: need one input per process";
-  let eng =
-    match scheduler with
-    | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
-    | None -> Sim.Engine.create ~n ~seed ()
-  in
+  let eng = Sim.Engine.create ?scheduler ?expand ~n ~seed () in
   (match probe with Some attach -> attach eng | None -> ());
   let instance = ba_instance_name ~seed in
+  (* One shared context for the whole run: ground-truth committee
+     directory + validation memos (see {!Ba.make_ctx}). *)
+  let ctx = Ba.make_ctx ~keyring ~params () in
   let procs =
-    Array.init n (fun pid -> Ba.create ~keyring ~params ~pid ~instance)
+    Array.init n (fun pid -> Ba.create ~ctx ~keyring ~params ~pid ~instance ())
   in
   let corruption_rng = Crypto.Rng.create (seed lxor 0x5eed) in
   apply_corruption eng corruption_rng corruption;
@@ -73,8 +72,10 @@ let run_ba ?scheduler ?probe ?(corruption = Honest) ?max_steps ~keyring ~params 
   Array.iteri
     (fun pid p -> if Sim.Engine.is_correct eng pid then perform_ba eng pid (Ba.propose p inputs.(pid)))
     procs;
-  let all_correct_decided () =
-    List.for_all (fun pid -> Ba.decision procs.(pid) <> None) (Sim.Engine.correct_pids eng)
+  (* Amortized-O(1) termination check: the naive [correct_pids] scan is
+     O(n) per delivery, which at n = 10^4 dwarfs the protocol itself. *)
+  let all_correct_decided =
+    Sim.Engine.all_correct_monotone eng (fun pid -> Ba.decision procs.(pid) <> None)
   in
   let result = Sim.Engine.run ?max_steps eng ~until:all_correct_decided in
   let decisions =
@@ -136,12 +137,8 @@ let coin_outcome_of eng outputs result =
     coin_result = result;
   }
 
-let run_shared_coin ?scheduler ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring ~n ~f ~round ~seed () =
-  let eng =
-    match scheduler with
-    | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
-    | None -> Sim.Engine.create ~n ~seed ()
-  in
+let run_shared_coin ?scheduler ?expand ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring ~n ~f ~round ~seed () =
+  let eng = Sim.Engine.create ?scheduler ?expand ~n ~seed () in
   (match probe with Some attach -> attach eng | None -> ());
   let instance = Printf.sprintf "coin-%d" seed in
   let procs = Array.init n (fun pid -> Coin.create ~keyring ~n ~f ~pid ~instance ~round) in
@@ -163,22 +160,20 @@ let run_shared_coin ?scheduler ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyri
   Array.iteri
     (fun pid p -> if Sim.Engine.is_correct eng pid then perform pid (Coin.start p))
     procs;
-  let all_returned () =
-    List.for_all (fun pid -> outputs.(pid) <> None) (Sim.Engine.correct_pids eng)
-  in
+  let all_returned = Sim.Engine.all_correct_monotone eng (fun pid -> outputs.(pid) <> None) in
   let result = Sim.Engine.run eng ~until:all_returned in
   coin_outcome_of eng outputs result
 
-let run_whp_coin ?scheduler ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring ~params ~round ~seed () =
+let run_whp_coin ?scheduler ?expand ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring ~params ~round ~seed () =
   let n = params.Params.n in
-  let eng =
-    match scheduler with
-    | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
-    | None -> Sim.Engine.create ~n ~seed ()
-  in
+  let eng = Sim.Engine.create ?scheduler ?expand ~n ~seed () in
   (match probe with Some attach -> attach eng | None -> ());
   let instance = Printf.sprintf "whpcoin-%d" seed in
-  let procs = Array.init n (fun pid -> Whp_coin.create ~keyring ~params ~pid ~instance ~round) in
+  let dir = Sample.Directory.create keyring ~lambda:params.Params.lambda in
+  let cache = Whp_coin.cache () in
+  let procs =
+    Array.init n (fun pid -> Whp_coin.create ~dir ~cache ~keyring ~params ~pid ~instance ~round ())
+  in
   let outputs = Array.make n None in
   let perform pid actions =
     List.iter
@@ -197,9 +192,7 @@ let run_whp_coin ?scheduler ?probe ?(pre_corrupt = []) ?corrupt_engine ~keyring 
   Array.iteri
     (fun pid p -> if Sim.Engine.is_correct eng pid then perform pid (Whp_coin.start p))
     procs;
-  let all_returned () =
-    List.for_all (fun pid -> outputs.(pid) <> None) (Sim.Engine.correct_pids eng)
-  in
+  let all_returned = Sim.Engine.all_correct_monotone eng (fun pid -> outputs.(pid) <> None) in
   let result = Sim.Engine.run eng ~until:all_returned in
   coin_outcome_of eng outputs result
 
@@ -209,17 +202,17 @@ type approver_outcome = {
   approver_result : Sim.Engine.run_result;
 }
 
-let run_approver ?scheduler ?probe ?(pre_corrupt = []) ~keyring ~params ~inputs ~seed () =
+let run_approver ?scheduler ?expand ?probe ?(pre_corrupt = []) ~keyring ~params ~inputs ~seed () =
   let n = params.Params.n in
   if Array.length inputs <> n then invalid_arg "Runner.run_approver: need one input per process";
-  let eng =
-    match scheduler with
-    | Some s -> Sim.Engine.create ~scheduler:s ~n ~seed ()
-    | None -> Sim.Engine.create ~n ~seed ()
-  in
+  let eng = Sim.Engine.create ?scheduler ?expand ~n ~seed () in
   (match probe with Some attach -> attach eng | None -> ());
   let instance = Printf.sprintf "approver-%d" seed in
-  let procs = Array.init n (fun pid -> Approver.create ~keyring ~params ~pid ~instance) in
+  let dir = Sample.Directory.create keyring ~lambda:params.Params.lambda in
+  let cache = Approver.cache () in
+  let procs =
+    Array.init n (fun pid -> Approver.create ~dir ~cache ~keyring ~params ~pid ~instance ())
+  in
   let returned = Array.make n None in
   let perform pid actions =
     List.iter
@@ -239,9 +232,7 @@ let run_approver ?scheduler ?probe ?(pre_corrupt = []) ~keyring ~params ~inputs 
     (fun pid p ->
       if Sim.Engine.is_correct eng pid then perform pid (Approver.input p inputs.(pid)))
     procs;
-  let all_returned () =
-    List.for_all (fun pid -> returned.(pid) <> None) (Sim.Engine.correct_pids eng)
-  in
+  let all_returned = Sim.Engine.all_correct_monotone eng (fun pid -> returned.(pid) <> None) in
   let result = Sim.Engine.run eng ~until:all_returned in
   let rets =
     List.filter_map

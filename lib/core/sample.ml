@@ -37,3 +37,34 @@ let committee kr ~s ~lambda =
     end
   in
   go (n - 1) []
+
+module Directory = struct
+  type comm = { bits : Sim.Bitset.t; prefix : int array; size : int }
+
+  type t = {
+    kr : Vrf.Keyring.t;
+    lambda : int;
+    comms : (string, comm) Hashtbl.t;
+  }
+
+  let create kr ~lambda = { kr; lambda; comms = Hashtbl.create 32 }
+  let lambda t = t.lambda
+
+  let committee t ~s =
+    match Hashtbl.find_opt t.comms s with
+    | Some c -> c
+    | None ->
+        let n = Vrf.Keyring.n t.kr in
+        let bits = Sim.Bitset.create n in
+        for pid = 0 to n - 1 do
+          if (sample t.kr ~pid ~s ~lambda:t.lambda).member then Sim.Bitset.add bits pid
+        done;
+        let comm = { bits; prefix = Sim.Bitset.prefix_counts bits; size = Sim.Bitset.card bits } in
+        Hashtbl.replace t.comms s comm;
+        comm
+
+  let size c = c.size
+  let mem c pid = Sim.Bitset.mem c.bits pid
+  let rank c pid = Sim.Bitset.rank_with c.bits c.prefix pid
+  let members c = Sim.Bitset.to_list c.bits
+end

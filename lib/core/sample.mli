@@ -33,3 +33,42 @@ val committee : Vrf.Keyring.t -> s:string -> lambda:int -> int list
 val threshold : n:int -> lambda:int -> int64
 (** The inclusion threshold on the leading 52 bits of beta (exposed for
     tests of the inclusion-probability computation). *)
+
+(** Run-shared ground-truth committee index.
+
+    The simulator holds every process's keys, so it can evaluate the full
+    membership of [C(s, lambda)] once per phase string and share the
+    result across all n protocol instances as a {!Sim.Bitset} plus a
+    rank table.  Per-process "seen" sets then shrink from n-sized bool
+    arrays to committee-rank bitsets (~lambda bits) — the change that
+    takes a BA instance from O(n²) to O(n·lambda) simulator memory.
+
+    Soundness: by VRF uniqueness a valid certificate for [(s, pid)]
+    exists iff [mem comm pid] — rejecting non-members before running
+    {!committee_val} (which would return [false] for them) changes no
+    observable behaviour.  Certificates from claimed members are still
+    fully verified by the protocol paths. *)
+module Directory : sig
+  type t
+
+  type comm
+  (** One committee's membership bitset + rank index. *)
+
+  val create : Vrf.Keyring.t -> lambda:int -> t
+  val lambda : t -> int
+
+  val committee : t -> s:string -> comm
+  (** Lazily computed on first request (n VRF evaluations through the
+      keyring's prove cache), then shared. *)
+
+  val size : comm -> int
+
+  val mem : comm -> int -> bool
+
+  val rank : comm -> int -> int
+  (** Dense index of a member in pid order, [-1] for non-members — the
+      key for committee-rank dedup bitsets. *)
+
+  val members : comm -> int list
+  (** Ascending pids (analysis/tests). *)
+end

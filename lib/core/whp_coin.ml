@@ -19,19 +19,33 @@ let pp_msg fmt m =
 
 type action = Broadcast of msg | Return of int
 
+(* Run-shared validation memo, same discipline as {!Approver.cache}:
+   verdicts keyed by (phase string, origin/sender), guarded by the
+   physical message content they validated; any mismatch (a Byzantine
+   sender varying the payload per destination) re-verifies in full. *)
+type cache = {
+  c_value : (string * int, value * bool) Hashtbl.t;      (* keyed (alpha, origin) *)
+  c_second : (string * int, Sample.cert * bool) Hashtbl.t;
+}
+
+let cache () = { c_value = Hashtbl.create 64; c_second = Hashtbl.create 64 }
+
 type t = {
   keyring : Vrf.Keyring.t;
   params : Params.t;
   pid : int;
+  cache : cache;
   alpha : string;             (* VRF input generating coin values *)
   s_first : string;           (* sampling string of C(FIRST) *)
   s_second : string;
+  first_comm : Sample.Directory.comm;
+  second_comm : Sample.Directory.comm;
   mutable v : value option;
-  first_from : bool array;
+  first_seen : Sim.Bitset.t;  (* FIRST-committee ranks *)
   mutable first_count : int;
   mutable second_member : Sample.cert option;  (* our SECOND certificate when member *)
   mutable sent_second : bool;
-  second_from : bool array;
+  second_seen : Sim.Bitset.t; (* SECOND-committee ranks *)
   mutable second_count : int;
   mutable started : bool;
   mutable result : int option;
@@ -41,22 +55,38 @@ let first_committee_string ~instance ~round = Printf.sprintf "%s/whpcoin/%d/firs
 let second_committee_string ~instance ~round = Printf.sprintf "%s/whpcoin/%d/second" instance round
 let coin_alpha ~instance ~round = Printf.sprintf "%s/whpcoin/%d/value" instance round
 
-let create ~keyring ~params ~pid ~instance ~round =
+let create ?dir ?cache:copt ~keyring ~params ~pid ~instance ~round () =
   let n = params.Params.n in
   if not (Int.equal n (Vrf.Keyring.n keyring)) then invalid_arg "Whp_coin.create: n mismatch with keyring";
+  let dir =
+    match dir with
+    | Some d ->
+        if Sample.Directory.lambda d <> params.Params.lambda then
+          invalid_arg "Whp_coin.create: directory lambda mismatch";
+        d
+    | None -> Sample.Directory.create keyring ~lambda:params.Params.lambda
+  in
+  let cache = match copt with Some c -> c | None -> cache () in
+  let s_first = first_committee_string ~instance ~round in
+  let s_second = second_committee_string ~instance ~round in
+  let first_comm = Sample.Directory.committee dir ~s:s_first in
+  let second_comm = Sample.Directory.committee dir ~s:s_second in
   {
     keyring;
     params;
     pid;
+    cache;
     alpha = coin_alpha ~instance ~round;
-    s_first = first_committee_string ~instance ~round;
-    s_second = second_committee_string ~instance ~round;
+    s_first;
+    s_second;
+    first_comm;
+    second_comm;
     v = None;
-    first_from = Array.make n false;
+    first_seen = Sim.Bitset.create (Sample.Directory.size first_comm);
     first_count = 0;
     second_member = None;
     sent_second = false;
-    second_from = Array.make n false;
+    second_seen = Sim.Bitset.create (Sample.Directory.size second_comm);
     second_count = 0;
     started = false;
     result = None;
@@ -104,12 +134,45 @@ let start t =
     first_acts @ maybe_send_second t
   end
 
+let same_cert (c : Sample.cert) (k : Sample.cert) =
+  c == k
+  || (c.Sample.member = k.Sample.member
+     && String.equal c.Sample.vrf.Vrf.beta k.Sample.vrf.Vrf.beta
+     && String.equal c.Sample.vrf.Vrf.proof k.Sample.vrf.Vrf.proof)
+
+let same_value (a : value) (b : value) =
+  a == b
+  || (Int.equal a.origin b.origin
+     && String.equal a.out.Vrf.beta b.out.Vrf.beta
+     && String.equal a.out.Vrf.proof b.out.Vrf.proof
+     && same_cert a.origin_cert b.origin_cert)
+
 (* A value is valid when its origin is a certified FIRST-committee member
-   and the carried VRF output really is VRF_origin(alpha). *)
+   and the carried VRF output really is VRF_origin(alpha).  Memoized per
+   origin in the run-shared cache: FIRST values are re-broadcast inside
+   every SECOND message, so each distinct value is verified once per run
+   instead of once per delivery. *)
 let valid_value t value =
-  Sample.committee_val t.keyring ~s:t.s_first ~lambda:(lambda t) ~pid:value.origin
-    value.origin_cert
-  && Vrf.Keyring.verify t.keyring ~signer:value.origin t.alpha value.out
+  let key = (t.alpha, value.origin) in
+  match Hashtbl.find_opt t.cache.c_value key with
+  | Some (kv, verdict) when same_value value kv -> verdict
+  | Some _ | None ->
+      let ok =
+        Sample.committee_val t.keyring ~s:t.s_first ~lambda:(lambda t) ~pid:value.origin
+          value.origin_cert
+        && Vrf.Keyring.verify t.keyring ~signer:value.origin t.alpha value.out
+      in
+      Hashtbl.replace t.cache.c_value key (value, ok);
+      ok
+
+let valid_second t src cert =
+  let key = (t.s_second, src) in
+  match Hashtbl.find_opt t.cache.c_second key with
+  | Some (kc, verdict) when same_cert cert kc -> verdict
+  | Some _ | None ->
+      let ok = Sample.committee_val t.keyring ~s:t.s_second ~lambda:(lambda t) ~pid:src cert in
+      Hashtbl.replace t.cache.c_second key (cert, ok);
+      ok
 
 let adopt_min t value =
   match t.v with
@@ -119,22 +182,24 @@ let adopt_min t value =
 let handle t ~src msg =
   match msg with
   | First { value } ->
-      if value.origin <> src || t.first_from.(src) || not (valid_value t value) then []
+      let r = Sample.Directory.rank t.first_comm src in
+      if value.origin <> src || r < 0 || Sim.Bitset.mem t.first_seen r
+         || not (valid_value t value)
+      then []
       else begin
-        t.first_from.(src) <- true;
+        Sim.Bitset.add t.first_seen r;
         t.first_count <- t.first_count + 1;
         adopt_min t value;
         (* Only SECOND-committee members watch the FIRST threshold. *)
         maybe_send_second t
       end
   | Second { value; cert } ->
-      if
-        t.second_from.(src)
-        || not (Sample.committee_val t.keyring ~s:t.s_second ~lambda:(lambda t) ~pid:src cert)
-        || not (valid_value t value)
+      let r = Sample.Directory.rank t.second_comm src in
+      if r < 0 || Sim.Bitset.mem t.second_seen r || not (valid_second t src cert)
+         || not (valid_value t value)
       then []
       else begin
-        t.second_from.(src) <- true;
+        Sim.Bitset.add t.second_seen r;
         t.second_count <- t.second_count + 1;
         adopt_min t value;
         if t.second_count >= w t && t.result = None then begin

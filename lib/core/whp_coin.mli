@@ -37,8 +37,28 @@ type action = Broadcast of msg | Return of int
 
 type t
 
+type cache
+(** Run-shared validation memo (same discipline as {!Approver.cache}):
+    value and SECOND-certificate verdicts keyed by (phase string,
+    origin/sender), guarded by the message content they validated —
+    physical-equality hit first, byte comparison second, full
+    re-verification on mismatch. *)
+
+val cache : unit -> cache
+
 val create :
-  keyring:Vrf.Keyring.t -> params:Params.t -> pid:int -> instance:string -> round:int -> t
+  ?dir:Sample.Directory.t ->
+  ?cache:cache ->
+  keyring:Vrf.Keyring.t ->
+  params:Params.t ->
+  pid:int ->
+  instance:string ->
+  round:int ->
+  unit ->
+  t
+(** [dir] (default: private) shares ground-truth committee indexes across
+    the run's instances; its lambda must match [params].  [cache]
+    (default: private) shares validation verdicts. *)
 
 val start : t -> action list
 (** Run the committee sampler; broadcast FIRST when selected.  Idempotent;

@@ -1,7 +1,31 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256** (Blackman & Vigna), with the 256-bit state held as eight
+   native ints of 32 bits each (s<i>h = high half, s<i>l = low half).
+
+   Why halves instead of four [int64] fields: OCaml boxes every [Int64]
+   intermediate and fires a [caml_modify] write barrier on every mutable
+   [int64] field store, which makes the generator allocate on each draw —
+   the single hottest path of a simulation run (one draw per message
+   latency).  32-bit halves in immediate ints make [next]/[float]/[int]
+   allocation-free.  All half-arithmetic below is exact: products are
+   bounded by 9 * 2^32 < 2^36 and shifted halves by 2^53, both inside the
+   63-bit native range.  The emitted stream is bit-identical to the
+   reference four-[int64] formulation (pinned by differential test). *)
+
+type t = {
+  mutable s0h : int;
+  mutable s0l : int;
+  mutable s1h : int;
+  mutable s1l : int;
+  mutable s2h : int;
+  mutable s2l : int;
+  mutable s3h : int;
+  mutable s3l : int;
+}
+
+let mask32 = 0xFFFF_FFFF
 
 (* splitmix64: used only to expand a seed into initial xoshiro state, as
-   recommended by Blackman & Vigna. *)
+   recommended by Blackman & Vigna.  Cold path; plain [Int64] is fine. *)
 let splitmix64 state =
   let open Int64 in
   state := add !state 0x9E3779B97F4A7C15L;
@@ -10,6 +34,9 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let hi64 x = Int64.to_int (Int64.shift_right_logical x 32)
+let lo64 x = Int64.to_int (Int64.logand x 0xFFFF_FFFFL)
+
 let of_int64 seed =
   let st = ref seed in
   let s0 = splitmix64 st in
@@ -17,28 +44,72 @@ let of_int64 seed =
   let s2 = splitmix64 st in
   let s3 = splitmix64 st in
   (* xoshiro must not be seeded with the all-zero state. *)
-  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+  let s0, s1, s2, s3 =
+    if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then (1L, 2L, 3L, 4L)
+    else (s0, s1, s2, s3)
+  in
+  {
+    s0h = hi64 s0;
+    s0l = lo64 s0;
+    s1h = hi64 s1;
+    s1l = lo64 s1;
+    s2h = hi64 s2;
+    s2l = lo64 s2;
+    s3h = hi64 s3;
+    s3l = lo64 s3;
+  }
 
 let create seed = of_int64 (Int64.of_int seed)
 
-let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* One xoshiro256** step.  Returns the 64-bit result via [k], applied to
+   (result_hi, result_lo) — a local continuation the compiler inlines, so
+   no pair is built. *)
+let next t k =
+  let s1h = t.s1h and s1l = t.s1l in
+  (* r = rotl (s1 * 5) 7 * 9 *)
+  let m5l = s1l * 5 in
+  let m5h = ((s1h * 5) + (m5l lsr 32)) land mask32 in
+  let m5l = m5l land mask32 in
+  let r7h = ((m5h lsl 7) lor (m5l lsr 25)) land mask32 in
+  let r7l = ((m5l lsl 7) lor (m5h lsr 25)) land mask32 in
+  let resl = r7l * 9 in
+  let resh = ((r7h * 9) + (resl lsr 32)) land mask32 in
+  let resl = resl land mask32 in
+  (* state update *)
+  let th = ((s1h lsl 17) lor (s1l lsr 15)) land mask32 in
+  let tl = (s1l lsl 17) land mask32 in
+  t.s2h <- t.s2h lxor t.s0h;
+  t.s2l <- t.s2l lxor t.s0l;
+  t.s3h <- t.s3h lxor s1h;
+  t.s3l <- t.s3l lxor s1l;
+  t.s1h <- s1h lxor t.s2h;
+  t.s1l <- s1l lxor t.s2l;
+  t.s0h <- t.s0h lxor t.s3h;
+  t.s0l <- t.s0l lxor t.s3l;
+  t.s2h <- t.s2h lxor th;
+  t.s2l <- t.s2l lxor tl;
+  (* s3 <- rotl s3 45: swap halves, then rotate the pair left by 13. *)
+  let s3h = t.s3l and s3l = t.s3h in
+  t.s3h <- ((s3h lsl 13) lor (s3l lsr 19)) land mask32;
+  t.s3l <- ((s3l lsl 13) lor (s3h lsr 19)) land mask32;
+  k resh resl
 
 let next_int64 t =
-  let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
-  result
+  next t (fun h l -> Int64.logor (Int64.shift_left (Int64.of_int h) 32) (Int64.of_int l))
 
 let split t = of_int64 (next_int64 t)
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let copy t =
+  {
+    s0h = t.s0h;
+    s0l = t.s0l;
+    s1h = t.s1h;
+    s1l = t.s1l;
+    s2h = t.s2h;
+    s2l = t.s2l;
+    s3h = t.s3h;
+    s3l = t.s3l;
+  }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -47,7 +118,7 @@ let int t bound =
   let mask = 0x3FFF_FFFF_FFFF_FFFF (* 2^62 - 1 *) in
   let limit = mask - (mask mod bound) in
   let rec loop () =
-    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let r = next t (fun h l -> (h lsl 30) lor (l lsr 2)) in
     if r >= limit then loop () else r mod bound
   in
   loop ()
@@ -57,11 +128,12 @@ let int_in t lo hi =
   lo + int t (hi - lo + 1)
 
 let float t bound =
-  (* 53 uniform bits scaled to [0,1). *)
-  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
-  r /. 9007199254740992.0 *. bound
+  (* 53 uniform bits scaled to [0,1); the 53-bit mantissa fits a native
+     int, so the conversion is exact and allocation-free. *)
+  let r = next t (fun h l -> (h lsl 21) lor (l lsr 11)) in
+  float_of_int r /. 9007199254740992.0 *. bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = next t (fun _ l -> l land 1 = 1)
 
 let bits64 t k =
   if k < 1 || k > 64 then invalid_arg "Rng.bits64: k out of range";

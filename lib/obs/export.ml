@@ -162,10 +162,13 @@ let check_bench_schema doc =
   | None -> Error "missing \"schema\" member"
 
 (* The stable comparison surface: b1 micro rows as (name, ns_per_op),
-   plus the lint table's per-tier analysis cost as ("lint/<tier>", wall
+   the lint table's per-tier analysis cost as ("lint/<tier>", wall
    nanoseconds) — so a race-tier slowdown trips the same gate as a
-   kernel regression.  Experiment tables carry statistical estimates
-   whose run-to-run drift is expected and stay out. *)
+   kernel regression — and the sim table's raw engine throughput rows as
+   ("sim/<protocol>", ns per message), so a delivery-loop slowdown does
+   too.  Sim rows without a [msgs_per_sec] member (protocol runs, the
+   heap audit) carry statistical estimates whose run-to-run drift is
+   expected and stay out, as do the experiment tables. *)
 let comparable_rows doc =
   List.filter_map
     (fun r ->
@@ -184,6 +187,13 @@ let comparable_rows doc =
           with
           | Some tier, Some v -> Some ("lint/" ^ tier, v *. 1e9)
           | _ -> None)
+      | Some (Json.Str "sim") -> (
+          match
+            ( Option.bind (Json.member "protocol" r) Json.to_string_opt,
+              Option.bind (Json.member "msgs_per_sec" r) Json.to_float_opt )
+          with
+          | Some proto, Some v when v > 0.0 -> Some ("sim/" ^ proto, 1e9 /. v)
+          | _ -> None)
       | _ -> None)
     (bench_rows doc)
 
@@ -196,8 +206,8 @@ let bench_compare ~threshold old_doc new_doc =
   | Ok (), Ok () -> (
       let olds = comparable_rows old_doc and news = comparable_rows new_doc in
       match (olds, news) with
-      | [], _ -> Error "old document has no comparable (b1 or lint) rows"
-      | _, [] -> Error "new document has no comparable (b1 or lint) rows"
+      | [], _ -> Error "old document has no comparable (b1, lint or sim) rows"
+      | _, [] -> Error "new document has no comparable (b1, lint or sim) rows"
       | _, _ ->
           Ok
             (List.filter_map

@@ -1,0 +1,80 @@
+(* Dense int-indexed bitset over [0, length).  63 bits per word (OCaml
+   immediate ints), so membership is one load + mask and the set for a
+   whole committee is a handful of words — the replacement for the
+   n-sized [bool array] per process that capped the simulator's n. *)
+
+type t = { words : int array; length : int }
+
+let bits_per_word = 63
+
+let create length =
+  if length < 0 then invalid_arg "Bitset.create: negative length";
+  { words = Array.make ((length + bits_per_word - 1) / bits_per_word) 0; length }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let test_and_set t i =
+  check t i;
+  let w = i / bits_per_word in
+  let bit = 1 lsl (i mod bits_per_word) in
+  let old = t.words.(w) in
+  t.words.(w) <- old lor bit;
+  old land bit <> 0
+
+(* SWAR popcount on a 63-bit word. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+let card t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let prefix_counts t =
+  let p = Array.make (Array.length t.words) 0 in
+  let acc = ref 0 in
+  for w = 0 to Array.length t.words - 1 do
+    p.(w) <- !acc;
+    acc := !acc + popcount t.words.(w)
+  done;
+  p
+
+let rank_with t prefix i =
+  check t i;
+  let w = i / bits_per_word in
+  let bit = 1 lsl (i mod bits_per_word) in
+  if t.words.(w) land bit = 0 then -1
+  else prefix.(w) + popcount (t.words.(w) land (bit - 1))
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) t [])
+
+let of_list length l =
+  let t = create length in
+  List.iter (add t) l;
+  t

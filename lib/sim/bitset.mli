@@ -1,0 +1,48 @@
+(** Dense int-indexed bitset over a fixed range [0, length).
+
+    Backs committee membership and per-process deduplication in the
+    large-n simulator: a committee of size c costs [length/63] words
+    shared once plus [c/63] words per process, where the seed code kept
+    an n-sized [bool array] per process — the allocation that capped
+    simulations at bench-scale n. *)
+
+type t
+
+val create : int -> t
+(** [create length] is the empty set over [0, length).
+    @raise Invalid_argument on negative length. *)
+
+val length : t -> int
+
+val mem : t -> int -> bool
+(** @raise Invalid_argument out of range (here and below). *)
+
+val add : t -> int -> unit
+
+val test_and_set : t -> int -> bool
+(** Adds [i] and returns whether it was already present — the one-pass
+    dedup primitive. *)
+
+val card : t -> int
+(** Number of members (popcount over the words). *)
+
+val prefix_counts : t -> int array
+(** [p.(w)] = members with index below [w * 63].  Snapshot for
+    {!rank_with}; stale if the set mutates afterwards. *)
+
+val rank_with : t -> int array -> int -> int
+(** [rank_with t (prefix_counts t) i] is the number of members strictly
+    below [i] when [i] is a member, and [-1] otherwise — the dense index
+    that lets per-process seen-sets be committee-sized instead of
+    n-sized. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : ('a -> int -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val of_list : int -> int list -> t

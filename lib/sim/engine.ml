@@ -4,38 +4,128 @@ type 'm process_state =
   | Crashed
   | Byzantine of ('m Envelope.t -> unit)
 
+type expand = Eager | Lazy | Sharded of { jobs : int }
+
+type 'm meta_observer = src:int -> count:int -> words:int -> correct:bool -> 'm -> unit
+
+(* Unicast arena: one slot per in-flight point-to-point message, int fields
+   in flat struct-of-arrays storage.  Slots are recycled through a free
+   stack at delivery, so steady-state sends allocate nothing but the
+   payload option cell. *)
+type 'm uni_arena = {
+  mutable u_id : int array;
+  mutable u_src : int array;
+  mutable u_dst : int array;
+  mutable u_words : int array;
+  mutable u_depth : int array;
+  mutable u_sstep : int array;
+  mutable u_snow : float array;
+  mutable u_payload : 'm option array;
+  mutable u_free : int array;
+  mutable u_nfree : int;
+  mutable u_used : int;
+}
+
+(* Broadcast pool: one slot per in-flight logical broadcast.  [times] and
+   [order] are parallel arrays in delivery order: slot k holds the k-th
+   (time, dst) by ascending (time, dst), and [next] is the expansion
+   cursor — so expansion reads both arrays strictly sequentially.  At
+   most one heap entry per broadcast is outstanding: the cursor's entry.
+   Because the record sorts ascending, that entry is the broadcast's
+   global minimum pending (time, seq), so the engine-wide pop order is
+   exactly the eager order. *)
+type 'm bcast_pool = {
+  mutable b_base : int array; (* envelope id of dst 0; dst d gets base + d *)
+  mutable b_src : int array;
+  mutable b_words : int array;
+  mutable b_depth : int array;
+  mutable b_sstep : int array;
+  mutable b_snow : float array;
+  mutable b_payload : 'm option array;
+  mutable b_times : float array array;
+  mutable b_order : int array array;
+  mutable b_next : int array;
+  mutable b_free : int array;
+  mutable b_nfree : int;
+  mutable b_used : int;
+}
+
 type 'm t = {
   n : int;
+  seed : int;
   rng : Crypto.Rng.t;
   scheduler : 'm Scheduler.t;
-  queue : 'm Envelope.t Heap.t;
+  expand : expand;
+  queue : Heap.t; (* handles: slot*2 for unicast, slot*2+1 for broadcast *)
+  uni : 'm uni_arena;
+  bcast : 'm bcast_pool;
   procs : 'm process_state array;
   depth : int array;
+  sort_scratch : Dsort.scratch;
   metrics : Metrics.t;
   mutable next_id : int;
   mutable step : int;
   mutable now : float;
   mutable send_observers : ('m Envelope.t -> unit) list;
+  mutable meta_observers : 'm meta_observer list;
   mutable deliver_observers : ('m Envelope.t -> unit) list;
   mutable corrupt_observers : (int -> unit) list;
 }
 
 type run_result = All_done | Quiescent | Step_limit
 
-let create ?(scheduler = Scheduler.random ()) ~n ~seed () =
+let create ?(scheduler = Scheduler.random ()) ?(expand = Lazy) ?queue_capacity ~n ~seed () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  (match expand with
+  | Sharded { jobs } when jobs < 0 -> invalid_arg "Engine.create: negative jobs"
+  | _ -> ());
+  let qcap = match queue_capacity with Some c -> max 1 c | None -> max 16 (min (2 * n) 1_048_576) in
   {
     n;
+    seed;
     rng = Crypto.Rng.create seed;
     scheduler;
-    queue = Heap.create ();
+    expand;
+    queue = Heap.create ~capacity:qcap ();
+    uni =
+      {
+        u_id = Array.make 16 0;
+        u_src = Array.make 16 0;
+        u_dst = Array.make 16 0;
+        u_words = Array.make 16 0;
+        u_depth = Array.make 16 0;
+        u_sstep = Array.make 16 0;
+        u_snow = Array.make 16 0.0;
+        u_payload = Array.make 16 None;
+        u_free = Array.make 16 0;
+        u_nfree = 0;
+        u_used = 0;
+      };
+    bcast =
+      {
+        b_base = Array.make 8 0;
+        b_src = Array.make 8 0;
+        b_words = Array.make 8 0;
+        b_depth = Array.make 8 0;
+        b_sstep = Array.make 8 0;
+        b_snow = Array.make 8 0.0;
+        b_payload = Array.make 8 None;
+        b_times = Array.make 8 [||];
+        b_order = Array.make 8 [||];
+        b_next = Array.make 8 0;
+        b_free = Array.make 8 0;
+        b_nfree = 0;
+        b_used = 0;
+      };
     procs = Array.make n Unregistered;
     depth = Array.make n 0;
+    sort_scratch = Dsort.scratch ();
     metrics = Metrics.create ();
     next_id = 0;
     step = 0;
     now = 0.0;
     send_observers = [];
+    meta_observers = [];
     deliver_observers = [];
     corrupt_observers = [];
   }
@@ -45,6 +135,7 @@ let rng t = t.rng
 let metrics t = t.metrics
 let step t = t.step
 let now t = t.now
+let expand_mode t = t.expand
 
 let check_pid t pid =
   if pid < 0 || pid >= t.n then invalid_arg "Engine: pid out of range"
@@ -70,44 +161,332 @@ let correct_pids t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (if is_correct t i then i :: acc else acc) in
   go (t.n - 1) []
 
+(* Frontier-cursor "all correct pids satisfy pred".  Sound because both
+   escape hatches are monotone: a pid skipped as satisfied stays
+   satisfied (the predicate is required never to flip back) and a pid
+   skipped as corrupted stays corrupted (crashes never heal).  So pids
+   behind the cursor never need re-checking and the scan is amortized
+   O(1) per call — essential as a [run ~until] predicate, which fires
+   once per delivery. *)
+let all_correct_monotone t pred =
+  let next = ref 0 in
+  fun () ->
+    while !next < t.n && ((not (is_correct t !next)) || pred !next) do incr next done;
+    !next >= t.n
+
+(* ---- arena management ------------------------------------------------- *)
+
+let grow_int a used = let n' = Array.make (2 * Array.length a) 0 in Array.blit a 0 n' 0 used; n'
+let grow_float a used = let n' = Array.make (2 * Array.length a) 0.0 in Array.blit a 0 n' 0 used; n'
+
+let grow_any a used witness =
+  let n' = Array.make (2 * Array.length a) witness in
+  Array.blit a 0 n' 0 used;
+  n'
+
+let u_alloc t =
+  let u = t.uni in
+  if u.u_nfree > 0 then begin
+    u.u_nfree <- u.u_nfree - 1;
+    u.u_free.(u.u_nfree)
+  end
+  else begin
+    if u.u_used = Array.length u.u_id then begin
+      let used = u.u_used in
+      u.u_id <- grow_int u.u_id used;
+      u.u_src <- grow_int u.u_src used;
+      u.u_dst <- grow_int u.u_dst used;
+      u.u_words <- grow_int u.u_words used;
+      u.u_depth <- grow_int u.u_depth used;
+      u.u_sstep <- grow_int u.u_sstep used;
+      u.u_snow <- grow_float u.u_snow used;
+      u.u_payload <- grow_any u.u_payload used None
+    end;
+    let s = u.u_used in
+    u.u_used <- s + 1;
+    s
+  end
+
+let u_release t s =
+  let u = t.uni in
+  u.u_payload.(s) <- None;
+  if u.u_nfree = Array.length u.u_free then u.u_free <- grow_int u.u_free u.u_nfree;
+  u.u_free.(u.u_nfree) <- s;
+  u.u_nfree <- u.u_nfree + 1
+
+let b_alloc t =
+  let b = t.bcast in
+  if b.b_nfree > 0 then begin
+    b.b_nfree <- b.b_nfree - 1;
+    b.b_free.(b.b_nfree)
+  end
+  else begin
+    if b.b_used = Array.length b.b_base then begin
+      let used = b.b_used in
+      b.b_base <- grow_int b.b_base used;
+      b.b_src <- grow_int b.b_src used;
+      b.b_words <- grow_int b.b_words used;
+      b.b_depth <- grow_int b.b_depth used;
+      b.b_sstep <- grow_int b.b_sstep used;
+      b.b_snow <- grow_float b.b_snow used;
+      b.b_payload <- grow_any b.b_payload used None;
+      b.b_times <- grow_any b.b_times used [||];
+      b.b_order <- grow_any b.b_order used [||];
+      b.b_next <- grow_int b.b_next used
+    end;
+    let s = b.b_used in
+    b.b_used <- s + 1;
+    s
+  end
+
+let b_release t s =
+  let b = t.bcast in
+  b.b_payload.(s) <- None;
+  b.b_times.(s) <- [||];
+  b.b_order.(s) <- [||];
+  if b.b_nfree = Array.length b.b_free then b.b_free <- grow_int b.b_free b.b_nfree;
+  b.b_free.(b.b_nfree) <- s;
+  b.b_nfree <- b.b_nfree + 1
+
+(* ---- sending ---------------------------------------------------------- *)
+
+let fire_meta t ~src ~count ~words ~correct m =
+  List.iter (fun obs -> obs ~src ~count ~words ~correct m) t.meta_observers
+
+let count_send t ~words ~correct =
+  if correct then begin
+    t.metrics.correct_msgs <- t.metrics.correct_msgs + 1;
+    t.metrics.correct_words <- t.metrics.correct_words + words
+  end
+  else begin
+    t.metrics.byz_msgs <- t.metrics.byz_msgs + 1;
+    t.metrics.byz_words <- t.metrics.byz_words + words
+  end
+
+(* One point-to-point enqueue: metrics, arena slot, latency draw, heap push,
+   legacy per-envelope observers.  Meta observers are the caller's job so a
+   broadcast can report once. *)
+let send_one t ~src ~dst ~words ~correct m =
+  count_send t ~words ~correct;
+  let s = u_alloc t in
+  let u = t.uni in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  u.u_id.(s) <- id;
+  u.u_src.(s) <- src;
+  u.u_dst.(s) <- dst;
+  u.u_words.(s) <- words;
+  u.u_depth.(s) <- t.depth.(src) + 1;
+  u.u_sstep.(s) <- t.step;
+  u.u_snow.(s) <- t.now;
+  u.u_payload.(s) <- Some m;
+  let latency =
+    t.scheduler.Scheduler.latency ~rng:t.rng ~now:t.now ~step:t.step ~src ~dst ~payload:m
+  in
+  (* The flipped comparison clamps negative *and* NaN draws to zero, so a
+     misbehaving custom scheduler cannot poison the queue order. *)
+  let latency = if latency >= 0.0 then latency else 0.0 in
+  Heap.push t.queue (t.now +. latency) id ((s lsl 1));
+  if t.send_observers <> [] then begin
+    let e =
+      {
+        Envelope.id;
+        src;
+        dst;
+        payload = m;
+        words;
+        depth = u.u_depth.(s);
+        sent_step = t.step;
+        sent_now = t.now;
+      }
+    in
+    List.iter (fun obs -> obs e) t.send_observers
+  end
+
 let send t ~src ~dst ~words m =
   check_pid t src;
   check_pid t dst;
-  (match t.procs.(src) with
+  match t.procs.(src) with
   | Crashed -> () (* a crashed process sends nothing *)
   | Unregistered | Correct _ ->
-      t.metrics.correct_msgs <- t.metrics.correct_msgs + 1;
-      t.metrics.correct_words <- t.metrics.correct_words + words
+      send_one t ~src ~dst ~words ~correct:true m;
+      fire_meta t ~src ~count:1 ~words ~correct:true m
   | Byzantine _ ->
-      t.metrics.byz_msgs <- t.metrics.byz_msgs + 1;
-      t.metrics.byz_words <- t.metrics.byz_words + words);
-  match t.procs.(src) with
-  | Crashed -> ()
-  | Unregistered | Correct _ | Byzantine _ ->
-      let e =
-        {
-          Envelope.id = t.next_id;
-          src;
-          dst;
-          payload = m;
-          words;
-          depth = t.depth.(src) + 1;
-          sent_step = t.step;
-          sent_now = t.now;
-        }
-      in
-      t.next_id <- t.next_id + 1;
-      let latency =
-        t.scheduler.Scheduler.latency ~rng:t.rng ~now:t.now ~step:t.step ~src ~dst ~payload:m
-      in
-      let latency = if latency < 0.0 then 0.0 else latency in
-      Heap.push t.queue (t.now +. latency) e.Envelope.id e;
-      List.iter (fun obs -> obs e) t.send_observers
+      send_one t ~src ~dst ~words ~correct:false m;
+      fire_meta t ~src ~count:1 ~words ~correct:false m
+
+(* Eager expansion: n individual enqueues, exactly the seed engine's
+   broadcast.  Per-destination class judgement tolerates a legacy send
+   observer corrupting the source mid-broadcast; the meta observers then
+   get one call per class actually sent. *)
+let eager_broadcast t ~src ~words m =
+  let ncorrect = ref 0 and nbyz = ref 0 in
+  for dst = 0 to t.n - 1 do
+    match t.procs.(src) with
+    | Crashed -> ()
+    | Unregistered | Correct _ ->
+        incr ncorrect;
+        send_one t ~src ~dst ~words ~correct:true m
+    | Byzantine _ ->
+        incr nbyz;
+        send_one t ~src ~dst ~words ~correct:false m
+  done;
+  if !ncorrect > 0 then fire_meta t ~src ~count:!ncorrect ~words ~correct:true m;
+  if !nbyz > 0 then fire_meta t ~src ~count:!nbyz ~words ~correct:false m
+
+(* splitmix64-style finalizer, the per-chunk seed derivation for sharded
+   expansion.  Pure function of (engine seed, broadcast id, chunk index):
+   the latency stream is independent of worker count and claim order. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let chunk_seed ~seed ~base ~chunk =
+  mix64 (Int64.logxor (mix64 (Int64.of_int seed)) (mix64 (Int64.of_int ((base * 2654435761) + chunk))))
+
+(* Destinations per sharded chunk.  Fixed (never derived from [jobs]) so
+   the chunk boundaries, hence the derived latency streams, are identical
+   at every worker count. *)
+let sharded_chunk = 16384
+
+(* Top-level worker fan-out on purpose: the closure passed to [Exec.map]
+   captures only the immutable arguments below (the engine record, with
+   its mutable fields, must stay out of worker reach).  Each chunk draws
+   from its own derived rng and returns fresh arrays to the spawning
+   domain. *)
+let sharded_chunks ~jobs ~seed ~sched ~n ~base ~src ~now ~step payload =
+  let nchunks = (n + sharded_chunk - 1) / sharded_chunk in
+  Exec.map ~jobs ~ctx:(fun _ -> Dsort.scratch ()) nchunks (fun scratch c ->
+      let lo = c * sharded_chunk in
+      let len = min sharded_chunk (n - lo) in
+      let rng = Crypto.Rng.of_int64 (chunk_seed ~seed ~base ~chunk:c) in
+      let times = Array.make len 0.0 in
+      let dsts = Array.make len 0 in
+      let draw = Dsort.draw_buffer scratch len in
+      let tmin = ref infinity and tmax = ref neg_infinity in
+      for i = 0 to len - 1 do
+        let l = sched.Scheduler.latency ~rng ~now ~step ~src ~dst:(lo + i) ~payload in
+        let tm = now +. (if l >= 0.0 then l else 0.0) in
+        draw.(i) <- tm;
+        if tm < !tmin then tmin := tm;
+        if tm > !tmax then tmax := tm
+      done;
+      Dsort.sort_into scratch ~tmin:!tmin ~tmax:!tmax ~dst0:lo draw len times dsts;
+      (times, dsts))
+
+(* Deterministic k-way merge of the per-chunk sorted runs into one global
+   delivery-ordered [times]/[order] pair, by (time, dst) — byte-identical
+   for every [jobs]. *)
+let merge_chunks n chunks =
+  let times = Array.make n 0.0 in
+  let order = Array.make n 0 in
+  let arr = Array.of_list chunks in
+  let k = Array.length arr in
+  let cursors = Array.make k 0 in
+  for slot = 0 to n - 1 do
+    let best = ref (-1) and best_d = ref 0 and best_t = ref 0.0 in
+    for j = 0 to k - 1 do
+      let ts, ds = arr.(j) in
+      if cursors.(j) < Array.length ds then begin
+        let d = ds.(cursors.(j)) in
+        let tm = ts.(cursors.(j)) in
+        if !best < 0 || tm < !best_t || (tm = !best_t && d < !best_d) then begin
+          best := j;
+          best_d := d;
+          best_t := tm
+        end
+      end
+    done;
+    times.(slot) <- !best_t;
+    order.(slot) <- !best_d;
+    cursors.(!best) <- cursors.(!best) + 1
+  done;
+  (times, order)
+
+(* Lazy expansion: one broadcast record, one outstanding heap entry.  The
+   latency draws happen here, at broadcast time, from the engine rng in
+   destination order — the exact draws the eager loop makes — so runs are
+   byte-identical either way under any scheduler.  [sharded = Some jobs]
+   switches the draws to derived per-chunk rngs instead (jobs-invariant,
+   but a different stream from eager/lazy). *)
+let lazy_broadcast t ~src ~words ~correct ~sharded m =
+  let base = t.next_id in
+  t.next_id <- base + t.n;
+  let times, order =
+    match sharded with
+    | Some jobs ->
+        let chunks =
+          sharded_chunks ~jobs ~seed:t.seed ~sched:t.scheduler ~n:t.n ~base ~src ~now:t.now
+            ~step:t.step m
+        in
+        merge_chunks t.n chunks
+    | None ->
+        (* The draws happen in destination order — the exact stream the
+           eager loop consumes — then scatter into delivery order. *)
+        let times = Array.make t.n 0.0 in
+        let order = Array.make t.n 0 in
+        let draw = Dsort.draw_buffer t.sort_scratch t.n in
+        let tmin = ref infinity and tmax = ref neg_infinity in
+        for dst = 0 to t.n - 1 do
+          let l =
+            t.scheduler.Scheduler.latency ~rng:t.rng ~now:t.now ~step:t.step ~src ~dst ~payload:m
+          in
+          let tm = t.now +. (if l >= 0.0 then l else 0.0) in
+          draw.(dst) <- tm;
+          if tm < !tmin then tmin := tm;
+          if tm > !tmax then tmax := tm
+        done;
+        Dsort.sort_into t.sort_scratch ~tmin:!tmin ~tmax:!tmax ~dst0:0 draw t.n times order;
+        (times, order)
+  in
+  if correct then begin
+    t.metrics.correct_msgs <- t.metrics.correct_msgs + t.n;
+    t.metrics.correct_words <- t.metrics.correct_words + (t.n * words)
+  end
+  else begin
+    t.metrics.byz_msgs <- t.metrics.byz_msgs + t.n;
+    t.metrics.byz_words <- t.metrics.byz_words + (t.n * words)
+  end;
+  let s = b_alloc t in
+  let b = t.bcast in
+  b.b_base.(s) <- base;
+  b.b_src.(s) <- src;
+  b.b_words.(s) <- words;
+  b.b_depth.(s) <- t.depth.(src) + 1;
+  b.b_sstep.(s) <- t.step;
+  b.b_snow.(s) <- t.now;
+  b.b_payload.(s) <- Some m;
+  b.b_times.(s) <- times;
+  b.b_order.(s) <- order;
+  b.b_next.(s) <- 0;
+  Heap.push t.queue times.(0) (base + order.(0)) ((s lsl 1) lor 1);
+  fire_meta t ~src ~count:t.n ~words ~correct m
 
 let broadcast t ~src ~words m =
-  for dst = 0 to t.n - 1 do
-    send t ~src ~dst ~words m
-  done
+  check_pid t src;
+  match t.procs.(src) with
+  | Crashed -> ()
+  | Unregistered | Correct _ | Byzantine _ -> (
+      let correct =
+        match t.procs.(src) with Unregistered | Correct _ -> true | Crashed | Byzantine _ -> false
+      in
+      (* Legacy per-envelope send observers may corrupt the source between
+         two destinations of the same broadcast; only eager expansion
+         realises those semantics, so their presence forces it. *)
+      if t.send_observers <> [] then eager_broadcast t ~src ~words m
+      else
+        match t.expand with
+        | Eager -> eager_broadcast t ~src ~words m
+        | Lazy -> lazy_broadcast t ~src ~words ~correct ~sharded:None m
+        | Sharded { jobs } ->
+            if t.scheduler.Scheduler.content_oblivious then
+              lazy_broadcast t ~src ~words ~correct ~sharded:(Some jobs) m
+            else
+              (* Sharding replays the scheduler on worker domains; only
+                 content-oblivious schedulers are declared safe for that,
+                 so fall back to the engine-rng lazy path. *)
+              lazy_broadcast t ~src ~words ~correct ~sharded:None m)
 
 let corrupt_crash t pid =
   check_pid t pid;
@@ -119,9 +498,11 @@ let corrupt_byzantine t pid h =
   t.procs.(pid) <- Byzantine h;
   List.iter (fun obs -> obs pid) t.corrupt_observers
 
-let on_send t obs = t.send_observers <- obs :: t.send_observers
-let on_deliver t obs = t.deliver_observers <- obs :: t.deliver_observers
-let on_corrupt t obs = t.corrupt_observers <- obs :: t.corrupt_observers
+(* Observers fire in registration order (appended, not prepended). *)
+let on_send t obs = t.send_observers <- t.send_observers @ [ obs ]
+let on_send_meta t obs = t.meta_observers <- t.meta_observers @ [ obs ]
+let on_deliver t obs = t.deliver_observers <- t.deliver_observers @ [ obs ]
+let on_corrupt t obs = t.corrupt_observers <- t.corrupt_observers @ [ obs ]
 
 let depth_of t pid =
   check_pid t pid;
@@ -134,7 +515,9 @@ let max_correct_depth t =
   done;
   !best
 
-let deliver t e =
+(* ---- delivery --------------------------------------------------------- *)
+
+let deliver_env t e =
   let dst = e.Envelope.dst in
   t.metrics.delivered <- t.metrics.delivered + 1;
   List.iter (fun obs -> obs e) t.deliver_observers;
@@ -144,18 +527,79 @@ let deliver t e =
       if e.Envelope.depth > t.depth.(dst) then t.depth.(dst) <- e.Envelope.depth;
       h e
 
+(* Consumes the heap's minimum entry and delivers it.  The caller has
+   already read the entry's priority (to advance [now]) but not removed
+   it: a broadcast with destinations left replaces the root in one sift
+   ({!Heap.replace_top}) instead of paying drop + push. *)
+let deliver_top t =
+  let handle = Heap.top_val t.queue in
+  if handle land 1 = 0 then begin
+    (* unicast arena slot: materialize the view, recycle the slot *)
+    Heap.drop t.queue;
+    let s = handle lsr 1 in
+    let u = t.uni in
+    let payload = match u.u_payload.(s) with Some m -> m | None -> assert false in
+    let e =
+      {
+        Envelope.id = u.u_id.(s);
+        src = u.u_src.(s);
+        dst = u.u_dst.(s);
+        payload;
+        words = u.u_words.(s);
+        depth = u.u_depth.(s);
+        sent_step = u.u_sstep.(s);
+        sent_now = u.u_snow.(s);
+      }
+    in
+    u_release t s;
+    deliver_env t e
+  end
+  else begin
+    (* broadcast record: expand the cursor's destination, then keep exactly
+       one heap entry outstanding (the next in time order) or retire the
+       record after its last delivery *)
+    let s = handle lsr 1 in
+    let b = t.bcast in
+    let cur = b.b_next.(s) in
+    let dst = b.b_order.(s).(cur) in
+    let payload = match b.b_payload.(s) with Some m -> m | None -> assert false in
+    let e =
+      {
+        Envelope.id = b.b_base.(s) + dst;
+        src = b.b_src.(s);
+        dst;
+        payload;
+        words = b.b_words.(s);
+        depth = b.b_depth.(s);
+        sent_step = b.b_sstep.(s);
+        sent_now = b.b_snow.(s);
+      }
+    in
+    b.b_next.(s) <- cur + 1;
+    if cur + 1 < t.n then begin
+      let d' = b.b_order.(s).(cur + 1) in
+      Heap.replace_top t.queue b.b_times.(s).(cur + 1) (b.b_base.(s) + d') handle
+    end
+    else begin
+      Heap.drop t.queue;
+      b_release t s
+    end;
+    deliver_env t e
+  end
+
 let run ?(max_steps = 50_000_000) t ~until =
+  (* Allocation-free heap access: [pop]'s option/tuple result would be
+     the single largest allocation in a bench-scale run. *)
   let rec loop () =
     if until () then All_done
     else if t.step >= max_steps then Step_limit
+    else if Heap.size t.queue = 0 then Quiescent
     else begin
-      match Heap.pop t.queue with
-      | None -> Quiescent
-      | Some (prio, _, e) ->
-          t.now <- (if prio > t.now then prio else t.now);
-          t.step <- t.step + 1;
-          deliver t e;
-          loop ()
+      let prio = Heap.top_prio t.queue in
+      t.now <- (if prio > t.now then prio else t.now);
+      t.step <- t.step + 1;
+      deliver_top t;
+      loop ()
     end
   in
   loop ()

@@ -48,8 +48,13 @@ let phases t = Array.to_list (Array.sub t.phases 0 t.nphases)
 let max_round t = t.max_round
 
 let find_phase t name =
+  (* Physical equality first: protocol [tag_of_msg] functions return
+     constant literals, so the hot path is a pointer scan over a handful
+     of entries with no byte comparison at all. *)
   let rec go i =
-    if i >= t.nphases then None else if String.equal t.phases.(i) name then Some i else go (i + 1)
+    if i >= t.nphases then None
+    else if t.phases.(i) == name || String.equal t.phases.(i) name then Some i
+    else go (i + 1)
   in
   go 0
 
@@ -94,6 +99,21 @@ let record_send t ~phase ~round ~correct ~words =
   else begin
     t.data.(i + 2) <- t.data.(i + 2) + 1;
     t.data.(i + 3) <- t.data.(i + 3) + words
+  end
+
+let record_send_many t ~phase ~round ~correct ~words ~count =
+  (* count = 0 must be a complete no-op — not even a phase interning —
+     so that the call is exactly [count] repeated [record_send]s. *)
+  if count <> 0 then begin
+  let i = slot t ~phase ~round in
+  if correct then begin
+    t.data.(i) <- t.data.(i) + count;
+    t.data.(i + 1) <- t.data.(i + 1) + (words * count)
+  end
+  else begin
+    t.data.(i + 2) <- t.data.(i + 2) + count;
+    t.data.(i + 3) <- t.data.(i + 3) + (words * count)
+  end
   end
 
 let record_delivery t ~phase ~round =
@@ -148,12 +168,11 @@ let reset t =
 
 let attach eng t ~tag_of ?round_of () =
   let round_of = match round_of with Some f -> f | None -> fun _ -> 0 in
-  Engine.on_send eng (fun e ->
-      record_send t
-        ~phase:(tag_of e.Envelope.payload)
-        ~round:(round_of e.Envelope.payload)
-        ~correct:(Engine.is_correct eng e.Envelope.src)
-        ~words:e.Envelope.words);
+  (* The compact meta hook, not the per-envelope [on_send] stream: one
+     call per logical broadcast keeps the engine on its lazy fast path
+     (a per-envelope observer would force eager expansion). *)
+  Engine.on_send_meta eng (fun ~src:_ ~count ~words ~correct m ->
+      record_send_many t ~phase:(tag_of m) ~round:(round_of m) ~correct ~words ~count);
   Engine.on_deliver eng (fun e ->
       record_delivery t
         ~phase:(tag_of e.Envelope.payload)

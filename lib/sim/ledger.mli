@@ -39,14 +39,23 @@ val record_send : t -> phase:string -> round:int -> correct:bool -> words:int ->
 (** Account one sent message.  Negative rounds clamp to 0 (protocols
     without a round structure pass 0 throughout). *)
 
+val record_send_many :
+  t -> phase:string -> round:int -> correct:bool -> words:int -> count:int -> unit
+(** [count] messages of [words] words each in one accounting step — the
+    broadcast fast path ([record_send] is the [count = 1] case, and
+    [count = 0] is a complete no-op, phase interning included). *)
+
 val record_delivery : t -> phase:string -> round:int -> unit
 
 val attach :
   'm Engine.t -> t -> tag_of:('m -> string) -> ?round_of:('m -> int) -> unit -> unit
-(** Subscribe the ledger to an engine's send/deliver observers.  [tag_of]
+(** Subscribe the ledger to an engine's observer streams.  [tag_of]
     names the phase (the protocol's [tag_of_msg]); [round_of] (default:
-    constant 0) extracts the round.  Sender class is judged at send time
-    via {!Engine.is_correct}, matching the engine's own accounting. *)
+    constant 0) extracts the round.  Sends are consumed through
+    {!Engine.on_send_meta} — one call per logical broadcast, with the
+    sender class the engine judged at send time — so attachment keeps
+    the engine's lazy broadcast fast path (a per-envelope [on_send]
+    observer would force eager expansion). *)
 
 val phases : t -> string list
 (** Phases in first-seen order. *)

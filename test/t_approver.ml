@@ -79,7 +79,7 @@ let test_nonempty_returns () =
 let test_init_requires_committee () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
-  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d1" in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d1" () in
   ignore (Approver.input a 1);
   (* forged init from a non-member *)
   let s_init = "d1/init" in
@@ -94,7 +94,7 @@ let test_init_requires_committee () =
 let test_echo_signature_checked () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
-  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d2" in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d2" () in
   ignore (Approver.input a 1);
   let s_echo = "d2/echo/1" in
   let rec find_member pid =
@@ -112,7 +112,7 @@ let test_echo_signature_checked () =
 let test_ok_support_validated () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
-  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d3" in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d3" () in
   ignore (Approver.input a 1);
   let s_ok = "d3/ok" in
   let rec find_member pid =
@@ -128,7 +128,7 @@ let test_ok_support_validated () =
 let test_ok_support_duplicate_pids_rejected () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
-  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d4" in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d4" () in
   ignore (Approver.input a 1);
   let s_echo = "d4/echo/1" and s_ok = "d4/ok" in
   let rec find_member s pid =
@@ -146,7 +146,7 @@ let test_ok_support_duplicate_pids_rejected () =
 let test_input_idempotent () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
-  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d5" in
+  let a = Approver.create ~keyring:kr ~params:p ~pid:0 ~instance:"d5" () in
   let first = Approver.input a 1 in
   let second = Approver.input a 0 in
   Alcotest.(check bool) "second input is a no-op" true (second = []);

@@ -104,7 +104,7 @@ let test_determinism () =
 let test_input_validation () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
-  let ba = Ba.create ~keyring:kr ~params:p ~pid:0 ~instance:"check" in
+  let ba = Ba.create ~keyring:kr ~params:p ~pid:0 ~instance:"check" () in
   Alcotest.check_raises "non-binary input" (Invalid_argument "Ba.propose: input must be binary")
     (fun () -> ignore (Ba.propose ba 7))
 
@@ -115,7 +115,7 @@ let test_decide_action_emitted_once () =
   let p = Lazy.force params in
   let eng : Ba.msg Sim.Engine.t = Sim.Engine.create ~n ~seed:99 () in
   let decides = Array.make n 0 in
-  let procs = Array.init n (fun pid -> Ba.create ~keyring:kr ~params:p ~pid ~instance:"once") in
+  let procs = Array.init n (fun pid -> Ba.create ~keyring:kr ~params:p ~pid ~instance:"once" ()) in
   let perform pid acts =
     List.iter
       (function
@@ -171,9 +171,36 @@ let qcheck_safety_random =
       | [ v ] -> List.for_all (fun (_, d) -> d = v) o.Runner.decisions
       | _ -> true)
 
+let test_eager_lazy_ledger_identical () =
+  (* Lazy multicast must leave protocol-level runs byte-identical to eager
+     expansion: same outcome record (decisions, words, depth, vtime, run
+     result) and the same exported coincidence.ledger/1 document, at
+     several n on fixed seeds.  The step cap bounds the n = 256 instance;
+     equivalence over a capped prefix is just as binding. *)
+  List.iter
+    (fun n ->
+      let kr = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"equiv" () in
+      let params = Tutil.robust_params n in
+      let inputs = Array.init n (fun i -> i mod 2) in
+      let run expand =
+        let ledger = Sim.Ledger.create () in
+        let o =
+          Runner.run_ba ~expand
+            ~probe:(fun eng -> Instrument.attach_ba_ledger eng ledger)
+            ~max_steps:150_000 ~keyring:kr ~params ~inputs ~seed:(1000 + n) ()
+        in
+        (o, Obs.Json.to_string (Instrument.ledger_json ~protocol:"whp-ba" ~n ledger))
+      in
+      let eager_o, eager_doc = run Sim.Engine.Eager in
+      let lazy_o, lazy_doc = run Sim.Engine.Lazy in
+      Alcotest.(check bool) (Printf.sprintf "outcome identical at n=%d" n) true (eager_o = lazy_o);
+      Alcotest.(check string) (Printf.sprintf "ledger identical at n=%d" n) eager_doc lazy_doc)
+    [ 16; 64; 256 ]
+
 let suite =
   [
     Alcotest.test_case "validity ones" `Quick test_validity_all_ones;
+    Alcotest.test_case "eager/lazy ledger identical" `Quick test_eager_lazy_ledger_identical;
     Alcotest.test_case "validity zeros" `Quick test_validity_all_zeros;
     Alcotest.test_case "mixed inputs" `Slow test_mixed_inputs;
     Alcotest.test_case "one dissenter" `Quick test_one_dissenter;

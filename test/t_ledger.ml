@@ -51,6 +51,36 @@ let test_record_and_read () =
   Alcotest.(check bool) "reset zeroes" true (Sim.Ledger.is_zero_cell (Sim.Ledger.total l));
   Alcotest.(check (list string)) "reset keeps phases" [ "A"; "B" ] (Sim.Ledger.phases l)
 
+(* The broadcast fast path: one [record_send_many] call must be
+   cell-for-cell identical to [count] repeated [record_send] calls. *)
+let test_record_send_many () =
+  let many = Sim.Ledger.create () and one_by_one = Sim.Ledger.create () in
+  List.iter
+    (fun (phase, round, correct, words, count) ->
+      Sim.Ledger.record_send_many many ~phase ~round ~correct ~words ~count;
+      for _ = 1 to count do
+        Sim.Ledger.record_send one_by_one ~phase ~round ~correct ~words
+      done)
+    [
+      ("INIT", 0, true, 3, 16);
+      ("INIT", 0, false, 3, 5);
+      ("ECHO", 2, true, 1, 64);
+      ("ECHO", -1, true, 2, 7);
+      ("OK", 1, true, 4, 0);
+    ];
+  Alcotest.(check (list string)) "same phases" (Sim.Ledger.phases one_by_one)
+    (Sim.Ledger.phases many);
+  Alcotest.(check int) "same max_round" (Sim.Ledger.max_round one_by_one)
+    (Sim.Ledger.max_round many);
+  List.iter
+    (fun phase ->
+      for round = 0 to Sim.Ledger.max_round many do
+        let a = Sim.Ledger.cell many ~phase ~round in
+        let b = Sim.Ledger.cell one_by_one ~phase ~round in
+        Alcotest.(check bool) (Printf.sprintf "%s/%d identical" phase round) true (a = b)
+      done)
+    (Sim.Ledger.phases many)
+
 (* Rounds far beyond the initial capacity must restride correctly: the
    per-phase blocks move, the counts must not. *)
 let test_round_growth () =
@@ -279,6 +309,7 @@ let test_validate_ledger_rejects () =
 let suite =
   [
     Alcotest.test_case "record and read cells" `Quick test_record_and_read;
+    Alcotest.test_case "record_send_many = repeated record_send" `Quick test_record_send_many;
     Alcotest.test_case "round capacity growth" `Quick test_round_growth;
     Alcotest.test_case "fold order deterministic" `Quick test_fold_order;
     Alcotest.test_case "ledger passive and consistent with metrics" `Quick

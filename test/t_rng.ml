@@ -146,6 +146,68 @@ let test_sample_coverage () =
   done;
   Array.iteri (fun i b -> check (Printf.sprintf "element %d sampled" i) true b) seen
 
+(* The production generator keeps its 256-bit xoshiro256** state as eight
+   native-int 32-bit halves to stay allocation-free; this reference is the
+   textbook four-[int64] formulation.  The two must emit bit-identical
+   streams, and the derived [float] draw must be exactly the top 53 bits
+   of the same step. *)
+module Ref_xoshiro = struct
+  type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+  let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+  let splitmix64 state =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let create seed =
+    let st = ref (Int64.of_int seed) in
+    let s0 = splitmix64 st in
+    let s1 = splitmix64 st in
+    let s2 = splitmix64 st in
+    let s3 = splitmix64 st in
+    if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+      { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+    else { s0; s1; s2; s3 }
+
+  let next t =
+    let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+    let tt = Int64.shift_left t.s1 17 in
+    t.s2 <- Int64.logxor t.s2 t.s0;
+    t.s3 <- Int64.logxor t.s3 t.s1;
+    t.s1 <- Int64.logxor t.s1 t.s2;
+    t.s0 <- Int64.logxor t.s0 t.s3;
+    t.s2 <- Int64.logxor t.s2 tt;
+    t.s3 <- rotl t.s3 45;
+    result
+end
+
+let test_reference_stream () =
+  List.iter
+    (fun seed ->
+      let prod = Rng.create seed in
+      let refr = Ref_xoshiro.create seed in
+      for i = 1 to 500 do
+        Alcotest.(check int64)
+          (Printf.sprintf "seed %d draw %d" seed i)
+          (Ref_xoshiro.next refr) (Rng.next_int64 prod)
+      done)
+    [ 0; 1; 42; 123456; -7; max_int ]
+
+let test_float_is_top_53_bits () =
+  let a = Rng.create 77 and b = Rng.create 77 in
+  for i = 1 to 200 do
+    let r = Rng.next_int64 a in
+    let expect =
+      Int64.to_float (Int64.shift_right_logical r 11) /. 9007199254740992.0
+    in
+    Alcotest.(check (float 0.0)) (Printf.sprintf "draw %d" i) expect (Rng.float b 1.0)
+  done
+
 let qcheck_int_in_range =
   QCheck.Test.make ~name:"qcheck: Rng.int always within bound" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -184,6 +246,8 @@ let suite =
     Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
     Alcotest.test_case "sample k=n" `Quick test_sample_all;
     Alcotest.test_case "sample coverage" `Quick test_sample_coverage;
+    Alcotest.test_case "reference stream differential" `Quick test_reference_stream;
+    Alcotest.test_case "float is top 53 bits" `Quick test_float_is_top_53_bits;
     QCheck_alcotest.to_alcotest qcheck_int_in_range;
     QCheck_alcotest.to_alcotest qcheck_sample_distinct;
   ]

@@ -11,11 +11,11 @@ let test_heap_order () =
 
 let test_heap_tiebreak () =
   let h = Heap.create () in
-  Heap.push h 1.0 2 'b';
-  Heap.push h 1.0 1 'a';
-  Heap.push h 1.0 3 'c';
+  Heap.push h 1.0 2 20;
+  Heap.push h 1.0 1 10;
+  Heap.push h 1.0 3 30;
   let order = List.map (fun (_, _, v) -> v) (Heap.drain h) in
-  Alcotest.(check (list char)) "seq tie-break" [ 'a'; 'b'; 'c' ] order
+  Alcotest.(check (list int)) "seq tie-break" [ 10; 20; 30 ] order
 
 let test_heap_interleaved () =
   let h = Heap.create () in
@@ -23,18 +23,19 @@ let test_heap_interleaved () =
   let reference = ref [] in
   for i = 0 to 999 do
     let p = Crypto.Rng.float r 100.0 in
-    Heap.push h p i p;
-    reference := p :: !reference
+    Heap.push h p i i;
+    reference := (p, i) :: !reference
   done;
-  let popped = List.map (fun (_, _, v) -> v) (Heap.drain h) in
-  Alcotest.(check (list (float 0.0))) "heapsort" (List.sort compare !reference) popped;
+  let popped = List.map (fun (p, _, v) -> (p, v)) (Heap.drain h) in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "heapsort" (List.sort compare !reference) popped;
   Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
 
 let test_heap_size () =
   let h = Heap.create () in
   Alcotest.(check int) "empty" 0 (Heap.size h);
-  Heap.push h 1.0 0 ();
-  Heap.push h 2.0 1 ();
+  Heap.push h 1.0 0 0;
+  Heap.push h 2.0 1 1;
   Alcotest.(check int) "two" 2 (Heap.size h);
   ignore (Heap.pop h);
   Alcotest.(check int) "one" 1 (Heap.size h);
@@ -211,6 +212,214 @@ let test_correct_pids () =
   Alcotest.(check bool) "is_correct" true (Engine.is_correct eng 0);
   Alcotest.(check bool) "not correct" false (Engine.is_correct eng 1)
 
+(* ---------------- Heap capacity and root ops ---------------- *)
+
+let test_heap_capacity_growth () =
+  let h = Heap.create ~capacity:8 () in
+  Alcotest.(check int) "hint honoured" 8 (Heap.capacity h);
+  for i = 0 to 7 do
+    Heap.push h (float_of_int i) i i
+  done;
+  Alcotest.(check int) "no resize up to hint" 8 (Heap.capacity h);
+  Heap.push h 8.0 8 8;
+  Alcotest.(check int) "doubles" 16 (Heap.capacity h);
+  for i = 9 to 16 do
+    Heap.push h (float_of_int i) i i
+  done;
+  Alcotest.(check int) "doubles again" 32 (Heap.capacity h);
+  let popped = List.map (fun (_, _, v) -> v) (Heap.drain h) in
+  Alcotest.(check (list int)) "contents survive resizes" (List.init 17 Fun.id) popped
+
+let test_heap_root_ops () =
+  (* replace_top must be observationally drop-then-push, and
+     top_prio/top_val must agree with peek, across a long random stream. *)
+  let r = Crypto.Rng.create 31 in
+  let a = Heap.create () and b = Heap.create ~capacity:64 () in
+  for i = 0 to 63 do
+    let p = Crypto.Rng.float r 10.0 in
+    Heap.push a p i i;
+    Heap.push b p i i
+  done;
+  for i = 64 to 1063 do
+    Alcotest.(check (float 0.0)) "roots agree" (Heap.top_prio b) (Heap.top_prio a);
+    Alcotest.(check int) "root values agree" (Heap.top_val b) (Heap.top_val a);
+    (match Heap.peek a with
+    | Some (p, _, v) ->
+        Alcotest.(check (float 0.0)) "top_prio = peek" p (Heap.top_prio a);
+        Alcotest.(check int) "top_val = peek" v (Heap.top_val a)
+    | None -> Alcotest.fail "unexpected empty heap");
+    let p = Heap.top_prio a +. Crypto.Rng.float r 0.5 in
+    Heap.replace_top a p i i;
+    Heap.drop b;
+    Heap.push b p i i
+  done;
+  Alcotest.(check bool) "identical drains" true (Heap.drain a = Heap.drain b)
+
+let test_heap_empty_root_raises () =
+  let h = Heap.create () in
+  Alcotest.check_raises "top_prio" (Invalid_argument "Heap.top_prio: empty") (fun () ->
+      ignore (Heap.top_prio h));
+  Alcotest.check_raises "top_val" (Invalid_argument "Heap.top_val: empty") (fun () ->
+      ignore (Heap.top_val h));
+  Alcotest.check_raises "drop" (Invalid_argument "Heap.drop: empty") (fun () -> Heap.drop h);
+  Alcotest.check_raises "replace_top" (Invalid_argument "Heap.replace_top: empty") (fun () ->
+      Heap.replace_top h 1.0 0 0)
+
+(* ---------------- Bitset ---------------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 200 in
+  Alcotest.(check int) "length" 200 (Bitset.length s);
+  Alcotest.(check int) "empty card" 0 (Bitset.card s);
+  Alcotest.(check bool) "not mem" false (Bitset.mem s 0);
+  List.iter (Bitset.add s) [ 0; 63; 64; 199; 63 ];
+  Alcotest.(check int) "card (add idempotent)" 4 (Bitset.card s);
+  Alcotest.(check (list int)) "to_list ascending" [ 0; 63; 64; 199 ] (Bitset.to_list s);
+  Alcotest.(check bool) "test_and_set seen" true (Bitset.test_and_set s 64);
+  Alcotest.(check bool) "test_and_set fresh" false (Bitset.test_and_set s 65);
+  Alcotest.(check bool) "test_and_set added" true (Bitset.mem s 65);
+  (match Bitset.mem s 200 with
+  | _ -> Alcotest.fail "expected out-of-range failure"
+  | exception Invalid_argument _ -> ());
+  match Bitset.add s (-1) with
+  | _ -> Alcotest.fail "expected negative-index failure"
+  | exception Invalid_argument _ -> ()
+
+let test_bitset_rank () =
+  let r = Crypto.Rng.create 33 in
+  let len = 500 in
+  let s = Bitset.create len in
+  for _ = 1 to 120 do
+    Bitset.add s (Crypto.Rng.int r len)
+  done;
+  let sorted = Bitset.to_list s in
+  Alcotest.(check int) "card = |to_list|" (List.length sorted) (Bitset.card s);
+  let via_fold = List.rev (Bitset.fold (fun acc i -> i :: acc) s []) in
+  Alcotest.(check (list int)) "fold ascending" sorted via_fold;
+  let via_iter = ref [] in
+  Bitset.iter (fun i -> via_iter := i :: !via_iter) s;
+  Alcotest.(check (list int)) "iter ascending" sorted (List.rev !via_iter);
+  Alcotest.(check (list int)) "of_list round-trip" sorted (Bitset.to_list (Bitset.of_list len sorted));
+  let pc = Bitset.prefix_counts s in
+  for i = 0 to len - 1 do
+    let naive = List.length (List.filter (fun x -> x < i) sorted) in
+    let rk = Bitset.rank_with s pc i in
+    if Bitset.mem s i then Alcotest.(check int) (Printf.sprintf "rank %d" i) naive rk
+    else Alcotest.(check int) (Printf.sprintf "non-member %d" i) (-1) rk
+  done
+
+(* ---------------- Observer registration order ---------------- *)
+
+let test_observer_registration_order () =
+  (* engine.mli pins registration order for every observer kind, so the
+     Ledger + Instrument attach order cannot change outcomes. *)
+  let eng : int Engine.t = Engine.create ~n:2 ~seed:21 () in
+  let trace = ref [] in
+  let mark tag _ = trace := tag :: !trace in
+  Engine.on_send_meta eng (fun ~src:_ ~count:_ ~words:_ ~correct:_ m -> mark "m1" m);
+  Engine.on_send_meta eng (fun ~src:_ ~count:_ ~words:_ ~correct:_ m -> mark "m2" m);
+  Engine.on_deliver eng (mark "d1");
+  Engine.on_deliver eng (mark "d2");
+  Engine.on_corrupt eng (mark "c1");
+  Engine.on_corrupt eng (mark "c2");
+  Engine.set_handler eng 0 (fun _ -> ());
+  Engine.set_handler eng 1 (fun _ -> ());
+  Engine.send eng ~src:0 ~dst:1 ~words:1 7;
+  ignore (Engine.run eng ~until:(fun () -> false));
+  Engine.corrupt_crash eng 1;
+  Alcotest.(check (list string))
+    "registration order" [ "m1"; "m2"; "d1"; "d2"; "c1"; "c2" ] (List.rev !trace)
+
+(* ---------------- Eager vs lazy expansion equivalence ---------------- *)
+
+(* A run with handler-driven broadcasts and unicasts interleaved with the
+   root broadcast, logged delivery by delivery.  Lazy expansion must be
+   byte-identical to eager on the same seed: same ids, same order, same
+   virtual times, same metrics. *)
+let delivery_log expand seed =
+  let n = 64 in
+  let eng : int Engine.t = Engine.create ~expand ~n ~seed () in
+  let log = ref [] in
+  Engine.on_deliver eng (fun e ->
+      log :=
+        ( e.Envelope.id,
+          e.Envelope.src,
+          e.Envelope.dst,
+          e.Envelope.payload,
+          e.Envelope.depth,
+          e.Envelope.sent_step,
+          e.Envelope.sent_now )
+        :: !log);
+  for pid = 0 to n - 1 do
+    Engine.set_handler eng pid (fun e ->
+        if e.Envelope.payload < 1 && pid mod 3 = 0 then
+          Engine.broadcast eng ~src:pid ~words:2 (e.Envelope.payload + 1)
+        else if e.Envelope.payload < 4 && pid mod 5 = 1 then
+          Engine.send eng ~src:pid ~dst:((pid + 1) mod n) ~words:1 (e.Envelope.payload + 1))
+  done;
+  Engine.broadcast eng ~src:0 ~words:3 0;
+  let r = Engine.run eng ~until:(fun () -> false) in
+  let m = Engine.metrics eng in
+  ( r,
+    List.rev !log,
+    m.Metrics.correct_msgs,
+    m.Metrics.correct_words,
+    m.Metrics.delivered )
+
+let test_eager_lazy_equivalent () =
+  List.iter
+    (fun seed ->
+      let eager = delivery_log Engine.Eager seed in
+      let lazy_ = delivery_log Engine.Lazy seed in
+      Alcotest.(check bool) (Printf.sprintf "identical runs, seed %d" seed) true (eager = lazy_))
+    [ 1; 7; 2026 ]
+
+(* ---------------- Dsort differential ---------------- *)
+
+let reference_sort times dsts len =
+  let pairs = Array.init len (fun i -> (times.(i), dsts.(i))) in
+  Array.sort compare pairs;
+  Array.iteri
+    (fun i (t, d) ->
+      times.(i) <- t;
+      dsts.(i) <- d)
+    pairs
+
+let test_dsort_differential () =
+  let scratch = Dsort.scratch () in
+  let check_case name make len =
+    let times = Array.init len make in
+    let dsts = Array.init len Fun.id in
+    let rt = Array.copy times and rd = Array.copy dsts in
+    reference_sort rt rd len;
+    let st = Array.copy times and sd = Array.copy dsts in
+    Dsort.sort scratch st sd len;
+    Alcotest.(check bool) (name ^ ": sort times") true (st = rt);
+    Alcotest.(check bool) (name ^ ": sort dsts") true (sd = rd);
+    let tmin = Array.fold_left min infinity times in
+    let tmax = Array.fold_left max neg_infinity times in
+    let ot = Array.make len 0.0 and od = Array.make len 0 in
+    Dsort.sort_into scratch ~tmin ~tmax ~dst0:0 (Array.copy times) len ot od;
+    Alcotest.(check bool) (name ^ ": sort_into times") true (ot = rt);
+    Alcotest.(check bool) (name ^ ": sort_into dsts") true (od = rd);
+    let qt = Array.copy times and qd = Array.copy dsts in
+    Dsort.quicksort qt qd 0 (len - 1);
+    Alcotest.(check bool) (name ^ ": quicksort times") true (qt = rt);
+    Alcotest.(check bool) (name ^ ": quicksort dsts") true (qd = rd)
+  in
+  let r = Crypto.Rng.create 55 in
+  check_case "exponential" (fun _ -> -.log (max 1e-12 (Crypto.Rng.float r 1.0))) 1000;
+  check_case "uniform" (fun _ -> Crypto.Rng.float r 100.0) 997;
+  check_case "all-equal" (fun _ -> 3.5) 257;
+  (* One huge outlier crams everything else into bucket zero: the
+     insertion budget blows and the quicksort fallback must engage. *)
+  check_case "heavy-tail" (fun i -> if i = 0 then 1e12 else Crypto.Rng.float r 1e-9) 512;
+  (* Infinite draws defeat the bucket scale arithmetic entirely. *)
+  check_case "with-inf" (fun i -> if i mod 97 = 0 then infinity else Crypto.Rng.float r 1.0) 300;
+  check_case "descending" (fun i -> float_of_int (1000 - i)) 1000;
+  check_case "pair" (fun _ -> Crypto.Rng.float r 1.0) 2;
+  check_case "single" (fun _ -> 1.0) 1
+
 (* ---------------- Schedulers and faults ---------------- *)
 
 let run_with_scheduler scheduler =
@@ -348,6 +557,14 @@ let suite =
     Alcotest.test_case "step limit" `Quick test_step_limit;
     Alcotest.test_case "observers" `Quick test_observers;
     Alcotest.test_case "correct pids" `Quick test_correct_pids;
+    Alcotest.test_case "heap capacity growth" `Quick test_heap_capacity_growth;
+    Alcotest.test_case "heap root ops" `Quick test_heap_root_ops;
+    Alcotest.test_case "heap empty root raises" `Quick test_heap_empty_root_raises;
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset rank" `Quick test_bitset_rank;
+    Alcotest.test_case "observer registration order" `Quick test_observer_registration_order;
+    Alcotest.test_case "eager/lazy equivalence" `Quick test_eager_lazy_equivalent;
+    Alcotest.test_case "dsort differential" `Quick test_dsort_differential;
     Alcotest.test_case "fifo order" `Quick test_fifo_in_order;
     Alcotest.test_case "random delivers all" `Quick test_random_delivers_all;
     Alcotest.test_case "targeted slows victim" `Quick test_targeted_slows_victim;

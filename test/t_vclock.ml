@@ -146,7 +146,7 @@ let test_replay_matches_engine_ba () =
   let eng : Core.Ba.msg Engine.t = Engine.create ~n ~seed:6 () in
   let trace = Trace.create ~capacity:2_000_000 () in
   Trace.attach trace eng;
-  let procs = Array.init n (fun pid -> Core.Ba.create ~keyring:kr ~params:p ~pid ~instance:"vcba") in
+  let procs = Array.init n (fun pid -> Core.Ba.create ~keyring:kr ~params:p ~pid ~instance:"vcba" ()) in
   let perform pid acts =
     List.iter
       (function

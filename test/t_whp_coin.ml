@@ -82,7 +82,7 @@ let test_non_member_first_rejected () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
   let inst = mk_instance "nm" in
-  let c = Whp_coin.create ~keyring:kr ~params:p ~pid:0 ~instance:inst ~round:0 in
+  let c = Whp_coin.create ~keyring:kr ~params:p ~pid:0 ~instance:inst ~round:0 () in
   ignore (Whp_coin.start c);
   let s_first = Whp_coin.first_committee_string ~instance:inst ~round:0 in
   (* find a NON-member and have it send a FIRST with a forged cert *)
@@ -107,7 +107,7 @@ let test_member_first_accepted () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
   let inst = mk_instance "m" in
-  let c = Whp_coin.create ~keyring:kr ~params:p ~pid:0 ~instance:inst ~round:0 in
+  let c = Whp_coin.create ~keyring:kr ~params:p ~pid:0 ~instance:inst ~round:0 () in
   ignore (Whp_coin.start c);
   let s_first = Whp_coin.first_committee_string ~instance:inst ~round:0 in
   match find_member kr ~s:s_first ~lambda:p.Params.lambda with
@@ -123,7 +123,7 @@ let test_second_requires_sender_cert () =
   let kr = Lazy.force keyring in
   let p = Lazy.force params in
   let inst = mk_instance "sc" in
-  let c = Whp_coin.create ~keyring:kr ~params:p ~pid:0 ~instance:inst ~round:0 in
+  let c = Whp_coin.create ~keyring:kr ~params:p ~pid:0 ~instance:inst ~round:0 () in
   ignore (Whp_coin.start c);
   let s_first = Whp_coin.first_committee_string ~instance:inst ~round:0 in
   match find_member kr ~s:s_first ~lambda:p.Params.lambda with
