@@ -1050,12 +1050,17 @@ let table_lint () =
     let t2 = Unix.gettimeofday () in
     let race = Coinlint.Race_rules.lint_units ~rules:Coinlint.Race_rules.all units in
     let race_s = Unix.gettimeofday () -. t2 in
+    let t3 = Unix.gettimeofday () in
+    let quorum = Coinlint.Quorum_rules.lint_units ~rules:Coinlint.Quorum_rules.all units in
+    let quorum_s = Unix.gettimeofday () -. t3 in
     Format.printf "  %-10s %8s %9s %9s@." "tier" "inputs" "findings" "wall_s";
     Format.printf "  %-10s %8d %9d %9.3f@." "syntactic" files (List.length syn) syn_s;
     Format.printf "  %-10s %8d %9d %9.3f@." "semantic" (List.length units) (List.length sem)
       sem_s;
     Format.printf "  %-10s %8d %9d %9.3f@." "race" (List.length units) (List.length race)
       race_s;
+    Format.printf "  %-10s %8d %9d %9.3f@." "quorum" (List.length units) (List.length quorum)
+      quorum_s;
     if units = [] then
       Format.printf "  (no .cmt files visible: run `dune build @@check` for a real measurement)@.";
     record ~table:"lint"
@@ -1078,6 +1083,13 @@ let table_lint () =
         ("inputs", ji (List.length units));
         ("findings", ji (List.length race));
         ("wall_s", jf race_s);
+      ];
+    record ~table:"lint"
+      [
+        ("tier", js "quorum");
+        ("inputs", ji (List.length units));
+        ("findings", ji (List.length quorum));
+        ("wall_s", jf quorum_s);
       ]
   end
 

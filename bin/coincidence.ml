@@ -457,9 +457,30 @@ let summarize_loaded path =
                 (list_member "sweep" doc);
               0
         end
+      | Some s when s = Mc.Replay.schema -> begin
+          (* Checker counterexamples: full strict validation, so CI can
+             vet freshly emitted `check --json` files. *)
+          match Mc.Replay.of_json doc with
+          | Error e ->
+              Format.eprintf "%s: %s@." path e;
+              1
+          | Ok spec ->
+              Format.printf "schema: %s@." s;
+              Format.printf
+                "counterexample: protocol=%s n=%d f=%d coin=%b%s invariant=%s trace=%d event(s)@."
+                spec.Mc.Replay.sp_protocol spec.sp_n spec.sp_f spec.sp_coin
+                (match spec.sp_byz with
+                | None -> ""
+                | Some b -> Printf.sprintf " byz=%d(%s)" b (if spec.sp_active_byz then "active" else "silent"))
+                spec.sp_invariant
+                (List.length spec.sp_trace);
+              Format.printf "detail: %s@." spec.sp_detail;
+              0
+        end
       | Some s ->
-          Format.eprintf "%s: unexpected schema %S (want %S, %S or %S)@." path s
-            Core.Instrument.metrics_schema Obs.Export.bench_schema Obs.Export.ledger_schema;
+          Format.eprintf "%s: unexpected schema %S (want %S, %S, %S or %S)@." path s
+            Core.Instrument.metrics_schema Obs.Export.bench_schema Obs.Export.ledger_schema
+            Mc.Replay.schema;
           1
       | None ->
           Format.eprintf "%s: missing \"schema\" member@." path;
@@ -1160,6 +1181,229 @@ let complexity_cmd =
                  100,000 sends ~64M messages per round, so completing it needs a larger cap.")
       $ protos_arg $ engine_arg $ jobs_arg $ json_arg)
 
+(* ------------------------------- check ------------------------------- *)
+
+let check_proto : string -> (module Mc.Search.PROTO) option = function
+  | "benor" -> Some (module Mc.Protos.Benor_p)
+  | "bracha" -> Some (module Mc.Protos.Bracha_p)
+  | "approver" -> Some (module Mc.Protos.Approver_p)
+  | "whp-coin" -> Some (module Mc.Protos.Coin_p)
+  | "benor-no-wait" -> Some (module Mc.Protos.Benor_nowait)
+  | "bracha-decide-low" -> Some (module Mc.Protos.Bracha_low)
+  | _ -> None
+
+let check_replay path =
+  let contents =
+    match open_in_bin path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    | exception Sys_error e -> Error e
+  in
+  match Result.bind contents Obs.Json.of_string with
+  | Error e ->
+      Format.eprintf "check: %s: %s@." path e;
+      2
+  | Ok doc -> (
+      match Mc.Replay.of_json doc with
+      | Error e ->
+          Format.eprintf "check: %s: %s@." path e;
+          2
+      | Ok spec -> (
+          match check_proto spec.Mc.Replay.sp_protocol with
+          | None ->
+              Format.eprintf "check: %s: unknown protocol %S@." path spec.Mc.Replay.sp_protocol;
+              2
+          | Some (module P) ->
+              let module D = Mc.Replay.Drive (P) in
+              let o = D.run spec in
+              Format.printf "replaying %s counterexample (%s): %d event(s) through Sim.Engine@."
+                spec.sp_protocol spec.sp_invariant (List.length spec.sp_trace);
+              Array.iteri
+                (fun pid d ->
+                  Format.printf "  process %d: %s@." pid
+                    (match d with None -> "undecided" | Some v -> "decided " ^ string_of_int v))
+                o.Mc.Replay.o_decisions;
+              if o.o_reproduced then begin
+                Format.printf "violation reproduced after %d deliveries@." o.o_steps;
+                0
+              end
+              else begin
+                Format.eprintf "check: %s: trace did NOT reproduce the %s violation@." path
+                  spec.sp_invariant;
+                1
+              end))
+
+let check_cmd =
+  let run protocol n f rounds coin byz active_byz max_inject inputs max_states no_fifo json replay
+      =
+    match replay with
+    | Some path -> check_replay path
+    | None -> (
+        let f = match f with Some f -> f | None -> if n >= 4 then 1 else 0 in
+        let coins =
+          match coin with `Zero -> [ false ] | `One -> [ true ] | `Both -> [ false; true ]
+        in
+        let inputs =
+          match inputs with
+          | None -> Ok None
+          | Some s ->
+              if String.length s <> n then
+                Error (Printf.sprintf "--inputs %S: need exactly %d bits" s n)
+              else if String.exists (fun c -> c <> '0' && c <> '1') s then
+                Error (Printf.sprintf "--inputs %S: bits only" s)
+              else Ok (Some (Array.init n (fun i -> Char.code s.[i] - Char.code '0')))
+        in
+        let cfg coin =
+          {
+            Mc.Search.n;
+            f;
+            byz;
+            active_byz;
+            max_inject;
+            coin;
+            max_rounds = rounds;
+            max_states;
+            fifo = not no_fifo;
+          }
+        in
+        match (inputs, check_proto protocol) with
+        | Error e, _ ->
+            Format.eprintf "check: %s@." e;
+            2
+        | Ok _, None ->
+            Format.eprintf
+              "check: unknown protocol %S (benor, bracha, approver, whp-coin, benor-no-wait, \
+               bracha-decide-low)@."
+              protocol;
+            2
+        | Ok inputs, Some (module P) ->
+            let module M = Mc.Search.Make (P) in
+            Format.printf "coincidence check: protocol=%s n=%d f=%d rounds<=%d %s%s coin=%s@."
+              protocol n f rounds
+              (if not no_fifo then "fifo" else "reordering")
+              (match byz with
+              | None -> ""
+              | Some b ->
+                  Printf.sprintf " byz=%d(%s%s)" b
+                    (if active_byz then "active" else "silent")
+                    (if active_byz then Printf.sprintf ",inject<=%d" max_inject else ""))
+              (match coin with `Zero -> "0" | `One -> "1" | `Both -> "both");
+            let summary, bad =
+              List.fold_left
+                (fun (acc, bad) c ->
+                  match bad with
+                  | Some _ -> (acc, bad)
+                  | None ->
+                      let s =
+                        match inputs with
+                        | Some vec -> M.check_inputs (cfg c) vec
+                        | None -> M.check_all (cfg c)
+                      in
+                      let bad =
+                        match s.Mc.Search.s_violation with Some v -> Some (c, v) | None -> None
+                      in
+                      (Mc.Search.merge acc s, bad))
+                (Mc.Search.empty_summary, None)
+                coins
+            in
+            Format.printf "states=%d transitions=%d max-depth=%d@." summary.Mc.Search.s_states
+              summary.s_transitions summary.s_max_depth;
+            (match bad with
+            | None ->
+                if summary.s_truncated then
+                  Format.printf
+                    "no violation found (TRUNCATED at %d states — not exhaustive)@." max_states
+                else Format.printf "no violation found (exhaustive)@.";
+                (match json with
+                | Some _ ->
+                    Format.printf "note: no counterexample to write; --json ignored@."
+                | None -> ());
+                0
+            | Some (c, v) ->
+                Format.printf "VIOLATION of %s under coin=%b:@.  %s@.  inputs=%s trace=%d event(s)@."
+                  v.Mc.Search.v_invariant c v.v_detail
+                  (String.concat "" (Array.to_list (Array.map string_of_int v.v_inputs)))
+                  (List.length v.v_trace);
+                (match json with
+                | None -> ()
+                | Some path ->
+                    let spec = Mc.Replay.spec_of_violation ~protocol (cfg c) v in
+                    let oc = open_out path in
+                    Fun.protect
+                      ~finally:(fun () -> close_out oc)
+                      (fun () ->
+                        Obs.Json.to_channel oc (Mc.Replay.to_json spec);
+                        output_char oc '\n');
+                    Format.printf "counterexample written to %s@." path);
+                1))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check a protocol's step functions over every delayed-adaptive \
+          delivery schedule of a small configuration, under a derandomized coin; exits 1 with a \
+          replayable counterexample on an invariant violation.")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt string "benor"
+          & info [ "protocol" ] ~docv:"NAME"
+              ~doc:
+                "Protocol to check: benor, bracha, approver, whp-coin, or a seeded mutant \
+                 (benor-no-wait, bracha-decide-low).")
+      $ Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Processes (<= 5).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "faults" ] ~docv:"F" ~doc:"Fault budget t (default: 1 when n >= 4, else 0).")
+      $ Arg.(
+          value & opt int 0
+          & info [ "rounds" ] ~docv:"R"
+              ~doc:"Delivery horizon: messages of rounds beyond R are generated but never \
+                    delivered.")
+      $ Arg.(
+          value
+          & opt (enum [ ("0", `Zero); ("1", `One); ("both", `Both) ]) `Both
+          & info [ "coin" ] ~docv:"BIT" ~doc:"Derandomized coin outcome(s) to check.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "byz" ] ~docv:"PID" ~doc:"Mark PID Byzantine (silent unless --active-byz).")
+      $ Arg.(
+          value & flag
+          & info [ "active-byz" ] ~doc:"The Byzantine process injects forged messages from the \
+                                        protocol's bounded alphabet.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "max-inject" ] ~docv:"K" ~doc:"Injection budget per schedule (with \
+                                                  --active-byz).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "inputs" ] ~docv:"BITS"
+              ~doc:"Check one input vector, e.g. 0011 (default: every correct-process vector in \
+                    {0,1}^n).")
+      $ Arg.(
+          value & opt int 2_000_000
+          & info [ "max-states" ] ~docv:"CAP" ~doc:"Visited-state cap; 0 = unbounded.")
+      $ Arg.(value & flag & info [ "no-fifo" ] ~doc:"Allow arbitrary per-link reordering \
+                                                     (default: per-link FIFO, the simulator's \
+                                                     channel model).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "json" ] ~docv:"FILE" ~doc:"Write the counterexample as a coincidence.check/1 \
+                                               document.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "replay" ] ~docv:"FILE"
+              ~doc:"Replay a coincidence.check/1 counterexample through Sim.Engine instead of \
+                    checking; exits 0 iff the violation reproduces."))
+
 let () =
   let doc = "Sub-quadratic asynchronous Byzantine Agreement WHP (Cohen-Keidar-Spiegelman, PODC 2020)" in
   let info = Cmd.info "coincidence" ~version:"1.0.0" ~doc in
@@ -1176,4 +1420,5 @@ let () =
             chain_cmd;
             table1_cmd;
             complexity_cmd;
+            check_cmd;
           ]))

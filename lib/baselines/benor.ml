@@ -23,7 +23,9 @@ type t = {
   n : int;
   f : int;
   rng : Crypto.Rng.t;  (* the local coin *)
+  mutable coin : (int -> bool) option;  (* round -> bit: derandomization hook *)
   rounds : (int, round_st) Hashtbl.t;
+  mutable round_keys : int list;  (* ascending index of [rounds]' keys *)
   mutable est : int;
   mutable round : int;
   mutable started : bool;
@@ -36,13 +38,30 @@ let create ~n ~f ~pid ~coin_seed =
     n;
     f;
     rng = Crypto.Rng.create (coin_seed lxor (pid * 0x9E3779B9));
+    coin = None;
     rounds = Hashtbl.create 8;
+    round_keys = [];
     est = 0;
     round = 0;
     started = false;
     decision = None;
     decided_round = None;
   }
+
+let set_coin t oracle = t.coin <- Some oracle
+
+let flip t r =
+  match t.coin with
+  | Some oracle -> if oracle r then 1 else 0
+  | None -> if Crypto.Rng.bool t.rng then 1 else 0
+
+(* The key index exists so clone/encode can traverse the round table in
+   a deterministic order without iterating the Hashtbl (hash order must
+   never reach protocol state — coinlint hashtbl-iter). *)
+let rec insert_key r = function
+  | [] -> [ r ]
+  | k :: _ as ks when r < k -> r :: ks
+  | k :: tl -> k :: insert_key r tl
 
 let round_st t r =
   match Hashtbl.find_opt t.rounds r with
@@ -61,6 +80,7 @@ let round_st t r =
         }
       in
       Hashtbl.replace t.rounds r st;
+      t.round_keys <- insert_key r t.round_keys;
       st
 
 (* Vote multisets as sorted assoc lists: the domain is at most the two
@@ -108,7 +128,7 @@ let rec finish_round t r st =
           t.est <- v;
           []
       | Some _ | None ->
-          t.est <- (if Crypto.Rng.bool t.rng then 1 else 0);
+          t.est <- flip t r;
           []
     in
     t.round <- r + 1;
@@ -165,3 +185,66 @@ let handle t ~src msg =
 
 let decision t = t.decision
 let decided_round t = t.decided_round
+let current_round t = t.round
+
+(* ----------------- model-checker support (clone/encode) ----------------- *)
+
+let clone_round st =
+  {
+    report_from = Array.copy st.report_from;
+    report_count = st.report_count;
+    report_votes = st.report_votes;
+    sent_proposal = st.sent_proposal;
+    prop_from = Array.copy st.prop_from;
+    prop_count = st.prop_count;
+    prop_votes = st.prop_votes;
+    completed = st.completed;
+  }
+
+let clone t =
+  (match t.coin with
+  | Some _ -> ()
+  | None -> invalid_arg "Benor.clone: needs a ?coin oracle (the private rng cannot fork)");
+  let rounds = Hashtbl.create (Hashtbl.length t.rounds) in
+  List.iter (fun r -> Hashtbl.replace rounds r (clone_round (Hashtbl.find t.rounds r))) t.round_keys;
+  { t with rounds }
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let add_opt buf = function None -> add_int buf (-2) | Some v -> add_int buf v
+
+let add_votes buf votes =
+  List.iter
+    (fun (v, c) ->
+      add_int buf v;
+      add_int buf c)
+    votes;
+  Buffer.add_char buf '|'
+
+let add_bools buf a =
+  Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) a;
+  Buffer.add_char buf '|'
+
+let encode buf t =
+  add_int buf t.est;
+  add_int buf t.round;
+  Buffer.add_char buf (if t.started then 'S' else 's');
+  add_opt buf t.decision;
+  add_opt buf t.decided_round;
+  (* The maintained key index is already sorted, so equal states encode
+     identically without touching Hashtbl iteration order. *)
+  List.iter
+    (fun r ->
+      let st = Hashtbl.find t.rounds r in
+      add_int buf r;
+      add_bools buf st.report_from;
+      add_int buf st.report_count;
+      add_votes buf st.report_votes;
+      Buffer.add_char buf (if st.sent_proposal then 'P' else 'p');
+      add_bools buf st.prop_from;
+      add_int buf st.prop_count;
+      add_votes buf st.prop_votes;
+      Buffer.add_char buf (if st.completed then 'C' else 'c'))
+    t.round_keys

@@ -30,7 +30,24 @@ type t
 val create : n:int -> f:int -> pid:int -> coin_seed:int -> t
 (** [coin_seed] seeds the process's private (local) coin. *)
 
+val set_coin : t -> (int -> bool) -> unit
+(** Replace the local coin with a deterministic oracle (round -> bit) —
+    the model checker's derandomization hook (DESIGN.md "Model
+    checking"). *)
+
 val propose : t -> int -> action list
 val handle : t -> src:int -> msg -> action list
 val decision : t -> int option
 val decided_round : t -> int option
+
+val current_round : t -> int
+(** The round the process is currently working on (monotone). *)
+
+val clone : t -> t
+(** Deep copy for state-space search.  Requires a [?coin] oracle: the
+    private rng cannot be forked deterministically.
+    @raise Invalid_argument without one. *)
+
+val encode : Buffer.t -> t -> unit
+(** Canonical state encoding for visited-state hashing: two states with
+    equal encodings behave identically under [propose]/[handle]. *)

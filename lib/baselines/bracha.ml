@@ -26,7 +26,9 @@ type t = {
   f : int;
   pid : int;
   rng : Crypto.Rng.t;
+  mutable coin : (int -> bool) option;  (* round -> bit: derandomization hook *)
   rounds : (int, round_st) Hashtbl.t;
+  mutable round_keys : int list;  (* ascending index of [rounds]' keys *)
   mutable est : int;
   mutable round : int;
   mutable started : bool;
@@ -40,13 +42,28 @@ let create ~n ~f ~pid ~coin_seed =
     f;
     pid;
     rng = Crypto.Rng.create (coin_seed lxor (pid * 0x51ED2705));
+    coin = None;
     rounds = Hashtbl.create 8;
+    round_keys = [];
     est = 0;
     round = 0;
     started = false;
     decision = None;
     decided_round = None;
   }
+
+let set_coin t oracle = t.coin <- Some oracle
+
+let flip t r =
+  match t.coin with
+  | Some oracle -> if oracle r then 1 else 0
+  | None -> if Crypto.Rng.bool t.rng then 1 else 0
+
+(* Deterministic key index for clone/encode, as in {!Benor}. *)
+let rec insert_key r = function
+  | [] -> [ r ]
+  | k :: _ as ks when r < k -> r :: ks
+  | k :: tl -> k :: insert_key r tl
 
 let round_st t r =
   match Hashtbl.find_opt t.rounds r with
@@ -62,6 +79,7 @@ let round_st t r =
       in
       let st = { steps = [| mk_step (); mk_step (); mk_step () |] } in
       Hashtbl.replace t.rounds r st;
+      t.round_keys <- insert_key r t.round_keys;
       st
 
 let quorum t = t.n - t.f
@@ -131,7 +149,7 @@ let rec progress t r =
         end
       end
       else if c >= t.f + 1 then t.est <- best
-      else t.est <- (if Crypto.Rng.bool t.rng then 1 else 0);
+      else t.est <- flip t r;
       t.round <- r + 1;
       acts := !acts @ broadcast_step t (r + 1) 0 t.est @ progress t (r + 1)
     end;
@@ -172,3 +190,52 @@ let handle t ~src msg =
 
 let decision t = t.decision
 let decided_round t = t.decided_round
+let current_round t = t.round
+
+(* ----------------- model-checker support (clone/encode) ----------------- *)
+
+let clone_step st =
+  {
+    rbcs = Array.map Rbc.clone st.rbcs;
+    delivered = Array.copy st.delivered;
+    delivered_count = st.delivered_count;
+    acted = st.acted;
+  }
+
+let clone t =
+  (match t.coin with
+  | Some _ -> ()
+  | None -> invalid_arg "Bracha.clone: needs a ?coin oracle (the private rng cannot fork)");
+  let rounds = Hashtbl.create (Hashtbl.length t.rounds) in
+  List.iter
+    (fun r ->
+      let st = Hashtbl.find t.rounds r in
+      Hashtbl.replace rounds r { steps = Array.map clone_step st.steps })
+    t.round_keys;
+  { t with rounds }
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let add_opt buf = function None -> add_int buf (-2) | Some v -> add_int buf v
+
+let encode buf t =
+  add_int buf t.est;
+  add_int buf t.round;
+  Buffer.add_char buf (if t.started then 'S' else 's');
+  add_opt buf t.decision;
+  add_opt buf t.decided_round;
+  (* The maintained key index is already sorted. *)
+  List.iter
+    (fun r ->
+      let st = Hashtbl.find t.rounds r in
+      add_int buf r;
+      Array.iter
+        (fun step ->
+          Array.iter (Rbc.encode buf) step.rbcs;
+          Array.iter (add_opt buf) step.delivered;
+          add_int buf step.delivered_count;
+          Buffer.add_char buf (if step.acted then 'A' else 'a'))
+        st.steps)
+    t.round_keys

@@ -15,9 +15,9 @@ type t = {
   f : int;
   sender : int;
   echo_from : bool array;
-  echo_votes : (payload, int) Hashtbl.t;
+  mutable echo_votes : (payload * int) list;  (* sorted by payload *)
   ready_from : bool array;
-  ready_votes : (payload, int) Hashtbl.t;
+  mutable ready_votes : (payload * int) list;
   mutable sent_echo : bool;
   mutable sent_ready : bool;
   mutable delivered : payload option;
@@ -29,18 +29,28 @@ let create ~n ~f ~me:_ ~sender =
     f;
     sender;
     echo_from = Array.make n false;
-    echo_votes = Hashtbl.create 4;
+    echo_votes = [];
     ready_from = Array.make n false;
-    ready_votes = Hashtbl.create 4;
+    ready_votes = [];
     sent_echo = false;
     sent_ready = false;
     delivered = None;
   }
 
-let bump tbl v =
-  let c = 1 + Option.value (Hashtbl.find_opt tbl v) ~default:0 in
-  Hashtbl.replace tbl v c;
-  c
+(* Vote multisets are sorted assoc lists (as in {!Benor}): the tiny
+   payload domain makes them cheap, and encode gets deterministic order
+   for free.  Returns the updated list and the new tally for [v]. *)
+let bump votes v =
+  let rec go = function
+    | [] -> ([ (v, 1) ], 1)
+    | (v', c) :: rest when Int.equal v v' -> ((v', c + 1) :: rest, c + 1)
+    | ((v', _) as hd) :: rest ->
+        if v < v' then ((v, 1) :: hd :: rest, 1)
+        else
+          let rest', c = go rest in
+          (hd :: rest', c)
+  in
+  go votes
 
 let echo_threshold t = (t.n + t.f + 2) / 2 (* ceil((n+f+1)/2) *)
 
@@ -73,16 +83,49 @@ let handle t ~src msg =
       if t.echo_from.(src) then []
       else begin
         t.echo_from.(src) <- true;
-        let c = bump t.echo_votes v in
+        let votes, c = bump t.echo_votes v in
+        t.echo_votes <- votes;
         if c >= echo_threshold t then maybe_ready t v else []
       end
   | Ready v ->
       if t.ready_from.(src) then []
       else begin
         t.ready_from.(src) <- true;
-        let c = bump t.ready_votes v in
+        let votes, c = bump t.ready_votes v in
+        t.ready_votes <- votes;
         let acts = if c >= t.f + 1 then maybe_ready t v else [] in
         acts @ (if c >= (2 * t.f) + 1 then maybe_deliver t v else [])
       end
 
 let delivered t = t.delivered
+
+(* ----------------- model-checker support (clone/encode) ----------------- *)
+
+let clone t =
+  (* The vote lists are immutable values; the record copy suffices. *)
+  { t with echo_from = Array.copy t.echo_from; ready_from = Array.copy t.ready_from }
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let add_bools buf a =
+  Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) a;
+  Buffer.add_char buf '|'
+
+let add_votes buf votes =
+  List.iter
+    (fun (v, c) ->
+      add_int buf v;
+      add_int buf c)
+    votes;
+  Buffer.add_char buf '|'
+
+let encode buf t =
+  add_bools buf t.echo_from;
+  add_votes buf t.echo_votes;
+  add_bools buf t.ready_from;
+  add_votes buf t.ready_votes;
+  Buffer.add_char buf (if t.sent_echo then 'E' else 'e');
+  Buffer.add_char buf (if t.sent_ready then 'R' else 'r');
+  match t.delivered with None -> add_int buf (-2) | Some v -> add_int buf v

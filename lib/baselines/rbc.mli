@@ -32,3 +32,10 @@ val start : t -> payload -> action list
 
 val handle : t -> src:int -> msg -> action list
 val delivered : t -> payload option
+
+val clone : t -> t
+(** Deep copy for state-space search ({!Bracha.clone} forks one per
+    in-flight instance). *)
+
+val encode : Buffer.t -> t -> unit
+(** Canonical state encoding for visited-state hashing. *)

@@ -292,3 +292,59 @@ let handle t ~src msg =
       end
 
 let result t = t.delivered
+
+(* ----------------- model-checker support (clone/encode) ----------------- *)
+
+(* The keyring, params, directory, caches and committee views are
+   deterministic run-wide constants: clones share them.  Only the mutable
+   receive bookkeeping forks. *)
+let clone_value_state vs =
+  {
+    vs with
+    init_seen = Sim.Bitset.copy vs.init_seen;
+    echo_seen = Sim.Bitset.copy vs.echo_seen;
+  }
+
+let clone t =
+  {
+    t with
+    values = List.map (fun (v, vs) -> (v, clone_value_state vs)) t.values;
+    ok_seen = Sim.Bitset.copy t.ok_seen;
+  }
+
+let enc_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let enc_bits buf bs =
+  List.iter (enc_int buf) (Sim.Bitset.to_list bs);
+  Buffer.add_char buf '|'
+
+let encode buf t =
+  (* [values] is kept sorted ascending by value, so the encoding is
+     canonical without extra work.  Certificates and signatures are
+     deterministic functions of (keyring, instance, pid) and need no
+     bytes here; evidence order matters (OK support carries the first W
+     echoes) so the pid sequence is encoded as-is. *)
+  (match t.my_input with None -> enc_int buf (-2) | Some v -> enc_int buf v);
+  Buffer.add_char buf (if t.ok_sent then 'K' else 'k');
+  enc_bits buf t.ok_seen;
+  enc_int buf t.ok_count;
+  List.iter (enc_int buf) t.ok_values;
+  Buffer.add_char buf '|';
+  (match t.delivered with
+  | None -> enc_int buf (-2)
+  | Some set ->
+      List.iter (enc_int buf) set;
+      Buffer.add_char buf '!');
+  List.iter
+    (fun (v, vs) ->
+      enc_int buf v;
+      enc_bits buf vs.init_seen;
+      enc_int buf vs.init_count;
+      Buffer.add_char buf (if vs.echoed then 'E' else 'e');
+      enc_bits buf vs.echo_seen;
+      enc_int buf vs.echo_count;
+      List.iter (fun (ev : echo_evidence) -> enc_int buf ev.pid) vs.echo_evidence;
+      Buffer.add_char buf '|')
+    t.values

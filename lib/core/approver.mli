@@ -80,3 +80,13 @@ val handle : t -> src:int -> msg -> action list
 
 val result : t -> int list option
 (** The delivered value set, once available. *)
+
+val clone : t -> t
+(** Deep copy for state-space search; the keyring, directory and
+    validation cache (all deterministic run-wide constants, or pure
+    memo tables) are shared with the original. *)
+
+val encode : Buffer.t -> t -> unit
+(** Canonical state encoding for visited-state hashing: certificates and
+    signatures are deterministic in (keyring, instance, pid) and are
+    represented by pids alone. *)

@@ -215,3 +215,34 @@ let handle t ~src msg =
 
 let result t = t.result
 let current_min t = t.v
+
+(* ----------------- model-checker support (clone/encode) ----------------- *)
+
+(* Keyring, params, directory, cache and committee views are run-wide
+   constants shared by clones; only the receive bookkeeping forks. *)
+let clone t =
+  {
+    t with
+    first_seen = Sim.Bitset.copy t.first_seen;
+    second_seen = Sim.Bitset.copy t.second_seen;
+  }
+
+let enc_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let enc_bits buf bs =
+  List.iter (enc_int buf) (Sim.Bitset.to_list bs);
+  Buffer.add_char buf '|'
+
+let encode buf t =
+  (* The adopted minimum is determined by its origin: VRF outputs are a
+     deterministic function of (keyring, origin, alpha). *)
+  (match t.v with None -> enc_int buf (-2) | Some v -> enc_int buf v.origin);
+  enc_bits buf t.first_seen;
+  enc_int buf t.first_count;
+  Buffer.add_char buf (if t.sent_second then 'D' else 'd');
+  enc_bits buf t.second_seen;
+  enc_int buf t.second_count;
+  Buffer.add_char buf (if t.started then 'S' else 's');
+  match t.result with None -> enc_int buf (-2) | Some b -> enc_int buf b

@@ -68,6 +68,13 @@ val handle : t -> src:int -> msg -> action list
 val result : t -> int option
 val current_min : t -> value option
 
+val clone : t -> t
+(** Deep copy for state-space search; keyring, directory and validation
+    cache are shared (deterministic constants / pure memo tables). *)
+
+val encode : Buffer.t -> t -> unit
+(** Canonical state encoding for visited-state hashing. *)
+
 val first_committee_string : instance:string -> round:int -> string
 val second_committee_string : instance:string -> round:int -> string
 (** The sampling strings, exposed so analysis code can inspect the

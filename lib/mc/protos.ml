@@ -1,0 +1,589 @@
+(* PROTO instances: the checker driving the repo's actual protocol
+   implementations (lib/baselines, lib/core), plus the seeded mutants
+   the self-tests use to prove the checker can catch threshold bugs. *)
+
+module B = Baselines.Benor
+module Br = Baselines.Bracha
+module Rbc = Baselines.Rbc
+
+let range k = List.init k Fun.id
+
+(* --------------------------- Ben-Or (real) --------------------------- *)
+
+let benor_msgs acts = List.filter_map (function B.Broadcast m -> Some m | B.Decide _ -> None) acts
+
+let encode_benor_msg buf = function
+  | B.Report { round; v } ->
+      Buffer.add_char buf 'R';
+      Buffer.add_string buf (string_of_int round);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v)
+  | B.Proposal { round; v } ->
+      Buffer.add_char buf 'P';
+      Buffer.add_string buf (string_of_int round);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int (match v with None -> -1 | Some v -> v))
+
+(* Every payload a forger can usefully send: both report values and all
+   three proposal values, for every in-horizon round. *)
+let benor_alphabet ~n:_ ~f:_ ~byz:_ ~max_round =
+  List.concat_map
+    (fun round ->
+      [
+        B.Report { round; v = 0 };
+        B.Report { round; v = 1 };
+        B.Proposal { round; v = Some 0 };
+        B.Proposal { round; v = Some 1 };
+        B.Proposal { round; v = None };
+      ])
+    (range (max_round + 1))
+
+module Benor_p = struct
+  type state = B.t
+  type msg = B.msg
+
+  let name = "benor"
+  let check_agreement = true
+  let check_validity = true
+  let check_termination = true
+
+  let create ~n ~f ~coin ~pid =
+    let t = B.create ~n ~f ~pid ~coin_seed:0 in
+    B.set_coin t (fun _ -> coin);
+    t
+
+  let propose t v = benor_msgs (B.propose t v)
+  let handle t ~src m = benor_msgs (B.handle t ~src m)
+  let decision = B.decision
+  let round = B.current_round
+  let clone = B.clone
+  let encode = B.encode
+  let encode_msg = encode_benor_msg
+  let round_of_msg = B.round_of_msg
+  let alphabet = benor_alphabet
+end
+
+(* --------------------------- Bracha (real) --------------------------- *)
+
+let bracha_msgs acts =
+  List.filter_map (function Br.Broadcast m -> Some m | Br.Decide _ -> None) acts
+
+let encode_bracha_msg buf (m : Br.msg) =
+  Buffer.add_char buf 'B';
+  Buffer.add_string buf (string_of_int m.Br.round);
+  Buffer.add_char buf '.';
+  Buffer.add_string buf (string_of_int m.Br.step);
+  Buffer.add_char buf '.';
+  Buffer.add_string buf (string_of_int m.Br.originator);
+  Buffer.add_char buf '.';
+  let kind, v =
+    match m.Br.inner with Rbc.Initial v -> ('I', v) | Rbc.Echo v -> ('E', v) | Rbc.Ready v -> ('R', v)
+  in
+  Buffer.add_char buf kind;
+  Buffer.add_string buf (string_of_int v)
+
+(* Forged RBC traffic: the adversary can initiate its own instances
+   (originator = byz) and echo/ready into anyone's.  Step-2 payloads
+   also admit the "?" encoding (2). *)
+let bracha_alphabet ~n ~f:_ ~byz ~max_round =
+  let vals step = if step = 2 then [ 0; 1; 2 ] else [ 0; 1 ] in
+  List.concat_map
+    (fun round ->
+      List.concat_map
+        (fun step ->
+          let inits =
+            List.map (fun v -> { Br.round; step; originator = byz; inner = Rbc.Initial v }) (vals step)
+          in
+          let echoes_readies =
+            List.concat_map
+              (fun originator ->
+                List.concat_map
+                  (fun v ->
+                    [
+                      { Br.round; step; originator; inner = Rbc.Echo v };
+                      { Br.round; step; originator; inner = Rbc.Ready v };
+                    ])
+                  (vals step))
+              (range n)
+          in
+          inits @ echoes_readies)
+        [ 0; 1; 2 ])
+    (range (max_round + 1))
+
+module Bracha_p = struct
+  type state = Br.t
+  type msg = Br.msg
+
+  let name = "bracha"
+  let check_agreement = true
+  let check_validity = true
+  let check_termination = true
+
+  let create ~n ~f ~coin ~pid =
+    let t = Br.create ~n ~f ~pid ~coin_seed:0 in
+    Br.set_coin t (fun _ -> coin);
+    t
+
+  let propose t v = bracha_msgs (Br.propose t v)
+  let handle t ~src m = bracha_msgs (Br.handle t ~src m)
+  let decision = Br.decision
+  let round = Br.current_round
+  let clone = Br.clone
+  let encode = Br.encode
+  let encode_msg = encode_bracha_msg
+  let round_of_msg = Br.round_of_msg
+  let alphabet = bracha_alphabet
+end
+
+(* ----------------------- approver / WHP coin ------------------------- *)
+
+(* One keyring / parameter set per n, shared by the n process states of
+   a run (and across runs: both are deterministic in n).  lambda = n
+   makes every process a member of every committee under the Mock VRF,
+   so committee structure adds no schedule-dependent branching. *)
+let keyrings : (int, Vrf.Keyring.t) Hashtbl.t = Hashtbl.create 4
+
+let keyring n =
+  match Hashtbl.find_opt keyrings n with
+  | Some k -> k
+  | None ->
+      let k = Vrf.Keyring.create ~backend:Vrf.Mock ~n ~seed:"coincheck-mc" () in
+      Hashtbl.replace keyrings n k;
+      k
+
+let params_tbl : (int, Core.Params.t) Hashtbl.t = Hashtbl.create 4
+
+let params n =
+  match Hashtbl.find_opt params_tbl n with
+  | Some p -> p
+  | None ->
+      let p = Core.Params.make_exn ~strict:false ~epsilon:0.25 ~d:0.037 ~lambda:n ~n () in
+      Hashtbl.replace params_tbl n p;
+      p
+
+module A = Core.Approver
+
+module Approver_p = struct
+  type state = A.t
+  type msg = A.msg
+
+  let name = "approver"
+
+  (* Graded agreement: the singleton-return projection of [result] must
+     agree across correct processes. *)
+  let check_agreement = true
+  let check_validity = true
+
+  (* Committee liveness is probabilistic in the draw (W of a sampled
+     committee may exceed the correct survivor count), so quiescence
+     without a return is not a bug. *)
+  let check_termination = false
+
+  let create ~n ~f:_ ~coin:_ ~pid =
+    A.create ~keyring:(keyring n) ~params:(params n) ~pid ~instance:"mc" ()
+
+  let only_broadcasts acts =
+    List.filter_map (function A.Broadcast m -> Some m | A.Deliver _ -> None) acts
+
+  let propose t v = only_broadcasts (A.input t v)
+  let handle t ~src m = only_broadcasts (A.handle t ~src m)
+  let decision t = match A.result t with Some [ v ] -> Some v | Some _ | None -> None
+  let round _ = 0
+  let clone = A.clone
+  let encode = A.encode
+
+  (* [pp_msg] prints value + sender-derived certificate fields; correct
+     traffic is deterministic in (sender, phase, value), so together
+     with the net encoding's src this is injective.  The injection
+     alphabet is empty (forging needs valid committee certificates), so
+     only correct traffic ever reaches the net. *)
+  let encode_msg buf m = Buffer.add_string buf (Format.asprintf "%a" A.pp_msg m)
+  let round_of_msg _ = 0
+  let alphabet ~n:_ ~f:_ ~byz:_ ~max_round:_ = []
+end
+
+module W = Core.Whp_coin
+
+module Coin_p = struct
+  type state = W.t
+  type msg = W.msg
+
+  let name = "whp-coin"
+
+  (* The coin's matching property holds with high probability, not on
+     every schedule — different W-subsets of SECOND messages may have
+     different minima.  The checker still enforces no-revocation and
+     exhausts the schedule space of the real implementation. *)
+  let check_agreement = false
+  let check_validity = false
+  let check_termination = false
+
+  let create ~n ~f:_ ~coin:_ ~pid =
+    W.create ~keyring:(keyring n) ~params:(params n) ~pid ~instance:"mc" ~round:0 ()
+
+  let only_broadcasts acts =
+    List.filter_map (function W.Broadcast m -> Some m | W.Return _ -> None) acts
+
+  let propose t _v = only_broadcasts (W.start t)
+  let handle t ~src m = only_broadcasts (W.handle t ~src m)
+  let decision = W.result
+  let round _ = 0
+  let clone = W.clone
+  let encode = W.encode
+  let encode_msg buf m = Buffer.add_string buf (Format.asprintf "%a" W.pp_msg m)
+  let round_of_msg _ = 0
+  let alphabet ~n:_ ~f:_ ~byz:_ ~max_round:_ = []
+end
+
+(* ------------------------------ mutants ------------------------------ *)
+
+(* Shared vote-multiset helpers, mirroring lib/baselines/benor.ml. *)
+let bump votes v =
+  let rec go = function
+    | [] -> [ (v, 1) ]
+    | (v', c) :: rest when Int.equal v v' -> (v', c + 1) :: rest
+    | ((v', _) as hd) :: rest -> if v < v' then (v, 1) :: hd :: rest else hd :: go rest
+  in
+  go votes
+
+let argmax votes =
+  List.fold_left
+    (fun acc (v, c) -> match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
+    None votes
+
+let add_int buf i =
+  Buffer.add_string buf (string_of_int i);
+  Buffer.add_char buf ';'
+
+let add_opt buf = function None -> add_int buf (-2) | Some v -> add_int buf v
+
+let add_votes buf votes =
+  List.iter
+    (fun (v, c) ->
+      add_int buf v;
+      add_int buf c)
+    votes;
+  Buffer.add_char buf '|'
+
+let sorted_rounds rounds =
+  List.sort Int.compare (Hashtbl.fold (fun r _ acc -> r :: acc) rounds [])
+
+(* Ben-Or with the [n - f] wait on round-r REPORTs dropped: the proposal
+   step fires on the very first report.  The proposal-majority test then
+   never passes, every round degenerates to "?" proposals and a coin
+   flip, and no process ever decides — which the checker's
+   terminal-decision invariant catches from any unanimous input. *)
+module Benor_nowait = struct
+  type rstate = {
+    mutable rep_count : int;
+    mutable rep_from : int;  (* pid bitmask; n <= 5 *)
+    mutable rep_votes : (int * int) list;
+    mutable sent_prop : bool;
+    mutable prop_count : int;
+    mutable prop_from : int;
+    mutable prop_votes : (int * int) list;
+    mutable completed : bool;
+  }
+
+  type state = {
+    n : int;
+    f : int;
+    coin : bool;
+    mutable est : int;
+    mutable round : int;
+    mutable started : bool;
+    mutable dec : int option;
+    rounds : (int, rstate) Hashtbl.t;
+  }
+
+  type msg = B.msg
+
+  let name = "benor-no-wait"
+  let check_agreement = true
+  let check_validity = true
+  let check_termination = true
+
+  let create ~n ~f ~coin ~pid:_ =
+    { n; f; coin; est = 0; round = 0; started = false; dec = None; rounds = Hashtbl.create 4 }
+
+  let rstate t r =
+    match Hashtbl.find_opt t.rounds r with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            rep_count = 0;
+            rep_from = 0;
+            rep_votes = [];
+            sent_prop = false;
+            prop_count = 0;
+            prop_from = 0;
+            prop_votes = [];
+            completed = false;
+          }
+        in
+        Hashtbl.replace t.rounds r st;
+        st
+
+  let quorum t = t.n - t.f
+
+  let rec finish_round t r st =
+    if st.completed || t.round <> r then []
+    else begin
+      st.completed <- true;
+      (match argmax st.prop_votes with
+      | Some (v, cnt) when 2 * cnt > t.n + t.f ->
+          t.est <- v;
+          if t.dec = None then t.dec <- Some v
+      | Some (v, cnt) when cnt >= t.f + 1 -> t.est <- v
+      | Some _ | None -> t.est <- (if t.coin then 1 else 0));
+      t.round <- r + 1;
+      B.Report { round = r + 1; v = t.est } :: catch_up t (r + 1)
+    end
+
+  and catch_up t r =
+    let st = rstate t r in
+    let acts = ref [] in
+    (* MUTANT: [st.rep_count >= quorum t] weakened to a single report. *)
+    if st.rep_count >= 1 && not st.sent_prop then begin
+      st.sent_prop <- true;
+      let proposal =
+        match argmax st.rep_votes with
+        | Some (v, cnt) when 2 * cnt > t.n + t.f -> Some v
+        | Some _ | None -> None
+      in
+      acts := [ B.Proposal { round = r; v = proposal } ]
+    end;
+    if st.prop_count >= quorum t then acts := !acts @ finish_round t r st;
+    !acts
+
+  let catch_up_if_current t r = if r = t.round then catch_up t r else []
+
+  let propose t v =
+    if t.started then []
+    else begin
+      t.started <- true;
+      t.est <- v;
+      [ B.Report { round = 0; v } ]
+    end
+
+  let handle t ~src m =
+    match m with
+    | B.Report { round = r; v } ->
+        let st = rstate t r in
+        if st.rep_from land (1 lsl src) <> 0 then []
+        else begin
+          st.rep_from <- st.rep_from lor (1 lsl src);
+          st.rep_count <- st.rep_count + 1;
+          st.rep_votes <- bump st.rep_votes v;
+          catch_up_if_current t r
+        end
+    | B.Proposal { round = r; v } ->
+        let st = rstate t r in
+        if st.prop_from land (1 lsl src) <> 0 then []
+        else begin
+          st.prop_from <- st.prop_from lor (1 lsl src);
+          st.prop_count <- st.prop_count + 1;
+          (match v with Some v -> st.prop_votes <- bump st.prop_votes v | None -> ());
+          catch_up_if_current t r
+        end
+
+  let decision t = t.dec
+  let round t = t.round
+
+  let clone t =
+    let rounds = Hashtbl.create (Hashtbl.length t.rounds) in
+    Hashtbl.iter (fun r st -> Hashtbl.replace rounds r { st with rep_count = st.rep_count }) t.rounds;
+    { t with rounds }
+
+  let encode buf t =
+    add_int buf t.est;
+    add_int buf t.round;
+    Buffer.add_char buf (if t.started then 'S' else 's');
+    add_opt buf t.dec;
+    List.iter
+      (fun r ->
+        let st = Hashtbl.find t.rounds r in
+        add_int buf r;
+        add_int buf st.rep_from;
+        add_votes buf st.rep_votes;
+        Buffer.add_char buf (if st.sent_prop then 'P' else 'p');
+        add_int buf st.prop_from;
+        add_votes buf st.prop_votes;
+        Buffer.add_char buf (if st.completed then 'C' else 'c'))
+      (sorted_rounds t.rounds)
+
+  let encode_msg = encode_benor_msg
+  let round_of_msg = B.round_of_msg
+  let alphabet = benor_alphabet
+end
+
+(* Bracha with the decide threshold flipped from [2f + 1] to [2f]: two
+   step-3 proposals suffice to decide, so at n = 4, f = 1 two
+   overlapping-but-distinct 3-subsets of a 2-2 proposal split can decide
+   opposite values in the same round — an agreement violation with no
+   Byzantine process at all.  The mutant keeps Bracha's three-step round
+   structure and thresholds but sends step messages directly instead of
+   through the {!Rbc} substrate: the reliable-broadcast layer multiplies
+   every step by an echo/ready storm that pushes exhaustive search out of
+   reach without changing which threshold decides, and it is the decide
+   threshold this mutant exists to test. *)
+module Bracha_low = struct
+  let question = 2
+
+  type sstate = {
+    mutable from : int;  (* sender bitmask; n <= 5 *)
+    mutable count : int;
+    mutable votes : (int * int) list;
+    mutable acted : bool;
+  }
+
+  type rstate = { steps : sstate array }
+
+  type state = {
+    n : int;
+    f : int;
+    coin : bool;
+    mutable est : int;
+    mutable round : int;
+    mutable started : bool;
+    mutable dec : int option;
+    rounds : (int, rstate) Hashtbl.t;
+  }
+
+  type msg = { m_round : int; m_step : int; m_v : int }
+
+  let name = "bracha-decide-low"
+  let check_agreement = true
+  let check_validity = true
+  let check_termination = true
+
+  let create ~n ~f ~coin ~pid:_ =
+    { n; f; coin; est = 0; round = 0; started = false; dec = None; rounds = Hashtbl.create 4 }
+
+  let rstate t r =
+    match Hashtbl.find_opt t.rounds r with
+    | Some st -> st
+    | None ->
+        let mk () = { from = 0; count = 0; votes = []; acted = false } in
+        let st = { steps = [| mk (); mk (); mk () |] } in
+        Hashtbl.replace t.rounds r st;
+        st
+
+  let quorum t = t.n - t.f
+  let cnt votes v =
+    Option.value (List.find_map (fun (v', c) -> if Int.equal v v' then Some c else None) votes)
+      ~default:0
+
+  let rec progress t r =
+    if t.round <> r then []
+    else begin
+      let st = rstate t r in
+      let acts = ref [] in
+      let step0 = st.steps.(0) in
+      if (not step0.acted) && step0.count >= quorum t then begin
+        step0.acted <- true;
+        t.est <- (if cnt step0.votes 1 > cnt step0.votes 0 then 1 else 0);
+        acts := [ { m_round = r; m_step = 1; m_v = t.est } ]
+      end;
+      let step1 = st.steps.(1) in
+      if step0.acted && (not step1.acted) && step1.count >= quorum t then begin
+        step1.acted <- true;
+        let proposal =
+          if 2 * cnt step1.votes 0 > quorum t then 0
+          else if 2 * cnt step1.votes 1 > quorum t then 1
+          else question
+        in
+        acts := !acts @ [ { m_round = r; m_step = 2; m_v = proposal } ]
+      end;
+      let step2 = st.steps.(2) in
+      if step1.acted && (not step2.acted) && step2.count >= quorum t then begin
+        step2.acted <- true;
+        let best = if cnt step2.votes 1 > cnt step2.votes 0 then 1 else 0 in
+        let c = cnt step2.votes best in
+        (* MUTANT: the decide threshold [2f + 1] flipped to [2f]. *)
+        if c >= 2 * t.f then begin
+          t.est <- best;
+          if t.dec = None then t.dec <- Some best
+        end
+        else if c >= t.f + 1 then t.est <- best
+        else t.est <- (if t.coin then 1 else 0);
+        t.round <- r + 1;
+        acts := !acts @ ({ m_round = r + 1; m_step = 0; m_v = t.est } :: progress t (r + 1))
+      end;
+      !acts
+    end
+
+  let propose t v =
+    if t.started then []
+    else begin
+      t.started <- true;
+      t.est <- v;
+      { m_round = 0; m_step = 0; m_v = v } :: progress t 0
+    end
+
+  let handle t ~src m =
+    let { m_round = r; m_step = step; m_v = v } = m in
+    let valid = if step = 2 then v >= 0 && v <= question else v = 0 || v = 1 in
+    if (not valid) || step < 0 || step > 2 then []
+    else begin
+      let st = (rstate t r).steps.(step) in
+      if st.from land (1 lsl src) <> 0 then []
+      else begin
+        st.from <- st.from lor (1 lsl src);
+        st.count <- st.count + 1;
+        if v <> question then st.votes <- bump st.votes v;
+        progress t r
+      end
+    end
+
+  let decision t = t.dec
+  let round t = t.round
+
+  let clone t =
+    let rounds = Hashtbl.create (Hashtbl.length t.rounds) in
+    Hashtbl.iter
+      (fun r st -> Hashtbl.replace rounds r { steps = Array.map (fun s -> { s with from = s.from }) st.steps })
+      t.rounds;
+    { t with rounds }
+
+  let encode buf t =
+    add_int buf t.est;
+    add_int buf t.round;
+    Buffer.add_char buf (if t.started then 'S' else 's');
+    add_opt buf t.dec;
+    List.iter
+      (fun r ->
+        let st = Hashtbl.find t.rounds r in
+        add_int buf r;
+        Array.iter
+          (fun step ->
+            add_int buf step.from;
+            add_votes buf step.votes;
+            Buffer.add_char buf (if step.acted then 'A' else 'a'))
+          st.steps)
+      (sorted_rounds t.rounds)
+
+  let encode_msg buf m =
+    Buffer.add_char buf 'L';
+    Buffer.add_string buf (string_of_int m.m_round);
+    Buffer.add_char buf '.';
+    Buffer.add_string buf (string_of_int m.m_step);
+    Buffer.add_char buf '.';
+    Buffer.add_string buf (string_of_int m.m_v)
+
+  let round_of_msg m = m.m_round
+
+  let alphabet ~n:_ ~f:_ ~byz:_ ~max_round =
+    List.concat_map
+      (fun round ->
+        List.concat_map
+          (fun step ->
+            List.filter_map
+              (fun v ->
+                if step = 2 || v <> question then Some { m_round = round; m_step = step; m_v = v }
+                else None)
+              [ 0; 1; question ])
+          [ 0; 1; 2 ])
+      (range (max_round + 1))
+end

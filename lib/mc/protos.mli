@@ -1,0 +1,43 @@
+(** The {!Search.PROTO} instances coincheck ships.
+
+    The production instances wrap the repo's actual implementations —
+    violations found here are violations of the shipped step functions,
+    not of a hand-written model.  The mutants are deliberately broken
+    variants the self-tests use to prove the checker (and the quorum
+    lint tier, which flags the same thresholds statically) actually
+    catches threshold bugs. *)
+
+module Benor_p :
+  Search.PROTO with type msg = Baselines.Benor.msg and type state = Baselines.Benor.t
+(** {!Baselines.Benor} with the local coin fixed to the config bit. *)
+
+module Bracha_p :
+  Search.PROTO with type msg = Baselines.Bracha.msg and type state = Baselines.Bracha.t
+(** {!Baselines.Bracha} (on the real {!Baselines.Rbc} substrate). *)
+
+module Approver_p : Search.PROTO with type msg = Core.Approver.msg
+(** {!Core.Approver} under a Mock-VRF keyring with [lambda = n] (every
+    process in every committee).  Agreement is the graded-agreement
+    projection: only singleton returns count as decisions.  Termination
+    is not an invariant (committee liveness is probabilistic), and the
+    injection alphabet is empty — forging requires valid committee
+    certificates — so the Byzantine process is a crash fault. *)
+
+module Coin_p : Search.PROTO with type msg = Core.Whp_coin.msg
+(** {!Core.Whp_coin} under the same keyring.  Carries no agreement /
+    validity / termination obligations (the coin matches only whp); the
+    checker enforces no-revocation and exhausts the schedule space. *)
+
+module Benor_nowait : Search.PROTO with type msg = Baselines.Benor.msg
+(** Mutant: Ben-Or's [n - f] report wait dropped to a single report.
+    Detected by the terminal-decision invariant (the weakened guard
+    degenerates every round to "?" proposals — a livelock, not a
+    disagreement). *)
+
+module Bracha_low : Search.PROTO
+(** Mutant: Bracha's decide threshold [2f + 1] flipped to [2f], on
+    Bracha's three-step round structure with direct step messages (the
+    {!Baselines.Rbc} substrate multiplies every step by an echo/ready
+    storm that pushes exhaustive search out of reach without changing
+    which threshold decides).  Detected as an agreement violation at
+    [n = 4, f = 1] with no Byzantine process. *)

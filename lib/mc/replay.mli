@@ -1,0 +1,47 @@
+(** Counterexample replay: a checker violation trace re-executed as a
+    concrete {!Sim.Engine} schedule over the real step functions, and
+    the [coincidence.check/1] JSON round-trip for shipping such traces.
+
+    The checker and the engine agree on per-link sequence numbers by
+    construction — both advance one counter per (src, dst) pair per
+    broadcast, in destination order, horizon-pruned messages included —
+    so a trace event [Deliver {src; dst; seq}] names the same message in
+    both worlds.  Replay assigns each traced message its trace position
+    as an absolute delivery time, parks everything else far in the
+    future, and stops after [length trace] deliveries. *)
+
+type spec = {
+  sp_protocol : string;
+  sp_n : int;
+  sp_f : int;
+  sp_coin : bool;
+  sp_byz : int option;
+  sp_active_byz : bool;
+  sp_max_rounds : int;
+  sp_fifo : bool;
+  sp_inputs : int array;
+  sp_invariant : string;
+  sp_detail : string;
+  sp_trace : Search.event list;
+}
+
+val spec_of_violation : protocol:string -> Search.config -> Search.violation -> spec
+
+val schema : string
+(** ["coincidence.check/1"]. *)
+
+val to_json : spec -> Obs.Json.t
+val of_json : Obs.Json.t -> (spec, string) result
+(** Strict: every field checked, trace events shape-validated, [n]/[f]
+    range-checked.  [obs --load] uses this to validate check records. *)
+
+type outcome = {
+  o_steps : int;                  (** deliveries executed *)
+  o_decisions : int option array; (** per-pid decision after the trace *)
+  o_reproduced : bool;            (** the spec's invariant violation
+                                      re-manifested under the engine *)
+}
+
+module Drive (P : Search.PROTO) : sig
+  val run : spec -> outcome
+end

@@ -1,0 +1,434 @@
+(* Explicit-state search core.  See search.mli for the contract and
+   DESIGN.md "Model checking" for the reduction's soundness argument. *)
+
+type event = Deliver of { src : int; dst : int; seq : int } | Inject of { dst : int; alt : int }
+
+let event_equal a b =
+  match (a, b) with
+  | Deliver a, Deliver b -> a.src = b.src && a.dst = b.dst && a.seq = b.seq
+  | Inject a, Inject b -> a.dst = b.dst && a.alt = b.alt
+  | Deliver _, Inject _ | Inject _, Deliver _ -> false
+
+(* Independence relation for the reduction: an event only mutates its
+   destination's process state (plus the network, by appending), so two
+   events commute exactly when their destinations differ. *)
+let event_dst = function Deliver { dst; _ } -> dst | Inject { dst; _ } -> dst
+
+let independent a b = event_dst a <> event_dst b
+
+type config = {
+  n : int;
+  f : int;
+  byz : int option;
+  active_byz : bool;
+  max_inject : int;
+  coin : bool;
+  max_rounds : int;
+  max_states : int;
+  fifo : bool;
+}
+
+type violation = {
+  v_invariant : string;
+  v_detail : string;
+  v_inputs : int array;
+  v_trace : event list;
+}
+
+type summary = {
+  s_states : int;
+  s_transitions : int;
+  s_max_depth : int;
+  s_truncated : bool;
+  s_violation : violation option;
+}
+
+let empty_summary =
+  { s_states = 0; s_transitions = 0; s_max_depth = 0; s_truncated = false; s_violation = None }
+
+let merge a b =
+  {
+    s_states = a.s_states + b.s_states;
+    s_transitions = a.s_transitions + b.s_transitions;
+    s_max_depth = max a.s_max_depth b.s_max_depth;
+    s_truncated = a.s_truncated || b.s_truncated;
+    s_violation = (match a.s_violation with Some _ -> a.s_violation | None -> b.s_violation);
+  }
+
+module type PROTO = sig
+  type state
+  type msg
+
+  val name : string
+  val check_agreement : bool
+  val check_validity : bool
+  val check_termination : bool
+  val create : n:int -> f:int -> coin:bool -> pid:int -> state
+  val propose : state -> int -> msg list
+  val handle : state -> src:int -> msg -> msg list
+  val decision : state -> int option
+  val round : state -> int
+  val clone : state -> state
+  val encode : Buffer.t -> state -> unit
+  val encode_msg : Buffer.t -> msg -> unit
+  val round_of_msg : msg -> int
+  val alphabet : n:int -> f:int -> byz:int -> max_round:int -> msg list
+end
+
+module Make (P : PROTO) = struct
+  type net_msg = { m_src : int; m_dst : int; m_seq : int; m_pay : P.msg }
+
+  type node = {
+    procs : P.state array;
+    net : net_msg list;          (* in-flight, in send order *)
+    injected : (int * int) list; (* (dst, alt), newest first *)
+    sends : int array;           (* per (src*n + dst) send counter *)
+  }
+
+  exception Found of violation
+  exception Capped
+
+  let violate inv detail =
+    raise_notrace (Found { v_invariant = inv; v_detail = detail; v_inputs = [||]; v_trace = [] })
+
+  let is_correct cfg pid = match cfg.byz with Some b -> pid <> b | None -> true
+
+  (* Messages of rounds beyond the horizon are never enqueued; without
+     this the state space is infinite (later rounds keep generating
+     messages).  They are still *sent* — the counter advances — so the
+     link sequence numbers match what {!Replay} sees in the simulator. *)
+  let enqueue cfg node_sends net src msgs =
+    let out = ref (List.rev net) in
+    List.iter
+      (fun m ->
+        for dst = 0 to cfg.n - 1 do
+          let k = (src * cfg.n) + dst in
+          let seq = node_sends.(k) in
+          node_sends.(k) <- seq + 1;
+          if is_correct cfg dst && P.round_of_msg m <= cfg.max_rounds then
+            out := { m_src = src; m_dst = dst; m_seq = seq; m_pay = m } :: !out
+        done)
+      msgs;
+    List.rev !out
+
+  (* ------------------------------ invariants --------------------------- *)
+
+  let check_agreement cfg procs =
+    if P.check_agreement then begin
+      let dec = ref None in
+      for pid = 0 to cfg.n - 1 do
+        if is_correct cfg pid then
+          match (P.decision procs.(pid), !dec) with
+          | Some v, None -> dec := Some (pid, v)
+          | Some v, Some (pid0, v0) when v <> v0 ->
+              violate "agreement"
+                (Printf.sprintf "process %d decided %d but process %d decided %d" pid0 v0 pid v)
+          | Some _, Some _ | None, _ -> ()
+      done
+    end
+
+  let unanimous_input cfg inputs =
+    let v = ref None and mixed = ref false in
+    for pid = 0 to cfg.n - 1 do
+      if is_correct cfg pid then
+        match !v with
+        | None -> v := Some inputs.(pid)
+        | Some v0 -> if v0 <> inputs.(pid) then mixed := true
+    done;
+    if !mixed then None else !v
+
+  let check_validity cfg unanimous procs =
+    if P.check_validity then
+      match unanimous with
+      | None -> ()
+      | Some v ->
+          for pid = 0 to cfg.n - 1 do
+            if is_correct cfg pid then
+              match P.decision procs.(pid) with
+              | Some d when d <> v ->
+                  violate "validity"
+                    (Printf.sprintf "unanimous input %d but process %d decided %d" v pid d)
+              | Some _ | None -> ()
+          done
+
+  (* At quiescence (every in-horizon message delivered) from unanimous
+     inputs, with no active adversary, the quorum path must have carried
+     every correct process to a decision.  This catches mutants that
+     weaken a wait guard into a livelock rather than a disagreement. *)
+  let check_terminal cfg unanimous procs =
+    if P.check_termination && not cfg.active_byz then
+      match unanimous with
+      | None -> ()
+      | Some v ->
+          for pid = 0 to cfg.n - 1 do
+            if is_correct cfg pid && P.decision procs.(pid) = None then
+              violate "terminal-decision"
+                (Printf.sprintf
+                   "all messages delivered from unanimous input %d, yet process %d is undecided" v
+                   pid)
+          done
+
+  let check_step_invariants ~dst ~old_dec ~old_round procs =
+    (match (old_dec, P.decision procs.(dst)) with
+    | Some v, Some v' when v <> v' ->
+        violate "revocation" (Printf.sprintf "process %d revoked decision %d for %d" dst v v')
+    | Some v, None ->
+        violate "revocation" (Printf.sprintf "process %d dropped its decision %d" dst v)
+    | _ -> ());
+    let r = P.round procs.(dst) in
+    if r < old_round then
+      violate "round-monotonic"
+        (Printf.sprintf "process %d moved from round %d back to %d" dst old_round r)
+
+  (* ------------------------------ encoding ----------------------------- *)
+
+  let encode_node cfg node =
+    let buf = Buffer.create 512 in
+    Array.iteri
+      (fun pid st -> if is_correct cfg pid then P.encode buf st else Buffer.add_char buf 'X')
+      node.procs;
+    (* The in-flight messages form a multiset (a per-link queue under
+       FIFO): canonicalize by sorting per-message encodings, which under
+       FIFO are further disambiguated by the link-relative position.
+       Absolute sequence numbers are excluded — they label replay events
+       and never influence a step function. *)
+    let pos : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let enc_msg m =
+      let link = (m.m_src * cfg.n) + m.m_dst in
+      let p = match Hashtbl.find_opt pos link with Some p -> p | None -> 0 in
+      Hashtbl.replace pos link (p + 1);
+      let b = Buffer.create 32 in
+      Buffer.add_string b (string_of_int m.m_src);
+      Buffer.add_char b '>';
+      Buffer.add_string b (string_of_int m.m_dst);
+      Buffer.add_char b ':';
+      if cfg.fifo then begin
+        Buffer.add_string b (string_of_int p);
+        Buffer.add_char b ':'
+      end;
+      P.encode_msg b m.m_pay;
+      Buffer.contents b
+    in
+    let msgs = List.sort String.compare (List.map enc_msg node.net) in
+    List.iter
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      msgs;
+    List.iter
+      (fun (dst, alt) ->
+        Buffer.add_string buf (string_of_int dst);
+        Buffer.add_char buf '@';
+        Buffer.add_string buf (string_of_int alt);
+        Buffer.add_char buf ';')
+      (List.sort
+         (fun (d1, a1) (d2, a2) ->
+           let c = Int.compare d1 d2 in
+           if c <> 0 then c else Int.compare a1 a2)
+         node.injected);
+    Buffer.contents buf
+
+  (* ------------------------------ stepping ------------------------------ *)
+
+  let apply cfg unanimous alphabet node ev =
+    let dst = event_dst ev in
+    let procs = Array.copy node.procs in
+    procs.(dst) <- P.clone node.procs.(dst);
+    let old_dec = P.decision procs.(dst) in
+    let old_round = P.round procs.(dst) in
+    let sends = Array.copy node.sends in
+    let net, injected =
+      match ev with
+      | Deliver { src; dst; seq } ->
+          let rec remove acc = function
+            | [] -> invalid_arg "Mc.Search: delivering a message not in flight"
+            | m :: rest ->
+                if m.m_src = src && m.m_dst = dst && m.m_seq = seq then
+                  (List.rev_append acc rest, m.m_pay)
+                else remove (m :: acc) rest
+          in
+          let net, pay = remove [] node.net in
+          let emitted = P.handle procs.(dst) ~src pay in
+          (enqueue cfg sends net dst emitted, node.injected)
+      | Inject { dst; alt } ->
+          let byz = match cfg.byz with Some b -> b | None -> assert false in
+          let emitted = P.handle procs.(dst) ~src:byz alphabet.(alt) in
+          (enqueue cfg sends node.net dst emitted, (dst, alt) :: node.injected)
+    in
+    check_step_invariants ~dst ~old_dec ~old_round procs;
+    check_agreement cfg procs;
+    check_validity cfg unanimous procs;
+    { procs; net; injected; sends }
+
+  let enabled cfg alphabet node =
+    let delivers =
+      if cfg.fifo then begin
+        (* Only the head of each (src, dst) queue is deliverable; [net]
+           is in send order, so a link's first sighting is its head. *)
+        let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+        List.filter_map
+          (fun m ->
+            let link = (m.m_src * cfg.n) + m.m_dst in
+            if Hashtbl.mem seen link then None
+            else begin
+              Hashtbl.replace seen link ();
+              Some (Deliver { src = m.m_src; dst = m.m_dst; seq = m.m_seq })
+            end)
+          node.net
+      end
+      else List.map (fun m -> Deliver { src = m.m_src; dst = m.m_dst; seq = m.m_seq }) node.net
+    in
+    (* Skewed exploration order: enumerate deliveries source-rotated by
+       destination ((src - dst) mod n major), so the first schedule DFS
+       walks already hands each process a *different* quorum subset —
+       process d acts on senders {d, d+1, ...}.  Threshold bugs that
+       need divergent views (e.g. a decide quorum two subsets can
+       satisfy with opposite values) then surface near the front of the
+       search instead of behind an exponential tail of uniform-view
+       schedules.  Order only steers DFS; the explored set is unchanged
+       and sleep-set soundness does not depend on sibling order. *)
+    let delivers =
+      let key = function
+        | Deliver { src; dst; seq } -> (((src - dst) + cfg.n) mod cfg.n, dst, seq)
+        | Inject _ -> (max_int, 0, 0)
+      in
+      List.sort
+        (fun a b ->
+          let o1, d1, q1 = key a and o2, d2, q2 = key b in
+          let c = Int.compare o1 o2 in
+          if c <> 0 then c
+          else
+            let c = Int.compare d1 d2 in
+            if c <> 0 then c else Int.compare q1 q2)
+        delivers
+    in
+    let injects =
+      match cfg.byz with
+      | Some _ when cfg.active_byz && List.length node.injected < cfg.max_inject ->
+          let out = ref [] in
+          for dst = cfg.n - 1 downto 0 do
+            if is_correct cfg dst then
+              for alt = Array.length alphabet - 1 downto 0 do
+                let seen = List.exists (fun (d, a) -> d = dst && a = alt) node.injected in
+                if not seen then out := Inject { dst; alt } :: !out
+              done
+          done;
+          !out
+      | Some _ | None -> []
+    in
+    delivers @ injects
+
+  (* ------------------------------- search ------------------------------- *)
+
+  let check_inputs cfg inputs =
+    if Array.length inputs <> cfg.n then invalid_arg "Mc.Search.check_inputs: need n inputs";
+    (match cfg.byz with
+    | Some b when b < 0 || b >= cfg.n -> invalid_arg "Mc.Search.check_inputs: byz pid out of range"
+    | _ -> ());
+    let unanimous = unanimous_input cfg inputs in
+    let alphabet =
+      match cfg.byz with
+      | Some b when cfg.active_byz ->
+          Array.of_list (P.alphabet ~n:cfg.n ~f:cfg.f ~byz:b ~max_round:cfg.max_rounds)
+      | Some _ | None -> [||]
+    in
+    let states = ref 0 and transitions = ref 0 and max_depth = ref 0 in
+    let truncated = ref false in
+    (* Visited state -> the sleep set it was last explored with.  A
+       revisit whose sleep set is a superset needs nothing; otherwise
+       re-explore with the intersection (strictly smaller each time, so
+       the search terminates).  This is Godefroid's fix for the
+       sleep-set/state-caching interaction: pruning on bare membership
+       would lose transitions that the first visit put to sleep. *)
+    let visited : (string, event list ref) Hashtbl.t = Hashtbl.create 4096 in
+    let subset a b = List.for_all (fun e -> List.exists (event_equal e) b) a in
+    let inter a b = List.filter (fun e -> List.exists (event_equal e) b) a in
+    let rec explore node sleep depth =
+      if depth > !max_depth then max_depth := depth;
+      let all = enabled cfg alphabet node in
+      if all = [] then check_terminal cfg unanimous node.procs;
+      let events = List.filter (fun e -> not (List.exists (event_equal e) sleep)) all in
+      let done_ = ref [] in
+      List.iter
+        (fun e ->
+          let node' =
+            try apply cfg unanimous alphabet node e
+            with Found v -> raise_notrace (Found { v with v_trace = [ e ] })
+          in
+          incr transitions;
+          let sleep' = List.filter (fun e' -> independent e' e) (!done_ @ sleep) in
+          (* Key the visited set by a 128-bit digest of the canonical
+             encoding, not the encoding itself: full keys run to
+             kilobytes per state and dominate memory at 10^6 states.  A
+             collision (~2^-128 per pair) could only cause a missed
+             exploration, never a false violation. *)
+          let enc = Digest.string (encode_node cfg node') in
+          (try
+             match Hashtbl.find_opt visited enc with
+             | None ->
+                 incr states;
+                 if cfg.max_states > 0 && !states > cfg.max_states then begin
+                   truncated := true;
+                   raise_notrace Capped
+                 end;
+                 Hashtbl.replace visited enc (ref sleep');
+                 explore node' sleep' (depth + 1)
+             | Some stored ->
+                 if not (subset !stored sleep') then begin
+                   let s = inter !stored sleep' in
+                   stored := s;
+                   explore node' s (depth + 1)
+                 end
+           with Found v -> raise_notrace (Found { v with v_trace = e :: v.v_trace }));
+          done_ := e :: !done_)
+        events
+    in
+    let run () =
+      let procs = Array.init cfg.n (fun pid -> P.create ~n:cfg.n ~f:cfg.f ~coin:cfg.coin ~pid) in
+      let sends = Array.make (cfg.n * cfg.n) 0 in
+      let net = ref [] in
+      for pid = 0 to cfg.n - 1 do
+        if is_correct cfg pid then begin
+          let emitted = P.propose procs.(pid) inputs.(pid) in
+          net := enqueue cfg sends !net pid emitted
+        end
+      done;
+      let node = { procs; net = !net; injected = []; sends } in
+      check_agreement cfg procs;
+      check_validity cfg unanimous procs;
+      incr states;
+      Hashtbl.replace visited (Digest.string (encode_node cfg node)) (ref []);
+      explore node [] 0
+    in
+    let violation =
+      match run () with
+      | () -> None
+      | exception Found v -> Some { v with v_inputs = Array.copy inputs }
+      | exception Capped -> None
+    in
+    {
+      s_states = !states;
+      s_transitions = !transitions;
+      s_max_depth = !max_depth;
+      s_truncated = !truncated;
+      s_violation = violation;
+    }
+
+  let check_all cfg =
+    let correct = ref [] in
+    for pid = cfg.n - 1 downto 0 do
+      if is_correct cfg pid then correct := pid :: !correct
+    done;
+    let correct = !correct in
+    let acc = ref empty_summary in
+    let k = List.length correct in
+    (try
+       for bits = 0 to (1 lsl k) - 1 do
+         let inputs = Array.make cfg.n 0 in
+         List.iteri (fun i pid -> inputs.(pid) <- (bits lsr i) land 1) correct;
+         acc := merge !acc (check_inputs cfg inputs);
+         match !acc.s_violation with Some _ -> raise_notrace Exit | None -> ()
+       done
+     with Exit -> ());
+    !acc
+end

@@ -1,0 +1,128 @@
+(** coincheck head 1: an explicit-state model checker over the repo's
+    own protocol step functions.
+
+    The checker enumerates every delayed-adaptive delivery schedule of a
+    small configuration (n <= 5, t <= 1): the adversary picks, at each
+    step, which in-flight message to deliver next, or — when a Byzantine
+    process is present and active — which forged message from a bounded
+    alphabet to inject.  Randomness is derandomized: every local-coin
+    flip resolves to a fixed bit (callers run the check once per
+    outcome), so a run's behaviour is a function of the schedule alone
+    and the reachable state space is finite once the round horizon
+    bounds message generation.
+
+    Reduction and soundness (DESIGN.md "Model checking"):
+    - a {e sleep-set} partial-order reduction prunes re-exploration of
+      commuting delivery pairs — two events are independent exactly when
+      they target different destination processes, in which case both
+      orders reach the identical state;
+    - visited states are canonicalized ({!PROTO.encode}) and hashed; on
+      re-reaching a state with a sleep set that is not a superset of the
+      stored one, the state is re-explored with the intersection
+      (Godefroid's fix for the sleep-set/state-caching interaction), so
+      no transition is lost to caching;
+    - invariants are checked on every generated transition, before the
+      visited-set lookup, so pruning never skips a violation. *)
+
+(** One scheduler step.  [Deliver] hands in-flight message number [seq]
+    of the [(src, dst)] link to its destination ([seq] counts all sends
+    on that link, in send order — the same numbering {!Replay} uses to
+    steer the simulator).  [Inject] delivers forged message [alt] (an
+    index into the protocol's injection alphabet) from the Byzantine
+    process to [dst]. *)
+type event = Deliver of { src : int; dst : int; seq : int } | Inject of { dst : int; alt : int }
+
+val event_equal : event -> event -> bool
+
+type config = {
+  n : int;
+  f : int;            (** threshold parameter handed to the protocol *)
+  byz : int option;   (** the faulty pid, if any *)
+  active_byz : bool;  (** [true]: the faulty pid injects from the alphabet;
+                          [false]: it is silent (a crash fault) *)
+  max_inject : int;   (** injection budget per schedule *)
+  coin : bool;        (** the bit every local-coin flip resolves to *)
+  max_rounds : int;   (** delivery horizon: messages of later rounds are
+                          generated but never delivered *)
+  max_states : int;   (** visited-set cap; [0] = unbounded *)
+  fifo : bool;        (** [true]: per-link FIFO channels — only the oldest
+                          in-flight message of each [(src, dst)] link is
+                          deliverable, matching the simulator's channel
+                          model; [false]: arbitrary per-link reordering *)
+}
+
+type violation = {
+  v_invariant : string;
+      (** "agreement", "validity", "revocation", "round-monotonic" or
+          "terminal-decision" *)
+  v_detail : string;
+  v_inputs : int array;
+  v_trace : event list;  (** schedule from the initial state to the violation *)
+}
+
+type summary = {
+  s_states : int;       (** distinct canonical states *)
+  s_transitions : int;
+  s_max_depth : int;
+  s_truncated : bool;   (** hit [max_states] *)
+  s_violation : violation option;
+}
+
+val merge : summary -> summary -> summary
+(** Componentwise: sums counts, keeps the first violation. *)
+
+val empty_summary : summary
+
+(** What the checker needs from a protocol: the run-time step API plus
+    forking ([clone]), canonicalization ([encode]) and the Byzantine
+    injection alphabet.  The production instances in {!Protos} wrap the
+    actual [lib/baselines] and [lib/core] machinery. *)
+module type PROTO = sig
+  type state
+  type msg
+
+  val name : string
+
+  val check_agreement : bool
+  (** Whether two correct decisions disagreeing is a violation.  [false]
+      for the WHP coin: its matching property holds with high
+      probability, not on every schedule. *)
+
+  val check_validity : bool
+  (** Whether a decision differing from a unanimous input is a
+      violation.  [false] for the coin (it takes no input). *)
+
+  val check_termination : bool
+  (** Whether quiescence (every in-horizon message delivered) with
+      unanimous inputs, absent an active adversary, must leave every
+      correct process decided.  [false] for committee-sampled protocols,
+      whose liveness is probabilistic in the committee draw. *)
+
+  val create : n:int -> f:int -> coin:bool -> pid:int -> state
+  (** Every local-coin flip of the instance must resolve to [coin]. *)
+
+  val propose : state -> int -> msg list
+  (** Input the initial value; returns the broadcasts emitted. *)
+
+  val handle : state -> src:int -> msg -> msg list
+  val decision : state -> int option
+  val round : state -> int
+  val clone : state -> state
+  val encode : Buffer.t -> state -> unit
+  val encode_msg : Buffer.t -> msg -> unit
+  val round_of_msg : msg -> int
+  val alphabet : n:int -> f:int -> byz:int -> max_round:int -> msg list
+  (** The bounded Byzantine injection alphabet: every forged message an
+      active adversary at pid [byz] may send, one entry per distinct
+      payload. *)
+end
+
+module Make (P : PROTO) : sig
+  val check_inputs : config -> int array -> summary
+  (** Exhaust every schedule from the given input vector (the Byzantine
+      slot's entry is ignored). *)
+
+  val check_all : config -> summary
+  (** [check_inputs] over every correct-process input vector in
+      [{0,1}^n]. *)
+end

@@ -78,3 +78,11 @@ let of_list length l =
   let t = create length in
   List.iter (add t) l;
   t
+
+let copy t = { words = Array.copy t.words; length = t.length }
+
+let grow t length' =
+  if length' < t.length then invalid_arg "Bitset.grow: cannot shrink";
+  let t' = create length' in
+  Array.blit t.words 0 t'.words 0 (Array.length t.words);
+  t'

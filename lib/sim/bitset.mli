@@ -46,3 +46,13 @@ val to_list : t -> int list
 (** Ascending. *)
 
 val of_list : int -> int list -> t
+
+val copy : t -> t
+(** Independent snapshot: mutating either set leaves the other intact.
+    The model checker clones per-process dedup sets this way when it
+    forks a state. *)
+
+val grow : t -> int -> t
+(** [grow t length'] is a copy over the larger range [0, length') with
+    the same members ([length' >= length t]).
+    @raise Invalid_argument when [length'] shrinks the range. *)

@@ -744,6 +744,211 @@ let repo_race_clean () =
           List.iter (fun f -> Format.eprintf "%a@." Coinlint.Engine.pp_finding f) findings;
           Alcotest.(check int) "race repo findings" 0 (List.length findings))
 
+(* ============================ quorum tier ============================= *)
+
+let qlint ?(rel = "lib/baselines/rbc.ml") ?only src =
+  let rules =
+    match only with
+    | None -> Coinlint.Quorum_rules.all
+    | Some names -> List.filter_map Coinlint.Quorum_rules.find names
+  in
+  Coinlint.Quorum_rules.lint_source ~rules ~rel src
+
+let contains_s hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  go 0
+
+let qcount rule fs =
+  Alcotest.(check int) "quorum fixture typechecks" 0 (count "typecheck" fs);
+  count rule fs
+
+(* Self-contained mirror of Rbc's three spec'd guards (the fixture
+   typechecker resolves only the stdlib, so the real module cannot be
+   referenced; the real files are covered by the cmt repo scan below). *)
+let q_rbc_clean =
+  "type t = { n : int; f : int }\n\
+   let echo_threshold t = (t.n + t.f + 2) / 2\n\
+   let handle t c r =\n\
+  \  (if c >= echo_threshold t then 1 else 0)\n\
+  \  + (if r >= t.f + 1 then 2 else 0)\n\
+  \  + (if r >= (2 * t.f) + 1 then 4 else 0)\n"
+
+let quorum_clean_fixture () =
+  let fs = qlint q_rbc_clean in
+  Alcotest.(check int) "typechecks" 0 (count "typecheck" fs);
+  Alcotest.(check int) "clean mirror: no findings" 0 (List.length fs)
+
+let quorum_unmatched_module () =
+  (* A module with no spec entry carries no guard obligations. *)
+  let fs = qlint ~rel:"lib/core/mystery.ml" q_rbc_clean in
+  Alcotest.(check int) "no spec, no findings" 0 (List.length fs)
+
+let quorum_off_by_one () =
+  (* THE seeded mutation: 2f+1 -> 2f.  One constant off a declared
+     guard => quorum-guard names the spec entry it almost matches, and
+     the deliver guard's site count drops => quorum-coverage. *)
+  let src =
+    "type t = { n : int; f : int }\n\
+     let echo_threshold t = (t.n + t.f + 2) / 2\n\
+     let handle t c r =\n\
+    \  (if c >= echo_threshold t then 1 else 0)\n\
+    \  + (if r >= t.f + 1 then 2 else 0)\n\
+    \  + (if r >= 2 * t.f then 4 else 0)\n"
+  in
+  let fs = qlint src in
+  Alcotest.(check int) "off-by-one flagged" 1 (qcount "quorum-guard" fs);
+  Alcotest.(check int) "deliver guard uncovered" 1 (qcount "quorum-coverage" fs);
+  Alcotest.(check bool) "finding names the near guard" true
+    (List.exists
+       (fun f ->
+         String.equal f.Coinlint.Engine.rule "quorum-guard"
+         && contains_s f.Coinlint.Engine.msg "deliver")
+       fs)
+
+let quorum_operator_flip () =
+  (* > for >= is the same meaning-level off-by-one after rel folding. *)
+  let src =
+    "type t = { n : int; f : int }\n\
+     let echo_threshold t = (t.n + t.f + 2) / 2\n\
+     let handle t c r =\n\
+    \  (if c >= echo_threshold t then 1 else 0)\n\
+    \  + (if r > t.f + 1 then 2 else 0)\n\
+    \  + (if r >= (2 * t.f) + 1 then 4 else 0)\n"
+  in
+  let fs = qlint src in
+  Alcotest.(check int) "flip flagged as off-by-one" 1 (qcount "quorum-guard" fs)
+
+let quorum_dropped_guard () =
+  (* The echo wait deleted outright: only coverage can see that. *)
+  let src =
+    "type t = { n : int; f : int }\n\
+     let handle t c r =\n\
+    \  ignore c;\n\
+    \  (if r >= t.f + 1 then 2 else 0) + (if r >= (2 * t.f) + 1 then 4 else 0)\n"
+  in
+  let fs = qlint src in
+  Alcotest.(check int) "no stray guard findings" 0 (qcount "quorum-guard" fs);
+  Alcotest.(check int) "dropped echo guard caught" 1 (qcount "quorum-coverage" fs)
+
+let quorum_duplicated_guard () =
+  let src =
+    "type t = { n : int; f : int }\n\
+     let echo_threshold t = (t.n + t.f + 2) / 2\n\
+     let handle t c r =\n\
+    \  (if c >= echo_threshold t then 1 else 0)\n\
+    \  + (if r >= t.f + 1 then 2 else 0)\n\
+    \  + (if r >= (2 * t.f) + 1 then 4 else 0)\n\
+    \  + (if c >= (2 * t.f) + 1 then 8 else 0)\n"
+  in
+  let fs = qlint src in
+  Alcotest.(check int) "duplicated deliver guard caught" 1 (qcount "quorum-coverage" fs)
+
+let quorum_undeclared_guard () =
+  let src =
+    "type t = { n : int; f : int }\n\
+     let echo_threshold t = (t.n + t.f + 2) / 2\n\
+     let handle t c r =\n\
+    \  (if c >= echo_threshold t then 1 else 0)\n\
+    \  + (if r >= t.f + 1 then 2 else 0)\n\
+    \  + (if r >= (2 * t.f) + 1 then 4 else 0)\n\
+    \  + (if c >= t.n + 5 then 8 else 0)\n"
+  in
+  let fs = qlint src in
+  Alcotest.(check int) "undeclared threshold flagged" 1 (qcount "quorum-guard" fs);
+  Alcotest.(check int) "declared guards all covered" 0 (qcount "quorum-coverage" fs)
+
+let quorum_lt_canonical () =
+  (* Approver's W guards: Lt-canonicalized slice bound and retention. *)
+  let src =
+    "type t = { w : int }\n\
+     let w t = t.w\n\
+     let f t c i =\n\
+    \  (if c >= w t then 1 else 0) + (if i < w t then 2 else 0)\n\
+    \  + (if c <= w t then 4 else 0)\n"
+  in
+  let fs = qlint ~rel:"lib/core/approver.ml" src in
+  Alcotest.(check int) "typechecks" 0 (count "typecheck" fs);
+  Alcotest.(check int) "approver mirror clean" 0 (List.length fs)
+
+let quorum_rule_off_switch () =
+  (* The registry entries are load-bearing: with rules = [] the tier
+     reports nothing even on a mutated module. *)
+  let src =
+    "type t = { n : int; f : int }\n\
+     let handle t r = if r >= 2 * t.f then 4 else 0\n"
+  in
+  Alcotest.(check int) "no rules, no findings" 0 (List.length (qlint ~only:[] src))
+
+let repo_quorum_clean () =
+  (* Zero quorum findings over the real tree's typedtrees: every
+     threshold comparison in Benor/Bracha/Rbc/Approver/Whp_coin matches
+     its declared guard with the declared multiplicity. *)
+  match find_repo_root () with
+  | None -> ()
+  | Some root -> (
+      match Coinlint.Cmt_loader.scan ~base:root [ "lib"; "bin"; "bench" ] with
+      | [] -> ()
+      | units ->
+          let findings =
+            Coinlint.Quorum_rules.lint_units ~rules:Coinlint.Quorum_rules.all units
+          in
+          List.iter (fun f -> Format.eprintf "%a@." Coinlint.Engine.pp_finding f) findings;
+          Alcotest.(check int) "quorum repo findings" 0 (List.length findings))
+
+(* --------------------------- baseline gc ----------------------------- *)
+
+let baseline_gc_roundtrip () =
+  let mk rule file symbol =
+    {
+      Coinlint.Engine.file;
+      line = 1;
+      col = 0;
+      rule;
+      msg = "m";
+      tier = Coinlint.Engine.tier_syntactic;
+      symbol;
+      witness = [];
+    }
+  in
+  let live = mk "poly-compare" "lib/a.ml" "f" in
+  let stale_f = mk "poly-compare" "lib/gone.ml" "g" in
+  let doc =
+    Coinlint.Engine.json_report
+      ~rules:[ ("poly-compare", Coinlint.Engine.tier_syntactic) ]
+      ~files_scanned:2 ~semantic_units:0 ~baseline_suppressed:0 [ live; stale_f ]
+  in
+  let path = Filename.temp_file "coinlint-baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Obs.Json.to_channel oc doc;
+      close_out oc;
+      (* Current scan sees only [live]: the other entry is stale. *)
+      let baseline =
+        match Coinlint.Engine.baseline_of_json doc with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "baseline parse: %s" e
+      in
+      let kept, suppressed, stale = Coinlint.Engine.apply_baseline ~baseline [ live ] in
+      Alcotest.(check int) "live finding suppressed" 1 suppressed;
+      Alcotest.(check int) "nothing survives" 0 (List.length kept);
+      Alcotest.(check int) "one stale key" 1 (List.length stale);
+      (match Coinlint.Engine.gc_baseline_file path ~stale with
+      | Error e -> Alcotest.failf "gc: %s" e
+      | Ok dropped -> Alcotest.(check int) "dropped one entry" 1 dropped);
+      (* The rewritten file still parses and now misses only the stale key. *)
+      match Coinlint.Engine.load_baseline path with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok keys ->
+          let kept2, suppressed2, stale2 =
+            Coinlint.Engine.apply_baseline ~baseline:keys [ live ]
+          in
+          Alcotest.(check int) "still suppresses live" 1 suppressed2;
+          Alcotest.(check int) "no stale left" 0 (List.length stale2);
+          Alcotest.(check int) "gc is idempotent on findings" 0 (List.length kept2))
+
 let suite =
   [
     Alcotest.test_case "r1 poly-compare positives" `Quick r1_pos;
@@ -835,4 +1040,15 @@ let suite =
     Alcotest.test_case "race: unguarded lazy force" `Quick race_unguarded_lazy;
     Alcotest.test_case "race: witness survives JSON round-trip" `Quick race_json_witness;
     Alcotest.test_case "race repo scan is clean" `Quick repo_race_clean;
+    Alcotest.test_case "quorum: clean rbc mirror" `Quick quorum_clean_fixture;
+    Alcotest.test_case "quorum: unmatched module exempt" `Quick quorum_unmatched_module;
+    Alcotest.test_case "quorum: 2f+1 -> 2f off-by-one" `Quick quorum_off_by_one;
+    Alcotest.test_case "quorum: operator flip" `Quick quorum_operator_flip;
+    Alcotest.test_case "quorum: dropped wait guard" `Quick quorum_dropped_guard;
+    Alcotest.test_case "quorum: duplicated guard" `Quick quorum_duplicated_guard;
+    Alcotest.test_case "quorum: undeclared threshold" `Quick quorum_undeclared_guard;
+    Alcotest.test_case "quorum: Lt canonicalization (approver)" `Quick quorum_lt_canonical;
+    Alcotest.test_case "quorum: registry load-bearing" `Quick quorum_rule_off_switch;
+    Alcotest.test_case "quorum repo scan is clean" `Quick repo_quorum_clean;
+    Alcotest.test_case "baseline --gc drops stale entries" `Quick baseline_gc_roundtrip;
   ]

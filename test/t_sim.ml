@@ -308,6 +308,87 @@ let test_bitset_rank () =
     else Alcotest.(check int) (Printf.sprintf "non-member %d" i) (-1) rk
   done
 
+(* Word-boundary ranks, empty/full sets, grow, copy independence: the
+   model checker forks per-process dedup sets with [copy], so aliasing
+   here would corrupt exploration silently. *)
+let test_bitset_boundaries () =
+  let len = 126 in
+  let s = Bitset.create len in
+  let pc = Bitset.prefix_counts s in
+  Alcotest.(check int) "empty: rank 0" (-1) (Bitset.rank_with s pc 0);
+  Alcotest.(check (list int)) "empty: to_list" [] (Bitset.to_list s);
+  Alcotest.(check int) "empty: card" 0 (Bitset.card s);
+  for i = 0 to len - 1 do
+    Bitset.add s i
+  done;
+  Alcotest.(check int) "full: card" len (Bitset.card s);
+  let pc = Bitset.prefix_counts s in
+  List.iter
+    (fun i -> Alcotest.(check int) (Printf.sprintf "full: rank %d" i) i (Bitset.rank_with s pc i))
+    [ 0; 1; 62; 63; 64; 125 ];
+  let b = Bitset.create 200 in
+  List.iter (Bitset.add b) [ 62; 63; 126 ];
+  let pc = Bitset.prefix_counts b in
+  Alcotest.(check int) "boundary: rank 62 (last of word 0)" 0 (Bitset.rank_with b pc 62);
+  Alcotest.(check int) "boundary: rank 63 (first of word 1)" 1 (Bitset.rank_with b pc 63);
+  Alcotest.(check int) "boundary: rank 126 (first of word 2)" 2 (Bitset.rank_with b pc 126);
+  Alcotest.(check int) "boundary: non-member" (-1) (Bitset.rank_with b pc 64)
+
+let test_bitset_grow_copy () =
+  let s = Bitset.create 64 in
+  List.iter (Bitset.add s) [ 0; 63 ];
+  let g = Bitset.grow s 130 in
+  Alcotest.(check int) "grow: new length" 130 (Bitset.length g);
+  Alcotest.(check (list int)) "grow: members preserved" [ 0; 63 ] (Bitset.to_list g);
+  Bitset.add g 129;
+  Alcotest.(check int) "grow: original card unchanged" 2 (Bitset.card s);
+  Alcotest.(check int) "grow: original length unchanged" 64 (Bitset.length s);
+  (match Bitset.grow s 10 with
+  | _ -> Alcotest.fail "expected shrink failure"
+  | exception Invalid_argument _ -> ());
+  let c = Bitset.copy s in
+  Bitset.add c 5;
+  Alcotest.(check bool) "copy: write misses original" false (Bitset.mem s 5);
+  Bitset.add s 7;
+  Alcotest.(check bool) "copy: original write misses copy" false (Bitset.mem c 7);
+  Alcotest.(check (list int)) "copy: contents" [ 0; 5; 63 ] (Bitset.to_list c)
+
+(* ---------------- Dsort: duplicate keys ---------------- *)
+
+let test_dsort_duplicate_keys () =
+  (* Times need not be distinct: the comparison order is (time, dst), so
+     equal times resolve by destination, whatever the input order. *)
+  let scratch = Dsort.scratch () in
+  let times = [| 3.0; 1.0; 3.0; 1.0; 2.0; 3.0 |] in
+  let dsts = [| 5; 4; 1; 0; 2; 3 |] in
+  Dsort.sort scratch times dsts (Array.length times);
+  Alcotest.(check (array (float 0.0))) "times ascending" [| 1.0; 1.0; 2.0; 3.0; 3.0; 3.0 |] times;
+  Alcotest.(check (array int)) "ties resolve by dst" [| 0; 4; 2; 1; 3; 5 |] dsts;
+  (* Fully-degenerate times short-circuit: the engine feeds [sort]
+     destination-ascending input, so an all-equal time array is already
+     in delivery order and must come back untouched. *)
+  let times = Array.make 7 1.5 and dsts = [| 0; 1; 2; 3; 4; 5; 6 |] in
+  Dsort.sort scratch times dsts 7;
+  Alcotest.(check (array int)) "all-equal times: input order kept" [| 0; 1; 2; 3; 4; 5; 6 |] dsts;
+  (* Duplicate-heavy differential against the comparison-based fallback:
+     5 distinct times across 513 elements defeats the bucket scatter's
+     spread assumption, which is exactly the case to pin. *)
+  let r = Crypto.Rng.create 77 in
+  let len = 513 in
+  let t1 = Array.init len (fun _ -> float_of_int (Crypto.Rng.int r 5)) in
+  let d1 = Array.init len Fun.id in
+  for i = len - 1 downto 1 do
+    let j = Crypto.Rng.int r (i + 1) in
+    let tmp = d1.(i) in
+    d1.(i) <- d1.(j);
+    d1.(j) <- tmp
+  done;
+  let t2 = Array.copy t1 and d2 = Array.copy d1 in
+  Dsort.sort scratch t1 d1 len;
+  Dsort.quicksort t2 d2 0 (len - 1);
+  Alcotest.(check (array int)) "sort = quicksort (dsts)" d2 d1;
+  Alcotest.(check (array (float 0.0))) "sort = quicksort (times)" t2 t1
+
 (* ---------------- Observer registration order ---------------- *)
 
 let test_observer_registration_order () =
@@ -562,6 +643,9 @@ let suite =
     Alcotest.test_case "heap empty root raises" `Quick test_heap_empty_root_raises;
     Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
     Alcotest.test_case "bitset rank" `Quick test_bitset_rank;
+    Alcotest.test_case "bitset word boundaries" `Quick test_bitset_boundaries;
+    Alcotest.test_case "bitset grow/copy independence" `Quick test_bitset_grow_copy;
+    Alcotest.test_case "dsort duplicate keys" `Quick test_dsort_duplicate_keys;
     Alcotest.test_case "observer registration order" `Quick test_observer_registration_order;
     Alcotest.test_case "eager/lazy equivalence" `Quick test_eager_lazy_equivalent;
     Alcotest.test_case "dsort differential" `Quick test_dsort_differential;

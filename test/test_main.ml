@@ -36,6 +36,7 @@ let () =
       ("fuzz", T_fuzz.suite);
       ("integration", T_integration.suite);
       ("lint", T_lint.suite);
+      ("mc", T_mc.suite);
       ("exec", T_exec.suite);
       ("ledger", T_ledger.suite);
     ]

@@ -54,6 +54,7 @@ type rule = {
 let tier_syntactic = "syntactic"
 let tier_semantic = "semantic"
 let tier_race = "race"
+let tier_quorum = "quorum"
 
 type ctx = {
   rel : string;                       (* path as reported in findings *)
@@ -348,6 +349,71 @@ let apply_baseline ~baseline findings =
       baseline
   in
   (kept, List.length suppressed, stale)
+
+(* Rewrite the baseline document at [path] without its stale entries
+   (--baseline-gc).  The document keeps its shape — only the "findings"
+   array shrinks and "count" is refreshed — so the rewritten file stays
+   loadable by --baseline and by obs --load.  Returns the number of
+   entries dropped. *)
+let gc_baseline_file path ~stale =
+  let key_of f =
+    let str k = Option.bind (Obs.Json.member k f) Obs.Json.to_string_opt in
+    match (str "rule", str "file") with
+    | Some b_rule, Some b_file ->
+        Some { b_rule; b_file; b_symbol = Option.value ~default:"" (str "symbol") }
+    | _ -> None
+  in
+  let is_stale f =
+    match key_of f with
+    | Some k ->
+        List.exists
+          (fun b ->
+            String.equal b.b_rule k.b_rule
+            && String.equal b.b_file k.b_file
+            && String.equal b.b_symbol k.b_symbol)
+          stale
+    | None -> false
+  in
+  match Obs.Json.of_string (read_file path) with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | exception Sys_error e -> Error e
+  | Ok (Obs.Json.Obj fields) ->
+      let dropped = ref 0 in
+      let fields =
+        List.map
+          (fun (k, v) ->
+            match (k, v) with
+            | "findings", Obs.Json.List fs ->
+                let kept =
+                  List.filter
+                    (fun f ->
+                      let s = is_stale f in
+                      if s then incr dropped;
+                      not s)
+                    fs
+                in
+                (k, Obs.Json.List kept)
+            | _ -> (k, v))
+          fields
+      in
+      let kept_count =
+        match List.assoc_opt "findings" fields with
+        | Some (Obs.Json.List fs) -> List.length fs
+        | _ -> 0
+      in
+      let fields =
+        List.map
+          (fun (k, v) -> if String.equal k "count" then (k, Obs.Json.Int kept_count) else (k, v))
+          fields
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Obs.Json.to_channel oc (Obs.Json.Obj fields);
+          output_char oc '\n');
+      Ok !dropped
+  | Ok _ -> Error (path ^ ": baseline document is not an object")
 
 (* ---------------------------- reporters ------------------------------ *)
 

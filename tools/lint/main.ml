@@ -3,13 +3,16 @@
    Usage:
      dune exec tools/lint/main.exe -- [options] [dir-or-file ...]
        --tier T        which analysis tiers run:
-                       syntactic|semantic|race|all (default: all)
+                       syntactic|semantic|race|quorum|all (default: all)
        --json PATH     also write the findings document (PATH "-" = stdout)
        --baseline P    suppress findings present in a previously saved
                        coincidence.lint report (keyed by rule/file/symbol)
        --baseline-strict
                        exit non-zero when any baseline entry is stale
                        (matches no current finding)
+       --baseline-gc   rewrite the --baseline file in place, dropping its
+                       stale entries (implies that staleness alone does
+                       not fail the run)
        --only NAMES    comma-separated subset of rules (default: all);
                        names are looked up in every tier's registry;
                        --rules is an alias
@@ -27,8 +30,9 @@
    --baseline-strict), 2 usage/IO error. *)
 
 let usage_line =
-  "usage: coinlint [--tier syntactic|semantic|race|all] [--json PATH] [--baseline PATH] \
-   [--baseline-strict] [--only r1,r2] [--summaries PATH] [--list-rules] [--root DIR] [paths...]"
+  "usage: coinlint [--tier syntactic|semantic|race|quorum|all] [--json PATH] [--baseline PATH] \
+   [--baseline-strict] [--baseline-gc] [--only r1,r2] [--summaries PATH] [--list-rules] [--root \
+   DIR] [paths...]"
 
 let usage () =
   prerr_endline usage_line;
@@ -36,7 +40,7 @@ let usage () =
 
 let fail fmt = Format.kasprintf (fun s -> prerr_endline ("coinlint: " ^ s); exit 2) fmt
 
-type tier = Syntactic | Semantic | Race | All
+type tier = Syntactic | Semantic | Race | Quorum | All
 
 let () =
   let json_out = ref None in
@@ -44,6 +48,7 @@ let () =
   let rule_names = ref None in
   let baseline_path = ref None in
   let baseline_strict = ref false in
+  let baseline_gc = ref false in
   let summaries_path = ref (Filename.concat "_build" "lint-summaries.bin") in
   let tier = ref All in
   let list_rules = ref false in
@@ -65,6 +70,9 @@ let () =
     | "--baseline-strict" :: rest ->
         baseline_strict := true;
         parse rest
+    | "--baseline-gc" :: rest ->
+        baseline_gc := true;
+        parse rest
     | "--summaries" :: p :: rest ->
         summaries_path := p;
         parse rest
@@ -74,8 +82,10 @@ let () =
            | "syntactic" -> Syntactic
            | "semantic" -> Semantic
            | "race" -> Race
+           | "quorum" -> Quorum
            | "all" -> All
-           | other -> fail "unknown tier %S (expected syntactic, semantic, race or all)" other);
+           | other ->
+               fail "unknown tier %S (expected syntactic, semantic, race, quorum or all)" other);
         parse rest
     | "--list-rules" :: rest ->
         list_rules := true;
@@ -109,43 +119,56 @@ let () =
       (fun (r : Coinlint.Race_rules.rule) ->
         Format.printf "%-24s [race]      %s@." r.name r.summary)
       Coinlint.Race_rules.all;
+    List.iter
+      (fun (r : Coinlint.Quorum_rules.rule) ->
+        Format.printf "%-24s [quorum]    %s@." r.name r.summary)
+      Coinlint.Quorum_rules.all;
     exit 0
   end;
   (match !root with Some d -> (try Sys.chdir d with Sys_error e -> fail "%s" e) | None -> ());
   let want_syn = !tier = Syntactic || !tier = All in
   let want_sem = !tier = Semantic || !tier = All in
   let want_race = !tier = Race || !tier = All in
+  let want_quorum = !tier = Quorum || !tier = All in
   (* One name may exist in several registries (the alias-evasion upgrades
      share their syntactic rule's name); --only selects every tier's
      homonym that the --tier filter keeps.  An unknown name is a hard
      usage error: a typo that silently selected nothing would report
      "clean" for the wrong reason. *)
-  let syn_rules, sem_rules, race_rules =
+  let syn_rules, sem_rules, race_rules, quorum_rules =
     match !rule_names with
     | None ->
         ( (if want_syn then Coinlint.Rules.all else []),
           (if want_sem then Coinlint.Sem_rules.all else []),
-          if want_race then Coinlint.Race_rules.all else [] )
+          (if want_race then Coinlint.Race_rules.all else []),
+          if want_quorum then Coinlint.Quorum_rules.all else [] )
     | Some names ->
-        let syn = ref [] and sem = ref [] and race = ref [] in
+        let syn = ref [] and sem = ref [] and race = ref [] and quorum = ref [] in
         List.iter
           (fun n ->
             let in_syn = Coinlint.Rules.find n
             and in_sem = Coinlint.Sem_rules.find n
-            and in_race = Coinlint.Race_rules.find n in
-            if in_syn = None && in_sem = None && in_race = None then
+            and in_race = Coinlint.Race_rules.find n
+            and in_quorum = Coinlint.Quorum_rules.find n in
+            if in_syn = None && in_sem = None && in_race = None && in_quorum = None then
               fail "unknown rule %S; valid names: %s" n
                 (String.concat ", "
                    (List.map (fun r -> r.Coinlint.Engine.name) Coinlint.Rules.all
                    @ List.map (fun (r : Coinlint.Sem_rules.rule) -> r.name) Coinlint.Sem_rules.all
                    @ List.map
                        (fun (r : Coinlint.Race_rules.rule) -> r.name)
-                       Coinlint.Race_rules.all));
+                       Coinlint.Race_rules.all
+                   @ List.map
+                       (fun (r : Coinlint.Quorum_rules.rule) -> r.name)
+                       Coinlint.Quorum_rules.all));
             (match in_syn with Some r when want_syn -> syn := r :: !syn | _ -> ());
             (match in_sem with Some r when want_sem -> sem := r :: !sem | _ -> ());
-            match in_race with Some r when want_race -> race := r :: !race | _ -> ())
+            (match in_race with Some r when want_race -> race := r :: !race | _ -> ());
+            match in_quorum with
+            | Some r when want_quorum -> quorum := r :: !quorum
+            | _ -> ())
           names;
-        (List.rev !syn, List.rev !sem, List.rev !race)
+        (List.rev !syn, List.rev !sem, List.rev !race, List.rev !quorum)
   in
   let baseline =
     match !baseline_path with
@@ -160,11 +183,12 @@ let () =
   let files_scanned, syn_findings =
     if want_syn then Coinlint.Engine.lint_paths ~rules:syn_rules roots else (0, [])
   in
-  let units = if want_sem || want_race then Coinlint.Cmt_loader.load roots else [] in
-  if (want_sem || want_race) && units = [] then
+  let want_units = want_sem || want_race || want_quorum in
+  let units = if want_units then Coinlint.Cmt_loader.load roots else [] in
+  if want_units && units = [] then
     fail
-      "semantic/race tiers found no .cmt files under %s: run `dune build @check` first (or use \
-       --tier syntactic)"
+      "semantic/race/quorum tiers found no .cmt files under %s: run `dune build @check` first \
+       (or use --tier syntactic)"
       (String.concat " " roots);
   let sem_findings =
     if want_sem then Coinlint.Sem_rules.lint_units ~rules:sem_rules units else []
@@ -174,11 +198,16 @@ let () =
       Coinlint.Race_rules.lint_units ~rules:race_rules ~cache_file:!summaries_path units
     else []
   in
+  let quorum_findings =
+    if want_quorum then Coinlint.Quorum_rules.lint_units ~rules:quorum_rules units else []
+  in
   (* Same-site dedup across tiers: syntactic wins over semantic wins over
      race, so an upgraded rule never double-reports one site. *)
   let merged =
     Coinlint.Engine.merge_findings
-      (Coinlint.Engine.merge_findings syn_findings sem_findings)
+      (Coinlint.Engine.merge_findings
+         (Coinlint.Engine.merge_findings syn_findings sem_findings)
+         quorum_findings)
       race_findings
   in
   let findings, baseline_suppressed, stale_baseline =
@@ -207,6 +236,9 @@ let () =
       @ List.map
           (fun (r : Coinlint.Race_rules.rule) -> (r.name, Coinlint.Engine.tier_race))
           race_rules
+      @ List.map
+          (fun (r : Coinlint.Quorum_rules.rule) -> (r.name, Coinlint.Engine.tier_quorum))
+          quorum_rules
     in
     Coinlint.Engine.json_report ~rules ~files_scanned ~semantic_units:(List.length units)
       ~baseline_suppressed ~stale_baseline findings
@@ -221,5 +253,21 @@ let () =
           Obs.Json.to_channel oc (report ());
           output_char oc '\n')
   | None -> ());
-  let stale_fails = !baseline_strict && stale_baseline <> [] in
+  (* --baseline-gc repairs staleness instead of (with --baseline-strict)
+     failing on it: the rewritten file no longer contains the entries
+     just reported as stale. *)
+  if !baseline_gc then begin
+    match !baseline_path with
+    | None -> fail "--baseline-gc requires --baseline"
+    | Some p ->
+        if stale_baseline <> [] then (
+          match Coinlint.Engine.gc_baseline_file p ~stale:stale_baseline with
+          | Ok dropped ->
+              Format.fprintf human_fmt "note: [baseline-gc] dropped %d stale entr%s from %s@."
+                dropped
+                (if dropped = 1 then "y" else "ies")
+                p
+          | Error e -> fail "baseline-gc: %s" e)
+  end;
+  let stale_fails = !baseline_strict && (not !baseline_gc) && stale_baseline <> [] in
   exit (if findings = [] && not stale_fails then 0 else 1)

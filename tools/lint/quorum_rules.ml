@@ -1,0 +1,411 @@
+(* coinlint's quorum tier: threshold comparisons checked against the
+   declared guard table (quorum_spec.ml).
+
+   The pass walks the Typedtree of each module the spec covers and
+   normalizes every integer comparison whose one side is arithmetic over
+   the protocol parameters — record fields n/f/w, reached directly
+   (t.n), through nested records (t.params.Params.w) or through local
+   helper functions whose body is such arithmetic (quorum t,
+   echo_threshold t, w t).  Helpers are resolved the same way the
+   semantic tier resolves module aliases: by definition, not by
+   spelling, so renaming `quorum` or routing it through an alias module
+   changes nothing.
+
+   Each normalized comparison must be one of the module's declared
+   guards:
+
+     - no match at all            -> quorum-guard   (undeclared threshold)
+     - one constant away          -> quorum-guard   (off-by-one)
+     - fewer sites than declared  -> quorum-coverage (guard dropped)
+     - more sites than declared   -> quorum-coverage (guard duplicated)
+
+   Comparisons with no parameter arithmetic on either side (tally vs
+   tally, counter vs literal) are not thresholds and are ignored, as are
+   parameter-vs-parameter comparisons (none exist in the covered
+   modules; if one appears the repo scan stays honest because its tally
+   side would normalize and fail the lookup).  Modules without a spec
+   entry are skipped entirely — the tier is a contract check for the
+   protocol layer, not a general arithmetic lint. *)
+
+type rule = { name : string; summary : string }
+
+let guard_rule = "quorum-guard"
+let coverage_rule = "quorum-coverage"
+
+let all =
+  [
+    {
+      name = guard_rule;
+      summary =
+        "every threshold comparison in the protocol modules must match a guard declared in \
+         quorum_spec.ml exactly; off-by-one or undeclared comparisons fail";
+    };
+    {
+      name = coverage_rule;
+      summary =
+        "every declared quorum guard must appear at exactly its declared number of sites: \
+         fewer means a wait/decide guard was dropped, more means one was duplicated";
+    };
+  ]
+
+let find name = List.find_opt (fun r -> String.equal r.name name) all
+
+(* ------------------------------ context ------------------------------- *)
+
+type qctx = {
+  rel : string;
+  spec : Quorum_spec.module_spec;
+  aliases : (string, string list) Hashtbl.t;
+  derived : (string, Quorum_spec.nf) Hashtbl.t;
+      (* local helper name -> the form its body computes; [nf]'s coeff
+         and rel are unused here, only base/off carry the value *)
+  mutable allows : string list list;
+  mutable sym : string;
+  mutable out : Engine.finding list;
+  counts : int array;                     (* matched sites per spec guard *)
+  firsts : Location.t option array;       (* first matched site per guard *)
+}
+
+let add ctx ~rule ~(loc : Location.t) msg =
+  if not (Engine.allowed_in ctx.allows rule) then begin
+    let p = loc.Location.loc_start in
+    ctx.out <-
+      {
+        Engine.file = ctx.rel;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        rule;
+        msg;
+        tier = Engine.tier_quorum;
+        symbol = ctx.sym;
+        witness = [];
+      }
+      :: ctx.out
+  end
+
+(* ------------------------ path normalization -------------------------- *)
+
+let rec raw_path ctx (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt ctx.aliases (Ident.unique_name id) with
+      | Some path -> path
+      | None -> ( match Cmt_loader.demangle (Ident.name id) with Some s -> [ s ] | None -> [] ))
+  | Path.Pdot (p, s) -> raw_path ctx p @ [ s ]
+  | Path.Papply (p, _) -> raw_path ctx p
+  | Path.Pextra_ty (p, _) -> raw_path ctx p
+
+let normalize ctx p =
+  match raw_path ctx p with "Stdlib" :: rest -> rest | path -> path
+
+let ident_path ctx (e : Typedtree.expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (normalize ctx p) | _ -> None
+
+(* --------------------------- form parsing ----------------------------- *)
+
+(* Linear arithmetic over the parameter atoms, with one optional integer
+   division: pn*N + pt*T + pw*W + pc, or (that)/by + tail. *)
+type poly =
+  | PLin of { pn : int; pt : int; pw : int; pc : int }
+  | PDiv of { pn : int; pt : int; pw : int; pc : int; by : int; tail : int }
+
+let const c = PLin { pn = 0; pt = 0; pw = 0; pc = c }
+
+let atoms = [ ("n", `N); ("f", `T); ("w", `W) ]
+
+let has_atoms = function
+  | PLin { pn; pt; pw; _ } | PDiv { pn; pt; pw; _ } -> pn <> 0 || pt <> 0 || pw <> 0
+
+let as_const = function
+  | PLin { pn = 0; pt = 0; pw = 0; pc } -> Some pc
+  | PLin _ | PDiv _ -> None
+
+let p_add a b =
+  match (a, b) with
+  | PLin x, PLin y ->
+      Some (PLin { pn = x.pn + y.pn; pt = x.pt + y.pt; pw = x.pw + y.pw; pc = x.pc + y.pc })
+  | PDiv d, p | p, PDiv d -> (
+      match as_const p with Some c -> Some (PDiv { d with tail = d.tail + c }) | None -> None)
+
+let p_neg = function
+  | PLin { pn; pt; pw; pc } -> Some (PLin { pn = -pn; pt = -pt; pw = -pw; pc = -pc })
+  | PDiv _ -> None
+
+let p_sub a b = match p_neg b with Some nb -> p_add a nb | None -> None
+
+let p_mul a b =
+  let scale k = function
+    | PLin y -> Some (PLin { pn = k * y.pn; pt = k * y.pt; pw = k * y.pw; pc = k * y.pc })
+    | PDiv _ -> None
+  in
+  match (as_const a, as_const b) with
+  | Some k, _ -> scale k b
+  | None, Some k -> scale k a
+  | None, None -> None
+
+let p_div a b =
+  match (a, as_const b) with
+  | PLin { pn; pt; pw; pc }, Some k when k > 0 -> Some (PDiv { pn; pt; pw; pc; by = k; tail = 0 })
+  | _ -> None
+
+let binops = [ ("+", p_add); ("-", p_sub); ("*", p_mul); ("/", p_div) ]
+
+let rec parse_form ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_constant (Const_int c) -> Some (const c)
+  | Texp_field (_, _, lbl) -> (
+      match List.assoc_opt lbl.Types.lbl_name atoms with
+      | Some `N -> Some (PLin { pn = 1; pt = 0; pw = 0; pc = 0 })
+      | Some `T -> Some (PLin { pn = 0; pt = 1; pw = 0; pc = 0 })
+      | Some `W -> Some (PLin { pn = 0; pt = 0; pw = 1; pc = 0 })
+      | None -> None)
+  | Texp_apply (f, args) -> (
+      match (ident_path ctx f, args) with
+      | Some [ op ], [ (_, Some a); (_, Some b) ] when List.mem_assoc op binops -> (
+          match (parse_form ctx a, parse_form ctx b) with
+          | Some pa, Some pb -> (List.assoc op binops) pa pb
+          | _ -> None)
+      | Some [ "~-" ], [ (_, Some a) ] -> Option.bind (parse_form ctx a) p_neg
+      | Some [ name ], _ -> Hashtbl.find_opt ctx.derived name |> Option.map nf_poly
+      | _ -> None)
+  | _ -> None
+
+(* A derived helper's registered form, re-expanded to a poly. *)
+and nf_poly (nf : Quorum_spec.nf) =
+  match nf.Quorum_spec.base with
+  | Quorum_spec.Lin { bn; bt; bw } -> PLin { pn = bn; pt = bt; pw = bw; pc = nf.Quorum_spec.off }
+  | Quorum_spec.Div { bn; bt; bw; add; by } ->
+      PDiv { pn = bn; pt = bt; pw = bw; pc = add; by; tail = nf.Quorum_spec.off }
+
+let nf_of ~coeff ~rel ~extra poly : Quorum_spec.nf =
+  match poly with
+  | PLin { pn; pt; pw; pc } ->
+      { Quorum_spec.coeff; rel; base = Quorum_spec.Lin { bn = pn; bt = pt; bw = pw }; off = pc + extra }
+  | PDiv { pn; pt; pw; pc; by; tail } ->
+      {
+        Quorum_spec.coeff;
+        rel;
+        base = Quorum_spec.Div { bn = pn; bt = pt; bw = pw; add = pc; by };
+        off = tail + extra;
+      }
+
+(* ------------------------- site recognition --------------------------- *)
+
+let cmp_ops = [ ">="; ">"; "<"; "<=" ]
+
+(* Tally-side coefficient: `2 * cnt` (either operand order). *)
+let tally_coeff ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (f, [ (_, Some a); (_, Some b) ]) when ident_path ctx f = Some [ "*" ] -> (
+      match (Option.bind (parse_form ctx a) as_const, Option.bind (parse_form ctx b) as_const) with
+      | Some k, _ when k > 0 -> k
+      | _, Some k when k > 0 -> k
+      | _ -> 1)
+  | _ -> 1
+
+(* Canonical (rel, extra) for tally-on-the-LEFT; [mirrored] when the form
+   was on the left instead.  Integer folding: c > x == c >= x+1 and
+   c <= x == c < x+1. *)
+let canon_rel ~mirrored op =
+  match (op, mirrored) with
+  | ">=", false | "<=", true -> (Quorum_spec.Ge, 0)
+  | ">", false | "<", true -> (Quorum_spec.Ge, 1)
+  | "<", false | ">", true -> (Quorum_spec.Lt, 0)
+  | "<=", false | ">=", true -> (Quorum_spec.Lt, 1)
+  | _ -> assert false
+
+let site ctx ~loc nf =
+  let spec = ctx.spec.Quorum_spec.m_guards in
+  match List.find_index (fun g -> Quorum_spec.nf_equal g.Quorum_spec.g_nf nf) spec with
+  | Some i ->
+      ctx.counts.(i) <- ctx.counts.(i) + 1;
+      if Option.is_none ctx.firsts.(i) then ctx.firsts.(i) <- Some loc
+  | None -> (
+      match List.find_opt (fun g -> Quorum_spec.nf_off_by_one ~spec:g.Quorum_spec.g_nf nf) spec with
+      | Some g ->
+          add ctx ~rule:guard_rule ~loc
+            (Format.asprintf
+               "threshold %a is one off the declared guard %a: a weakened or strengthened \
+                quorum constant breaks the protocol's intersection argument"
+               Quorum_spec.pp_nf nf Quorum_spec.pp_guard g)
+      | None ->
+          add ctx ~rule:guard_rule ~loc
+            (Format.asprintf
+               "undeclared threshold %a: every comparison against n/f/w arithmetic in %s must \
+                match a guard declared in tools/lint/quorum_spec.ml"
+               Quorum_spec.pp_nf nf ctx.spec.Quorum_spec.m_module))
+
+let on_compare ctx ~loc op lhs rhs =
+  let fl = parse_form ctx lhs and fr = parse_form ctx rhs in
+  let form_l = match fl with Some p when has_atoms p -> Some p | _ -> None in
+  let form_r = match fr with Some p when has_atoms p -> Some p | _ -> None in
+  match (form_l, form_r) with
+  | None, Some p ->
+      let rel, extra = canon_rel ~mirrored:false op in
+      site ctx ~loc (nf_of ~coeff:(tally_coeff ctx lhs) ~rel ~extra p)
+  | Some p, None ->
+      let rel, extra = canon_rel ~mirrored:true op in
+      site ctx ~loc (nf_of ~coeff:(tally_coeff ctx rhs) ~rel ~extra p)
+  | _ -> ()
+
+(* ------------------------ derived registration ------------------------ *)
+
+let rec vb_name (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_var (_, { txt; _ }) -> Some txt
+  | Tpat_alias (p, _, _) -> vb_name p
+  | _ -> None
+
+(* `let helper t = <parameter arithmetic>` registers helper as an atom;
+   multi-parameter and non-arithmetic bodies are simply not forms. *)
+let rec fun_body (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_lhs = _; c_guard = None; c_rhs; _ } ]; _ } -> (
+      match fun_body c_rhs with Some b -> Some b | None -> Some c_rhs)
+  | _ -> None
+
+let register_derived ctx (vb : Typedtree.value_binding) =
+  match (vb_name vb.vb_pat, fun_body vb.vb_expr) with
+  | Some name, Some body -> (
+      match parse_form ctx body with
+      | Some p -> Hashtbl.replace ctx.derived name (nf_of ~coeff:1 ~rel:Quorum_spec.Ge ~extra:0 p)
+      | None -> ())
+  | _ -> ()
+
+(* ------------------------------- walk --------------------------------- *)
+
+let walk ctx str0 =
+  let super = Tast_iterator.default_iterator in
+  let with_frames frames f =
+    if frames = [] then f ()
+    else begin
+      let saved = ctx.allows in
+      ctx.allows <- frames @ ctx.allows;
+      f ();
+      ctx.allows <- saved
+    end
+  in
+  let frames_of attrs = List.filter_map Engine.allow_payload attrs in
+  let record_alias id (mexpr : Typedtree.module_expr) =
+    let rec alias_path (m : Typedtree.module_expr) =
+      match m.mod_desc with
+      | Tmod_ident (p, _) -> Some p
+      | Tmod_constraint (m, _, _, _) -> alias_path m
+      | _ -> None
+    in
+    match (id, alias_path mexpr) with
+    | Some id, Some p -> Hashtbl.replace ctx.aliases (Ident.unique_name id) (normalize ctx p)
+    | _ -> ()
+  in
+  let expr it (e : Typedtree.expression) =
+    with_frames (frames_of e.exp_attributes) (fun () ->
+        (match e.exp_desc with
+        | Texp_letmodule (id, _, _, mexpr, _) -> record_alias id mexpr
+        | Texp_apply (f, [ (_, Some a); (_, Some b) ]) -> (
+            match ident_path ctx f with
+            | Some [ op ] when List.mem op cmp_ops -> on_compare ctx ~loc:e.exp_loc op a b
+            | _ -> ())
+        | _ -> ());
+        super.expr it e)
+  in
+  let value_binding it (vb : Typedtree.value_binding) =
+    with_frames (frames_of vb.vb_attributes) (fun () -> super.value_binding it vb)
+  in
+  let structure_item (it : Tast_iterator.iterator) (si : Typedtree.structure_item) =
+    (match si.str_desc with
+    | Tstr_module mb -> record_alias mb.mb_id mb.mb_expr
+    | _ -> ());
+    match si.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            register_derived ctx vb;
+            let saved = ctx.sym in
+            (match vb_name vb.vb_pat with Some n -> ctx.sym <- n | None -> ());
+            it.value_binding it vb;
+            ctx.sym <- saved)
+          vbs
+    | _ -> super.structure_item it si
+  in
+  let structure (it : Tast_iterator.iterator) (str : Typedtree.structure) =
+    let saved = ctx.allows in
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        (match item.str_desc with
+        | Tstr_attribute a -> (
+            match Engine.allow_payload a with
+            | Some frame -> ctx.allows <- frame :: ctx.allows
+            | None -> ())
+        | _ -> ());
+        it.structure_item it item)
+      str.str_items;
+    ctx.allows <- saved
+  in
+  let it = { super with expr; value_binding; structure_item; structure } in
+  it.structure it str0
+
+(* ------------------------------ driving ------------------------------- *)
+
+let lint_unit ~rules (u : Cmt_loader.unit_) =
+  match Quorum_spec.spec_for u.Cmt_loader.modname with
+  | None -> []
+  | Some spec ->
+      let guards = spec.Quorum_spec.m_guards in
+      let ctx =
+        {
+          rel = u.rel;
+          spec;
+          aliases = Hashtbl.create 16;
+          derived = Hashtbl.create 8;
+          allows = [];
+          sym = "";
+          out = [];
+          counts = Array.make (List.length guards) 0;
+          firsts = Array.make (List.length guards) None;
+        }
+      in
+      walk ctx u.structure;
+      (* Coverage runs after the walk: the allow frames are gone, so
+         these findings are baseline-suppressible but not [@lint.allow]-
+         scopable — a missing guard has no site to hang an attribute on
+         anyway. *)
+      ctx.sym <- "";
+      List.iteri
+        (fun i g ->
+          let want = g.Quorum_spec.g_sites and got = ctx.counts.(i) in
+          if got <> want then
+            add ctx ~rule:coverage_rule
+              ~loc:(Option.value ctx.firsts.(i) ~default:Location.none)
+              (Format.asprintf "guard %a: expected %d site%s, found %d — %s" Quorum_spec.pp_guard
+                 g want
+                 (if want = 1 then "" else "s")
+                 got
+                 (if got < want then "a wait/decide threshold was dropped or weakened past \
+                                      recognition"
+                  else "a threshold was duplicated")))
+        guards;
+      List.filter
+        (fun (f : Engine.finding) -> List.exists (fun r -> String.equal r.name f.rule) rules)
+        (List.sort Engine.compare_findings ctx.out)
+
+let lint_units ~rules units =
+  if rules = [] then []
+  else List.sort Engine.compare_findings (List.concat_map (lint_unit ~rules) units)
+
+(* Fixture entry point, mirroring Sem_rules.lint_source. *)
+let lint_source ~rules ~rel source =
+  match Cmt_loader.unit_of_source ~rel source with
+  | u -> lint_unit ~rules u
+  | exception exn ->
+      [
+        {
+          Engine.file = rel;
+          line = 1;
+          col = 0;
+          rule = "typecheck";
+          msg = "cannot typecheck: " ^ Printexc.to_string exn;
+          tier = Engine.tier_quorum;
+          symbol = "";
+          witness = [];
+        };
+      ]
